@@ -1,0 +1,96 @@
+// Ablation (paper §2.4): Temporal-Database "Historical Windows" vs DSMS
+// suffix windows. The history tree answers ANY segment but pays O(log s)
+// per update with memory proportional to the whole stream; the sliding
+// algorithms answer only the suffix window but in amortized O(1) with O(W)
+// memory — the architectural split §2.4 describes.
+//
+// Flags: --window=W (default 1024)  --tuples=T (default 2000000)  --seed=S
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "window/history_tree.h"
+
+namespace slick::bench {
+namespace {
+
+template <typename Op>
+void Run(const char* name, std::size_t window, uint64_t tuples,
+         const std::vector<double>& data, auto&& make_sliding) {
+  std::printf("\n== %s, suffix window %zu ==\n", name, window);
+  std::printf("%-24s %14s %16s\n", "# structure", "Mresults/s", "bytes");
+
+  {
+    std::size_t di = 0;
+    auto next = [&] {
+      const double v = data[di];
+      di = di + 1 == data.size() ? 0 : di + 1;
+      return v;
+    };
+    window::HistoryTree<Op> tree(window);
+    for (std::size_t i = 0; i < window; ++i) tree.Append(Op::lift(next()));
+    double sink = 0.0;
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < tuples; ++i) {
+      tree.Append(Op::lift(next()));
+      sink += static_cast<double>(tree.QuerySuffix(window));
+    }
+    const double s = static_cast<double>(NowNs() - t0) * 1e-9;
+    std::printf("%-24s %14.2f %16zu   # checksum %.6g\n",
+                "history-tree (§2.4)", static_cast<double>(tuples) / s / 1e6,
+                tree.memory_bytes(), sink);
+  }
+  {
+    std::size_t di = 0;
+    auto next = [&] {
+      const double v = data[di];
+      di = di + 1 == data.size() ? 0 : di + 1;
+      return v;
+    };
+    auto agg = make_sliding(window);
+    for (std::size_t i = 0; i < window; ++i) agg.slide(Op::lift(next()));
+    double sink = 0.0;
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < tuples; ++i) {
+      agg.slide(Op::lift(next()));
+      sink += static_cast<double>(agg.query());
+    }
+    const double s = static_cast<double>(NowNs() - t0) * 1e-9;
+    std::printf("%-24s %14.2f %16zu   # checksum %.6g\n", "slickdeque",
+                static_cast<double>(tuples) / s / 1e6, agg.memory_bytes(),
+                sink);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  const Flags flags(argc, argv);
+  const std::size_t window = flags.GetU64("window", 1024);
+  const uint64_t tuples = flags.GetU64("tuples", 2'000'000);
+  const uint64_t seed = flags.GetU64("seed", 42);
+
+  std::printf("Ablation: historical windows (§2.4) vs sliding suffix "
+              "windows\n# window=%zu tuples=%llu seed=%llu\n",
+              window, (unsigned long long)tuples, (unsigned long long)seed);
+  std::printf("# note: history-tree memory covers the WHOLE stream; the\n"
+              "# sliding structures retain only the window.\n");
+
+  const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
+  Run<slick::ops::Sum>("Sum", window, tuples, data, [](std::size_t w) {
+    return slick::core::SlickDequeInv<slick::ops::Sum>(w);
+  });
+  Run<slick::ops::Max>("Max", window, tuples, data, [](std::size_t w) {
+    return slick::core::SlickDequeNonInv<slick::ops::Max>(w);
+  });
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation (paper §6 future work: "multi-node environments", simulated):
+// a global window is served by N round-robin shards, each running its own
+// SlickDeque. On one core there is no wall-clock speedup to show — the
+// point is the per-node resource profile a real deployment would see:
+// per-shard state shrinks as 1/N, per-shard aggregate operations shrink as
+// 1/N, and the coordinator pays N-1 combines per global answer.
+//
+// Flags: --window=W (default 65536)  --tuples=T (default 1000000)  --seed=S
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "engine/sharded.h"
+#include "ops/arith.h"
+#include "ops/counting.h"
+#include "ops/minmax.h"
+
+namespace slick::bench {
+namespace {
+
+template <typename Agg>
+void Run(const char* name, std::size_t window, uint64_t tuples,
+         const std::vector<double>& data) {
+  using Op = typename Agg::op_type;
+  std::printf("\n== %s, global window %zu ==\n", name, window);
+  std::printf("%8s %14s %14s %16s %12s\n", "# shards", "Mresults/s",
+              "ops/tuple", "bytes/shard", "coord-ops");
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{8}, std::size_t{16}}) {
+    engine::RoundRobinSharded<Agg> sharded(window, shards);
+    std::size_t di = 0;
+    auto next = [&] {
+      const double v = data[di];
+      di = di + 1 == data.size() ? 0 : di + 1;
+      return v;
+    };
+    for (std::size_t i = 0; i < window; ++i) sharded.slide(Op::lift(next()));
+
+    ops::OpCounter::Reset();
+    double sink = 0.0;
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < tuples; ++i) {
+      sharded.slide(Op::lift(next()));
+      sink += static_cast<double>(sharded.query());
+    }
+    const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+    const double total_ops =
+        static_cast<double>(ops::OpCounter::Total()) / static_cast<double>(tuples);
+    // Coordinator cost: N combines per query (the cross-shard fold).
+    const double coord_ops = static_cast<double>(shards);
+    std::printf("%8zu %14.2f %14.2f %16zu %12.1f   # checksum %.6g\n", shards,
+                static_cast<double>(tuples) / elapsed_s / 1e6,
+                total_ops - coord_ops, sharded.shard(0).memory_bytes(),
+                coord_ops, sink);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  using CSum = slick::ops::CountingOp<slick::ops::Sum>;
+  using CMax = slick::ops::CountingOp<slick::ops::Max>;
+  const Flags flags(argc, argv);
+  const std::size_t window = flags.GetU64("window", 1 << 16);
+  const uint64_t tuples = flags.GetU64("tuples", 1'000'000);
+  const uint64_t seed = flags.GetU64("seed", 42);
+
+  std::printf("Ablation: simulated multi-node sharding (paper §6 future "
+              "work)\n# window=%zu tuples=%llu seed=%llu\n",
+              window, (unsigned long long)tuples, (unsigned long long)seed);
+
+  const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
+  Run<slick::core::SlickDequeInv<CSum>>("SlickDeque (Inv), Sum", window,
+                                        tuples, data);
+  Run<slick::core::SlickDequeNonInv<CMax>>("SlickDeque (Non-Inv), Max",
+                                           window, tuples, data);
+  return 0;
+}

@@ -1,0 +1,101 @@
+#ifndef SLICKDEQUE_BENCH_BENCH_COMMON_H_
+#define SLICKDEQUE_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the reproduction benches: tiny flag parser,
+// steady-clock timing, aligned table output, and the synthetic energy
+// series standing in for the DEBS12 dataset (see DESIGN.md).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "stream/synthetic.h"
+
+namespace slick::bench {
+
+/// Minimal --key=value flag parser (no external deps in bench binaries).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      const char* eq = std::strchr(arg + 2, '=');
+      if (eq == nullptr) {
+        kv_.emplace_back(std::string(arg + 2), "1");
+      } else {
+        kv_.emplace_back(std::string(arg + 2, eq), std::string(eq + 1));
+      }
+    }
+  }
+
+  uint64_t GetU64(const char* name, uint64_t def) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? def : std::strtoull(v->c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const char* name, double def) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? def : std::strtod(v->c_str(), nullptr);
+  }
+
+  std::string GetString(const char* name, const char* def) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? def : *v;
+  }
+
+ private:
+  const std::string* Find(const char* name) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The benchmark data: one energy channel of the synthetic DEBS12-like
+/// stream. Benches cycle through it when they need more tuples than
+/// `count`.
+inline std::vector<double> EnergySeries(std::size_t count, uint64_t seed,
+                                        int channel = 0) {
+  stream::SyntheticSensorSource src(seed);
+  return src.MakeEnergySeries(count, channel);
+}
+
+/// Like EnergySeries, honouring a --data=<file> flag (CSV column
+/// `channel`, or a .bin cache) so the real DEBS12 dump can drive the
+/// benches; falls back to the synthetic stream.
+inline std::vector<double> BenchSeries(const Flags& flags, std::size_t count,
+                                       uint64_t seed, int channel = 0) {
+  return stream::LoadOrSynthesize(flags.GetString("data", ""), count, seed,
+                                  channel);
+}
+
+/// Keeps results alive so the optimizer cannot delete the measured loop.
+struct Checksum {
+  double value = 0.0;
+  void Add(double x) { value += x; }
+  void Report() const { std::printf("# checksum %.6g\n", value); }
+};
+
+inline void PrintHeader(const char* title, const char* cols) {
+  std::printf("\n== %s ==\n%s\n", title, cols);
+}
+
+}  // namespace slick::bench
+
+#endif  // SLICKDEQUE_BENCH_BENCH_COMMON_H_

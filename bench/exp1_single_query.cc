@@ -1,0 +1,152 @@
+// Exp 1 (paper Figs 10 and 11): single-query throughput vs window size.
+//
+// One query computes Sum (invertible, Fig 10) or Max (non-invertible,
+// Fig 11) over the entire window after every tuple arrival (slide 1, no
+// partial aggregation), for window sizes 2^0 .. 2^max-exp.
+//
+// Expected shape (paper §5.2): {SlickDeque, FlatFIT, TwoStacks, DABA} hold
+// constant throughput as the window grows; {FlatFAT, B-Int, Naive} degrade
+// steadily. SlickDeque leads beyond small windows (>= ~4 for Sum, ~16 for
+// Max); FlatFAT wins only at windows 1..8.
+//
+// Flags: --max-exp=N (default 20; the paper uses 27 = 134M tuples)
+//        --budget-ms=M per (algorithm, window) point (default 200)
+//        --max-tuples=T cap per point (default 1048576)
+//        --op=sum|max|both    --seed=S
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/windowed.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "window/b_int.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick::bench {
+namespace {
+
+struct Config {
+  uint64_t max_exp = 20;
+  uint64_t budget_ns = 200'000'000;
+  uint64_t max_tuples = 1 << 20;
+  uint64_t seed = 42;
+};
+
+/// Runs one (algorithm, window) point: slide + full-window query per tuple.
+/// Returns throughput in million results per second.
+template <typename Agg>
+double RunPoint(std::size_t window, const std::vector<double>& data,
+                const Config& cfg, Checksum& cs) {
+  using Op = typename Agg::op_type;
+  Agg agg(window);
+  std::size_t di = 0;
+  auto next = [&] {
+    const double v = data[di];
+    di = di + 1 == data.size() ? 0 : di + 1;
+    return v;
+  };
+  for (std::size_t i = 0; i < std::min<uint64_t>(window, cfg.max_tuples); ++i) {
+    agg.slide(Op::lift(next()));
+  }
+  // Between-batch budget checks: size batches so even O(window)-per-tuple
+  // algorithms cannot overshoot the budget by much.
+  const uint64_t batch =
+      std::max<uint64_t>(1, std::min<uint64_t>(4096, (1 << 22) / window));
+  const uint64_t t0 = NowNs();
+  uint64_t processed = 0;
+  double sink = 0.0;
+  while (processed < cfg.max_tuples) {
+    for (uint64_t b = 0; b < batch && processed < cfg.max_tuples; ++b) {
+      agg.slide(Op::lift(next()));
+      sink += static_cast<double>(agg.query());
+      ++processed;
+    }
+    if (NowNs() - t0 >= cfg.budget_ns) break;
+  }
+  const uint64_t elapsed = NowNs() - t0;
+  cs.Add(sink);
+  return static_cast<double>(processed) * 1e3 / static_cast<double>(elapsed);
+}
+
+template <typename Op>
+void RunSweep(const char* title, const Config& cfg,
+              const std::vector<double>& data, bool include_inv,
+              bool include_noninv) {
+  PrintHeader(title,
+              "# window        naive      flatfat         bint      flatfit"
+              "    twostacks         daba   slickdeque   (Mresults/s)");
+  Checksum cs;
+  for (uint64_t e = 0; e <= cfg.max_exp; ++e) {
+    const std::size_t w = static_cast<std::size_t>(1) << e;
+    std::printf("%8zu", w);
+    std::printf(" %12.2f", RunPoint<window::NaiveWindow<Op>>(w, data, cfg, cs));
+    std::printf(" %12.2f", RunPoint<window::FlatFat<Op>>(w, data, cfg, cs));
+    std::printf(" %12.2f", RunPoint<window::BInt<Op>>(w, data, cfg, cs));
+    std::printf(" %12.2f", RunPoint<window::FlatFit<Op>>(w, data, cfg, cs));
+    std::printf(" %12.2f",
+                RunPoint<core::Windowed<window::TwoStacks<Op>>>(w, data, cfg, cs));
+    std::printf(" %12.2f",
+                RunPoint<core::Windowed<window::Daba<Op>>>(w, data, cfg, cs));
+    if constexpr (ops::InvertibleOp<Op>) {
+      if (include_inv) {
+        std::printf(" %12.2f",
+                    RunPoint<core::SlickDequeInv<Op>>(w, data, cfg, cs));
+      }
+    }
+    if constexpr (ops::SelectiveOp<Op>) {
+      if (include_noninv) {
+        std::printf(" %12.2f",
+                    RunPoint<core::SlickDequeNonInv<Op>>(w, data, cfg, cs));
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  cs.Report();
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  const Flags flags(argc, argv);
+  Config cfg;
+  cfg.max_exp = flags.GetU64("max-exp", 20);
+  cfg.budget_ns = flags.GetU64("budget-ms", 200) * 1'000'000;
+  cfg.max_tuples = flags.GetU64("max-tuples", 1 << 20);
+  cfg.seed = flags.GetU64("seed", 42);
+  const std::string op = flags.GetString("op", "both");
+
+  std::printf("Exp 1: single-query throughput (paper Figs 10, 11)\n");
+  std::printf("# max-exp=%llu budget-ms=%llu max-tuples=%llu seed=%llu\n",
+              (unsigned long long)cfg.max_exp,
+              (unsigned long long)(cfg.budget_ns / 1'000'000),
+              (unsigned long long)cfg.max_tuples,
+              (unsigned long long)cfg.seed);
+
+  const std::vector<double> data = BenchSeries(
+      flags, std::min<uint64_t>(cfg.max_tuples, 1 << 22), cfg.seed);
+
+  if (op == "sum" || op == "both") {
+    RunSweep<slick::ops::Sum>("Exp1(a) Sum over window, slide 1 (Fig 10)",
+                              cfg, data, /*include_inv=*/true,
+                              /*include_noninv=*/false);
+  }
+  if (op == "max" || op == "both") {
+    RunSweep<slick::ops::Max>("Exp1(b) Max over window, slide 1 (Fig 11)",
+                              cfg, data, /*include_inv=*/false,
+                              /*include_noninv=*/true);
+  }
+  return 0;
+}

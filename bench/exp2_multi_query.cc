@@ -1,0 +1,199 @@
+// Exp 2 (paper Figs 12 and 13): max-multi-query throughput vs window size.
+//
+// After every tuple arrival, queries over ALL ranges 1..window are answered
+// (slide 1). Throughput counts shared-plan slides per second; each slide
+// produces `window` answers.
+//
+// Expected shape (paper §5.2): SlickDeque leads from window >= 4 (by up to
+// 60% for Sum, up to 345% for Max over the runner-up); Naive collapses
+// quadratically, FlatFAT/B-Int as n·log(n). TwoStacks and DABA are absent —
+// they do not support multi-query execution (§2.2).
+//
+// Flags: --max-exp=N (default 12)  --budget-ms=M (default 200)
+//        --max-slides=T (default 262144)  --op=sum|max|both  --seed=S
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/per_query_adapter.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "window/b_int.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick::bench {
+namespace {
+
+struct Config {
+  uint64_t max_exp = 12;
+  uint64_t budget_ns = 200'000'000;
+  uint64_t max_slides = 1 << 18;
+  uint64_t seed = 42;
+};
+
+// Per-algorithm "answer all ranges" strategies, each the idiomatic path.
+
+template <typename Agg>
+double AnswerAllRanges(Agg& agg, std::size_t window) {
+  // Generic: one range lookup per query, largest first.
+  double sink = 0.0;
+  for (std::size_t r = window; r >= 1; --r) {
+    sink += static_cast<double>(agg.query(r));
+  }
+  return sink;
+}
+
+template <ops::InvertibleOp Op>
+double AnswerAllRanges(core::SlickDequeInv<Op>& agg, std::size_t /*window*/) {
+  // SlickDeque (Inv): the answers map already holds every result.
+  double sink = 0.0;
+  agg.for_each_answer([&](std::size_t, const typename Op::result_type& res) {
+    sink += static_cast<double>(res);
+  });
+  return sink;
+}
+
+std::vector<std::size_t> AllRanges(std::size_t window) {
+  std::vector<std::size_t> ranges(window);
+  for (std::size_t r = 1; r <= window; ++r) ranges[r - 1] = r;
+  return ranges;
+}
+
+template <typename Agg>
+struct MultiFactory {
+  static Agg Make(std::size_t window) { return Agg(window); }
+};
+template <ops::InvertibleOp Op>
+struct MultiFactory<core::SlickDequeInv<Op>> {
+  static core::SlickDequeInv<Op> Make(std::size_t window) {
+    return core::SlickDequeInv<Op>(window, AllRanges(window));
+  }
+};
+template <window::FifoAggregator A>
+struct MultiFactory<core::PerQueryAdapter<A>> {
+  static core::PerQueryAdapter<A> Make(std::size_t window) {
+    return core::PerQueryAdapter<A>(window, AllRanges(window));
+  }
+};
+
+template <typename Agg>
+double RunPoint(std::size_t window, const std::vector<double>& data,
+                const Config& cfg, Checksum& cs) {
+  using Op = typename Agg::op_type;
+  Agg agg = MultiFactory<Agg>::Make(window);
+  std::size_t di = 0;
+  auto next = [&] {
+    const double v = data[di];
+    di = di + 1 == data.size() ? 0 : di + 1;
+    return v;
+  };
+  for (std::size_t i = 0; i < window; ++i) agg.slide(Op::lift(next()));
+
+  // Ranges buffer for the fused multi-answer path (SlickDeque (Non-Inv)).
+  std::vector<std::size_t> ranges_desc;
+  std::vector<typename Op::result_type> out;
+  if constexpr (requires { agg.query_multi(ranges_desc, out); }) {
+    ranges_desc.resize(window);
+    for (std::size_t r = 0; r < window; ++r) ranges_desc[r] = window - r;
+  }
+
+  const uint64_t batch =
+      std::max<uint64_t>(1, std::min<uint64_t>(1024, (1 << 20) / window));
+  const uint64_t t0 = NowNs();
+  uint64_t slides = 0;
+  double sink = 0.0;
+  while (slides < cfg.max_slides) {
+    for (uint64_t b = 0; b < batch && slides < cfg.max_slides; ++b) {
+      agg.slide(Op::lift(next()));
+      if constexpr (requires { agg.query_multi(ranges_desc, out); }) {
+        out.clear();
+        agg.query_multi(ranges_desc, out);
+        for (const auto& r : out) sink += static_cast<double>(r);
+      } else {
+        sink += AnswerAllRanges(agg, window);
+      }
+      ++slides;
+    }
+    if (NowNs() - t0 >= cfg.budget_ns) break;
+  }
+  const uint64_t elapsed = NowNs() - t0;
+  cs.Add(sink);
+  return static_cast<double>(slides) * 1e3 / static_cast<double>(elapsed);
+}
+
+template <typename Op, typename Slick>
+void RunSweep(const char* title, const Config& cfg,
+              const std::vector<double>& data) {
+  PrintHeader(title,
+              "# window        naive      flatfat         bint      flatfit"
+              "  twostacks*q      daba*q   slickdeque   (Mslides/s; each "
+              "slide answers `window` queries; *q = one instance per query, "
+              "§2.2)");
+  Checksum cs;
+  for (uint64_t e = 0; e <= cfg.max_exp; ++e) {
+    const std::size_t w = static_cast<std::size_t>(1) << e;
+    std::printf("%8zu", w);
+    std::printf(" %12.4f", RunPoint<window::NaiveWindow<Op>>(w, data, cfg, cs));
+    std::printf(" %12.4f", RunPoint<window::FlatFat<Op>>(w, data, cfg, cs));
+    std::printf(" %12.4f", RunPoint<window::BInt<Op>>(w, data, cfg, cs));
+    std::printf(" %12.4f", RunPoint<window::FlatFit<Op>>(w, data, cfg, cs));
+    if (w <= 1024) {
+      // One aggregator instance per query needs Θ(w²) memory: capped.
+      std::printf(" %12.4f",
+                  RunPoint<core::PerQueryAdapter<window::TwoStacks<Op>>>(
+                      w, data, cfg, cs));
+      std::printf(" %12.4f",
+                  RunPoint<core::PerQueryAdapter<window::Daba<Op>>>(w, data,
+                                                                    cfg, cs));
+    } else {
+      std::printf(" %12s %12s", "-", "-");
+    }
+    std::printf(" %12.4f", RunPoint<Slick>(w, data, cfg, cs));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  cs.Report();
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  const Flags flags(argc, argv);
+  Config cfg;
+  cfg.max_exp = flags.GetU64("max-exp", 12);
+  cfg.budget_ns = flags.GetU64("budget-ms", 200) * 1'000'000;
+  cfg.max_slides = flags.GetU64("max-slides", 1 << 18);
+  cfg.seed = flags.GetU64("seed", 42);
+  const std::string op = flags.GetString("op", "both");
+
+  std::printf("Exp 2: max-multi-query throughput (paper Figs 12, 13)\n");
+  std::printf("# max-exp=%llu budget-ms=%llu max-slides=%llu seed=%llu\n",
+              (unsigned long long)cfg.max_exp,
+              (unsigned long long)(cfg.budget_ns / 1'000'000),
+              (unsigned long long)cfg.max_slides,
+              (unsigned long long)cfg.seed);
+
+  const std::vector<double> data = BenchSeries(flags, 1 << 20, cfg.seed);
+
+  if (op == "sum" || op == "both") {
+    RunSweep<slick::ops::Sum, slick::core::SlickDequeInv<slick::ops::Sum>>(
+        "Exp2(a) Sum over all ranges 1..window, slide 1 (Fig 12)", cfg, data);
+  }
+  if (op == "max" || op == "both") {
+    RunSweep<slick::ops::Max,
+             slick::core::SlickDequeNonInv<slick::ops::Max>>(
+        "Exp2(b) Max over all ranges 1..window, slide 1 (Fig 13)", cfg, data);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Exp 3 (paper Fig 14): per-query processing latency at window 1024.
+//
+// A single query (Sum, then Max) runs over a fixed 1024-tuple window for 1M
+// tuples; the time to process each tuple and return the answer is recorded,
+// the top 0.005% dropped as outliers (as in the paper), and the
+// distribution summarized as Min / 25th / Median / 75th / Max / Average.
+//
+// Expected shape (paper §5.2): SlickDeque lowest in every category;
+// TwoStacks and FlatFIT show the largest max spikes (their O(n) flip /
+// window-reset steps); DABA bounds the spike but pays in the median;
+// SlickDeque's max spike is far below DABA's.
+//
+// Flags: --window=W (default 1024)  --tuples=T (default 1000000)
+//        --drop-top=F (default 0.00005)  --seed=S
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/windowed.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "util/stats.h"
+#include "window/b_int.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick::bench {
+namespace {
+
+struct Config {
+  std::size_t window = 1024;
+  uint64_t tuples = 1'000'000;
+  double drop_top = 0.00005;
+  uint64_t seed = 42;
+};
+
+template <typename Agg>
+void RunPoint(const char* name, const std::vector<double>& data,
+              const Config& cfg, Checksum& cs) {
+  using Op = typename Agg::op_type;
+  Agg agg(cfg.window);
+  std::size_t di = 0;
+  auto next = [&] {
+    const double v = data[di];
+    di = di + 1 == data.size() ? 0 : di + 1;
+    return v;
+  };
+  for (std::size_t i = 0; i < cfg.window; ++i) agg.slide(Op::lift(next()));
+
+  util::LatencyRecorder rec(cfg.tuples);
+  double sink = 0.0;
+  for (uint64_t i = 0; i < cfg.tuples; ++i) {
+    const double x = next();
+    const uint64_t t0 = NowNs();
+    agg.slide(Op::lift(x));
+    sink += static_cast<double>(agg.query());
+    rec.Record(NowNs() - t0);
+  }
+  cs.Add(sink);
+  const util::LatencySummary s = rec.Finish(cfg.drop_top);
+  std::printf("%-22s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %10.0f %9.1f\n",
+              name, s.min_ns, s.p25_ns, s.median_ns, s.p75_ns, s.p99_ns,
+              s.p999_ns, s.max_ns, s.avg_ns);
+  std::fflush(stdout);
+}
+
+template <typename Op>
+void RunOp(const char* title, const std::vector<double>& data,
+           const Config& cfg, Checksum& cs) {
+  PrintHeader(title,
+              "# algorithm                 min      p25   median      p75"
+              "      p99    p99.9        max       avg   (ns/query)");
+  RunPoint<window::NaiveWindow<Op>>("naive", data, cfg, cs);
+  RunPoint<window::FlatFat<Op>>("flatfat", data, cfg, cs);
+  RunPoint<window::BInt<Op>>("bint", data, cfg, cs);
+  RunPoint<window::FlatFit<Op>>("flatfit", data, cfg, cs);
+  RunPoint<core::Windowed<window::TwoStacks<Op>>>("twostacks", data, cfg, cs);
+  RunPoint<core::Windowed<window::Daba<Op>>>("daba", data, cfg, cs);
+  if constexpr (ops::InvertibleOp<Op>) {
+    RunPoint<core::SlickDequeInv<Op>>("slickdeque(inv)", data, cfg, cs);
+  }
+  if constexpr (ops::SelectiveOp<Op>) {
+    RunPoint<core::SlickDequeNonInv<Op>>("slickdeque(non-inv)", data, cfg, cs);
+  }
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  const Flags flags(argc, argv);
+  Config cfg;
+  cfg.window = flags.GetU64("window", 1024);
+  cfg.tuples = flags.GetU64("tuples", 1'000'000);
+  cfg.drop_top = flags.GetDouble("drop-top", 0.00005);
+  cfg.seed = flags.GetU64("seed", 42);
+
+  std::printf("Exp 3: query processing latency (paper Fig 14)\n");
+  std::printf("# window=%zu tuples=%llu drop-top=%g seed=%llu\n", cfg.window,
+              (unsigned long long)cfg.tuples, cfg.drop_top,
+              (unsigned long long)cfg.seed);
+
+  const std::vector<double> data = BenchSeries(flags, 1 << 20, cfg.seed);
+  Checksum cs;
+  RunOp<slick::ops::Sum>("Sum (invertible)", data, cfg, cs);
+  RunOp<slick::ops::Max>("Max (non-invertible)", data, cfg, cs);
+  cs.Report();
+  return 0;
+}

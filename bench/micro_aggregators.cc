@@ -1,0 +1,84 @@
+// Google-benchmark microbenches: steady-state slide+query cost of every
+// final aggregator at a parameterized window size. Complements the
+// experiment binaries with statistically managed per-op timings.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/windowed.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "window/b_int.h"
+#include "window/chunked_array_queue.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick::bench {
+namespace {
+
+const std::vector<double>& Data() {
+  static const std::vector<double>* data =
+      new std::vector<double>(EnergySeries(1 << 16, 42));
+  return *data;
+}
+
+template <typename Agg>
+void BM_SlideQuery(benchmark::State& state) {
+  using Op = typename Agg::op_type;
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const std::vector<double>& data = Data();
+  Agg agg(window);
+  std::size_t di = 0;
+  for (std::size_t i = 0; i < window; ++i) {
+    agg.slide(Op::lift(data[di]));
+    di = di + 1 == data.size() ? 0 : di + 1;
+  }
+  for (auto _ : state) {
+    agg.slide(Op::lift(data[di]));
+    di = di + 1 == data.size() ? 0 : di + 1;
+    benchmark::DoNotOptimize(agg.query());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+using slick::ops::Max;
+using slick::ops::Sum;
+
+BENCHMARK_TEMPLATE(BM_SlideQuery, window::NaiveWindow<Sum>)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_SlideQuery, window::FlatFat<Sum>)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_SlideQuery, window::BInt<Sum>)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_SlideQuery, window::FlatFit<Sum>)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_SlideQuery, core::Windowed<window::TwoStacks<Sum>>)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_TEMPLATE(BM_SlideQuery, core::Windowed<window::Daba<Sum>>)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_TEMPLATE(BM_SlideQuery, core::SlickDequeInv<Sum>)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_SlideQuery, core::SlickDequeNonInv<Max>)
+    ->Arg(64)
+    ->Arg(1024);
+
+void BM_ChunkedQueuePushPop(benchmark::State& state) {
+  window::ChunkedArrayQueue<double> q(static_cast<std::size_t>(state.range(0)));
+  for (int i = 0; i < 1024; ++i) q.push_back(i);
+  for (auto _ : state) {
+    q.push_back(1.0);
+    q.pop_front();
+    benchmark::DoNotOptimize(q.front());
+  }
+}
+BENCHMARK(BM_ChunkedQueuePushPop)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace slick::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,199 @@
+// Table 1 (paper §4): number of aggregate operations (⊕/⊖ applications) per
+// slide, measured with instrumented operators and compared against the
+// paper's closed forms, in both the single-query and the max-multi-query
+// environment.
+//
+// Flags: --window=N (default 64)  --laps=K (default 6)  --seed=S
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/windowed.h"
+#include "ops/arith.h"
+#include "ops/counting.h"
+#include "ops/minmax.h"
+#include "window/b_int.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick::bench {
+namespace {
+
+using ops::OpCounter;
+
+struct OpStats {
+  double amortized = 0.0;
+  uint64_t worst = 0;
+};
+
+template <typename Agg, typename Factory, typename Answer>
+OpStats Measure(std::size_t n, uint64_t laps, const std::vector<double>& data,
+                Factory make, Answer answer) {
+  using Op = typename Agg::op_type;
+  Agg agg = make(n);
+  std::size_t di = 0;
+  auto next = [&] {
+    const double v = data[di];
+    di = di + 1 == data.size() ? 0 : di + 1;
+    return v;
+  };
+  for (std::size_t i = 0; i < n; ++i) agg.slide(Op::lift(next()));
+
+  OpCounter::Reset();
+  OpStats stats;
+  uint64_t total = 0;
+  const uint64_t slides = laps * n;
+  for (uint64_t i = 0; i < slides; ++i) {
+    const uint64_t before = OpCounter::Total();
+    agg.slide(Op::lift(next()));
+    answer(agg);
+    const uint64_t per_slide = OpCounter::Total() - before;
+    stats.worst = std::max(stats.worst, per_slide);
+    total += per_slide;
+  }
+  stats.amortized = static_cast<double>(total) / static_cast<double>(slides);
+  return stats;
+}
+
+template <typename Agg>
+Agg MakeDefault(std::size_t n) {
+  return Agg(n);
+}
+
+void PrintRow(const char* name, const OpStats& s, const char* theory_amort,
+              const char* theory_worst) {
+  std::printf("%-22s %12.2f %10llu   %-14s %-14s\n", name, s.amortized,
+              (unsigned long long)s.worst, theory_amort, theory_worst);
+}
+
+void SingleQueryTable(std::size_t n, uint64_t laps,
+                      const std::vector<double>& data) {
+  using CSum = ops::CountingOp<ops::Sum>;
+  using CMax = ops::CountingOp<ops::Max>;
+  auto full = [](auto& agg) { (void)agg.query(); };
+
+  std::printf("\n== Single-query environment, window n=%zu ==\n", n);
+  std::printf("%-22s %12s %10s   %-14s %-14s\n", "# algorithm", "amortized",
+              "worst", "paper-amort", "paper-worst");
+  PrintRow("naive",
+           Measure<window::NaiveWindow<CSum>>(n, laps, data,
+                                              MakeDefault<window::NaiveWindow<CSum>>, full),
+           "n-1", "n-1");
+  PrintRow("flatfat",
+           Measure<window::FlatFat<CSum>>(n, laps, data,
+                                          MakeDefault<window::FlatFat<CSum>>, full),
+           "log2(n)", "log2(n)");
+  PrintRow("bint",
+           Measure<window::BInt<CSum>>(n, laps, data,
+                                       MakeDefault<window::BInt<CSum>>, full),
+           "~log2(n)", "~log2(n)");
+  PrintRow("flatfit",
+           Measure<window::FlatFit<CSum>>(n, laps, data,
+                                          MakeDefault<window::FlatFit<CSum>>, full),
+           "3", "n-1");
+  PrintRow("twostacks",
+           Measure<core::Windowed<window::TwoStacks<CSum>>>(
+               n, laps, data,
+               MakeDefault<core::Windowed<window::TwoStacks<CSum>>>, full),
+           "3", "n");
+  PrintRow("daba",
+           Measure<core::Windowed<window::Daba<CSum>>>(
+               n, laps, data,
+               MakeDefault<core::Windowed<window::Daba<CSum>>>, full),
+           "5", "8");
+  PrintRow("slickdeque(inv)",
+           Measure<core::SlickDequeInv<CSum>>(
+               n, laps, data, MakeDefault<core::SlickDequeInv<CSum>>, full),
+           "2", "2");
+  PrintRow("slickdeque(non-inv)",
+           Measure<core::SlickDequeNonInv<CMax>>(
+               n, laps, data, MakeDefault<core::SlickDequeNonInv<CMax>>, full),
+           "<2 (input)", "n (1/n!)");
+}
+
+void MultiQueryTable(std::size_t n, uint64_t laps,
+                     const std::vector<double>& data) {
+  using CSum = ops::CountingOp<ops::Sum>;
+  using CMax = ops::CountingOp<ops::Max>;
+
+  auto all_ranges = [n](auto& agg) {
+    double sink = 0.0;
+    for (std::size_t r = n; r >= 1; --r) {
+      sink += static_cast<double>(agg.query(r));
+    }
+    (void)sink;
+  };
+  auto inv_answers = [](core::SlickDequeInv<CSum>& agg) {
+    agg.for_each_answer([](std::size_t, double) {});
+  };
+  auto make_inv = [](std::size_t w) {
+    std::vector<std::size_t> ranges(w);
+    for (std::size_t r = 1; r <= w; ++r) ranges[r - 1] = r;
+    return core::SlickDequeInv<CSum>(w, std::move(ranges));
+  };
+  std::vector<std::size_t> ranges_desc(n);
+  for (std::size_t r = 0; r < n; ++r) ranges_desc[r] = n - r;
+  std::vector<double> out;
+  auto noninv_answers = [&](core::SlickDequeNonInv<CMax>& agg) {
+    out.clear();
+    agg.query_multi(ranges_desc, out);
+  };
+
+  std::printf("\n== Max-multi-query environment, window n=%zu ==\n", n);
+  std::printf("%-22s %12s %10s   %-14s %-14s\n", "# algorithm", "amortized",
+              "worst", "paper-amort", "paper-worst");
+  PrintRow("naive",
+           Measure<window::NaiveWindow<CSum>>(
+               n, laps, data, MakeDefault<window::NaiveWindow<CSum>>, all_ranges),
+           "(n^2-n)/2", "(n^2-n)/2");
+  PrintRow("flatfat",
+           Measure<window::FlatFat<CSum>>(
+               n, laps, data, MakeDefault<window::FlatFat<CSum>>, all_ranges),
+           "~n*log2(n)", "~n*log2(n)");
+  PrintRow("bint",
+           Measure<window::BInt<CSum>>(n, laps, data,
+                                       MakeDefault<window::BInt<CSum>>, all_ranges),
+           "~n*log2(n)", "~n*log2(n)");
+  PrintRow("flatfit",
+           Measure<window::FlatFit<CSum>>(
+               n, laps, data, MakeDefault<window::FlatFit<CSum>>, all_ranges),
+           "n-1", "n-1");
+  PrintRow("slickdeque(inv)",
+           Measure<core::SlickDequeInv<CSum>>(n, laps, data, make_inv,
+                                              inv_answers),
+           "2n", "2n");
+  PrintRow("slickdeque(non-inv)",
+           Measure<core::SlickDequeNonInv<CMax>>(
+               n, laps, data, MakeDefault<core::SlickDequeNonInv<CMax>>,
+               noninv_answers),
+           "<=2n (input)", "2n (1/n!)");
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  const Flags flags(argc, argv);
+  const std::size_t n = flags.GetU64("window", 64);
+  const uint64_t laps = flags.GetU64("laps", 6);
+  const uint64_t seed = flags.GetU64("seed", 42);
+
+  std::printf("Table 1: aggregate operations per slide (paper §4)\n");
+  std::printf("# window=%zu laps=%llu seed=%llu\n", n,
+              (unsigned long long)laps, (unsigned long long)seed);
+
+  const std::vector<double> data = BenchSeries(flags, 1 << 18, seed);
+  SingleQueryTable(n, laps, data);
+  SingleQueryTable(4 * n, laps, data);
+  MultiQueryTable(n, laps, data);
+  return 0;
+}

@@ -1,0 +1,158 @@
+#ifndef SLICKDEQUE_CORE_ANY_AGGREGATOR_H_
+#define SLICKDEQUE_CORE_ANY_AGGREGATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "core/range_aggregator.h"
+#include "core/sliding_aggregator.h"
+#include "ops/ops.h"
+#include "util/check.h"
+
+namespace slick::core {
+
+/// Aggregations selectable at runtime by AnyWindowAggregator. Every kind
+/// consumes doubles and produces a double answer.
+enum class OpKind {
+  kSum,
+  kCount,
+  kProduct,
+  kSumOfSquares,
+  kAverage,
+  kStdDev,
+  kGeoMean,
+  kMax,
+  kMin,
+  kRange,
+};
+
+/// Parses an op name ("sum", "max", ...); returns true on success.
+bool ParseOpKind(std::string_view name, OpKind* kind);
+const char* ToString(OpKind kind);
+
+/// Type-erased fixed-window aggregator over double streams, for callers
+/// that pick the operation at runtime (CLIs, query frontends, bindings).
+/// Construction dispatches once to the trait-selected implementation
+/// (SlickDeque (Inv)/(Non-Inv), or the Max+Min pair for Range); after that
+/// each call costs one virtual hop over the same compiled fast paths the
+/// template API uses.
+class AnyWindowAggregator {
+ public:
+  /// Builds the best aggregator for `kind` with a `window`-partial window.
+  static AnyWindowAggregator Make(OpKind kind, std::size_t window);
+
+  void slide(double x) { impl_->Slide(x); }
+  double query() const { return impl_->Query(); }
+  std::size_t window_size() const { return impl_->WindowSize(); }
+  std::size_t memory_bytes() const { return impl_->MemoryBytes(); }
+  OpKind kind() const { return kind_; }
+
+ private:
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual void Slide(double x) = 0;
+    virtual double Query() const = 0;
+    virtual std::size_t WindowSize() const = 0;
+    virtual std::size_t MemoryBytes() const = 0;
+  };
+
+  template <typename Agg, typename Project>
+  struct Impl final : Iface {
+    Impl(Agg agg, Project project)
+        : agg_(std::move(agg)), project_(project) {}
+
+    void Slide(double x) override {
+      if constexpr (requires { typename Agg::op_type; }) {
+        agg_.slide(Agg::op_type::lift(x));
+      } else {
+        agg_.slide(x);  // RangeAggregator consumes doubles directly
+      }
+    }
+    double Query() const override { return project_(agg_.query()); }
+    std::size_t WindowSize() const override { return agg_.window_size(); }
+    std::size_t MemoryBytes() const override { return agg_.memory_bytes(); }
+
+    Agg agg_;
+    Project project_;
+  };
+
+  template <typename Agg, typename Project>
+  static AnyWindowAggregator Wrap(Agg agg, Project project, OpKind kind) {
+    AnyWindowAggregator any;
+    any.impl_ = std::make_unique<Impl<Agg, Project>>(std::move(agg), project);
+    any.kind_ = kind;
+    return any;
+  }
+
+  AnyWindowAggregator() = default;
+
+  std::unique_ptr<Iface> impl_;
+  OpKind kind_ = OpKind::kSum;
+};
+
+inline const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSum: return "sum";
+    case OpKind::kCount: return "count";
+    case OpKind::kProduct: return "product";
+    case OpKind::kSumOfSquares: return "sum_of_squares";
+    case OpKind::kAverage: return "average";
+    case OpKind::kStdDev: return "std_dev";
+    case OpKind::kGeoMean: return "geo_mean";
+    case OpKind::kMax: return "max";
+    case OpKind::kMin: return "min";
+    case OpKind::kRange: return "range";
+  }
+  return "?";
+}
+
+inline bool ParseOpKind(std::string_view name, OpKind* kind) {
+  for (OpKind k :
+       {OpKind::kSum, OpKind::kCount, OpKind::kProduct, OpKind::kSumOfSquares,
+        OpKind::kAverage, OpKind::kStdDev, OpKind::kGeoMean, OpKind::kMax,
+        OpKind::kMin, OpKind::kRange}) {
+    if (name == ToString(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline AnyWindowAggregator AnyWindowAggregator::Make(OpKind kind,
+                                                     std::size_t window) {
+  const auto as_double = [](auto result) {
+    return static_cast<double>(result);
+  };
+  switch (kind) {
+    case OpKind::kSum:
+      return Wrap(WindowAggregatorFor<ops::Sum>(window), as_double, kind);
+    case OpKind::kCount:
+      return Wrap(WindowAggregatorFor<ops::Count>(window), as_double, kind);
+    case OpKind::kProduct:
+      return Wrap(WindowAggregatorFor<ops::Product>(window), as_double, kind);
+    case OpKind::kSumOfSquares:
+      return Wrap(WindowAggregatorFor<ops::SumOfSquares>(window), as_double,
+                  kind);
+    case OpKind::kAverage:
+      return Wrap(WindowAggregatorFor<ops::Average>(window), as_double, kind);
+    case OpKind::kStdDev:
+      return Wrap(WindowAggregatorFor<ops::StdDev>(window), as_double, kind);
+    case OpKind::kGeoMean:
+      return Wrap(WindowAggregatorFor<ops::GeoMean>(window), as_double, kind);
+    case OpKind::kMax:
+      return Wrap(WindowAggregatorFor<ops::Max>(window), as_double, kind);
+    case OpKind::kMin:
+      return Wrap(WindowAggregatorFor<ops::Min>(window), as_double, kind);
+    case OpKind::kRange:
+      return Wrap(RangeAggregator(window), as_double, kind);
+  }
+  SLICK_CHECK(false, "unknown OpKind");
+  return Make(OpKind::kSum, window);  // unreachable
+}
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_ANY_AGGREGATOR_H_

@@ -1,0 +1,106 @@
+#ifndef SLICKDEQUE_CORE_MONOTONIC_DEQUE_H_
+#define SLICKDEQUE_CORE_MONOTONIC_DEQUE_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "util/serde.h"
+#include "window/chunked_array_queue.h"
+
+namespace slick::core {
+
+/// Dynamically sized FIFO counterpart of SlickDeque (Non-Inv) for a single
+/// query: the same ⊕-monotone deque as core::SlickDequeNonInv, but keyed by
+/// absolute arrival sequence instead of a circular window position, so it
+/// supports arbitrary insert()/evict() interleavings (growing and shrinking
+/// windows). Used by the dispatching facade for FIFO-shaped workloads.
+template <ops::SelectiveOp Op>
+  requires std::equality_comparable<typename Op::value_type>
+class MonotonicDeque {
+ public:
+  using op_type = Op;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  explicit MonotonicDeque(std::size_t chunk_capacity = 64)
+      : deque_(chunk_capacity) {}
+
+  void insert(value_type v) {
+    while (!deque_.empty() && ops::Absorbs<Op>(v, deque_.back().val)) {
+      deque_.pop_back();
+    }
+    deque_.push_back(Node{next_seq_, std::move(v)});
+    ++next_seq_;
+    ++live_;
+  }
+
+  void evict() {
+    SLICK_CHECK(live_ > 0, "evict from empty window");
+    ++oldest_seq_;
+    --live_;
+    if (!deque_.empty() && deque_.front().seq < oldest_seq_) {
+      deque_.pop_front();
+    }
+  }
+
+  /// Aggregate of the live window: the head node's value (identity when
+  /// empty).
+  result_type query() const {
+    if (deque_.empty()) return Op::lower(Op::identity());
+    return Op::lower(deque_.front().val);
+  }
+
+  std::size_t size() const { return live_; }
+
+  std::size_t node_count() const { return deque_.size(); }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + deque_.memory_bytes();
+  }
+
+  /// Checkpoints the deque and sequence counters (DSMS fault tolerance).
+  void SaveState(std::ostream& os) const
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    util::WriteTag(os, util::MakeTag('M', 'O', 'N', '1'), 1);
+    deque_.SaveState(os);
+    util::WritePod(os, next_seq_);
+    util::WritePod(os, oldest_seq_);
+    util::WritePod<uint64_t>(os, live_);
+  }
+
+  /// Restores a checkpoint, replacing the current state.
+  bool LoadState(std::istream& is)
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    if (!util::ExpectTag(is, util::MakeTag('M', 'O', 'N', '1'), 1)) {
+      return false;
+    }
+    uint64_t live = 0;
+    if (!deque_.LoadState(is) || !util::ReadPod(is, &next_seq_) ||
+        !util::ReadPod(is, &oldest_seq_) || !util::ReadPod(is, &live)) {
+      return false;
+    }
+    live_ = static_cast<std::size_t>(live);
+    return oldest_seq_ <= next_seq_ && live_ <= next_seq_ - oldest_seq_;
+  }
+
+ private:
+  struct Node {
+    uint64_t seq;  // arrival sequence number
+    value_type val;
+  };
+
+  window::ChunkedArrayQueue<Node> deque_;
+  uint64_t next_seq_ = 0;    // sequence of the next insert
+  uint64_t oldest_seq_ = 0;  // sequence of the oldest live element
+  std::size_t live_ = 0;     // live window size
+};
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_MONOTONIC_DEQUE_H_

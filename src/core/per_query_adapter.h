@@ -1,0 +1,74 @@
+#ifndef SLICKDEQUE_CORE_PER_QUERY_ADAPTER_H_
+#define SLICKDEQUE_CORE_PER_QUERY_ADAPTER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/windowed.h"
+#include "ops/traits.h"
+#include "util/check.h"
+#include "window/aggregator.h"
+
+namespace slick::core {
+
+/// Multi-range processing for single-query-only algorithms (TwoStacks,
+/// DABA): one Windowed instance per registered range, all fed every slide.
+/// The paper notes (§2.2) that "neither TwoStacks nor DABA are known to
+/// support multi-query execution" — this adapter is the straightforward
+/// workaround a practitioner would deploy, and it makes the cost of not
+/// sharing explicit: Θ(q) aggregate operations and Θ(Σ ranges) memory for
+/// q registered ranges, versus one shared structure for the natively
+/// multi-query algorithms. bench/exp2_multi_query uses it to extend
+/// Figs 12-13 with the missing contenders.
+template <window::FifoAggregator A>
+class PerQueryAdapter {
+ public:
+  using op_type = typename A::op_type;
+  using value_type = typename A::value_type;
+  using result_type = typename A::result_type;
+
+  PerQueryAdapter(std::size_t window, std::vector<std::size_t> ranges)
+      : window_(window) {
+    SLICK_CHECK(!ranges.empty(), "at least one range required");
+    std::sort(ranges.begin(), ranges.end());
+    ranges.erase(std::unique(ranges.begin(), ranges.end()), ranges.end());
+    instances_.reserve(ranges.size());
+    for (std::size_t r : ranges) {
+      SLICK_CHECK(r >= 1 && r <= window, "range out of bounds");
+      instances_.emplace_back(r, Windowed<A>(r));
+    }
+  }
+
+  void slide(value_type v) {
+    for (auto& [range, agg] : instances_) agg.slide(v);
+  }
+
+  result_type query() const { return query(window_); }
+
+  result_type query(std::size_t range) const {
+    const auto it = std::lower_bound(
+        instances_.begin(), instances_.end(), range,
+        [](const auto& entry, std::size_t r) { return entry.first < r; });
+    SLICK_CHECK(it != instances_.end() && it->first == range,
+                "queried range was not registered");
+    return it->second.query();
+  }
+
+  std::size_t window_size() const { return window_; }
+
+  std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const auto& [range, agg] : instances_) bytes += agg.memory_bytes();
+    return bytes;
+  }
+
+ private:
+  std::size_t window_;
+  std::vector<std::pair<std::size_t, Windowed<A>>> instances_;
+};
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_PER_QUERY_ADAPTER_H_

@@ -1,0 +1,47 @@
+#ifndef SLICKDEQUE_CORE_RANGE_AGGREGATOR_H_
+#define SLICKDEQUE_CORE_RANGE_AGGREGATOR_H_
+
+#include <cstddef>
+
+#include "core/slick_deque_noninv.h"
+#include "ops/minmax.h"
+
+namespace slick::core {
+
+/// Range = Max - Min (paper §3.1: "Range (Max and Min)"). The fused
+/// {max,min} partial is neither invertible nor selective, so — exactly as
+/// the paper prescribes for algebraic aggregations — it is computed from
+/// its two distributive components, each running on its own SlickDeque
+/// (Non-Inv).
+class RangeAggregator {
+ public:
+  using value_type = double;
+  using result_type = double;
+
+  explicit RangeAggregator(std::size_t window) : max_(window), min_(window) {}
+
+  void slide(double v) {
+    max_.slide(v);
+    min_.slide(v);
+  }
+
+  double query() const { return max_.query() - min_.query(); }
+
+  double query(std::size_t range) const {
+    return max_.query(range) - min_.query(range);
+  }
+
+  std::size_t window_size() const { return max_.window_size(); }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + max_.memory_bytes() + min_.memory_bytes();
+  }
+
+ private:
+  SlickDequeNonInv<ops::Max> max_;
+  SlickDequeNonInv<ops::Min> min_;
+};
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_RANGE_AGGREGATOR_H_

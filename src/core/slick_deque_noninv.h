@@ -1,0 +1,177 @@
+#ifndef SLICKDEQUE_CORE_SLICK_DEQUE_NONINV_H_
+#define SLICKDEQUE_CORE_SLICK_DEQUE_NONINV_H_
+
+#include <concepts>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "util/serde.h"
+#include "window/chunked_array_queue.h"
+
+namespace slick::core {
+
+/// SlickDeque (Non-Inv) — the paper's Algorithm 2: final aggregation for
+/// *non-invertible* (selective) operations. The window is represented by a
+/// deque of (pos, val) nodes, allocated in chunks, that stays monotone under
+/// ⊕ from head to tail: the head holds the answer for the whole window, and
+/// the answer for any shorter range is the first node (from the head) whose
+/// position falls inside the range.
+///
+/// Per slide: the head node is dropped if it expires (its position is
+/// exactly one window old), then incoming partial `v` evicts every tail
+/// node it dominates (combine(tail, v) == v — such nodes can never be an
+/// answer again), and a new node is appended. Amortized cost is below 2
+/// operations per slide for any input; the worst case (a fully descending
+/// window followed by a large value, probability 1/n! under uniform input)
+/// costs n — see §4.1.
+///
+/// Multi-query answers are produced by a single head-to-tail walk over the
+/// deque with ranges in descending order (query_multi), which is how the
+/// shared-plan engine drives it. Position bookkeeping (startPos and the
+/// window-boundary test) follows Algorithm 2; the in-range predicates fix
+/// the off-by-one in the paper's Answer Loop 1 listing, which as printed
+/// would include the already-expired position `currPos - range` (its own
+/// worked Example 3, Step 4 returns the value our predicate produces).
+///
+/// Note: combine(x, y) ∈ {x, y} (kSelective) is required, and value_type
+/// must be equality-comparable for the domination test on line 16 of
+/// Algorithm 2.
+template <ops::SelectiveOp Op>
+  requires std::equality_comparable<typename Op::value_type>
+class SlickDequeNonInv {
+ public:
+  using op_type = Op;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  explicit SlickDequeNonInv(std::size_t window, std::size_t chunk_capacity = 64)
+      : window_(window), deque_(chunk_capacity) {
+    SLICK_CHECK(window >= 1, "window must hold at least one partial");
+  }
+
+  /// Admits the newest partial: expire the head, evict dominated tail
+  /// nodes, append.
+  void slide(value_type v) {
+    if (!deque_.empty() && deque_.front().pos == pos_) deque_.pop_front();
+    while (!deque_.empty() && ops::Absorbs<Op>(v, deque_.back().val)) {
+      deque_.pop_back();
+    }
+    deque_.push_back(Node{pos_, std::move(v)});
+    cur_ = pos_;
+    pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
+  }
+
+  /// Aggregate of the whole window: the head node's value. O(1), zero
+  /// aggregate operations.
+  result_type query() const {
+    SLICK_CHECK(!deque_.empty(), "query before the first slide");
+    return Op::lower(deque_.front().val);
+  }
+
+  /// Aggregate of the newest `range` partials: first in-range node from the
+  /// head.
+  result_type query(std::size_t range) const {
+    uint64_t walk = deque_.front_seq();
+    return QueryFrom(&walk, range);
+  }
+
+  /// Answers several ranges with one head-to-tail walk. `ranges_desc` must
+  /// be sorted descending (larger ranges resolve nearer the head, as in the
+  /// paper's shared plan). Results are appended to `out`.
+  ///
+  /// A node of age a (0 = newest partial) answers exactly the ranges r with
+  /// r > a down to the age of the next-older node, so the walk loads each
+  /// deque node once and every answer costs one comparison plus a copy.
+  void query_multi(const std::vector<std::size_t>& ranges_desc,
+                   std::vector<result_type>& out) const {
+    SLICK_CHECK(!deque_.empty(), "query before the first slide");
+    uint64_t walk = deque_.front_seq();
+    Node node = deque_[walk];
+    std::size_t age = AgeOf(node.pos);
+    for (std::size_t r : ranges_desc) {
+      SLICK_DCHECK(r >= 1 && r <= window_, "query range out of bounds");
+      while (age >= r) {
+        ++walk;
+        node = deque_[walk];
+        age = AgeOf(node.pos);
+      }
+      out.push_back(Op::lower(node.val));
+    }
+  }
+
+  std::size_t window_size() const { return window_; }
+
+  /// Number of live deque nodes (the paper's input-dependent space term).
+  std::size_t node_count() const { return deque_.size(); }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + deque_.memory_bytes();
+  }
+
+  /// Checkpoints the deque (DSMS fault tolerance).
+  void SaveState(std::ostream& os) const
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    util::WriteTag(os, util::MakeTag('S', 'D', 'N', '1'), 1);
+    util::WritePod<uint64_t>(os, window_);
+    util::WritePod<uint64_t>(os, pos_);
+    util::WritePod<uint64_t>(os, cur_);
+    deque_.SaveState(os);
+  }
+
+  /// Restores a checkpoint, replacing the current state.
+  bool LoadState(std::istream& is)
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    if (!util::ExpectTag(is, util::MakeTag('S', 'D', 'N', '1'), 1)) {
+      return false;
+    }
+    uint64_t window = 0, pos = 0, cur = 0;
+    if (!util::ReadPod(is, &window) || !util::ReadPod(is, &pos) ||
+        !util::ReadPod(is, &cur) || window < 1 || pos >= window ||
+        cur >= window) {
+      return false;
+    }
+    if (!deque_.LoadState(is)) return false;
+    window_ = static_cast<std::size_t>(window);
+    pos_ = static_cast<std::size_t>(pos);
+    cur_ = static_cast<std::size_t>(cur);
+    return true;
+  }
+
+ private:
+  struct Node {
+    std::size_t pos;  // circular position in [0, window)
+    value_type val;
+  };
+
+  /// Slides-ago of the partial at circular position `pos` (0 = newest).
+  /// Equivalent to Algorithm 2's startPos/boundaryCrossed test: the node is
+  /// within range r iff AgeOf(pos) < r.
+  std::size_t AgeOf(std::size_t pos) const {
+    return cur_ >= pos ? cur_ - pos : cur_ + window_ - pos;
+  }
+
+  /// Advances *walk (a deque sequence number) to the first node whose
+  /// position lies within the newest `range` positions, and returns its
+  /// value. The newest node (age 0) always qualifies, so the walk
+  /// terminates.
+  result_type QueryFrom(uint64_t* walk, std::size_t range) const {
+    SLICK_CHECK(!deque_.empty(), "query before the first slide");
+    SLICK_CHECK(range >= 1 && range <= window_, "query range out of bounds");
+    while (AgeOf(deque_[*walk].pos) >= range) ++*walk;
+    return Op::lower(deque_[*walk].val);
+  }
+
+  std::size_t window_;
+  window::ChunkedArrayQueue<Node> deque_;
+  std::size_t pos_ = 0;  // write position of the next partial
+  std::size_t cur_ = 0;  // position of the newest partial
+};
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_SLICK_DEQUE_NONINV_H_

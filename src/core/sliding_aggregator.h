@@ -1,0 +1,78 @@
+#ifndef SLICKDEQUE_CORE_SLIDING_AGGREGATOR_H_
+#define SLICKDEQUE_CORE_SLIDING_AGGREGATOR_H_
+
+#include <concepts>
+
+#include "core/monotonic_deque.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/subtract_on_evict.h"
+#include "core/windowed.h"
+#include "ops/traits.h"
+#include "window/daba.h"
+
+namespace slick::core {
+
+// The paper's headline idea as a user-facing API: pick the execution
+// strategy from the operation's algebraic properties.
+//
+//   * invertible            -> SlickDeque (Inv) / Subtract-on-Evict
+//   * selective (paper's
+//     non-invertible class) -> SlickDeque (Non-Inv) / monotonic deque
+//   * anything else
+//     (associative only)    -> DABA, the best general-purpose algorithm
+//
+// `FifoAggregatorFor<Op>` names the dynamically sized FIFO implementation,
+// `WindowAggregatorFor<Op>` the fixed-window (slide-based, multi-query
+// capable) implementation. Both resolve at compile time — no virtual
+// dispatch on the hot path.
+
+namespace internal {
+
+template <ops::AggregateOp Op>
+struct FifoPicker {
+  using type = window::Daba<Op>;
+};
+
+template <ops::InvertibleOp Op>
+struct FifoPicker<Op> {
+  using type = SubtractOnEvict<Op>;
+};
+
+template <ops::SelectiveOp Op>
+  requires std::equality_comparable<typename Op::value_type> &&
+           (!Op::kInvertible)
+struct FifoPicker<Op> {
+  using type = MonotonicDeque<Op>;
+};
+
+template <ops::AggregateOp Op>
+struct WindowPicker {
+  using type = Windowed<window::Daba<Op>>;
+};
+
+template <ops::InvertibleOp Op>
+struct WindowPicker<Op> {
+  using type = SlickDequeInv<Op>;
+};
+
+template <ops::SelectiveOp Op>
+  requires std::equality_comparable<typename Op::value_type> &&
+           (!Op::kInvertible)
+struct WindowPicker<Op> {
+  using type = SlickDequeNonInv<Op>;
+};
+
+}  // namespace internal
+
+/// Best dynamically sized FIFO aggregator for Op (insert/evict/query).
+template <ops::AggregateOp Op>
+using FifoAggregatorFor = typename internal::FifoPicker<Op>::type;
+
+/// Best fixed-window aggregator for Op (slide/query).
+template <ops::AggregateOp Op>
+using WindowAggregatorFor = typename internal::WindowPicker<Op>::type;
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_SLIDING_AGGREGATOR_H_

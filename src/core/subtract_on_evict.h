@@ -1,0 +1,74 @@
+#ifndef SLICKDEQUE_CORE_SUBTRACT_ON_EVICT_H_
+#define SLICKDEQUE_CORE_SUBTRACT_ON_EVICT_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "util/serde.h"
+#include "window/chunked_array_queue.h"
+
+namespace slick::core {
+
+/// Dynamically sized FIFO counterpart of SlickDeque (Inv) for a single
+/// query: a running aggregate plus a queue of the window's values. insert()
+/// applies ⊕, evict() applies ⊖ to the expiring value (the paper's §2.2
+/// lineage: Panes (Inv) / R-Int / Subtract-on-Evict). Exactly one aggregate
+/// operation per event; space n + 1.
+template <ops::InvertibleOp Op>
+class SubtractOnEvict {
+ public:
+  using op_type = Op;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  explicit SubtractOnEvict(std::size_t chunk_capacity = 64)
+      : values_(chunk_capacity) {}
+
+  void insert(value_type v) {
+    running_ = Op::combine(running_, v);
+    values_.push_back(std::move(v));
+  }
+
+  void evict() {
+    SLICK_CHECK(!values_.empty(), "evict from empty window");
+    running_ = Op::inverse(running_, values_.front());
+    values_.pop_front();
+  }
+
+  result_type query() const { return Op::lower(running_); }
+
+  std::size_t size() const { return values_.size(); }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + values_.memory_bytes();
+  }
+
+  /// Checkpoints the window and running aggregate (DSMS fault tolerance).
+  void SaveState(std::ostream& os) const
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    util::WriteTag(os, util::MakeTag('S', 'O', 'E', '1'), 1);
+    values_.SaveState(os);
+    util::WritePod(os, running_);
+  }
+
+  /// Restores a checkpoint, replacing the current state.
+  bool LoadState(std::istream& is)
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    if (!util::ExpectTag(is, util::MakeTag('S', 'O', 'E', '1'), 1)) {
+      return false;
+    }
+    return values_.LoadState(is) && util::ReadPod(is, &running_);
+  }
+
+ private:
+  window::ChunkedArrayQueue<value_type> values_;
+  value_type running_ = Op::identity();
+};
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_SUBTRACT_ON_EVICT_H_

@@ -1,0 +1,64 @@
+#ifndef SLICKDEQUE_CORE_WINDOWED_H_
+#define SLICKDEQUE_CORE_WINDOWED_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "window/aggregator.h"
+
+namespace slick::core {
+
+/// Adapts a dynamically sized FIFO aggregator (TwoStacks, DABA, ...) to the
+/// fixed-window slide() interface the paper's evaluation drives: the window
+/// is pre-filled with ⊕'s identity so it is always exactly `window` partials
+/// long, and each slide() is an evict() followed by an insert().
+///
+/// Only the full-window answer is available — TwoStacks and DABA do not
+/// support sub-range (multi-query) lookups, as the paper notes in §2.2.
+template <window::FifoAggregator A>
+class Windowed {
+ public:
+  using op_type = typename A::op_type;
+  using value_type = typename A::value_type;
+  using result_type = typename A::result_type;
+
+  template <typename... Args>
+    requires std::constructible_from<A, Args...>
+  explicit Windowed(std::size_t window, Args&&... args)
+      : impl_(std::forward<Args>(args)...), window_(window) {
+    SLICK_CHECK(window >= 1, "window must hold at least one partial");
+    for (std::size_t i = 0; i < window; ++i) {
+      impl_.insert(op_type::identity());
+    }
+  }
+
+  void slide(value_type v) {
+    impl_.evict();
+    impl_.insert(std::move(v));
+  }
+
+  result_type query() const { return impl_.query(); }
+
+  result_type query(std::size_t range) const {
+    SLICK_CHECK(range == window_,
+                "this aggregator only answers the full-window range");
+    return impl_.query();
+  }
+
+  std::size_t window_size() const { return window_; }
+
+  std::size_t memory_bytes() const { return impl_.memory_bytes(); }
+
+  A& impl() { return impl_; }
+  const A& impl() const { return impl_; }
+
+ private:
+  A impl_;
+  std::size_t window_;
+};
+
+}  // namespace slick::core
+
+#endif  // SLICKDEQUE_CORE_WINDOWED_H_

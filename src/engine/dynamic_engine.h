@@ -1,0 +1,134 @@
+#ifndef SLICKDEQUE_ENGINE_DYNAMIC_ENGINE_H_
+#define SLICKDEQUE_ENGINE_DYNAMIC_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "engine/acq_engine.h"
+#include "plan/query_spec.h"
+#include "util/check.h"
+
+namespace slick::engine {
+
+/// ACQ processing under a *dynamic* registry — the paper's §6 future work
+/// ("evaluate SlickDeque in dynamic ... environments"): clients register
+/// and deregister Aggregate Continuous Queries while the stream flows.
+///
+/// On every registry change the shared execution plan is rebuilt and the
+/// final aggregator re-warmed by replaying retained raw tuples, so that
+/// * every query's slide phase stays aligned with the global stream (a
+///   query with slide s answers at global tuple counts divisible by s,
+///   before and after any change), and
+/// * answers are exact for all history inside the retention buffer; older
+///   contributions degrade to ⊕'s identity, i.e. the same warm-up
+///   semantics a freshly registered query has anyway.
+///
+/// Retention should cover max(range) + composite-slide padding; the
+/// default (1<<16 tuples) suits the evaluation's scale. Rebuild cost is
+/// O(retained); per-tuple cost between changes is identical to AcqEngine.
+template <typename Agg>
+class DynamicAcqEngine {
+ public:
+  using op_type = typename Agg::op_type;
+  using input_type = typename op_type::input_type;
+  using result_type = typename op_type::result_type;
+
+  explicit DynamicAcqEngine(plan::Pat pat, std::size_t retention = 1 << 16)
+      : pat_(pat), retention_(retention) {
+    SLICK_CHECK(retention_ >= 1, "retention must be positive");
+  }
+
+  /// Registers a query; answers start at the next global multiple of its
+  /// slide. Returns a stable id used in sink callbacks and RemoveQuery.
+  uint32_t AddQuery(plan::QuerySpec spec) {
+    const uint32_t id = next_id_++;
+    queries_.emplace_back(id, spec);
+    Rebuild();
+    return id;
+  }
+
+  /// Deregisters a query. Returns false if the id is unknown.
+  bool RemoveQuery(uint32_t id) {
+    for (std::size_t i = 0; i < queries_.size(); ++i) {
+      if (queries_[i].first == id) {
+        queries_.erase(queries_.begin() + static_cast<std::ptrdiff_t>(i));
+        Rebuild();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Feeds one element; sink(query_id, result) per due answer.
+  template <typename Sink>
+  void Push(const input_type& x, Sink&& sink) {
+    history_.push_back(x);
+    if (history_.size() > retention_) history_.pop_front();
+    ++tuples_;
+    if (!engine_.has_value()) return;  // no registered queries
+    engine_->Push(x, [&](uint32_t idx, const result_type& res) {
+      sink(queries_[idx].first, res);
+    });
+  }
+
+  std::size_t query_count() const { return queries_.size(); }
+  uint64_t tuples_processed() const { return tuples_; }
+  bool has_plan() const { return engine_.has_value(); }
+  const plan::SharedPlan& plan() const {
+    SLICK_CHECK(engine_.has_value(), "no queries registered");
+    return engine_->plan();
+  }
+
+ private:
+  void Rebuild() {
+    engine_.reset();
+    if (queries_.empty()) return;
+    std::vector<plan::QuerySpec> specs;
+    specs.reserve(queries_.size());
+    for (const auto& [id, spec] : queries_) specs.push_back(spec);
+
+    // Replay r retained tuples with (tuples_ - r) on a partial boundary of
+    // the new plan's cycle, so the rebuilt engine accumulates partials
+    // exactly as an engine running from stream start would have.
+    const plan::SharedPlan probe = plan::SharedPlan::Build(specs, pat_);
+    const uint64_t composite = probe.composite_slide();
+    uint64_t replay = std::min<uint64_t>(history_.size(), tuples_);
+    // Largest r <= replay such that (tuples_ - r) lands on an edge: walk
+    // r downward until the offset within the composite matches an edge
+    // (offset 0 and every step boundary qualify). At most one composite
+    // slide of history is sacrificed.
+    const auto on_edge = [&](uint64_t start) {
+      uint64_t off = start % composite;
+      for (const plan::PlanStep& step : probe.steps()) {
+        if (off == 0) return true;
+        if (off < step.partial_len) return false;
+        off -= step.partial_len;
+      }
+      return off == 0;
+    };
+    while (replay > 0 && !on_edge(tuples_ - replay)) --replay;
+
+    engine_.emplace(std::move(specs), pat_, tuples_ - replay);
+    auto discard = [](uint32_t, const result_type&) {
+      // Answers for replayed tuples were delivered by the previous plan.
+    };
+    for (std::size_t i = history_.size() - replay; i < history_.size(); ++i) {
+      engine_->Push(history_[i], discard);
+    }
+  }
+
+  plan::Pat pat_;
+  std::size_t retention_;
+  std::vector<std::pair<uint32_t, plan::QuerySpec>> queries_;
+  std::optional<AcqEngine<Agg>> engine_;
+  std::deque<input_type> history_;
+  uint64_t tuples_ = 0;
+  uint32_t next_id_ = 0;
+};
+
+}  // namespace slick::engine
+
+#endif  // SLICKDEQUE_ENGINE_DYNAMIC_ENGINE_H_

@@ -1,0 +1,79 @@
+#ifndef SLICKDEQUE_ENGINE_KEYED_ENGINE_H_
+#define SLICKDEQUE_ENGINE_KEYED_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+#include "window/aggregator.h"
+
+namespace slick::engine {
+
+/// Group-by-key sliding aggregation: one fixed-window aggregator per key,
+/// created on first sight — "max price over the last N trades *of each
+/// symbol*", the multi-tenant DSMS pattern the paper's introduction
+/// motivates. Each key's window is count-based in that key's own
+/// sub-stream. The aggregator type is any fixed-window implementation
+/// (typically a facade-selected SlickDeque).
+template <window::FixedWindowAggregator Agg>
+class KeyedWindows {
+ public:
+  using op_type = typename Agg::op_type;
+  using value_type = typename Agg::value_type;
+  using result_type = typename Agg::result_type;
+
+  explicit KeyedWindows(std::size_t window) : window_(window) {
+    SLICK_CHECK(window >= 1, "window must hold at least one partial");
+  }
+
+  /// Feeds one element of `key`'s sub-stream; returns the key's refreshed
+  /// full-window answer.
+  result_type Push(uint64_t key, value_type v) {
+    auto [it, inserted] = windows_.try_emplace(key, window_);
+    it->second.slide(std::move(v));
+    return it->second.query();
+  }
+
+  /// Current answer for `key`; dies if the key was never seen.
+  /// (Non-const: FlatFIT-style aggregators compress paths on query.)
+  result_type Query(uint64_t key) {
+    const auto it = windows_.find(key);
+    SLICK_CHECK(it != windows_.end(), "unknown key");
+    return it->second.query();
+  }
+
+  bool HasKey(uint64_t key) const { return windows_.contains(key); }
+
+  /// Drops a key's window (e.g. a delisted symbol). Returns false if
+  /// unknown.
+  bool Evict(uint64_t key) { return windows_.erase(key) > 0; }
+
+  /// Visits every (key, answer) pair — the global roll-up hook: for a
+  /// distributive ⊕, folding these answers yields the cross-key aggregate
+  /// of all per-key windows.
+  template <typename F>
+  void ForEach(F&& f) {
+    for (auto& [key, agg] : windows_) f(key, agg.query());
+  }
+
+  std::size_t key_count() const { return windows_.size(); }
+  std::size_t window_size() const { return window_; }
+
+  std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const auto& [key, agg] : windows_) {
+      bytes += sizeof(key) + agg.memory_bytes();
+    }
+    return bytes;
+  }
+
+ private:
+  std::size_t window_;
+  std::unordered_map<uint64_t, Agg> windows_;
+};
+
+}  // namespace slick::engine
+
+#endif  // SLICKDEQUE_ENGINE_KEYED_ENGINE_H_

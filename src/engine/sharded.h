@@ -1,0 +1,85 @@
+#ifndef SLICKDEQUE_ENGINE_SHARDED_H_
+#define SLICKDEQUE_ENGINE_SHARDED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "window/aggregator.h"
+
+namespace slick::engine {
+
+/// Multi-node deployment, simulated (the paper's §6 future work: "evaluate
+/// SlickDeque in ... multi-node environments"): the stream is partitioned
+/// round-robin across N shard aggregators, and the coordinator answers a
+/// global window query by combining the shards' local answers.
+///
+/// Exactness: with N shards and a global window of W = k·N tuples, the
+/// last W global tuples are exactly the last k tuples of every shard —
+/// regardless of stream phase — so for a *commutative* ⊕ the fold of the N
+/// local window answers equals the single-node answer exactly (asserted by
+/// the tests against a single-window oracle). Non-commutative operations
+/// would need order-restoring merges and are rejected at compile time.
+///
+/// Each shard runs an independent aggregator (its own SlickDeque), so
+/// per-shard state, per-slide work and (on a real cluster) communication
+/// all scale as 1/N — the measurement `bench/ablation_sharded` reports.
+template <window::FixedWindowAggregator Agg>
+  requires(Agg::op_type::kCommutative)
+class RoundRobinSharded {
+ public:
+  using op_type = typename Agg::op_type;
+  using value_type = typename Agg::value_type;
+  using result_type = typename Agg::result_type;
+
+  /// `global_window` must be a multiple of `shards`.
+  RoundRobinSharded(std::size_t global_window, std::size_t shards)
+      : global_window_(global_window) {
+    SLICK_CHECK(shards >= 1, "need at least one shard");
+    SLICK_CHECK(global_window % shards == 0,
+                "global window must be a multiple of the shard count");
+    SLICK_CHECK(global_window / shards >= 1, "shard windows must be nonempty");
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.emplace_back(global_window / shards);
+    }
+  }
+
+  /// Routes the newest element to its shard.
+  void slide(value_type v) {
+    shards_[next_].slide(std::move(v));
+    next_ = next_ + 1 == shards_.size() ? 0 : next_ + 1;
+  }
+
+  /// Global window answer: the coordinator's N-way combine.
+  result_type query() {
+    auto acc = op_type::identity();
+    for (Agg& shard : shards_) {
+      // Local answers re-lift trivially for the ops in this library
+      // (result_type == value_type for every distributive op).
+      acc = op_type::combine(acc, shard.query());
+    }
+    return op_type::lower(acc);
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t window_size() const { return global_window_; }
+
+  Agg& shard(std::size_t i) { return shards_[i]; }
+
+  std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const Agg& s : shards_) bytes += s.memory_bytes();
+    return bytes;
+  }
+
+ private:
+  std::size_t global_window_;
+  std::vector<Agg> shards_;
+  std::size_t next_ = 0;  // round-robin cursor
+};
+
+}  // namespace slick::engine
+
+#endif  // SLICKDEQUE_ENGINE_SHARDED_H_

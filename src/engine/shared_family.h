@@ -1,0 +1,150 @@
+#ifndef SLICKDEQUE_ENGINE_SHARED_FAMILY_H_
+#define SLICKDEQUE_ENGINE_SHARED_FAMILY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "engine/acq_engine.h"
+#include "ops/algebraic.h"
+#include "ops/minmax.h"
+#include "plan/query_spec.h"
+#include "util/check.h"
+
+namespace slick::engine {
+
+// Sharing across *different but compatible* aggregate operations
+// (paper §2.3): "Sum, Count and Average can share results by treating
+// Average as sum/count", and Range decomposes into Max and Min. These
+// engines register mixed-operation ACQs on one (or two) shared
+// aggregations and project each query's answer from the shared partial.
+
+/// Operations served by the (count, sum) carrier.
+enum class SumFamilyKind { kSum, kCount, kAverage };
+
+struct SumFamilyQuery {
+  plan::QuerySpec spec;
+  SumFamilyKind kind = SumFamilyKind::kSum;
+};
+
+/// Sum / Count / Average ACQs over one stream, all answered from a single
+/// SlickDeque (Inv) running (count, sum) aggregation — exactly one ⊕ and
+/// one ⊖ per registered *range* per slide, however many of the three
+/// operation kinds are registered.
+class SharedSumFamilyEngine {
+ public:
+  SharedSumFamilyEngine(std::vector<SumFamilyQuery> queries, plan::Pat pat)
+      : queries_(std::move(queries)), engine_(Specs(queries_), pat) {}
+
+  /// Feeds one value; sink(query_index, double_answer) per due answer.
+  template <typename Sink>
+  void Push(double x, Sink&& sink) {
+    engine_.Push(x, [&](uint32_t q, const ops::AvgPartial& partial) {
+      sink(q, Project(queries_[q].kind, partial));
+    });
+  }
+
+  const plan::SharedPlan& plan() const { return engine_.plan(); }
+  uint64_t answers_produced() const { return engine_.answers_produced(); }
+  std::size_t memory_bytes() const { return engine_.memory_bytes(); }
+
+ private:
+  static std::vector<plan::QuerySpec> Specs(
+      const std::vector<SumFamilyQuery>& queries) {
+    std::vector<plan::QuerySpec> specs;
+    specs.reserve(queries.size());
+    for (const SumFamilyQuery& q : queries) specs.push_back(q.spec);
+    return specs;
+  }
+
+  static double Project(SumFamilyKind kind, const ops::AvgPartial& p) {
+    switch (kind) {
+      case SumFamilyKind::kSum:
+        return p.sum;
+      case SumFamilyKind::kCount:
+        return static_cast<double>(p.count);
+      case SumFamilyKind::kAverage:
+        return p.count == 0 ? 0.0 : p.sum / static_cast<double>(p.count);
+    }
+    return 0.0;
+  }
+
+  std::vector<SumFamilyQuery> queries_;
+  AcqEngine<core::SlickDequeInv<ops::SumCount>> engine_;
+};
+
+/// Operations served by the Max/Min deque pair.
+enum class MinMaxFamilyKind { kMax, kMin, kRange };
+
+struct MinMaxFamilyQuery {
+  plan::QuerySpec spec;
+  MinMaxFamilyKind kind = MinMaxFamilyKind::kMax;
+};
+
+/// Max / Min / Range ACQs over one stream, answered from two shared
+/// SlickDeque (Non-Inv) instances (Range = Max - Min, §3.1). Queries that
+/// only need one side still cost nothing extra: both deques are maintained
+/// once per slide regardless.
+class SharedMinMaxFamilyEngine {
+ public:
+  SharedMinMaxFamilyEngine(std::vector<MinMaxFamilyQuery> queries,
+                           plan::Pat pat)
+      : queries_(std::move(queries)),
+        max_engine_(Specs(queries_), pat),
+        min_engine_(Specs(queries_), pat) {}
+
+  template <typename Sink>
+  void Push(double x, Sink&& sink) {
+    // Drive both shared deques; pair up the per-query answers. Both
+    // engines run the same plan, so answers arrive in the same order.
+    max_due_.clear();
+    min_due_.clear();
+    max_engine_.Push(
+        x, [&](uint32_t q, double a) { max_due_.emplace_back(q, a); });
+    min_engine_.Push(
+        x, [&](uint32_t q, double a) { min_due_.emplace_back(q, a); });
+    SLICK_DCHECK(max_due_.size() == min_due_.size(),
+                 "shared plans diverged");
+    for (std::size_t i = 0; i < max_due_.size(); ++i) {
+      const uint32_t q = max_due_[i].first;
+      SLICK_DCHECK(q == min_due_[i].first, "shared plans diverged");
+      switch (queries_[q].kind) {
+        case MinMaxFamilyKind::kMax:
+          sink(q, max_due_[i].second);
+          break;
+        case MinMaxFamilyKind::kMin:
+          sink(q, min_due_[i].second);
+          break;
+        case MinMaxFamilyKind::kRange:
+          sink(q, max_due_[i].second - min_due_[i].second);
+          break;
+      }
+    }
+  }
+
+  const plan::SharedPlan& plan() const { return max_engine_.plan(); }
+  std::size_t memory_bytes() const {
+    return max_engine_.memory_bytes() + min_engine_.memory_bytes();
+  }
+
+ private:
+  static std::vector<plan::QuerySpec> Specs(
+      const std::vector<MinMaxFamilyQuery>& queries) {
+    std::vector<plan::QuerySpec> specs;
+    specs.reserve(queries.size());
+    for (const MinMaxFamilyQuery& q : queries) specs.push_back(q.spec);
+    return specs;
+  }
+
+  std::vector<MinMaxFamilyQuery> queries_;
+  AcqEngine<core::SlickDequeNonInv<ops::Max>> max_engine_;
+  AcqEngine<core::SlickDequeNonInv<ops::Min>> min_engine_;
+  std::vector<std::pair<uint32_t, double>> max_due_;
+  std::vector<std::pair<uint32_t, double>> min_due_;
+};
+
+}  // namespace slick::engine
+
+#endif  // SLICKDEQUE_ENGINE_SHARED_FAMILY_H_

@@ -1,0 +1,104 @@
+#ifndef SLICKDEQUE_OPS_ARITH_H_
+#define SLICKDEQUE_OPS_ARITH_H_
+
+#include <cstdint>
+
+namespace slick::ops {
+
+/// Sum: the canonical invertible aggregation (paper Example 2).
+struct Sum {
+  using input_type = double;
+  using value_type = double;
+  using result_type = double;
+
+  static constexpr const char* kName = "sum";
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = false;
+
+  static value_type identity() { return 0.0; }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) { return a + b; }
+  static value_type inverse(value_type a, value_type b) { return a - b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Count: counts stream elements; invertible.
+struct Count {
+  using input_type = double;
+  using value_type = int64_t;
+  using result_type = int64_t;
+
+  static constexpr const char* kName = "count";
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = false;
+
+  static value_type identity() { return 0; }
+  static value_type lift(input_type /*x*/) { return 1; }
+  static value_type combine(value_type a, value_type b) { return a + b; }
+  static value_type inverse(value_type a, value_type b) { return a - b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Product: invertible via division. As in the paper's classification, the
+/// inverse is only exact when evicted values are non-zero; stream sources in
+/// this repo generate strictly positive readings. For data with zeros, use
+/// the general (non-invertible) execution path instead.
+struct Product {
+  using input_type = double;
+  using value_type = double;
+  using result_type = double;
+
+  static constexpr const char* kName = "product";
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = false;
+
+  static value_type identity() { return 1.0; }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) { return a * b; }
+  static value_type inverse(value_type a, value_type b) { return a / b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Sum of squares: distributive building block for standard deviation.
+struct SumOfSquares {
+  using input_type = double;
+  using value_type = double;
+  using result_type = double;
+
+  static constexpr const char* kName = "sum_of_squares";
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = false;
+
+  static value_type identity() { return 0.0; }
+  static value_type lift(input_type x) { return x * x; }
+  static value_type combine(value_type a, value_type b) { return a + b; }
+  static value_type inverse(value_type a, value_type b) { return a - b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Integer sum over int64 (exact arithmetic; used heavily by tests, where
+/// floating-point non-associativity would otherwise blur oracle comparisons).
+struct SumInt {
+  using input_type = int64_t;
+  using value_type = int64_t;
+  using result_type = int64_t;
+
+  static constexpr const char* kName = "sum_int";
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = false;
+
+  static value_type identity() { return 0; }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) { return a + b; }
+  static value_type inverse(value_type a, value_type b) { return a - b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+}  // namespace slick::ops
+
+#endif  // SLICKDEQUE_OPS_ARITH_H_

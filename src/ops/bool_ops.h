@@ -1,0 +1,43 @@
+#ifndef SLICKDEQUE_OPS_BOOL_OPS_H_
+#define SLICKDEQUE_OPS_BOOL_OPS_H_
+
+namespace slick::ops {
+
+/// Logical AND over the window ("were all readings in range?"). Selective:
+/// combine(x, y) always equals one of its arguments.
+struct BoolAnd {
+  using input_type = bool;
+  using value_type = bool;
+  using result_type = bool;
+
+  static constexpr const char* kName = "bool_and";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() { return true; }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) { return a && b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Logical OR over the window ("did any alarm fire?").
+struct BoolOr {
+  using input_type = bool;
+  using value_type = bool;
+  using result_type = bool;
+
+  static constexpr const char* kName = "bool_or";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() { return false; }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) { return a || b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+}  // namespace slick::ops
+
+#endif  // SLICKDEQUE_OPS_BOOL_OPS_H_

@@ -1,0 +1,64 @@
+#ifndef SLICKDEQUE_OPS_COUNTING_H_
+#define SLICKDEQUE_OPS_COUNTING_H_
+
+#include <cstdint>
+
+#include "ops/traits.h"
+
+namespace slick::ops {
+
+/// Global tally of aggregate-operation invocations. The paper's complexity
+/// analysis (§4.1, Table 1) counts ⊕/⊖ applications per slide; wrapping an
+/// op in CountingOp<> lets tests and `bench/table1_opcounts` measure exactly
+/// that metric. Single-threaded by design, like the paper's testbed.
+struct OpCounter {
+  static inline uint64_t combines = 0;
+  static inline uint64_t inverses = 0;
+
+  static void Reset() {
+    combines = 0;
+    inverses = 0;
+  }
+  static uint64_t Total() { return combines + inverses; }
+};
+
+/// Instruments an op: forwards everything, counting combine()/inverse()
+/// calls in OpCounter. lift() and lower() are free, matching the paper's
+/// metric ("the number of aggregate operations performed per slide").
+template <AggregateOp Op>
+struct CountingOp {
+  using input_type = typename Op::input_type;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  static constexpr const char* kName = Op::kName;
+  static constexpr bool kInvertible = Op::kInvertible;
+  static constexpr bool kCommutative = Op::kCommutative;
+  static constexpr bool kSelective = Op::kSelective;
+
+  static value_type identity() { return Op::identity(); }
+  static value_type lift(input_type x) { return Op::lift(x); }
+  static value_type combine(const value_type& a, const value_type& b) {
+    ++OpCounter::combines;
+    return Op::combine(a, b);
+  }
+  static value_type inverse(const value_type& a, const value_type& b)
+    requires InvertibleOp<Op>
+  {
+    ++OpCounter::inverses;
+    return Op::inverse(a, b);
+  }
+  // The deque's domination test is an ⊕ application under the paper's
+  // metric, whichever spelling the op provides.
+  static bool absorbs(const value_type& newer, const value_type& older)
+    requires SelectiveOp<Op>
+  {
+    ++OpCounter::combines;
+    return Absorbs<Op>(newer, older);
+  }
+  static result_type lower(const value_type& a) { return Op::lower(a); }
+};
+
+}  // namespace slick::ops
+
+#endif  // SLICKDEQUE_OPS_COUNTING_H_

@@ -1,0 +1,188 @@
+#ifndef SLICKDEQUE_OPS_MINMAX_H_
+#define SLICKDEQUE_OPS_MINMAX_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace slick::ops {
+
+/// Max: the canonical non-invertible (selective) aggregation
+/// (paper Example 3).
+struct Max {
+  using input_type = double;
+  using value_type = double;
+  using result_type = double;
+
+  static constexpr const char* kName = "max";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() {
+    return -std::numeric_limits<double>::infinity();
+  }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return a < b ? b : a;
+  }
+  /// One-comparison domination test: newer absorbs older iff older <= newer.
+  static bool absorbs(value_type newer, value_type older) {
+    return older <= newer;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Min: selective, non-invertible.
+struct Min {
+  using input_type = double;
+  using value_type = double;
+  using result_type = double;
+
+  static constexpr const char* kName = "min";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() {
+    return std::numeric_limits<double>::infinity();
+  }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return b < a ? b : a;
+  }
+  static bool absorbs(value_type newer, value_type older) {
+    return newer <= older;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Exact integer Max (used by oracle-driven tests).
+struct MaxInt {
+  using input_type = int64_t;
+  using value_type = int64_t;
+  using result_type = int64_t;
+
+  static constexpr const char* kName = "max_int";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() { return std::numeric_limits<int64_t>::min(); }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return a < b ? b : a;
+  }
+  static bool absorbs(value_type newer, value_type older) {
+    return older <= newer;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// A keyed sample for ArgMax/ArgMin: key decides the order, id identifies
+/// the winning element (e.g., a stock symbol index or a tuple timestamp).
+struct ArgSample {
+  double key = -std::numeric_limits<double>::infinity();
+  uint64_t id = 0;
+
+  friend bool operator==(const ArgSample&, const ArgSample&) = default;
+};
+
+/// ArgMax: returns the id of the element with the largest key. Ties keep the
+/// *earlier* element, which makes the operation associative but not
+/// commutative (paper §3.1 lists ArgMax of Cosine as a supported
+/// non-invertible op; apply the key function in lift()'s caller).
+struct ArgMax {
+  using input_type = ArgSample;
+  using value_type = ArgSample;
+  using result_type = ArgSample;
+
+  static constexpr const char* kName = "arg_max";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = false;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() { return ArgSample{}; }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return a.key < b.key ? b : a;
+  }
+  /// Conservative on ties: equal keys keep the earlier sample.
+  static bool absorbs(const value_type& newer, const value_type& older) {
+    return older.key < newer.key;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// ArgMin: id of the element with the smallest key; ties keep the earlier
+/// element (paper §3.1 lists ArgMin of x^2).
+struct ArgMin {
+  using input_type = ArgSample;
+  using value_type = ArgSample;
+  using result_type = ArgSample;
+
+  static constexpr const char* kName = "arg_min";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = false;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() {
+    return ArgSample{std::numeric_limits<double>::infinity(), 0};
+  }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return b.key < a.key ? b : a;
+  }
+  static bool absorbs(const value_type& newer, const value_type& older) {
+    return newer.key < older.key;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// First: keeps the oldest value in the window. Associative, selective,
+/// non-commutative. (Trivial for FIFO windows, but a useful stress test for
+/// order-correctness of tree-based aggregators.)
+struct First {
+  using input_type = double;
+  using value_type = double;
+  using result_type = double;
+
+  static constexpr const char* kName = "first";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = false;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() {
+    // Quiet NaN marks "no value yet"; combine() treats it as neutral.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return a != a ? b : a;  // NaN-aware: identity yields the other side
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Last: keeps the newest value in the window.
+struct Last {
+  using input_type = double;
+  using value_type = double;
+  using result_type = double;
+
+  static constexpr const char* kName = "last";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = false;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return b != b ? a : b;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+}  // namespace slick::ops
+
+#endif  // SLICKDEQUE_OPS_MINMAX_H_

@@ -1,0 +1,14 @@
+#ifndef SLICKDEQUE_OPS_OPS_H_
+#define SLICKDEQUE_OPS_OPS_H_
+
+// Umbrella header for the aggregate-operation framework.
+
+#include "ops/algebraic.h"    // IWYU pragma: export
+#include "ops/arith.h"        // IWYU pragma: export
+#include "ops/bool_ops.h"     // IWYU pragma: export
+#include "ops/counting.h"     // IWYU pragma: export
+#include "ops/minmax.h"       // IWYU pragma: export
+#include "ops/string_ops.h"   // IWYU pragma: export
+#include "ops/traits.h"       // IWYU pragma: export
+
+#endif  // SLICKDEQUE_OPS_OPS_H_

@@ -1,0 +1,53 @@
+#ifndef SLICKDEQUE_OPS_STRING_OPS_H_
+#define SLICKDEQUE_OPS_STRING_OPS_H_
+
+#include <string>
+
+namespace slick::ops {
+
+/// Alphabetical Max for strings (paper §1 and §3.1 list it among supported
+/// non-invertible aggregates). The empty string is the identity, which is
+/// correct for non-empty stream values.
+struct AlphaMax {
+  using input_type = std::string;
+  using value_type = std::string;
+  using result_type = std::string;
+
+  static constexpr const char* kName = "alpha_max";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = true;
+
+  static value_type identity() { return std::string(); }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return a < b ? b : a;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
+/// Concat: string concatenation. Associative, NON-commutative,
+/// NON-invertible and NON-selective. SlickDeque cannot execute it (no
+/// algorithm in the paper targets this class directly either); the
+/// dispatching facade routes it to the general TwoStacks/DABA path. It is
+/// also the library's canonical order-correctness probe: any aggregator that
+/// combines values out of stream order produces a visibly wrong string.
+struct Concat {
+  using input_type = std::string;
+  using value_type = std::string;
+  using result_type = std::string;
+
+  static constexpr const char* kName = "concat";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = false;
+  static constexpr bool kSelective = false;
+
+  static value_type identity() { return std::string(); }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) { return a + b; }
+  static result_type lower(value_type a) { return a; }
+};
+
+}  // namespace slick::ops
+
+#endif  // SLICKDEQUE_OPS_STRING_OPS_H_

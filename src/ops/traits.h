@@ -1,0 +1,80 @@
+#ifndef SLICKDEQUE_OPS_TRAITS_H_
+#define SLICKDEQUE_OPS_TRAITS_H_
+
+#include <concepts>
+#include <utility>
+
+namespace slick::ops {
+
+// An aggregate operation in this library is a stateless struct describing a
+// *distributive* aggregation (paper §3.1) with:
+//
+//   using input_type  = ...;  // raw stream element accepted by lift()
+//   using value_type  = ...;  // partial aggregate carried by the window
+//   using result_type = ...;  // final answer produced by lower()
+//
+//   static value_type identity();                        // ⊕-neutral value
+//   static value_type lift(input_type);                  // element -> partial
+//   static value_type combine(value_type, value_type);   // ⊕ (associative)
+//   static result_type lower(value_type);                // partial -> answer
+//
+//   static constexpr const char* kName;
+//   static constexpr bool kInvertible;   // has inverse(): (x ⊕ y) ⊖ y == x
+//   static constexpr bool kCommutative;  // x ⊕ y == y ⊕ x
+//   static constexpr bool kSelective;    // combine(x, y) ∈ {x, y}
+//
+// Invertible ops additionally provide:
+//
+//   static value_type inverse(value_type a, value_type b);  // a ⊖ b
+//
+// kSelective encodes the paper's assumption (§3.1, note under invertibility)
+// that non-invertible non-holistic operations *select* one of their
+// arguments (Max, Min, ArgMax, ...). SlickDeque (Non-Inv) requires it; the
+// dispatching facade uses it to pick an algorithm.
+
+template <typename Op>
+concept AggregateOp =
+    requires(const typename Op::value_type& a, const typename Op::value_type& b,
+             const typename Op::input_type& in) {
+      { Op::identity() } -> std::same_as<typename Op::value_type>;
+      { Op::lift(in) } -> std::same_as<typename Op::value_type>;
+      { Op::combine(a, b) } -> std::same_as<typename Op::value_type>;
+      { Op::lower(a) } -> std::same_as<typename Op::result_type>;
+      { Op::kName } -> std::convertible_to<const char*>;
+      { Op::kInvertible } -> std::convertible_to<bool>;
+      { Op::kCommutative } -> std::convertible_to<bool>;
+      { Op::kSelective } -> std::convertible_to<bool>;
+    };
+
+template <typename Op>
+concept InvertibleOp =
+    AggregateOp<Op> && Op::kInvertible &&
+    requires(const typename Op::value_type& a,
+             const typename Op::value_type& b) {
+      { Op::inverse(a, b) } -> std::same_as<typename Op::value_type>;
+    };
+
+template <typename Op>
+concept SelectiveOp = AggregateOp<Op> && Op::kSelective;
+
+/// Domination test for selective ops: true when the newer value absorbs the
+/// older one, i.e. combine(older, newer) selects newer — the pop condition
+/// of SlickDeque (Non-Inv)'s deque (Algorithm 2, line 16). Ops may provide
+/// a one-comparison `absorbs(newer, older)` fast path; it is allowed to be
+/// conservatively false on ties (the deque just keeps an extra node). The
+/// generic fallback applies ⊕ and compares.
+template <SelectiveOp Op>
+bool Absorbs(const typename Op::value_type& newer,
+             const typename Op::value_type& older) {
+  if constexpr (requires {
+                  { Op::absorbs(newer, older) } -> std::convertible_to<bool>;
+                }) {
+    return Op::absorbs(newer, older);
+  } else {
+    return Op::combine(older, newer) == newer;
+  }
+}
+
+}  // namespace slick::ops
+
+#endif  // SLICKDEQUE_OPS_TRAITS_H_

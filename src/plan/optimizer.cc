@@ -1,0 +1,76 @@
+#include "plan/optimizer.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace slick::plan {
+namespace {
+
+double GroupCost(const std::vector<QuerySpec>& group, Pat pat,
+                 const PlanCostModel& model) {
+  return model.CostPerTuple(SharedPlan::Build(group, pat));
+}
+
+std::vector<QuerySpec> Merge(const std::vector<QuerySpec>& a,
+                             const std::vector<QuerySpec>& b) {
+  std::vector<QuerySpec> merged = a;
+  merged.insert(merged.end(), b.begin(), b.end());
+  return merged;
+}
+
+}  // namespace
+
+Grouping OptimizeGrouping(const std::vector<QuerySpec>& queries, Pat pat,
+                          const PlanCostModel& model) {
+  SLICK_CHECK(!queries.empty(), "optimizer needs at least one query");
+  Grouping g;
+  std::vector<double> costs;
+  for (const QuerySpec& q : queries) {
+    g.groups.push_back({q});
+    costs.push_back(GroupCost(g.groups.back(), pat, model));
+  }
+
+  while (g.groups.size() > 1) {
+    double best_saving = 0.0;
+    std::size_t best_i = 0, best_j = 0;
+    double best_cost = 0.0;
+    for (std::size_t i = 0; i < g.groups.size(); ++i) {
+      for (std::size_t j = i + 1; j < g.groups.size(); ++j) {
+        const double merged_cost =
+            GroupCost(Merge(g.groups[i], g.groups[j]), pat, model);
+        const double saving = costs[i] + costs[j] - merged_cost;
+        if (saving > best_saving) {
+          best_saving = saving;
+          best_i = i;
+          best_j = j;
+          best_cost = merged_cost;
+        }
+      }
+    }
+    if (best_saving <= 0.0) break;
+    g.groups[best_i] = Merge(g.groups[best_i], g.groups[best_j]);
+    costs[best_i] = best_cost;
+    g.groups.erase(g.groups.begin() + static_cast<std::ptrdiff_t>(best_j));
+    costs.erase(costs.begin() + static_cast<std::ptrdiff_t>(best_j));
+  }
+
+  g.cost_per_tuple = 0.0;
+  for (double c : costs) g.cost_per_tuple += c;
+  return g;
+}
+
+double MaxSharingCost(const std::vector<QuerySpec>& queries, Pat pat,
+                      const PlanCostModel& model) {
+  return GroupCost(queries, pat, model);
+}
+
+double NoSharingCost(const std::vector<QuerySpec>& queries, Pat pat,
+                     const PlanCostModel& model) {
+  double total = 0.0;
+  for (const QuerySpec& q : queries) total += GroupCost({q}, pat, model);
+  return total;
+}
+
+}  // namespace slick::plan

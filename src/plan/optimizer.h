@@ -1,0 +1,61 @@
+#ifndef SLICKDEQUE_PLAN_OPTIMIZER_H_
+#define SLICKDEQUE_PLAN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/pat.h"
+#include "plan/query_spec.h"
+#include "plan/shared_plan.h"
+
+namespace slick::plan {
+
+/// Cost model for executing one shared plan with SlickDeque (Inv)-style
+/// final aggregation, in abstract operation units per stream tuple:
+///
+///   1                                  partial accumulation (1 ⊕/tuple)
+/// + edges/composite · edge_overhead    per-partial bookkeeping
+/// + edges/composite · 2·|ranges|       Algorithm 1's ⊕/⊖ per answer entry
+///
+/// Every group pays the full per-tuple partial cost — the term that makes
+/// sharing attractive — while merging queries with incompatible slides
+/// multiplies edges and distinct ranges — the term that makes *maximum*
+/// sharing harmful, the effect the paper's §2.3 cites from the sharing
+/// literature.
+struct PlanCostModel {
+  double edge_overhead = 4.0;  // plan bookkeeping per produced partial
+
+  double CostPerTuple(const SharedPlan& plan) const {
+    const auto composite = static_cast<double>(plan.composite_slide());
+    const auto edges = static_cast<double>(plan.partials_per_composite_slide());
+    const auto ranges = static_cast<double>(plan.distinct_ranges().size());
+    return 1.0 + edges / composite * (edge_overhead + 2.0 * ranges);
+  }
+};
+
+/// A grouping of queries into shared plans plus its modeled cost.
+struct Grouping {
+  std::vector<std::vector<QuerySpec>> groups;
+  double cost_per_tuple = 0.0;
+};
+
+/// Greedy cost-based group former: starts from singleton groups (no
+/// sharing) and repeatedly merges the pair of groups with the largest
+/// modeled saving until no merge helps. Compatible queries (harmonic
+/// slides, shared ranges) coalesce; pathological merges (coprime slides
+/// that explode the composite) are kept apart.
+Grouping OptimizeGrouping(const std::vector<QuerySpec>& queries, Pat pat,
+                          const PlanCostModel& model = {});
+
+/// Cost of the always-share-everything strategy (one plan), for
+/// comparison.
+double MaxSharingCost(const std::vector<QuerySpec>& queries, Pat pat,
+                      const PlanCostModel& model = {});
+
+/// Cost of the never-share strategy (one plan per query).
+double NoSharingCost(const std::vector<QuerySpec>& queries, Pat pat,
+                     const PlanCostModel& model = {});
+
+}  // namespace slick::plan
+
+#endif  // SLICKDEQUE_PLAN_OPTIMIZER_H_

@@ -1,0 +1,81 @@
+#ifndef SLICKDEQUE_PLAN_PAT_H_
+#define SLICKDEQUE_PLAN_PAT_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "plan/query_spec.h"
+#include "util/check.h"
+
+namespace slick::plan {
+
+/// Partial Aggregation Techniques (paper §2.1): how the incoming stream is
+/// sliced into partials whose aggregates feed the final aggregator.
+enum class Pat {
+  kPanes,  // panes of gcd(range, slide) tuples [Li et al.]
+  kPairs,  // at most two fragments per slide: f2 = range % slide, f1 = slide - f2
+  kCutty,  // one fragment per slide, cut only at window begins
+};
+
+inline const char* ToString(Pat pat) {
+  switch (pat) {
+    case Pat::kPanes:
+      return "panes";
+    case Pat::kPairs:
+      return "pairs";
+    case Pat::kCutty:
+      return "cutty";
+  }
+  return "?";
+}
+
+/// Returns the edge offsets (fragment end positions) contributed by query
+/// `q` within one of its slides, as offsets in (0, slide]. The last edge is
+/// always `slide` itself.
+inline std::vector<uint64_t> FragmentEdges(const QuerySpec& q, Pat pat) {
+  SLICK_CHECK(q.range >= 1 && q.slide >= 1, "range and slide must be >= 1");
+  std::vector<uint64_t> edges;
+  switch (pat) {
+    case Pat::kPanes: {
+      const uint64_t pane = std::gcd(q.range, q.slide);
+      for (uint64_t e = pane; e <= q.slide; e += pane) edges.push_back(e);
+      break;
+    }
+    case Pat::kPairs: {
+      const uint64_t f2 = q.range % q.slide;
+      if (f2 != 0) edges.push_back(q.slide - f2);
+      edges.push_back(q.slide);
+      break;
+    }
+    case Pat::kCutty: {
+      edges.push_back(q.slide);
+      break;
+    }
+  }
+  return edges;
+}
+
+/// Number of partials one window of `q` spans under `pat` — the per-query
+/// memory/lookup cost the paper's Figures 1-3 illustrate.
+inline uint64_t PartialsPerWindow(const QuerySpec& q, Pat pat) {
+  switch (pat) {
+    case Pat::kPanes:
+      return q.range / std::gcd(q.range, q.slide);
+    case Pat::kPairs: {
+      const uint64_t f2 = q.range % q.slide;
+      if (q.range <= q.slide) return 1;
+      // Each full slide inside the range contributes two fragments (one if
+      // f2 == 0); the trailing f2 fragment completes the range.
+      return (q.range / q.slide) * (f2 == 0 ? 1 : 2) + (f2 == 0 ? 0 : 1);
+    }
+    case Pat::kCutty:
+      // One fragment per slide; the final fragment is read mid-partial.
+      return q.range / q.slide + (q.range % q.slide == 0 ? 0 : 1);
+  }
+  return 0;
+}
+
+}  // namespace slick::plan
+
+#endif  // SLICKDEQUE_PLAN_PAT_H_

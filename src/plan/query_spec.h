@@ -1,0 +1,22 @@
+#ifndef SLICKDEQUE_PLAN_QUERY_SPEC_H_
+#define SLICKDEQUE_PLAN_QUERY_SPEC_H_
+
+#include <cstdint>
+
+namespace slick::plan {
+
+/// An Aggregate Continuous Query's window specification (paper §1): the
+/// range is the window the statistics cover, the slide is the period at
+/// which the answer is refreshed. Both are in tuple counts (the paper's
+/// count-based windows; time-based windows map to counts upstream at a
+/// fixed sampling rate, e.g. DEBS12's 100 Hz).
+struct QuerySpec {
+  uint64_t range = 1;
+  uint64_t slide = 1;
+
+  friend bool operator==(const QuerySpec&, const QuerySpec&) = default;
+};
+
+}  // namespace slick::plan
+
+#endif  // SLICKDEQUE_PLAN_QUERY_SPEC_H_

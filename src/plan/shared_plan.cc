@@ -1,0 +1,119 @@
+#include "plan/shared_plan.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace slick::plan {
+namespace {
+
+/// Number of edges with offset in (lo, hi], both in [0, composite].
+uint64_t CountEdgesIn(const std::vector<uint64_t>& edges, uint64_t lo,
+                      uint64_t hi) {
+  const auto from = std::upper_bound(edges.begin(), edges.end(), lo);
+  const auto to = std::upper_bound(edges.begin(), edges.end(), hi);
+  return static_cast<uint64_t>(to - from);
+}
+
+bool IsEdge(const std::vector<uint64_t>& edges, uint64_t offset) {
+  return offset == 0 ||
+         std::binary_search(edges.begin(), edges.end(), offset);
+}
+
+}  // namespace
+
+SharedPlan SharedPlan::Build(const std::vector<QuerySpec>& queries, Pat pat) {
+  SLICK_CHECK(!queries.empty(), "a shared plan needs at least one query");
+  SharedPlan plan;
+  plan.queries_ = queries;
+  plan.pat_ = pat;
+
+  // Composite slide = LCM of all slides (paper §2.3).
+  std::vector<uint64_t> slides;
+  slides.reserve(queries.size());
+  for (const QuerySpec& q : queries) slides.push_back(q.slide);
+  const uint64_t composite = util::LcmAll(slides.data(), slides.size());
+  plan.composite_slide_ = composite;
+
+  // Mark every query's fragment edges inside the composite slide.
+  std::vector<uint64_t> edges;
+  for (const QuerySpec& q : queries) {
+    const std::vector<uint64_t> frag = FragmentEdges(q, pat);
+    for (uint64_t b = 0; b < composite; b += q.slide) {
+      for (uint64_t fe : frag) edges.push_back(b + fe);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  SLICK_CHECK(!edges.empty() && edges.back() == composite,
+              "composite slide end must be an edge");
+
+  // Steps: one partial per edge, in stream order.
+  plan.steps_.resize(edges.size());
+  uint64_t prev = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    plan.steps_[i].partial_len = edges[i] - prev;
+    prev = edges[i];
+  }
+
+  // Reports: query q answers at every multiple of its slide. Its range,
+  // counted back from the report edge, spans a number of plan partials that
+  // can differ per report position under heterogeneous slides.
+  const uint64_t edges_per_composite = edges.size();
+  for (uint32_t qi = 0; qi < queries.size(); ++qi) {
+    const QuerySpec& q = queries[qi];
+    for (uint64_t e = q.slide; e <= composite; e += q.slide) {
+      const auto step_idx = static_cast<std::size_t>(
+          std::lower_bound(edges.begin(), edges.end(), e) - edges.begin());
+      SLICK_DCHECK(step_idx < edges.size() && edges[step_idx] == e,
+                   "report position must be an edge");
+      // Normalize the range start into [0, composite).
+      uint64_t wraps = 0;
+      uint64_t start;
+      if (q.range > e) {
+        wraps = (q.range - e + composite - 1) / composite;
+        start = e + wraps * composite - q.range;
+      } else {
+        start = e - q.range;
+      }
+      if (!IsEdge(edges, start)) {
+        // The range begins mid-partial (possible under Cutty): the plan is
+        // still valid for cost analysis but cannot drive execution.
+        plan.executable_ = false;
+        continue;
+      }
+      uint64_t count;
+      if (wraps == 0) {
+        count = CountEdgesIn(edges, start, e);
+      } else {
+        count = CountEdgesIn(edges, start, composite) +
+                (wraps - 1) * edges_per_composite + CountEdgesIn(edges, 0, e);
+      }
+      plan.steps_[step_idx].reports.push_back(ReportEntry{qi, count});
+      plan.window_partials_ = std::max(plan.window_partials_, count);
+      plan.distinct_ranges_.push_back(count);
+    }
+  }
+
+  std::sort(plan.distinct_ranges_.begin(), plan.distinct_ranges_.end());
+  plan.distinct_ranges_.erase(
+      std::unique(plan.distinct_ranges_.begin(), plan.distinct_ranges_.end()),
+      plan.distinct_ranges_.end());
+
+  // Answer larger ranges first within each step: SlickDeque (Non-Inv)'s
+  // multi-answer walk relies on descending order (§3.2).
+  for (PlanStep& step : plan.steps_) {
+    std::sort(step.reports.begin(), step.reports.end(),
+              [](const ReportEntry& a, const ReportEntry& b) {
+                if (a.range_in_partials != b.range_in_partials) {
+                  return a.range_in_partials > b.range_in_partials;
+                }
+                return a.query < b.query;
+              });
+  }
+  return plan;
+}
+
+}  // namespace slick::plan

@@ -1,0 +1,74 @@
+#ifndef SLICKDEQUE_PLAN_SHARED_PLAN_H_
+#define SLICKDEQUE_PLAN_SHARED_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/pat.h"
+#include "plan/query_spec.h"
+
+namespace slick::plan {
+
+/// One query answer due at a plan step.
+struct ReportEntry {
+  uint32_t query = 0;            // index into the registered query list
+  uint64_t range_in_partials = 0;  // how many plan partials the range spans
+};
+
+/// One edge of the composite slide: the partial that ends here and the
+/// queries whose answers are due.
+struct PlanStep {
+  uint64_t partial_len = 0;  // tuples aggregated into this partial
+  std::vector<ReportEntry> reports;
+};
+
+/// Shared execution plan for a set of compatible ACQs (paper §2.3, the
+/// buildSharedPlan step of Algorithms 1 and 2): the composite slide is the
+/// LCM of all query slides; every query's fragment edges are marked inside
+/// it; shared edges mean shared partial aggregations.
+class SharedPlan {
+ public:
+  /// Builds the plan. With Pat::kCutty some query ranges do not land on an
+  /// edge (Cutty reads the current partial mid-accumulation); such plans
+  /// report executable() == false and are usable for cost analysis only.
+  static SharedPlan Build(const std::vector<QuerySpec>& queries, Pat pat);
+
+  const std::vector<QuerySpec>& queries() const { return queries_; }
+  Pat pat() const { return pat_; }
+
+  /// Length of the composite slide in tuples.
+  uint64_t composite_slide() const { return composite_slide_; }
+
+  /// The steps (partials) of one composite slide, in stream order.
+  const std::vector<PlanStep>& steps() const { return steps_; }
+
+  /// The paper's wSize: window length, in partials, needed to answer every
+  /// registered query (the maximum range_in_partials).
+  uint64_t window_partials() const { return window_partials_; }
+
+  /// Distinct range_in_partials values across all reports (the keys of
+  /// SlickDeque (Inv)'s answers map), sorted ascending.
+  const std::vector<uint64_t>& distinct_ranges() const {
+    return distinct_ranges_;
+  }
+
+  /// False when some range falls mid-partial (possible under Cutty).
+  bool executable() const { return executable_; }
+
+  /// Partials per composite slide — the sharing metric of §2.3 (fewer is
+  /// better; equals steps().size()).
+  uint64_t partials_per_composite_slide() const { return steps_.size(); }
+
+ private:
+  std::vector<QuerySpec> queries_;
+  Pat pat_ = Pat::kPairs;
+  uint64_t composite_slide_ = 0;
+  uint64_t window_partials_ = 0;
+  std::vector<PlanStep> steps_;
+  std::vector<uint64_t> distinct_ranges_;
+  bool executable_ = true;
+};
+
+}  // namespace slick::plan
+
+#endif  // SLICKDEQUE_PLAN_SHARED_PLAN_H_

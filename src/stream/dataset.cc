@@ -1,0 +1,100 @@
+#include "stream/dataset.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "stream/synthetic.h"
+
+namespace slick::stream {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'L', 'K', 'D', '0', '0', '0', '1'};
+
+/// Extracts field `column` from a comma/semicolon/whitespace-separated
+/// line; returns false if the line has too few fields or a non-numeric
+/// value there.
+bool ParseField(const char* line, int column, double* value) {
+  const char* p = line;
+  for (int c = 0; c < column; ++c) {
+    while (*p != '\0' && *p != ',' && *p != ';' && *p != ' ' && *p != '\t') {
+      ++p;
+    }
+    if (*p == '\0') return false;
+    ++p;
+    while (*p == ' ' || *p == '\t') ++p;
+  }
+  char* end = nullptr;
+  *value = std::strtod(p, &end);
+  return end != p;
+}
+
+}  // namespace
+
+bool LoadCsvColumn(const std::string& path, int column,
+                   std::vector<double>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  out->clear();
+  char line[4096];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    double v = 0.0;
+    if (ParseField(line, column, &v)) out->push_back(v);
+  }
+  std::fclose(f);
+  return !out->empty();
+}
+
+bool SaveBinary(const std::string& path, const std::vector<double>& values) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const uint64_t count = values.size();
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, f) == 1 &&
+            (count == 0 ||
+             std::fwrite(values.data(), sizeof(double), count, f) == count);
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool LoadBinary(const std::string& path, std::vector<double>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[8];
+  uint64_t count = 0;
+  bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+            std::fread(&count, sizeof(count), 1, f) == 1;
+  if (ok) {
+    out->resize(count);
+    ok = count == 0 ||
+         std::fread(out->data(), sizeof(double), count, f) == count;
+  }
+  std::fclose(f);
+  if (!ok) out->clear();
+  return ok;
+}
+
+std::vector<double> LoadOrSynthesize(const std::string& path,
+                                     std::size_t count, uint64_t seed,
+                                     int column) {
+  if (!path.empty()) {
+    std::vector<double> data;
+    const bool is_binary =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+    const bool ok = is_binary ? LoadBinary(path, &data)
+                              : LoadCsvColumn(path, column, &data);
+    if (ok) {
+      if (data.size() > count) data.resize(count);
+      return data;
+    }
+    std::fprintf(stderr,
+                 "warning: could not load '%s'; falling back to synthetic "
+                 "data\n",
+                 path.c_str());
+  }
+  SyntheticSensorSource source(seed);
+  return source.MakeEnergySeries(count, column);
+}
+
+}  // namespace slick::stream

@@ -1,0 +1,79 @@
+#ifndef SLICKDEQUE_STREAM_REORDER_H_
+#define SLICKDEQUE_STREAM_REORDER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace slick::stream {
+
+/// Bounded-lateness reorder buffer (the paper's §3.1 arrival-order
+/// assumption: "the arriving tuples have to be in-order or slightly
+/// out-of-order"). Elements carry a sequence number; an element may arrive
+/// at most `horizon` positions late. The buffer holds a min-heap of
+/// pending elements and releases them in exact sequence order once they
+/// can no longer be preceded by a straggler.
+///
+/// Feeding a DSMS engine through this buffer turns a slightly-out-of-order
+/// stream into the in-order stream the final aggregators require; if a
+/// tuple arrives later than the horizon allows, Offer() reports it so the
+/// caller can apply its lateness policy (drop, side-output, alert).
+template <typename T>
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(uint64_t horizon) : horizon_(horizon) {}
+
+  /// Admits element `seq`. Returns false iff the element is too late (its
+  /// slot was already released); such elements are NOT buffered.
+  template <typename Emit>
+  bool Offer(uint64_t seq, T value, Emit&& emit) {
+    if (seq < next_) return false;  // straggler beyond the horizon
+    heap_.emplace_back(seq, std::move(value));
+    std::push_heap(heap_.begin(), heap_.end(), Greater());
+    max_seen_ = std::max(max_seen_, seq);
+    // Everything at least `horizon` behind the newest arrival is final.
+    while (!heap_.empty() && heap_.front().first + horizon_ <= max_seen_) {
+      Release(emit);
+    }
+    return true;
+  }
+
+  /// Releases everything still pending, in order (end of stream).
+  template <typename Emit>
+  void Flush(Emit&& emit) {
+    while (!heap_.empty()) Release(emit);
+  }
+
+  std::size_t pending() const { return heap_.size(); }
+  uint64_t next_expected() const { return next_; }
+
+ private:
+  struct Greater {
+    bool operator()(const std::pair<uint64_t, T>& a,
+                    const std::pair<uint64_t, T>& b) const {
+      return a.first > b.first;
+    }
+  };
+
+  template <typename Emit>
+  void Release(Emit& emit) {
+    std::pop_heap(heap_.begin(), heap_.end(), Greater());
+    auto [seq, value] = std::move(heap_.back());
+    heap_.pop_back();
+    SLICK_DCHECK(seq >= next_, "duplicate or regressed sequence");
+    next_ = seq + 1;
+    emit(seq, std::move(value));
+  }
+
+  std::vector<std::pair<uint64_t, T>> heap_;  // min-heap by sequence
+  uint64_t horizon_;
+  uint64_t next_ = 0;      // next sequence to release
+  uint64_t max_seen_ = 0;  // newest sequence observed
+};
+
+}  // namespace slick::stream
+
+#endif  // SLICKDEQUE_STREAM_REORDER_H_

@@ -1,0 +1,55 @@
+#include "stream/synthetic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace slick::stream {
+namespace {
+
+constexpr double kBaseLevel[3] = {42.0, 87.0, 23.0};
+constexpr double kMeanReversion = 0.02;
+constexpr double kWalkStep = 0.8;
+constexpr double kPeriod[3] = {973.0, 1741.0, 577.0};
+constexpr double kPeriodAmp[3] = {6.0, 11.0, 3.5};
+constexpr double kNoiseAmp = 0.35;
+constexpr double kTwoPi = 6.283185307179586;
+
+}  // namespace
+
+SyntheticSensorSource::SyntheticSensorSource(uint64_t seed) : rng_(seed) {
+  for (int c = 0; c < 3; ++c) level_[c] = kBaseLevel[c];
+}
+
+SensorTuple SyntheticSensorSource::Next() {
+  SensorTuple t;
+  t.seq = seq_++;
+  for (int c = 0; c < 3; ++c) {
+    // Mean-reverting random walk ...
+    level_[c] += kWalkStep * (2.0 * rng_.NextDouble() - 1.0) +
+                 kMeanReversion * (kBaseLevel[c] - level_[c]);
+    // ... plus a periodic duty cycle and white noise.
+    const double periodic =
+        kPeriodAmp[c] *
+        std::sin(kTwoPi * static_cast<double>(t.seq) / kPeriod[c]);
+    const double noise = kNoiseAmp * (2.0 * rng_.NextDouble() - 1.0);
+    double v = level_[c] + periodic + noise;
+    if (v < 0.1) v = 0.1;  // energy readings are strictly positive
+    t.energy[static_cast<std::size_t>(c)] = v;
+  }
+  t.state_bits = rng_.NextU64();
+  return t;
+}
+
+std::vector<double> SyntheticSensorSource::MakeEnergySeries(std::size_t count,
+                                                            int channel) {
+  SLICK_CHECK(channel >= 0 && channel < 3, "channel must be 0..2");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Next().energy[static_cast<std::size_t>(channel)]);
+  }
+  return out;
+}
+
+}  // namespace slick::stream

@@ -1,0 +1,38 @@
+#ifndef SLICKDEQUE_STREAM_SYNTHETIC_H_
+#define SLICKDEQUE_STREAM_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stream/tuple.h"
+#include "util/rng.h"
+
+namespace slick::stream {
+
+/// Deterministic stand-in for the DEBS12 Grand Challenge dataset (see
+/// DESIGN.md, "Substitutions"): three strictly positive energy channels,
+/// each a mean-reverting random walk with a periodic component and noise —
+/// the autocorrelated, mostly tie-free shape of real power readings. All
+/// compared algorithms are input-agnostic except SlickDeque (Non-Inv),
+/// whose behaviour depends only on the input's ordering statistics, which
+/// this source reproduces.
+class SyntheticSensorSource {
+ public:
+  explicit SyntheticSensorSource(uint64_t seed);
+
+  /// Produces the next event. Energy values stay within (0, ~200).
+  SensorTuple Next();
+
+  /// Convenience: materializes `count` readings of `channel` (0..2).
+  std::vector<double> MakeEnergySeries(std::size_t count, int channel);
+
+ private:
+  util::SplitMix64 rng_;
+  uint64_t seq_ = 0;
+  double level_[3];
+};
+
+}  // namespace slick::stream
+
+#endif  // SLICKDEQUE_STREAM_SYNTHETIC_H_

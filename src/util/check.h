@@ -1,0 +1,30 @@
+#ifndef SLICKDEQUE_UTIL_CHECK_H_
+#define SLICKDEQUE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight runtime assertion macros.
+//
+// SLICK_CHECK is always on and used to guard API contracts (e.g., querying a
+// range larger than the window). SLICK_DCHECK compiles away in release
+// builds and is used for internal invariants on hot paths.
+
+#define SLICK_CHECK(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SLICK_CHECK failed at %s:%d: %s -- %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define SLICK_DCHECK(cond, msg) SLICK_CHECK(cond, msg)
+#else
+#define SLICK_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+#endif
+
+#endif  // SLICKDEQUE_UTIL_CHECK_H_

@@ -1,0 +1,50 @@
+#ifndef SLICKDEQUE_UTIL_MATH_H_
+#define SLICKDEQUE_UTIL_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace slick::util {
+
+/// Returns true if `x` is a power of two. Zero is not a power of two.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x must be >= 1 and representable).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr uint32_t FloorLog2(uint64_t x) {
+  uint32_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr uint32_t CeilLog2(uint64_t x) {
+  return IsPowerOfTwo(x) ? FloorLog2(x) : FloorLog2(x) + 1;
+}
+
+/// Least common multiple of a list of positive integers. Aborts on overflow.
+inline uint64_t LcmAll(const uint64_t* values, size_t count) {
+  SLICK_CHECK(count > 0, "LcmAll requires at least one value");
+  uint64_t acc = 1;
+  for (size_t i = 0; i < count; ++i) {
+    SLICK_CHECK(values[i] > 0, "LcmAll requires positive values");
+    const uint64_t g = std::gcd(acc, values[i]);
+    const uint64_t q = values[i] / g;
+    SLICK_CHECK(acc <= UINT64_MAX / q, "LCM overflow");
+    acc *= q;
+  }
+  return acc;
+}
+
+}  // namespace slick::util
+
+#endif  // SLICKDEQUE_UTIL_MATH_H_

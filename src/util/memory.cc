@@ -1,0 +1,32 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace slick::util {
+namespace {
+
+uint64_t ReadStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len, " %llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() { return ReadStatusKb("VmHWM:"); }
+
+uint64_t CurrentRssBytes() { return ReadStatusKb("VmRSS:"); }
+
+}  // namespace slick::util

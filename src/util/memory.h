@@ -1,0 +1,21 @@
+#ifndef SLICKDEQUE_UTIL_MEMORY_H_
+#define SLICKDEQUE_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slick::util {
+
+/// Peak resident set size (VmHWM) of the current process in bytes, read from
+/// /proc/self/status. Returns 0 if unavailable. This is the measurement the
+/// paper's Exp 4 uses; the benches additionally report exact per-structure
+/// byte accounting via each aggregator's memory_bytes(), which is
+/// deterministic and free of allocator noise.
+uint64_t PeakRssBytes();
+
+/// Current resident set size (VmRSS) in bytes, or 0 if unavailable.
+uint64_t CurrentRssBytes();
+
+}  // namespace slick::util
+
+#endif  // SLICKDEQUE_UTIL_MEMORY_H_

@@ -1,0 +1,38 @@
+#ifndef SLICKDEQUE_UTIL_RNG_H_
+#define SLICKDEQUE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace slick::util {
+
+/// SplitMix64: tiny, fast, seedable PRNG used for deterministic synthetic
+/// workloads. Quality is more than sufficient for workload generation and it
+/// keeps benches reproducible across platforms/compilers (unlike
+/// std::mt19937 + std::uniform_*_distribution whose outputs are not
+/// standardized across library implementations for floating point).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace slick::util
+
+#endif  // SLICKDEQUE_UTIL_RNG_H_

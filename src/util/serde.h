@@ -1,0 +1,78 @@
+#ifndef SLICKDEQUE_UTIL_SERDE_H_
+#define SLICKDEQUE_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+namespace slick::util {
+
+// Minimal binary serialization helpers for aggregator checkpoints (DSMS
+// fault tolerance: snapshot the window state, restore after a crash, keep
+// answering). Little-endian host format, versioned per structure via
+// WriteTag/ExpectTag. Only trivially copyable payloads are supported —
+// every hot-path value type in this library qualifies.
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+bool ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void WritePodVec(std::ostream& os, const std::vector<T>& v) {
+  WritePod<uint64_t>(os, v.size());
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+bool ReadPodVec(std::istream& is, std::vector<T>* v) {
+  uint64_t count = 0;
+  if (!ReadPod(is, &count)) return false;
+  // Guard against corrupt counts before allocating.
+  if (count > (uint64_t{1} << 40) / sizeof(T)) return false;
+  v->resize(count);
+  if (count > 0) {
+    is.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  }
+  return static_cast<bool>(is);
+}
+
+/// Structure tag + version header.
+inline void WriteTag(std::ostream& os, uint32_t tag, uint32_t version) {
+  WritePod(os, tag);
+  WritePod(os, version);
+}
+
+inline bool ExpectTag(std::istream& is, uint32_t tag, uint32_t version) {
+  uint32_t t = 0, v = 0;
+  return ReadPod(is, &t) && ReadPod(is, &v) && t == tag && v == version;
+}
+
+/// Four-character structure tags.
+constexpr uint32_t MakeTag(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+}  // namespace slick::util
+
+#endif  // SLICKDEQUE_UTIL_SERDE_H_

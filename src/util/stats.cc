@@ -1,0 +1,60 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace slick::util {
+
+double PercentileSorted(const std::vector<uint64_t>& sorted, double q) {
+  SLICK_CHECK(!sorted.empty(), "percentile of empty sample set");
+  SLICK_CHECK(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
+  if (sorted.size() == 1) return static_cast<double>(sorted[0]);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+LatencySummary Summarize(std::vector<uint64_t>& samples,
+                         double drop_top_fraction) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  size_t keep = samples.size();
+  if (drop_top_fraction > 0.0) {
+    const auto dropped = static_cast<size_t>(
+        std::floor(drop_top_fraction * static_cast<double>(samples.size())));
+    keep = samples.size() - std::min(dropped, samples.size() - 1);
+  }
+  samples.resize(keep);
+  s.count = keep;
+  s.min_ns = static_cast<double>(samples.front());
+  s.max_ns = static_cast<double>(samples.back());
+  s.p25_ns = PercentileSorted(samples, 0.25);
+  s.median_ns = PercentileSorted(samples, 0.50);
+  s.p75_ns = PercentileSorted(samples, 0.75);
+  s.p99_ns = PercentileSorted(samples, 0.99);
+  s.p999_ns = PercentileSorted(samples, 0.999);
+  const auto total = std::accumulate(samples.begin(), samples.end(),
+                                     static_cast<long double>(0));
+  s.avg_ns = static_cast<double>(total / static_cast<long double>(keep));
+  return s;
+}
+
+std::string ToString(const LatencySummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.0f p25=%.0f med=%.0f p75=%.0f p99=%.0f max=%.0f "
+                "avg=%.1f (ns, n=%llu)",
+                s.min_ns, s.p25_ns, s.median_ns, s.p75_ns, s.p99_ns, s.max_ns,
+                s.avg_ns, static_cast<unsigned long long>(s.count));
+  return buf;
+}
+
+}  // namespace slick::util

@@ -1,0 +1,62 @@
+#ifndef SLICKDEQUE_UTIL_STATS_H_
+#define SLICKDEQUE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slick::util {
+
+/// Summary statistics over a set of latency samples (nanoseconds), matching
+/// the categories reported in the paper's Exp 3 (Fig 14): Min, 25th
+/// percentile, Median, 75th percentile, Max, and Average.
+struct LatencySummary {
+  uint64_t count = 0;
+  double min_ns = 0;
+  double p25_ns = 0;
+  double median_ns = 0;
+  double p75_ns = 0;
+  double p99_ns = 0;
+  double p999_ns = 0;
+  double max_ns = 0;
+  double avg_ns = 0;
+};
+
+/// Computes a LatencySummary. `drop_top_fraction` removes that fraction of
+/// the highest samples as outliers before summarizing (the paper drops the
+/// top 0.005%). `samples` is consumed (sorted in place).
+LatencySummary Summarize(std::vector<uint64_t>& samples,
+                         double drop_top_fraction = 0.0);
+
+/// Linear-interpolated percentile over sorted data; q in [0, 1].
+double PercentileSorted(const std::vector<uint64_t>& sorted, double q);
+
+/// Renders a one-line human-readable summary.
+std::string ToString(const LatencySummary& s);
+
+/// Records per-event latencies with minimal overhead (preallocated storage).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t expected_samples) {
+    samples_.reserve(expected_samples);
+  }
+
+  void Record(uint64_t ns) { samples_.push_back(ns); }
+
+  /// Summarizes and leaves the recorder empty.
+  LatencySummary Finish(double drop_top_fraction = 0.0) {
+    LatencySummary s = Summarize(samples_, drop_top_fraction);
+    samples_.clear();
+    return s;
+  }
+
+  const std::vector<uint64_t>& samples() const { return samples_; }
+
+ private:
+  std::vector<uint64_t> samples_;
+};
+
+}  // namespace slick::util
+
+#endif  // SLICKDEQUE_UTIL_STATS_H_

@@ -1,0 +1,50 @@
+#ifndef SLICKDEQUE_WINDOW_AGGREGATOR_H_
+#define SLICKDEQUE_WINDOW_AGGREGATOR_H_
+
+#include <concepts>
+#include <cstddef>
+
+#include "ops/traits.h"
+
+namespace slick::window {
+
+// The library exposes two aggregator shapes, mirroring how the paper's
+// algorithms are defined:
+//
+// * FifoAggregator — a dynamically sized FIFO window: insert() appends the
+//   newest partial, evict() removes the oldest, query() aggregates the whole
+//   current content in stream order. TwoStacks, DABA, the monotonic deque
+//   and the subtract-on-evict aggregator have this shape.
+//
+// * FixedWindowAggregator — a window of fixed length `window_size()` that is
+//   conceptually always full (initialized with ⊕'s identity, as in the
+//   paper's Algorithms 1 and 2): slide() writes the newest partial over the
+//   expiring one; query(r) answers any range 1..window_size() ending at the
+//   newest partial, enabling multi-query processing. Naive, FlatFAT, B-Int,
+//   FlatFIT and both SlickDeque variants have this shape.
+
+template <typename A>
+concept FifoAggregator =
+    ops::AggregateOp<typename A::op_type> &&
+    requires(A agg, typename A::value_type v) {
+      agg.insert(v);
+      agg.evict();
+      { agg.query() } -> std::same_as<typename A::result_type>;
+      { agg.size() } -> std::convertible_to<std::size_t>;
+      { agg.memory_bytes() } -> std::convertible_to<std::size_t>;
+    };
+
+template <typename A>
+concept FixedWindowAggregator =
+    ops::AggregateOp<typename A::op_type> &&
+    requires(A agg, typename A::value_type v, std::size_t r) {
+      agg.slide(v);
+      { agg.query() } -> std::same_as<typename A::result_type>;
+      { agg.query(r) } -> std::same_as<typename A::result_type>;
+      { agg.window_size() } -> std::convertible_to<std::size_t>;
+      { agg.memory_bytes() } -> std::convertible_to<std::size_t>;
+    };
+
+}  // namespace slick::window
+
+#endif  // SLICKDEQUE_WINDOW_AGGREGATOR_H_

@@ -1,0 +1,125 @@
+#ifndef SLICKDEQUE_WINDOW_B_INT_H_
+#define SLICKDEQUE_WINDOW_B_INT_H_
+
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace slick::window {
+
+/// B-Int — Base Intervals (paper §2.2, Fig 5): a multi-level structure of
+/// dyadic intervals over a circular window. Level k holds aligned intervals
+/// of 2^k partials; level 0 holds the partials themselves. Updates rebuild
+/// the enclosing interval on every level; lookups greedily cover the
+/// requested range with the fewest aligned intervals, left to right (so
+/// non-commutative operations stay correct).
+///
+/// Same asymptotic complexity as FlatFAT — log(n) per slide — but slower by
+/// a constant factor (more intervals touched per lookup), exactly as the
+/// paper reports. Space: 2·2^⌈log₂(n)⌉.
+template <ops::AggregateOp Op>
+class BInt {
+ public:
+  using op_type = Op;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  explicit BInt(std::size_t window)
+      : window_(window), capacity_(util::NextPowerOfTwo(window)) {
+    SLICK_CHECK(window >= 1, "window must hold at least one partial");
+    std::size_t len = capacity_;
+    while (len >= 1) {
+      levels_.emplace_back(len, Op::identity());
+      if (len == 1) break;
+      len >>= 1;
+    }
+  }
+
+  /// Writes the newest partial and rebuilds its enclosing interval on every
+  /// level above.
+  void slide(value_type v) {
+    levels_[0][pos_] = std::move(v);
+    for (std::size_t k = 1; k < levels_.size(); ++k) {
+      const std::size_t idx = pos_ >> k;
+      levels_[k][idx] =
+          Op::combine(levels_[k - 1][2 * idx], levels_[k - 1][2 * idx + 1]);
+    }
+    pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
+  }
+
+  /// Replaces the partial `age` slides old (0 = newest) and rebuilds the
+  /// enclosing interval on every level (§3.1 in-window updates). O(log n).
+  void UpdateAt(std::size_t age, value_type v) {
+    SLICK_CHECK(age < window_, "update age out of window");
+    const std::size_t p =
+        pos_ >= age + 1 ? pos_ - age - 1 : pos_ + window_ - age - 1;
+    levels_[0][p] = std::move(v);
+    for (std::size_t k = 1; k < levels_.size(); ++k) {
+      const std::size_t idx = p >> k;
+      levels_[k][idx] =
+          Op::combine(levels_[k - 1][2 * idx], levels_[k - 1][2 * idx + 1]);
+    }
+  }
+
+  /// Aggregate of the whole window.
+  result_type query() const { return query(window_); }
+
+  /// Aggregate of the newest `range` partials, in stream order.
+  result_type query(std::size_t range) const {
+    SLICK_CHECK(range >= 1 && range <= window_, "query range out of bounds");
+    const std::size_t start = pos_ >= range ? pos_ - range : pos_ + window_ - range;
+    value_type acc = Op::identity();
+    if (start + range <= window_) {
+      acc = CoverSegment(start, range, std::move(acc));
+    } else {
+      const std::size_t head_len = window_ - start;
+      acc = CoverSegment(start, head_len, std::move(acc));
+      acc = CoverSegment(0, range - head_len, std::move(acc));
+    }
+    return Op::lower(acc);
+  }
+
+  std::size_t window_size() const { return window_; }
+
+  std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const auto& level : levels_) {
+      bytes += level.capacity() * sizeof(value_type);
+    }
+    return bytes;
+  }
+
+ private:
+  /// Folds `len` partials starting at `from` (no wrap) into `acc` using the
+  /// greedy minimal aligned-interval cover.
+  value_type CoverSegment(std::size_t from, std::size_t len,
+                          value_type acc) const {
+    std::size_t pos = from;
+    std::size_t remaining = len;
+    while (remaining > 0) {
+      const std::size_t align =
+          pos == 0 ? levels_.size() - 1
+                   : static_cast<std::size_t>(std::countr_zero(pos));
+      const std::size_t fit = util::FloorLog2(remaining);
+      const std::size_t k = align < fit ? align : fit;
+      acc = Op::combine(acc, levels_[k][pos >> k]);
+      pos += static_cast<std::size_t>(1) << k;
+      remaining -= static_cast<std::size_t>(1) << k;
+    }
+    return acc;
+  }
+
+  std::size_t window_;
+  std::size_t capacity_;  // power-of-two circular capacity
+  std::vector<std::vector<value_type>> levels_;  // levels_[k]: 2^k intervals
+  std::size_t pos_ = 0;  // next write position
+};
+
+}  // namespace slick::window
+
+#endif  // SLICKDEQUE_WINDOW_B_INT_H_

@@ -1,0 +1,151 @@
+#ifndef SLICKDEQUE_WINDOW_FLAT_FAT_H_
+#define SLICKDEQUE_WINDOW_FLAT_FAT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "util/math.h"
+#include "util/serde.h"
+
+namespace slick::window {
+
+/// FlatFAT — Flat Fixed-sized Aggregator (paper §2.2, Fig 4): a pre-allocated
+/// pointer-less complete binary tree whose leaves form a circular array of
+/// the window's partials. Each slide writes one leaf and updates the
+/// ancestors bottom-up (log₂(m) combines); answers are produced from the
+/// root (full window) or from a minimal set of internal nodes covering the
+/// requested leaf range, combined strictly in stream order so that
+/// non-commutative operations stay correct.
+///
+/// Complexity (Table 1): log(n) per slide single-query, ~n·log(n) in the
+/// max-multi-query environment. Space: 2·2^⌈log₂(n)⌉ (window sizes are
+/// rounded up to a power of two; slot 0 of the flat array is unused to
+/// simplify addressing, as the paper describes).
+template <ops::AggregateOp Op>
+class FlatFat {
+ public:
+  using op_type = Op;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  explicit FlatFat(std::size_t window)
+      : window_(window),
+        leaves_(util::NextPowerOfTwo(window)),
+        tree_(2 * util::NextPowerOfTwo(window), Op::identity()) {
+    SLICK_CHECK(window >= 1, "window must hold at least one partial");
+  }
+
+  /// Writes the newest partial into the expiring leaf and updates the path
+  /// to the root.
+  void slide(value_type v) {
+    std::size_t node = leaves_ + pos_;
+    tree_[node] = std::move(v);
+    for (node >>= 1; node >= 1; node >>= 1) {
+      tree_[node] = Op::combine(tree_[2 * node], tree_[2 * node + 1]);
+    }
+    pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
+  }
+
+  /// Replaces the partial `age` slides old (0 = newest) and refreshes the
+  /// ancestor path — the update capability the paper notes FlatFAT was
+  /// extended with (§2.2/§3.1). O(log n).
+  void UpdateAt(std::size_t age, value_type v) {
+    SLICK_CHECK(age < window_, "update age out of window");
+    const std::size_t leaf =
+        pos_ >= age + 1 ? pos_ - age - 1 : pos_ + window_ - age - 1;
+    std::size_t node = leaves_ + leaf;
+    tree_[node] = std::move(v);
+    for (node >>= 1; node >= 1; node >>= 1) {
+      tree_[node] = Op::combine(tree_[2 * node], tree_[2 * node + 1]);
+    }
+  }
+
+  /// Aggregate of the whole window. When the window fills the whole leaf
+  /// level this is just the root (the paper's fast path). For
+  /// non-commutative operations the root only matches stream order while
+  /// the circular window is aligned to leaf 0.
+  result_type query() const { return query(window_); }
+
+  /// Aggregate of the newest `range` partials, in stream order.
+  result_type query(std::size_t range) const {
+    SLICK_CHECK(range >= 1 && range <= window_, "query range out of bounds");
+    if (range == window_ && window_ == leaves_ &&
+        (Op::kCommutative || pos_ == 0)) {
+      return Op::lower(tree_[1]);
+    }
+    const std::size_t start = pos_ >= range ? pos_ - range : pos_ + window_ - range;
+    if (start + range <= window_) {
+      return Op::lower(QuerySegment(start, start + range - 1));
+    }
+    const std::size_t head_len = window_ - start;
+    const value_type head = QuerySegment(start, window_ - 1);
+    const value_type tail = QuerySegment(0, range - head_len - 1);
+    return Op::lower(Op::combine(head, tail));
+  }
+
+  std::size_t window_size() const { return window_; }
+
+  /// Checkpoints the window (DSMS fault tolerance).
+  void SaveState(std::ostream& os) const
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    util::WriteTag(os, util::MakeTag('F', 'A', 'T', '1'), 1);
+    util::WritePod<uint64_t>(os, window_);
+    util::WritePodVec(os, tree_);
+    util::WritePod<uint64_t>(os, pos_);
+  }
+
+  /// Restores a checkpoint, replacing the current state.
+  bool LoadState(std::istream& is)
+    requires std::is_trivially_copyable_v<value_type>
+  {
+    if (!util::ExpectTag(is, util::MakeTag('F', 'A', 'T', '1'), 1)) {
+      return false;
+    }
+    uint64_t window = 0, pos = 0;
+    std::vector<value_type> tree;
+    if (!util::ReadPod(is, &window) || !util::ReadPodVec(is, &tree) ||
+        !util::ReadPod(is, &pos)) {
+      return false;
+    }
+    const std::size_t leaves = util::NextPowerOfTwo(window);
+    if (window < 1 || pos >= window || tree.size() != 2 * leaves) return false;
+    window_ = static_cast<std::size_t>(window);
+    leaves_ = leaves;
+    tree_ = std::move(tree);
+    pos_ = static_cast<std::size_t>(pos);
+    return true;
+  }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + tree_.capacity() * sizeof(value_type);
+  }
+
+ private:
+  /// Order-preserving segment query over leaves [lo, hi], both inclusive.
+  value_type QuerySegment(std::size_t lo, std::size_t hi) const {
+    value_type left = Op::identity();
+    value_type right = Op::identity();
+    std::size_t l = lo + leaves_;
+    std::size_t r = hi + leaves_ + 1;
+    while (l < r) {
+      if (l & 1) left = Op::combine(left, tree_[l++]);
+      if (r & 1) right = Op::combine(tree_[--r], right);
+      l >>= 1;
+      r >>= 1;
+    }
+    return Op::combine(left, right);
+  }
+
+  std::size_t window_;
+  std::size_t leaves_;  // power-of-two leaf count (>= window_)
+  std::vector<value_type> tree_;  // 1-based; tree_[0] unused
+  std::size_t pos_ = 0;  // next leaf position to overwrite
+};
+
+}  // namespace slick::window
+
+#endif  // SLICKDEQUE_WINDOW_FLAT_FAT_H_

@@ -1,0 +1,100 @@
+#ifndef SLICKDEQUE_WINDOW_HISTORY_TREE_H_
+#define SLICKDEQUE_WINDOW_HISTORY_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ops/traits.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace slick::window {
+
+/// Historical-window aggregation (paper §2.4): Temporal Database Systems
+/// "store the entire stream of tuples and allow aggregations over any
+/// continuous segments of the stream", using tree structures (SB-trees,
+/// B-trees, red-black trees) whose update complexity is O(log s) for a
+/// history of s tuples. This class is that related-work substrate as an
+/// implicit segment tree: append-only, O(log s) per append (amortized —
+/// capacity doubles with a rebuild), O(log s) per segment query over ANY
+/// [lo, hi] index range, in stream order (non-commutative safe).
+///
+/// The contrast the paper draws — and bench/ablation_history measures — is
+/// that a DSMS suffix window only needs the newest-W segment, for which
+/// the sliding algorithms beat O(log s) with O(1) amortized work and O(W)
+/// (not O(s)) memory.
+template <ops::AggregateOp Op>
+class HistoryTree {
+ public:
+  using op_type = Op;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  explicit HistoryTree(std::size_t initial_capacity = 64)
+      : leaves_(util::NextPowerOfTwo(
+            initial_capacity < 1 ? 1 : initial_capacity)),
+        tree_(2 * leaves_, Op::identity()) {}
+
+  /// Appends the next stream tuple (index = current size()).
+  void Append(value_type v) {
+    if (size_ == leaves_) Grow();
+    std::size_t node = leaves_ + size_;
+    tree_[node] = std::move(v);
+    for (node >>= 1; node >= 1; node >>= 1) {
+      tree_[node] = Op::combine(tree_[2 * node], tree_[2 * node + 1]);
+    }
+    ++size_;
+  }
+
+  /// Aggregate of history indices [lo, hi], both inclusive, stream order.
+  result_type QuerySegment(uint64_t lo, uint64_t hi) const {
+    SLICK_CHECK(lo <= hi && hi < size_, "segment out of history");
+    value_type left = Op::identity();
+    value_type right = Op::identity();
+    std::size_t l = static_cast<std::size_t>(lo) + leaves_;
+    std::size_t r = static_cast<std::size_t>(hi) + leaves_ + 1;
+    while (l < r) {
+      if (l & 1) left = Op::combine(left, tree_[l++]);
+      if (r & 1) right = Op::combine(tree_[--r], right);
+      l >>= 1;
+      r >>= 1;
+    }
+    return Op::lower(Op::combine(left, right));
+  }
+
+  /// Suffix window (the DSMS case): aggregate of the newest `range` tuples.
+  result_type QuerySuffix(uint64_t range) const {
+    SLICK_CHECK(range >= 1 && range <= size_, "suffix range out of history");
+    return QuerySegment(size_ - range, size_ - 1);
+  }
+
+  uint64_t size() const { return size_; }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + tree_.capacity() * sizeof(value_type);
+  }
+
+ private:
+  /// Doubles the leaf level; O(s) rebuild, amortized O(1) per append.
+  void Grow() {
+    const std::size_t new_leaves = 2 * leaves_;
+    std::vector<value_type> grown(2 * new_leaves, Op::identity());
+    for (std::size_t i = 0; i < size_; ++i) {
+      grown[new_leaves + i] = std::move(tree_[leaves_ + i]);
+    }
+    for (std::size_t node = new_leaves - 1; node >= 1; --node) {
+      grown[node] = Op::combine(grown[2 * node], grown[2 * node + 1]);
+    }
+    tree_ = std::move(grown);
+    leaves_ = new_leaves;
+  }
+
+  std::size_t leaves_;
+  std::vector<value_type> tree_;  // 1-based; tree_[0] unused
+  uint64_t size_ = 0;
+};
+
+}  // namespace slick::window
+
+#endif  // SLICKDEQUE_WINDOW_HISTORY_TREE_H_

@@ -1,0 +1,104 @@
+#ifndef SLICKDEQUE_WINDOW_TWO_STACKS_RING_H_
+#define SLICKDEQUE_WINDOW_TWO_STACKS_RING_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ops/traits.h"
+#include "util/check.h"
+
+namespace slick::window {
+
+/// TwoStacks on a single pre-allocated ring buffer — the storage layout
+/// behind the paper's Table 1 claim that "both stacks combined can never
+/// have more than n nodes total": instead of two growable arrays (see
+/// window::TwoStacks), the front and back stacks share one circular buffer
+/// of fixed capacity, and the flip converts the back region's prefix
+/// aggregates into suffix aggregates *in place* (no copying, no second
+/// allocation). Space is exactly capacity·(val+agg) = 2n values.
+///
+/// Same complexity profile as TwoStacks (amortized 3 ops/slide, worst-case
+/// n at the flip); capacity must be chosen up front, which is natural for
+/// fixed windows (core::Windowed passes the window size through).
+template <ops::AggregateOp Op>
+class TwoStacksRing {
+ public:
+  using op_type = Op;
+  using value_type = typename Op::value_type;
+  using result_type = typename Op::result_type;
+
+  /// `capacity` is the maximum number of live window elements.
+  explicit TwoStacksRing(std::size_t capacity)
+      : buf_(capacity), cap_(capacity) {
+    SLICK_CHECK(capacity >= 1, "capacity must be positive");
+  }
+
+  void insert(value_type v) {
+    SLICK_CHECK(f_size_ + b_size_ < cap_, "ring capacity exceeded");
+    const std::size_t idx = Wrap(f_lo_ + f_size_ + b_size_);
+    value_type agg =
+        b_size_ == 0 ? v : Op::combine(buf_[Wrap(f_lo_ + f_size_ + b_size_ - 1)].agg, v);
+    buf_[idx] = Entry{std::move(v), std::move(agg)};
+    ++b_size_;
+  }
+
+  void evict() {
+    if (f_size_ == 0) Flip();
+    SLICK_CHECK(f_size_ > 0, "evict from empty window");
+    f_lo_ = Wrap(f_lo_ + 1);
+    --f_size_;
+  }
+
+  /// Aggregate of the entire window, in stream order (front before back,
+  /// so non-commutative operations stay correct).
+  result_type query() const {
+    if (f_size_ == 0 && b_size_ == 0) return Op::lower(Op::identity());
+    if (f_size_ == 0) {
+      return Op::lower(buf_[Wrap(f_lo_ + b_size_ - 1)].agg);
+    }
+    if (b_size_ == 0) return Op::lower(buf_[f_lo_].agg);
+    return Op::lower(Op::combine(
+        buf_[f_lo_].agg, buf_[Wrap(f_lo_ + f_size_ + b_size_ - 1)].agg));
+  }
+
+  std::size_t size() const { return f_size_ + b_size_; }
+  std::size_t capacity() const { return cap_; }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + buf_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    value_type val;
+    value_type agg;
+  };
+
+  std::size_t Wrap(std::size_t i) const { return i >= cap_ ? i - cap_ : i; }
+
+  /// Converts the back region's prefix aggregates to suffix aggregates in
+  /// place and adopts it as the new front region. Costs b_size_-1 combines.
+  void Flip() {
+    for (std::size_t k = b_size_; k-- > 0;) {
+      const std::size_t i = Wrap(f_lo_ + k);
+      if (k + 1 == b_size_) {
+        buf_[i].agg = buf_[i].val;
+      } else {
+        buf_[i].agg = Op::combine(buf_[i].val, buf_[Wrap(i + 1)].agg);
+      }
+    }
+    f_size_ = b_size_;
+    b_size_ = 0;
+  }
+
+  std::vector<Entry> buf_;
+  std::size_t cap_;
+  std::size_t f_lo_ = 0;    // oldest front element
+  std::size_t f_size_ = 0;  // front region length (starts at f_lo_)
+  std::size_t b_size_ = 0;  // back region length (follows the front region)
+};
+
+}  // namespace slick::window
+
+#endif  // SLICKDEQUE_WINDOW_TWO_STACKS_RING_H_

@@ -1,0 +1,140 @@
+// Type-erased runtime API tests: AnyWindowAggregator must agree with the
+// compile-time facade for every OpKind, and the per-query adapter must
+// answer multi-range queries like the natively multi-query algorithms.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/any_aggregator.h"
+#include "core/per_query_adapter.h"
+#include "core/slick_deque_noninv.h"
+#include "ops/ops.h"
+#include "util/rng.h"
+#include "window/daba.h"
+#include "window/two_stacks.h"
+
+namespace slick::core {
+namespace {
+
+TEST(OpKindTest, ParseRoundTrip) {
+  for (OpKind k : {OpKind::kSum, OpKind::kCount, OpKind::kProduct,
+                   OpKind::kSumOfSquares, OpKind::kAverage, OpKind::kStdDev,
+                   OpKind::kGeoMean, OpKind::kMax, OpKind::kMin,
+                   OpKind::kRange}) {
+    OpKind parsed;
+    ASSERT_TRUE(ParseOpKind(ToString(k), &parsed)) << ToString(k);
+    EXPECT_EQ(parsed, k);
+  }
+  OpKind parsed;
+  EXPECT_FALSE(ParseOpKind("median", &parsed));  // holistic: unsupported
+  EXPECT_FALSE(ParseOpKind("", &parsed));
+}
+
+TEST(AnyWindowAggregatorTest, AllKindsMatchBruteForce) {
+  const std::size_t window = 32;
+  util::SplitMix64 rng(21);
+  std::vector<double> stream(200);
+  for (double& x : stream) {
+    x = 1.0 + static_cast<double>(rng.NextBounded(100));  // positive: geo/prod
+  }
+
+  auto brute = [&](OpKind kind, std::size_t end) {
+    const std::size_t lo = end >= window ? end - window : 0;
+    const std::size_t n = end - lo;
+    double sum = 0, sum_sq = 0, log_sum = 0;
+    double mx = -1e300, mn = 1e300;
+    for (std::size_t i = lo; i < end; ++i) {
+      sum += stream[i];
+      sum_sq += stream[i] * stream[i];
+      log_sum += std::log(stream[i]);
+      mx = std::max(mx, stream[i]);
+      mn = std::min(mn, stream[i]);
+    }
+    const double dn = static_cast<double>(n);
+    switch (kind) {
+      case OpKind::kSum: return sum;
+      case OpKind::kCount: return dn;
+      case OpKind::kProduct: return std::exp(log_sum);
+      case OpKind::kSumOfSquares: return sum_sq;
+      case OpKind::kAverage: return sum / dn;
+      case OpKind::kStdDev: {
+        const double var = sum_sq / dn - (sum / dn) * (sum / dn);
+        return var <= 0 ? 0.0 : std::sqrt(var);
+      }
+      case OpKind::kGeoMean: return std::exp(log_sum / dn);
+      case OpKind::kMax: return mx;
+      case OpKind::kMin: return mn;
+      case OpKind::kRange: return mx - mn;
+    }
+    return 0.0;
+  };
+
+  for (OpKind kind : {OpKind::kSum, OpKind::kSumOfSquares, OpKind::kAverage,
+                      OpKind::kStdDev, OpKind::kGeoMean, OpKind::kMax,
+                      OpKind::kMin, OpKind::kRange}) {
+    AnyWindowAggregator agg = AnyWindowAggregator::Make(kind, window);
+    EXPECT_EQ(agg.kind(), kind);
+    EXPECT_EQ(agg.window_size(), window);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      agg.slide(stream[i]);
+      if (i + 1 < window) continue;  // skip identity-padded warm-up
+      const double expect = brute(kind, i + 1);
+      const double got = agg.query();
+      ASSERT_NEAR(got, expect, 1e-6 * std::max(1.0, std::fabs(expect)))
+          << ToString(kind) << " i=" << i;
+    }
+  }
+}
+
+TEST(AnyWindowAggregatorTest, CountKindCountsWindow) {
+  AnyWindowAggregator agg = AnyWindowAggregator::Make(OpKind::kCount, 4);
+  for (int i = 0; i < 10; ++i) agg.slide(1.0);
+  EXPECT_DOUBLE_EQ(agg.query(), 4.0);
+}
+
+TEST(AnyWindowAggregatorTest, MemoryBytesIsPlumbing) {
+  AnyWindowAggregator sum = AnyWindowAggregator::Make(OpKind::kSum, 1024);
+  AnyWindowAggregator rng = AnyWindowAggregator::Make(OpKind::kRange, 1024);
+  EXPECT_GT(sum.memory_bytes(), 1024 * sizeof(double) / 2);
+  EXPECT_GT(rng.memory_bytes(), 0u);
+}
+
+// --------------------------- PerQueryAdapter ------------------------------
+
+TEST(PerQueryAdapterTest, MatchesNativeMultiQuery) {
+  const std::size_t window = 48;
+  std::vector<std::size_t> ranges = {1, 7, 16, 48};
+  PerQueryAdapter<window::TwoStacks<ops::MaxInt>> two_stacks(window, ranges);
+  PerQueryAdapter<window::Daba<ops::MaxInt>> daba(window, ranges);
+  SlickDequeNonInv<ops::MaxInt> native(window);
+
+  util::SplitMix64 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(10000));
+    two_stacks.slide(v);
+    daba.slide(v);
+    native.slide(v);
+    for (std::size_t r : ranges) {
+      ASSERT_EQ(two_stacks.query(r), native.query(r)) << "r=" << r;
+      ASSERT_EQ(daba.query(r), native.query(r)) << "r=" << r;
+    }
+  }
+}
+
+TEST(PerQueryAdapterTest, MemoryScalesWithSumOfRanges) {
+  PerQueryAdapter<window::Daba<ops::Sum>> small(1024, {8});
+  PerQueryAdapter<window::Daba<ops::Sum>> large(1024, {8, 512, 1024});
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes() + 1024 * sizeof(double));
+}
+
+TEST(PerQueryAdapterTest, RejectsUnregisteredRange) {
+  PerQueryAdapter<window::Daba<ops::Sum>> adapter(64, {64, 8});
+  adapter.slide(1.0);
+  EXPECT_DEATH(adapter.query(32), "not registered");
+}
+
+}  // namespace
+}  // namespace slick::core

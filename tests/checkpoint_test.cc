@@ -1,0 +1,243 @@
+// Checkpoint/restore tests (DSMS fault tolerance): every serializable
+// structure must round-trip mid-stream and then behave *identically* to the
+// uninterrupted original — byte-for-byte answers over the rest of the
+// stream — plus corruption rejection.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monotonic_deque.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/subtract_on_evict.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "util/rng.h"
+#include "util/serde.h"
+#include "window/chunked_array_queue.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serde primitives.
+// ---------------------------------------------------------------------------
+
+TEST(SerdeTest, PodRoundTrip) {
+  std::stringstream ss;
+  util::WritePod<int64_t>(ss, -42);
+  util::WritePod<double>(ss, 3.25);
+  int64_t i = 0;
+  double d = 0;
+  EXPECT_TRUE(util::ReadPod(ss, &i));
+  EXPECT_TRUE(util::ReadPod(ss, &d));
+  EXPECT_EQ(i, -42);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_FALSE(util::ReadPod(ss, &i));  // exhausted
+}
+
+TEST(SerdeTest, PodVecRoundTrip) {
+  std::stringstream ss;
+  const std::vector<uint32_t> v = {1, 2, 3, 4, 5};
+  util::WritePodVec(ss, v);
+  std::vector<uint32_t> w;
+  EXPECT_TRUE(util::ReadPodVec(ss, &w));
+  EXPECT_EQ(w, v);
+}
+
+TEST(SerdeTest, TagMismatchRejected) {
+  std::stringstream ss;
+  util::WriteTag(ss, util::MakeTag('A', 'B', 'C', '1'), 1);
+  EXPECT_FALSE(util::ExpectTag(ss, util::MakeTag('A', 'B', 'C', '2'), 1));
+  std::stringstream ss2;
+  util::WriteTag(ss2, util::MakeTag('A', 'B', 'C', '1'), 1);
+  EXPECT_FALSE(util::ExpectTag(ss2, util::MakeTag('A', 'B', 'C', '1'), 2));
+}
+
+TEST(SerdeTest, CorruptVecCountRejected) {
+  std::stringstream ss;
+  util::WritePod<uint64_t>(ss, UINT64_MAX);  // absurd element count
+  std::vector<double> v;
+  EXPECT_FALSE(util::ReadPodVec(ss, &v));
+}
+
+// ---------------------------------------------------------------------------
+// Queue round trip, including sequence numbering.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, ChunkedArrayQueuePreservesSequences) {
+  window::ChunkedArrayQueue<int64_t> q(8);
+  for (int64_t i = 0; i < 100; ++i) q.push_back(i);
+  for (int i = 0; i < 37; ++i) q.pop_front();
+  std::stringstream ss;
+  q.SaveState(ss);
+  window::ChunkedArrayQueue<int64_t> r(64);  // different chunking: replaced
+  ASSERT_TRUE(r.LoadState(ss));
+  EXPECT_EQ(r.front_seq(), q.front_seq());
+  EXPECT_EQ(r.end_seq(), q.end_seq());
+  EXPECT_EQ(r.chunk_capacity(), q.chunk_capacity());
+  for (uint64_t s = q.front_seq(); s < q.end_seq(); ++s) {
+    ASSERT_EQ(r[s], q[s]);
+  }
+  r.push_back(12345);
+  EXPECT_EQ(r.back(), 12345);
+}
+
+// ---------------------------------------------------------------------------
+// Generic fixed-window round trip: snapshot at T, diverge-check to T+N.
+// ---------------------------------------------------------------------------
+
+template <typename Agg, typename MakeAgg>
+void RunFixedWindowRoundTrip(MakeAgg make, uint64_t seed) {
+  using Op = typename Agg::op_type;
+  Agg original = make();
+  util::SplitMix64 rng(seed);
+  for (int i = 0; i < 137; ++i) {
+    original.slide(Op::lift(static_cast<typename Op::input_type>(
+        static_cast<int64_t>(rng.NextBounded(10000)))));
+  }
+  std::stringstream ss;
+  original.SaveState(ss);
+  Agg restored = make();
+  ASSERT_TRUE(restored.LoadState(ss));
+  for (int i = 0; i < 200; ++i) {
+    const auto v = Op::lift(static_cast<typename Op::input_type>(
+        static_cast<int64_t>(rng.NextBounded(10000))));
+    original.slide(v);
+    restored.slide(v);
+    ASSERT_EQ(original.query(), restored.query()) << "i=" << i;
+  }
+}
+
+TEST(CheckpointTest, NaiveWindow) {
+  RunFixedWindowRoundTrip<window::NaiveWindow<ops::SumInt>>(
+      [] { return window::NaiveWindow<ops::SumInt>(31); }, 1);
+}
+TEST(CheckpointTest, FlatFat) {
+  RunFixedWindowRoundTrip<window::FlatFat<ops::SumInt>>(
+      [] { return window::FlatFat<ops::SumInt>(31); }, 2);
+}
+TEST(CheckpointTest, FlatFit) {
+  RunFixedWindowRoundTrip<window::FlatFit<ops::SumInt>>(
+      [] { return window::FlatFit<ops::SumInt>(31); }, 3);
+}
+TEST(CheckpointTest, SlickDequeNonInv) {
+  RunFixedWindowRoundTrip<core::SlickDequeNonInv<ops::MaxInt>>(
+      [] { return core::SlickDequeNonInv<ops::MaxInt>(31); }, 4);
+}
+
+TEST(CheckpointTest, SlickDequeInvWithRanges) {
+  using Agg = core::SlickDequeInv<ops::SumInt>;
+  Agg original(31, {31, 7, 3});
+  util::SplitMix64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    original.slide(static_cast<int64_t>(rng.NextBounded(1000)));
+  }
+  std::stringstream ss;
+  original.SaveState(ss);
+  Agg restored(1);  // ranges come from the checkpoint
+  ASSERT_TRUE(restored.LoadState(ss));
+  EXPECT_TRUE(restored.has_range(7));
+  for (int i = 0; i < 150; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+    original.slide(v);
+    restored.slide(v);
+    for (std::size_t r : {std::size_t{3}, std::size_t{7}, std::size_t{31}}) {
+      ASSERT_EQ(original.query(r), restored.query(r));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO aggregators, including DABA's region pointers.
+// ---------------------------------------------------------------------------
+
+template <typename Agg>
+void RunFifoRoundTrip(uint64_t seed) {
+  using Op = typename Agg::op_type;
+  Agg original;
+  util::SplitMix64 rng(seed);
+  for (int i = 0; i < 150; ++i) {
+    if (original.size() >= 24) original.evict();
+    original.insert(
+        Op::lift(static_cast<int64_t>(rng.NextBounded(10000))));
+  }
+  std::stringstream ss;
+  original.SaveState(ss);
+  Agg restored;
+  ASSERT_TRUE(restored.LoadState(ss));
+  ASSERT_EQ(restored.size(), original.size());
+  for (int i = 0; i < 300; ++i) {
+    const auto v = Op::lift(static_cast<int64_t>(rng.NextBounded(10000)));
+    if (original.size() >= 24) {
+      original.evict();
+      restored.evict();
+    }
+    original.insert(v);
+    restored.insert(v);
+    ASSERT_EQ(original.query(), restored.query()) << "i=" << i;
+  }
+}
+
+TEST(CheckpointTest, TwoStacks) { RunFifoRoundTrip<window::TwoStacks<ops::SumInt>>(6); }
+TEST(CheckpointTest, SubtractOnEvict) {
+  RunFifoRoundTrip<core::SubtractOnEvict<ops::SumInt>>(7);
+}
+TEST(CheckpointTest, MonotonicDeque) {
+  RunFifoRoundTrip<core::MonotonicDeque<ops::MaxInt>>(8);
+}
+
+TEST(CheckpointTest, DabaRestoresRegionPointers) {
+  RunFifoRoundTrip<window::Daba<ops::SumInt>>(9);
+  // And the restored instance satisfies the full region invariants.
+  window::Daba<ops::SumInt> original;
+  util::SplitMix64 rng(10);
+  for (int i = 0; i < 77; ++i) {
+    if (original.size() >= 16) original.evict();
+    original.insert(static_cast<int64_t>(rng.NextBounded(100)));
+  }
+  std::stringstream ss;
+  original.SaveState(ss);
+  window::Daba<ops::SumInt> restored;
+  ASSERT_TRUE(restored.LoadState(ss));
+  EXPECT_TRUE(restored.CheckInvariants());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption handling.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, TruncatedStreamRejected) {
+  window::FlatFat<ops::SumInt> agg(16);
+  for (int64_t i = 0; i < 20; ++i) agg.slide(i);
+  std::stringstream ss;
+  agg.SaveState(ss);
+  const std::string full = ss.str();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, full.size() / 2,
+                          full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    window::FlatFat<ops::SumInt> fresh(16);
+    EXPECT_FALSE(fresh.LoadState(truncated)) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointTest, WrongStructureTagRejected) {
+  window::NaiveWindow<ops::SumInt> naive(8);
+  naive.slide(1);
+  std::stringstream ss;
+  naive.SaveState(ss);
+  window::FlatFat<ops::SumInt> fat(8);
+  EXPECT_FALSE(fat.LoadState(ss));  // NAI1 tag, FAT1 expected
+}
+
+}  // namespace
+}  // namespace slick

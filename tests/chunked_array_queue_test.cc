@@ -1,0 +1,117 @@
+#include <deque>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "window/chunked_array_queue.h"
+
+namespace slick::window {
+namespace {
+
+TEST(ChunkedArrayQueueTest, StartsEmpty) {
+  ChunkedArrayQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.front_seq(), q.end_seq());
+}
+
+TEST(ChunkedArrayQueueTest, FifoOrder) {
+  ChunkedArrayQueue<int> q(4);
+  for (int i = 0; i < 10; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ChunkedArrayQueueTest, SequenceAddressingIsStable) {
+  ChunkedArrayQueue<int> q(4);
+  for (int i = 0; i < 20; ++i) q.push_back(i * 10);
+  const uint64_t seq5 = q.front_seq() + 5;
+  EXPECT_EQ(q[seq5], 50);
+  // Popping from the front must not disturb live sequence numbers.
+  for (int i = 0; i < 5; ++i) q.pop_front();
+  EXPECT_EQ(q[seq5], 50);
+  EXPECT_EQ(q.front_seq(), 5u);
+  EXPECT_EQ(q.front(), 50);
+  EXPECT_EQ(q.back(), 190);
+}
+
+TEST(ChunkedArrayQueueTest, PopBack) {
+  ChunkedArrayQueue<int> q(4);
+  for (int i = 0; i < 9; ++i) q.push_back(i);
+  q.pop_back();
+  EXPECT_EQ(q.back(), 7);
+  EXPECT_EQ(q.size(), 8u);
+  while (!q.empty()) q.pop_back();
+  EXPECT_TRUE(q.empty());
+  // Reusable after draining from the back.
+  q.push_back(42);
+  EXPECT_EQ(q.front(), 42);
+  EXPECT_EQ(q.back(), 42);
+}
+
+TEST(ChunkedArrayQueueTest, MixedEndsMatchStdDeque) {
+  ChunkedArrayQueue<int> q(3);
+  std::deque<int> ref;
+  util::SplitMix64 rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t action = rng.NextBounded(4);
+    if (action == 0 || ref.empty()) {
+      const int v = static_cast<int>(rng.NextBounded(1000));
+      q.push_back(v);
+      ref.push_back(v);
+    } else if (action == 1) {
+      q.pop_front();
+      ref.pop_front();
+    } else if (action == 2) {
+      q.pop_back();
+      ref.pop_back();
+    } else {
+      const uint64_t idx = rng.NextBounded(ref.size());
+      ASSERT_EQ(q[q.front_seq() + idx], ref[idx]);
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(q.front(), ref.front());
+      ASSERT_EQ(q.back(), ref.back());
+    }
+  }
+}
+
+TEST(ChunkedArrayQueueTest, ChunkCountTracksContent) {
+  ChunkedArrayQueue<int> q(8);
+  EXPECT_EQ(q.chunk_count(), 0u);
+  q.push_back(1);
+  EXPECT_EQ(q.chunk_count(), 1u);
+  for (int i = 0; i < 16; ++i) q.push_back(i);
+  EXPECT_EQ(q.chunk_count(), 3u);  // 17 elements / 8 per chunk
+  // Draining keeps at most one spare chunk around.
+  while (!q.empty()) q.pop_front();
+  EXPECT_LE(q.chunk_count(), 2u);
+}
+
+TEST(ChunkedArrayQueueTest, WorksWithNonTrivialTypes) {
+  ChunkedArrayQueue<std::string> q(2);
+  q.push_back("alpha");
+  q.push_back("beta");
+  q.push_back("gamma");
+  EXPECT_EQ(q.front(), "alpha");
+  q.pop_front();
+  EXPECT_EQ(q.front(), "beta");
+  EXPECT_EQ(q.back(), "gamma");
+}
+
+TEST(ChunkedArrayQueueTest, MemoryBytesGrowsWithChunks) {
+  ChunkedArrayQueue<int64_t> q(16);
+  const std::size_t empty_bytes = q.memory_bytes();
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_GT(q.memory_bytes(), empty_bytes);
+  EXPECT_GE(q.memory_bytes(), 100 * sizeof(int64_t));
+}
+
+}  // namespace
+}  // namespace slick::window

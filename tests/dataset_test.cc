@@ -1,0 +1,104 @@
+// Dataset loader tests: CSV column extraction, binary cache round trip,
+// and the bench-facing LoadOrSynthesize fallback logic.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/dataset.h"
+
+namespace slick::stream {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const char* name) {
+    return testing::TempDir() + "/slickdeque_" + name;
+  }
+
+  void WriteFile(const std::string& path, const char* content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(content, f);
+    std::fclose(f);
+  }
+};
+
+TEST_F(DatasetTest, LoadCsvColumnBasic) {
+  const std::string path = TempPath("basic.csv");
+  WriteFile(path,
+            "ts,mf01,mf02\n"
+            "1,10.5,20.5\n"
+            "2,11.5,21.5\n"
+            "3,12.5,22.5\n");
+  std::vector<double> col;
+  ASSERT_TRUE(LoadCsvColumn(path, 1, &col));
+  EXPECT_EQ(col, (std::vector<double>{10.5, 11.5, 12.5}));
+  ASSERT_TRUE(LoadCsvColumn(path, 2, &col));
+  EXPECT_EQ(col, (std::vector<double>{20.5, 21.5, 22.5}));
+  // Column 0 parses the timestamps (numeric) and skips the header.
+  ASSERT_TRUE(LoadCsvColumn(path, 0, &col));
+  EXPECT_EQ(col, (std::vector<double>{1, 2, 3}));
+}
+
+TEST_F(DatasetTest, LoadCsvHandlesSeparatorsAndJunk) {
+  const std::string path = TempPath("mixed.csv");
+  WriteFile(path,
+            "# comment line\n"
+            "1;2.5;3\n"
+            "4\t5.5\t6\n"
+            "7 8.5 9\n"
+            "not,numbers,here\n");
+  std::vector<double> col;
+  ASSERT_TRUE(LoadCsvColumn(path, 1, &col));
+  EXPECT_EQ(col, (std::vector<double>{2.5, 5.5, 8.5}));
+}
+
+TEST_F(DatasetTest, LoadCsvMissingFileFails) {
+  std::vector<double> col;
+  EXPECT_FALSE(LoadCsvColumn(TempPath("nope.csv"), 0, &col));
+}
+
+TEST_F(DatasetTest, BinaryRoundTrip) {
+  const std::string path = TempPath("cache.bin");
+  const std::vector<double> values = {1.0, -2.5, 3e17, 0.0, 42.42};
+  ASSERT_TRUE(SaveBinary(path, values));
+  std::vector<double> loaded;
+  ASSERT_TRUE(LoadBinary(path, &loaded));
+  EXPECT_EQ(loaded, values);
+}
+
+TEST_F(DatasetTest, BinaryRejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  WriteFile(path, "this is not a slickdeque cache");
+  std::vector<double> loaded;
+  EXPECT_FALSE(LoadBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(DatasetTest, BinaryEmptySeries) {
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveBinary(path, {}));
+  std::vector<double> loaded = {1.0};
+  ASSERT_TRUE(LoadBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(DatasetTest, LoadOrSynthesizeUsesFileWhenPresent) {
+  const std::string path = TempPath("series.bin");
+  ASSERT_TRUE(SaveBinary(path, {7.0, 8.0, 9.0, 10.0}));
+  const auto data = LoadOrSynthesize(path, 3, 42);
+  EXPECT_EQ(data, (std::vector<double>{7.0, 8.0, 9.0}));  // truncated
+}
+
+TEST_F(DatasetTest, LoadOrSynthesizeFallsBackToSynthetic) {
+  const auto a = LoadOrSynthesize("", 100, 42);
+  const auto b = LoadOrSynthesize(TempPath("missing.bin"), 100, 42);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);  // same seed, same synthetic stream
+}
+
+}  // namespace
+}  // namespace slick::stream

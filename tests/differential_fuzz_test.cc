@@ -1,0 +1,143 @@
+// Differential fuzzing: randomized configurations (window sizes, query
+// sets, PATs, input shapes) drive every algorithm in lockstep; any
+// disagreement is a bug in exactly one of them. Seeds are fixed, so
+// failures reproduce; crank --gtest_repeat or the kTrials constants for
+// longer campaigns.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/windowed.h"
+#include "engine/acq_engine.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "util/rng.h"
+#include "window/b_int.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick {
+namespace {
+
+using plan::Pat;
+using plan::QuerySpec;
+
+constexpr int kConfigTrials = 40;
+
+int64_t ShapedValue(util::SplitMix64& rng, int shape, int step) {
+  switch (shape) {
+    case 0:
+      return static_cast<int64_t>(rng.NextBounded(1 << 16)) - (1 << 15);
+    case 1:
+      return step;
+    case 2:
+      return -step;
+    case 3:
+      return static_cast<int64_t>(rng.NextBounded(2));
+    default:
+      return static_cast<int64_t>(rng.NextBounded(1u << (1 + step % 20)));
+  }
+}
+
+TEST(DifferentialFuzzTest, AllFixedWindowAlgorithmsAgreeOnRandomConfigs) {
+  util::SplitMix64 config_rng(0xF00D);
+  for (int trial = 0; trial < kConfigTrials; ++trial) {
+    const std::size_t window = 1 + config_rng.NextBounded(140);
+    const int shape = static_cast<int>(config_rng.NextBounded(5));
+    const uint64_t seed = config_rng.NextU64();
+
+    window::NaiveWindow<ops::SumInt> naive_sum(window);
+    window::FlatFat<ops::SumInt> fat_sum(window);
+    window::BInt<ops::SumInt> bint_sum(window);
+    window::FlatFit<ops::SumInt> fit_sum(window);
+    core::Windowed<window::TwoStacks<ops::SumInt>> two_sum(window);
+    core::Windowed<window::Daba<ops::SumInt>> daba_sum(window);
+    core::SlickDequeInv<ops::SumInt> slick_sum(window);
+
+    window::NaiveWindow<ops::MaxInt> naive_max(window);
+    core::Windowed<window::Daba<ops::MaxInt>> daba_max(window);
+    core::SlickDequeNonInv<ops::MaxInt> slick_max(window);
+
+    util::SplitMix64 rng(seed);
+    const int steps = static_cast<int>(2 * window + 30);
+    for (int step = 0; step < steps; ++step) {
+      const int64_t v = ShapedValue(rng, shape, step);
+      naive_sum.slide(v);
+      fat_sum.slide(v);
+      bint_sum.slide(v);
+      fit_sum.slide(v);
+      two_sum.slide(v);
+      daba_sum.slide(v);
+      slick_sum.slide(v);
+      naive_max.slide(v);
+      daba_max.slide(v);
+      slick_max.slide(v);
+
+      const int64_t expect_sum = naive_sum.query();
+      ASSERT_EQ(fat_sum.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(bint_sum.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(fit_sum.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(two_sum.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(daba_sum.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(slick_sum.query(), expect_sum) << "trial " << trial;
+
+      const int64_t expect_max = naive_max.query();
+      ASSERT_EQ(daba_max.query(), expect_max) << "trial " << trial;
+      ASSERT_EQ(slick_max.query(), expect_max) << "trial " << trial;
+
+      // One random sub-range per step across the multi-query-capable four.
+      const std::size_t r = 1 + rng.NextBounded(window);
+      const int64_t expect_range = naive_sum.query(r);
+      ASSERT_EQ(fat_sum.query(r), expect_range) << "trial " << trial;
+      ASSERT_EQ(bint_sum.query(r), expect_range) << "trial " << trial;
+      ASSERT_EQ(fit_sum.query(r), expect_range) << "trial " << trial;
+      ASSERT_EQ(naive_max.query(r), slick_max.query(r)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(DifferentialFuzzTest, EnginesAgreeOnRandomQuerySets) {
+  util::SplitMix64 config_rng(0xBEEF);
+  for (int trial = 0; trial < kConfigTrials; ++trial) {
+    // 1-4 random queries with slides 1..8, ranges 1..80.
+    const std::size_t q = 1 + config_rng.NextBounded(4);
+    std::vector<QuerySpec> queries;
+    for (std::size_t i = 0; i < q; ++i) {
+      queries.push_back({1 + config_rng.NextBounded(80),
+                         1 + config_rng.NextBounded(8)});
+    }
+    const Pat pat = config_rng.NextBounded(2) == 0 ? Pat::kPairs : Pat::kPanes;
+    const uint64_t seed = config_rng.NextU64();
+
+    engine::AcqEngine<core::SlickDequeInv<ops::SumInt>> slick(queries, pat);
+    engine::AcqEngine<window::NaiveWindow<ops::SumInt>> naive(queries, pat);
+    engine::AcqEngine<window::FlatFit<ops::SumInt>> fit(queries, pat);
+
+    util::SplitMix64 rng(seed);
+    std::vector<std::pair<uint32_t, int64_t>> a, b, c;
+    for (int t = 0; t < 400; ++t) {
+      const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+      a.clear();
+      b.clear();
+      c.clear();
+      auto collect = [](auto& out) {
+        return [&out](uint32_t qi, int64_t res) { out.emplace_back(qi, res); };
+      };
+      slick.Push(v, collect(a));
+      naive.Push(v, collect(b));
+      fit.Push(v, collect(c));
+      ASSERT_EQ(a, b) << "trial " << trial << " tuple " << t;
+      ASSERT_EQ(a, c) << "trial " << trial << " tuple " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slick

@@ -1,0 +1,276 @@
+// Oracle-driven validation of the dynamically sized FIFO aggregators:
+// TwoStacks, DABA, SubtractOnEvict and MonotonicDeque, under steady sliding,
+// growth/shrink phases and randomized insert/evict interleavings. DABA's
+// region invariants are additionally brute-force checked after every event.
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monotonic_deque.h"
+#include "core/sliding_aggregator.h"
+#include "core/subtract_on_evict.h"
+#include "ops/ops.h"
+#include "util/rng.h"
+#include "window/daba.h"
+#include "window/reference.h"
+#include "window/two_stacks.h"
+
+namespace slick {
+namespace {
+
+using ::slick::core::MonotonicDeque;
+using ::slick::core::SubtractOnEvict;
+using ::slick::window::Daba;
+using ::slick::window::ReferenceAggregator;
+using ::slick::window::TwoStacks;
+
+template <typename Op>
+typename Op::value_type MakeValue(int64_t v) {
+  if constexpr (std::is_same_v<typename Op::input_type, std::string>) {
+    return Op::lift(std::string(1, static_cast<char>('a' + ((v % 26) + 26) % 26)));
+  } else {
+    return Op::lift(static_cast<typename Op::input_type>(v));
+  }
+}
+
+template <typename Agg>
+void MaybeCheckInvariants(const Agg& agg) {
+  if constexpr (requires { agg.CheckInvariants(); }) {
+    ASSERT_TRUE(agg.CheckInvariants());
+  }
+}
+
+/// Steady sliding: fill to `window`, then insert+evict for several laps.
+template <typename Agg>
+void RunSteadyWindow(std::size_t window, uint64_t seed) {
+  using Op = typename Agg::op_type;
+  Agg agg;
+  ReferenceAggregator<Op> ref;
+  util::SplitMix64 rng(seed);
+  const std::size_t total = 6 * window + 24;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto v =
+        MakeValue<Op>(static_cast<int64_t>(rng.NextBounded(2001)) - 1000);
+    if (agg.size() == window) {
+      agg.evict();
+      ref.evict();
+      MaybeCheckInvariants(agg);
+    }
+    agg.insert(v);
+    ref.insert(v);
+    MaybeCheckInvariants(agg);
+    ASSERT_EQ(agg.query(), ref.query())
+        << "window=" << window << " event=" << i;
+    ASSERT_EQ(agg.size(), ref.size());
+  }
+}
+
+/// Randomized interleaving: grow-biased then shrink-biased phases.
+template <typename Agg>
+void RunRandomInterleaving(uint64_t seed, std::size_t events = 4000) {
+  using Op = typename Agg::op_type;
+  Agg agg;
+  ReferenceAggregator<Op> ref;
+  util::SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < events; ++i) {
+    // Alternate bias every 500 events so the window both balloons and drains.
+    const bool grow_bias = (i / 500) % 2 == 0;
+    const uint64_t p = rng.NextBounded(100);
+    const bool do_insert = ref.size() == 0 || (grow_bias ? p < 70 : p < 30);
+    if (do_insert) {
+      const auto v =
+          MakeValue<Op>(static_cast<int64_t>(rng.NextBounded(2001)) - 1000);
+      agg.insert(v);
+      ref.insert(v);
+    } else {
+      agg.evict();
+      ref.evict();
+    }
+    MaybeCheckInvariants(agg);
+    ASSERT_EQ(agg.query(), ref.query()) << "event=" << i;
+    ASSERT_EQ(agg.size(), ref.size());
+  }
+}
+
+/// Drain to empty repeatedly — stresses flip/reset edge cases.
+template <typename Agg>
+void RunDrainCycles(uint64_t seed) {
+  using Op = typename Agg::op_type;
+  Agg agg;
+  ReferenceAggregator<Op> ref;
+  util::SplitMix64 rng(seed);
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const std::size_t n = 1 + rng.NextBounded(33);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v =
+          MakeValue<Op>(static_cast<int64_t>(rng.NextBounded(2001)) - 1000);
+      agg.insert(v);
+      ref.insert(v);
+      MaybeCheckInvariants(agg);
+      ASSERT_EQ(agg.query(), ref.query());
+    }
+    while (ref.size() > 0) {
+      agg.evict();
+      ref.evict();
+      MaybeCheckInvariants(agg);
+      ASSERT_EQ(agg.query(), ref.query());
+    }
+  }
+}
+
+class FifoWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Windows, FifoWindowSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16,
+                                           21, 32, 40, 64, 100, 130),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// --------------------------- TwoStacks ------------------------------------
+
+TEST_P(FifoWindowSweep, TwoStacksSum) {
+  RunSteadyWindow<TwoStacks<ops::SumInt>>(GetParam(), 1);
+}
+TEST_P(FifoWindowSweep, TwoStacksMax) {
+  RunSteadyWindow<TwoStacks<ops::MaxInt>>(GetParam(), 2);
+}
+TEST_P(FifoWindowSweep, TwoStacksConcat) {
+  RunSteadyWindow<TwoStacks<ops::Concat>>(GetParam(), 3);
+}
+
+TEST(TwoStacksTest, RandomInterleaving) {
+  RunRandomInterleaving<TwoStacks<ops::SumInt>>(11);
+  RunRandomInterleaving<TwoStacks<ops::Concat>>(12);
+}
+TEST(TwoStacksTest, DrainCycles) { RunDrainCycles<TwoStacks<ops::SumInt>>(13); }
+
+// --------------------------- DABA ------------------------------------------
+
+TEST_P(FifoWindowSweep, DabaSum) {
+  RunSteadyWindow<Daba<ops::SumInt>>(GetParam(), 4);
+}
+TEST_P(FifoWindowSweep, DabaMax) {
+  RunSteadyWindow<Daba<ops::MaxInt>>(GetParam(), 5);
+}
+TEST_P(FifoWindowSweep, DabaConcat) {
+  RunSteadyWindow<Daba<ops::Concat>>(GetParam(), 6);
+}
+
+TEST(DabaTest, RandomInterleaving) {
+  RunRandomInterleaving<Daba<ops::SumInt>>(21);
+  RunRandomInterleaving<Daba<ops::Concat>>(22);
+}
+TEST(DabaTest, DrainCycles) { RunDrainCycles<Daba<ops::SumInt>>(23); }
+
+TEST(DabaTest, SmallChunksExerciseChunkBoundaries) {
+  using SmallChunkDaba = Daba<ops::SumInt>;
+  SmallChunkDaba agg(/*chunk_capacity=*/2);
+  ReferenceAggregator<ops::SumInt> ref;
+  util::SplitMix64 rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    if (ref.size() >= 17) {
+      agg.evict();
+      ref.evict();
+    }
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+    agg.insert(v);
+    ref.insert(v);
+    ASSERT_TRUE(agg.CheckInvariants());
+    ASSERT_EQ(agg.query(), ref.query());
+  }
+}
+
+// --------------------------- SubtractOnEvict -------------------------------
+
+TEST_P(FifoWindowSweep, SubtractOnEvictSum) {
+  RunSteadyWindow<SubtractOnEvict<ops::SumInt>>(GetParam(), 7);
+}
+TEST(SubtractOnEvictTest, RandomInterleaving) {
+  RunRandomInterleaving<SubtractOnEvict<ops::SumInt>>(41);
+}
+TEST(SubtractOnEvictTest, DrainCycles) {
+  RunDrainCycles<SubtractOnEvict<ops::SumInt>>(42);
+}
+TEST(SubtractOnEvictTest, AverageOp) {
+  SubtractOnEvict<ops::Average> agg;
+  agg.insert(ops::Average::lift(2.0));
+  agg.insert(ops::Average::lift(4.0));
+  EXPECT_DOUBLE_EQ(agg.query(), 3.0);
+  agg.evict();
+  EXPECT_DOUBLE_EQ(agg.query(), 4.0);
+}
+
+// --------------------------- MonotonicDeque --------------------------------
+
+TEST_P(FifoWindowSweep, MonotonicDequeMax) {
+  RunSteadyWindow<MonotonicDeque<ops::MaxInt>>(GetParam(), 8);
+}
+TEST(MonotonicDequeTest, RandomInterleaving) {
+  RunRandomInterleaving<MonotonicDeque<ops::MaxInt>>(51);
+}
+TEST(MonotonicDequeTest, DrainCycles) {
+  RunDrainCycles<MonotonicDeque<ops::MaxInt>>(52);
+}
+TEST(MonotonicDequeTest, NodeCountCollapsesOnAscending) {
+  MonotonicDeque<ops::MaxInt> agg;
+  for (int64_t v = 0; v < 100; ++v) {
+    if (agg.size() == 16) agg.evict();
+    agg.insert(v);
+    EXPECT_EQ(agg.node_count(), 1u);
+  }
+}
+TEST(MonotonicDequeTest, EmptyQueryReturnsIdentity) {
+  MonotonicDeque<ops::MaxInt> agg;
+  EXPECT_EQ(agg.query(), ops::MaxInt::identity());
+}
+
+// --------------------------- Facade dispatch -------------------------------
+
+TEST(SlidingAggregatorTest, DispatchFollowsTraits) {
+  static_assert(std::is_same_v<core::FifoAggregatorFor<ops::Sum>,
+                               SubtractOnEvict<ops::Sum>>);
+  static_assert(std::is_same_v<core::FifoAggregatorFor<ops::Average>,
+                               SubtractOnEvict<ops::Average>>);
+  static_assert(std::is_same_v<core::FifoAggregatorFor<ops::Max>,
+                               MonotonicDeque<ops::Max>>);
+  static_assert(std::is_same_v<core::FifoAggregatorFor<ops::AlphaMax>,
+                               MonotonicDeque<ops::AlphaMax>>);
+  static_assert(
+      std::is_same_v<core::FifoAggregatorFor<ops::Concat>, Daba<ops::Concat>>);
+
+  static_assert(std::is_same_v<core::WindowAggregatorFor<ops::Sum>,
+                               core::SlickDequeInv<ops::Sum>>);
+  static_assert(std::is_same_v<core::WindowAggregatorFor<ops::Max>,
+                               core::SlickDequeNonInv<ops::Max>>);
+  static_assert(std::is_same_v<core::WindowAggregatorFor<ops::Concat>,
+                               core::Windowed<Daba<ops::Concat>>>);
+  SUCCEED();
+}
+
+TEST(SlidingAggregatorTest, FacadeTypesRunEndToEnd) {
+  core::FifoAggregatorFor<ops::Sum> sum;
+  core::FifoAggregatorFor<ops::Max> max;
+  core::FifoAggregatorFor<ops::Concat> concat;
+  for (int i = 1; i <= 5; ++i) {
+    sum.insert(ops::Sum::lift(i));
+    max.insert(ops::Max::lift(i));
+    concat.insert(ops::Concat::lift(std::string(1, static_cast<char>('a' + i))));
+  }
+  EXPECT_DOUBLE_EQ(sum.query(), 15.0);
+  EXPECT_DOUBLE_EQ(max.query(), 5.0);
+  EXPECT_EQ(concat.query(), "bcdef");
+  sum.evict();
+  max.evict();
+  concat.evict();
+  EXPECT_DOUBLE_EQ(sum.query(), 14.0);
+  EXPECT_DOUBLE_EQ(max.query(), 5.0);
+  EXPECT_EQ(concat.query(), "cdef");
+}
+
+}  // namespace
+}  // namespace slick

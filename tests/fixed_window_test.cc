@@ -1,0 +1,346 @@
+// Oracle-driven validation of every fixed-window (slide-based) aggregator:
+// Naive, FlatFAT, B-Int, FlatFIT, SlickDeque (Inv), SlickDeque (Non-Inv) and
+// the Windowed<> adapter over TwoStacks/DABA. Each parameterized sweep runs
+// a window size × input-shape grid and compares every answer — full window
+// and, where supported, every sub-range — against a brute-force model.
+
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/range_aggregator.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/windowed.h"
+#include "ops/ops.h"
+#include "util/rng.h"
+#include "window/b_int.h"
+#include "window/daba.h"
+#include "window/flat_fat.h"
+#include "window/flat_fit.h"
+#include "window/naive.h"
+#include "window/two_stacks.h"
+
+namespace slick {
+namespace {
+
+using ::slick::core::SlickDequeInv;
+using ::slick::core::SlickDequeNonInv;
+using ::slick::core::Windowed;
+using ::slick::window::BInt;
+using ::slick::window::Daba;
+using ::slick::window::FlatFat;
+using ::slick::window::FlatFit;
+using ::slick::window::NaiveWindow;
+using ::slick::window::TwoStacks;
+
+// Input shapes: the deque-based algorithms are input-sensitive (§4.1), so
+// the sweep covers the regimes that stress them differently.
+enum class Shape { kRandom, kAscending, kDescending, kTiesHeavy };
+
+int64_t GenInt(Shape shape, std::size_t step, util::SplitMix64& rng) {
+  switch (shape) {
+    case Shape::kRandom:
+      return static_cast<int64_t>(rng.NextBounded(2001)) - 1000;
+    case Shape::kAscending:
+      return static_cast<int64_t>(step);
+    case Shape::kDescending:
+      return 1000000 - static_cast<int64_t>(step);
+    case Shape::kTiesHeavy:
+      return static_cast<int64_t>(rng.NextBounded(3));
+  }
+  return 0;
+}
+
+inline uint64_t step_counter = 0;
+
+template <typename Op>
+typename Op::value_type LiftInt(int64_t v) {
+  if constexpr (std::is_same_v<typename Op::input_type, int64_t>) {
+    return Op::lift(v);
+  } else if constexpr (std::is_same_v<typename Op::input_type, std::string>) {
+    return Op::lift(std::string(1, static_cast<char>('a' + ((v % 26) + 26) % 26)));
+  } else if constexpr (std::is_same_v<typename Op::input_type,
+                                      ops::ArgSample>) {
+    return Op::lift(ops::ArgSample{static_cast<double>(v),
+                                   static_cast<uint64_t>(step_counter++)});
+  } else {
+    return Op::lift(static_cast<typename Op::input_type>(v));
+  }
+}
+
+// Brute-force model of an always-full window (identity-prefilled).
+template <typename Op>
+class Model {
+ public:
+  explicit Model(std::size_t window) : vals_(window, Op::identity()) {}
+
+  void slide(typename Op::value_type v) {
+    vals_.pop_front();
+    vals_.push_back(std::move(v));
+  }
+
+  typename Op::result_type query(std::size_t range) const {
+    auto acc = Op::identity();
+    for (std::size_t i = vals_.size() - range; i < vals_.size(); ++i) {
+      acc = Op::combine(acc, vals_[i]);
+    }
+    return Op::lower(acc);
+  }
+
+ private:
+  std::deque<typename Op::value_type> vals_;
+};
+
+// Uniform construction across aggregators with different constructors.
+template <typename Agg>
+struct Factory {
+  static Agg Make(std::size_t window) { return Agg(window); }
+};
+template <ops::InvertibleOp Op>
+struct Factory<SlickDequeInv<Op>> {
+  static SlickDequeInv<Op> Make(std::size_t window) {
+    std::vector<std::size_t> ranges(window);
+    std::iota(ranges.begin(), ranges.end(), 1);
+    return SlickDequeInv<Op>(window, std::move(ranges));
+  }
+};
+
+// Drives `Agg` against the model. `check_ranges` additionally validates
+// every sub-range 1..window after each slide (multi-query behaviour).
+template <typename Agg>
+void RunOracle(std::size_t window, Shape shape, bool check_ranges) {
+  using Op = typename Agg::op_type;
+  Agg agg = Factory<Agg>::Make(window);
+  Model<Op> model(window);
+  util::SplitMix64 rng(0x5eed + window * 1315423911ULL +
+                       static_cast<uint64_t>(shape));
+  const std::size_t steps = 3 * window + 40;
+  for (std::size_t step = 0; step < steps; ++step) {
+    auto v = LiftInt<Op>(GenInt(shape, step, rng));
+    agg.slide(v);
+    model.slide(v);
+    ASSERT_EQ(agg.query(), model.query(window))
+        << "window=" << window << " step=" << step << " (full range)";
+    if (check_ranges) {
+      for (std::size_t r = 1; r <= window; ++r) {
+        ASSERT_EQ(agg.query(r), model.query(r))
+            << "window=" << window << " step=" << step << " range=" << r;
+      }
+    }
+  }
+}
+
+class WindowSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Shape>> {
+ protected:
+  std::size_t window() const { return std::get<0>(GetParam()); }
+  Shape shape() const { return std::get<1>(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowSweep,
+    ::testing::Combine(::testing::ValuesIn(std::vector<std::size_t>{
+                           1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64,
+                           100}),
+                       ::testing::Values(Shape::kRandom, Shape::kAscending,
+                                         Shape::kDescending,
+                                         Shape::kTiesHeavy)),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_shape" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// --------------------------- Naive ---------------------------------------
+
+TEST_P(WindowSweep, NaiveSumAllRanges) {
+  RunOracle<NaiveWindow<ops::SumInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, NaiveMaxAllRanges) {
+  RunOracle<NaiveWindow<ops::MaxInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, NaiveConcatAllRanges) {
+  RunOracle<NaiveWindow<ops::Concat>>(window(), shape(), true);
+}
+
+// --------------------------- FlatFAT -------------------------------------
+
+TEST_P(WindowSweep, FlatFatSumAllRanges) {
+  RunOracle<FlatFat<ops::SumInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, FlatFatMaxAllRanges) {
+  RunOracle<FlatFat<ops::MaxInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, FlatFatConcatAllRanges) {
+  RunOracle<FlatFat<ops::Concat>>(window(), shape(), true);
+}
+
+// --------------------------- B-Int ---------------------------------------
+
+TEST_P(WindowSweep, BIntSumAllRanges) {
+  RunOracle<BInt<ops::SumInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, BIntMaxAllRanges) {
+  RunOracle<BInt<ops::MaxInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, BIntConcatAllRanges) {
+  RunOracle<BInt<ops::Concat>>(window(), shape(), true);
+}
+
+// --------------------------- FlatFIT -------------------------------------
+
+TEST_P(WindowSweep, FlatFitSumFullWindow) {
+  RunOracle<FlatFit<ops::SumInt>>(window(), shape(), false);
+}
+TEST_P(WindowSweep, FlatFitSumAllRanges) {
+  RunOracle<FlatFit<ops::SumInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, FlatFitMaxAllRanges) {
+  RunOracle<FlatFit<ops::MaxInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, FlatFitConcatAllRanges) {
+  RunOracle<FlatFit<ops::Concat>>(window(), shape(), true);
+}
+
+// --------------------------- SlickDeque (Inv) ----------------------------
+
+TEST_P(WindowSweep, SlickDequeInvSumAllRanges) {
+  RunOracle<SlickDequeInv<ops::SumInt>>(window(), shape(), true);
+}
+
+// --------------------------- SlickDeque (Non-Inv) ------------------------
+
+TEST_P(WindowSweep, SlickDequeNonInvMaxAllRanges) {
+  RunOracle<SlickDequeNonInv<ops::MaxInt>>(window(), shape(), true);
+}
+TEST_P(WindowSweep, SlickDequeNonInvArgMaxAllRanges) {
+  RunOracle<SlickDequeNonInv<ops::ArgMax>>(window(), shape(), true);
+}
+
+TEST_P(WindowSweep, SlickDequeNonInvQueryMultiMatchesSingles) {
+  using Agg = SlickDequeNonInv<ops::MaxInt>;
+  Agg agg(window());
+  Model<ops::MaxInt> model(window());
+  util::SplitMix64 rng(0xabc + window());
+  std::vector<std::size_t> ranges_desc;
+  for (std::size_t r = window(); r >= 1; --r) ranges_desc.push_back(r);
+  std::vector<int64_t> out;
+  for (std::size_t step = 0; step < 2 * window() + 20; ++step) {
+    const int64_t v = GenInt(shape(), step, rng);
+    agg.slide(v);
+    model.slide(v);
+    out.clear();
+    agg.query_multi(ranges_desc, out);
+    ASSERT_EQ(out.size(), ranges_desc.size());
+    for (std::size_t i = 0; i < ranges_desc.size(); ++i) {
+      ASSERT_EQ(out[i], model.query(ranges_desc[i]))
+          << "range=" << ranges_desc[i] << " step=" << step;
+    }
+  }
+}
+
+// --------------------------- Windowed adapters ---------------------------
+
+TEST_P(WindowSweep, WindowedTwoStacksSum) {
+  RunOracle<Windowed<TwoStacks<ops::SumInt>>>(window(), shape(), false);
+}
+TEST_P(WindowSweep, WindowedTwoStacksMax) {
+  RunOracle<Windowed<TwoStacks<ops::MaxInt>>>(window(), shape(), false);
+}
+TEST_P(WindowSweep, WindowedDabaSum) {
+  RunOracle<Windowed<Daba<ops::SumInt>>>(window(), shape(), false);
+}
+TEST_P(WindowSweep, WindowedDabaMax) {
+  RunOracle<Windowed<Daba<ops::MaxInt>>>(window(), shape(), false);
+}
+TEST_P(WindowSweep, WindowedDabaConcat) {
+  RunOracle<Windowed<Daba<ops::Concat>>>(window(), shape(), false);
+}
+
+// --------------------------- RangeAggregator -----------------------------
+
+TEST_P(WindowSweep, RangeAggregatorMatchesMaxMinusMin) {
+  core::RangeAggregator agg(window());
+  Model<ops::Max> max_model(window());
+  Model<ops::Min> min_model(window());
+  util::SplitMix64 rng(0x7777 + window());
+  for (std::size_t step = 0; step < 2 * window() + 20; ++step) {
+    const double v = static_cast<double>(GenInt(shape(), step, rng));
+    agg.slide(v);
+    max_model.slide(v);
+    min_model.slide(v);
+    ASSERT_EQ(agg.query(), max_model.query(window()) - min_model.query(window()));
+    const std::size_t r = 1 + rng.NextBounded(window());
+    ASSERT_EQ(agg.query(r), max_model.query(r) - min_model.query(r));
+  }
+}
+
+// --------------------------- Targeted edge cases -------------------------
+
+TEST(FixedWindowEdgeTest, WindowOfOneAnswersNewest) {
+  NaiveWindow<ops::SumInt> naive(1);
+  FlatFat<ops::SumInt> fat(1);
+  FlatFit<ops::SumInt> fit(1);
+  SlickDequeInv<ops::SumInt> inv(1);
+  SlickDequeNonInv<ops::MaxInt> noninv(1);
+  for (int64_t v : {5, -3, 12}) {
+    naive.slide(v);
+    fat.slide(v);
+    fit.slide(v);
+    inv.slide(v);
+    noninv.slide(v);
+    EXPECT_EQ(naive.query(), v);
+    EXPECT_EQ(fat.query(), v);
+    EXPECT_EQ(fit.query(), v);
+    EXPECT_EQ(inv.query(), v);
+    EXPECT_EQ(noninv.query(), v);
+  }
+}
+
+TEST(FixedWindowEdgeTest, IdentityPrefillIsVisibleBeforeWarmup) {
+  // Before `window` slides have happened the remaining slots still hold the
+  // identity, exactly as the paper's Preparation phase prescribes.
+  NaiveWindow<ops::SumInt> naive(4);
+  naive.slide(10);
+  EXPECT_EQ(naive.query(), 10);   // 0+0+0+10
+  EXPECT_EQ(naive.query(2), 10);  // 0+10
+  EXPECT_EQ(naive.query(1), 10);
+}
+
+TEST(FixedWindowEdgeTest, SlickDequeInvUnregisteredRangeIsRejected) {
+  SlickDequeInv<ops::SumInt> inv(8, {8, 3});
+  EXPECT_TRUE(inv.has_range(3));
+  EXPECT_TRUE(inv.has_range(8));
+  EXPECT_FALSE(inv.has_range(5));
+  EXPECT_DEATH(inv.query(5), "not registered");
+}
+
+TEST(FixedWindowEdgeTest, SlickDequeNonInvNodeCountStaysOneOnAscending) {
+  // Each new maximum evicts the whole deque: the best-case space regime
+  // (§4.2 — "constant (2)").
+  SlickDequeNonInv<ops::MaxInt> agg(64);
+  for (int64_t v = 0; v < 200; ++v) {
+    agg.slide(v);
+    EXPECT_EQ(agg.node_count(), 1u);
+    EXPECT_EQ(agg.query(), v);
+  }
+}
+
+TEST(FixedWindowEdgeTest, SlickDequeNonInvDequeFillsOnDescending) {
+  // Strictly descending input is the worst case: nothing dominates, the
+  // deque grows to the window size (§4.2).
+  const std::size_t w = 32;
+  SlickDequeNonInv<ops::MaxInt> agg(w);
+  for (int64_t v = 0; v < 200; ++v) {
+    agg.slide(1000000 - v);
+  }
+  EXPECT_EQ(agg.node_count(), w);
+}
+
+}  // namespace
+}  // namespace slick

@@ -1,0 +1,90 @@
+// HistoryTree tests (§2.4's Temporal-DB substrate): arbitrary-segment
+// queries against a brute-force history, growth across capacity doublings,
+// order preservation, and the suffix-window equivalence with the sliding
+// algorithms.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/slick_deque_inv.h"
+#include "ops/arith.h"
+#include "ops/string_ops.h"
+#include "util/rng.h"
+#include "window/history_tree.h"
+
+namespace slick::window {
+namespace {
+
+TEST(HistoryTreeTest, SegmentsMatchBruteForce) {
+  HistoryTree<ops::SumInt> tree(4);  // tiny: forces several growths
+  std::vector<int64_t> history;
+  util::SplitMix64 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+    tree.Append(v);
+    history.push_back(v);
+    // A few random segments per append.
+    for (int probe = 0; probe < 3; ++probe) {
+      const uint64_t lo = rng.NextBounded(history.size());
+      const uint64_t hi = lo + rng.NextBounded(history.size() - lo);
+      int64_t expect = 0;
+      for (uint64_t k = lo; k <= hi; ++k) {
+        expect += history[static_cast<std::size_t>(k)];
+      }
+      ASSERT_EQ(tree.QuerySegment(lo, hi), expect)
+          << "i=" << i << " [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(HistoryTreeTest, PreservesStreamOrder) {
+  HistoryTree<ops::Concat> tree(2);
+  const std::string word = "slickdeque";
+  for (char c : word) tree.Append(std::string(1, c));
+  EXPECT_EQ(tree.QuerySegment(0, word.size() - 1), word);
+  EXPECT_EQ(tree.QuerySegment(5, 9), "deque");
+  EXPECT_EQ(tree.QuerySegment(0, 4), "slick");
+  EXPECT_EQ(tree.QuerySegment(3, 3), "c");
+}
+
+TEST(HistoryTreeTest, SuffixMatchesSlidingAggregator) {
+  // §2.4's framing: a DSMS suffix window is the special segment
+  // [s - W, s - 1]. The tree and SlickDeque (Inv) must agree on it.
+  const std::size_t window = 64;
+  HistoryTree<ops::SumInt> tree;
+  core::SlickDequeInv<ops::SumInt> slick(window);
+  util::SplitMix64 rng(2);
+  for (int i = 0; i < 400; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+    tree.Append(v);
+    slick.slide(v);
+    if (static_cast<std::size_t>(i) + 1 >= window) {
+      ASSERT_EQ(tree.QuerySuffix(window), slick.query());
+    }
+  }
+}
+
+TEST(HistoryTreeTest, MemoryGrowsWithHistoryNotWindow) {
+  // The §2.4 trade-off: the temporal structure retains EVERYTHING.
+  HistoryTree<ops::SumInt> tree(64);
+  const std::size_t before = tree.memory_bytes();
+  for (int64_t i = 0; i < 100000; ++i) tree.Append(i);
+  EXPECT_GE(tree.memory_bytes(), 100000 * sizeof(int64_t));
+  EXPECT_GT(tree.memory_bytes(), 100 * before);
+}
+
+TEST(HistoryTreeTest, BoundsChecked) {
+  HistoryTree<ops::SumInt> tree;
+  tree.Append(1);
+  tree.Append(2);
+  EXPECT_EQ(tree.QuerySegment(0, 1), 3);
+  EXPECT_DEATH(tree.QuerySegment(1, 2), "out of history");
+  EXPECT_DEATH(tree.QuerySegment(1, 0), "out of history");
+  EXPECT_DEATH(tree.QuerySuffix(3), "out of history");
+}
+
+}  // namespace
+}  // namespace slick::window

@@ -1,0 +1,90 @@
+// KeyedWindows tests: per-key sliding windows against a per-key model,
+// plus eviction and the cross-key roll-up.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "engine/keyed_engine.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "util/rng.h"
+
+namespace slick::engine {
+namespace {
+
+TEST(KeyedWindowsTest, PerKeyWindowsAreIndependent) {
+  KeyedWindows<core::SlickDequeInv<ops::SumInt>> keyed(3);
+  EXPECT_EQ(keyed.Push(1, 10), 10);
+  EXPECT_EQ(keyed.Push(2, 100), 100);
+  EXPECT_EQ(keyed.Push(1, 20), 30);
+  EXPECT_EQ(keyed.Push(1, 30), 60);
+  EXPECT_EQ(keyed.Push(1, 40), 90);  // 10 expired from key 1's window
+  EXPECT_EQ(keyed.Query(2), 100);    // untouched by key 1's traffic
+  EXPECT_EQ(keyed.key_count(), 2u);
+}
+
+TEST(KeyedWindowsTest, MatchesPerKeyModel) {
+  const std::size_t window = 8;
+  KeyedWindows<core::SlickDequeNonInv<ops::MaxInt>> keyed(window);
+  std::map<uint64_t, std::deque<int64_t>> model;
+  util::SplitMix64 rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBounded(7);
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(100000));
+    auto& dq = model[key];
+    dq.push_back(v);
+    if (dq.size() > window) dq.pop_front();
+    int64_t expect = INT64_MIN;
+    for (int64_t x : dq) expect = std::max(expect, x);
+    ASSERT_EQ(keyed.Push(key, v), expect) << "key=" << key << " i=" << i;
+  }
+}
+
+TEST(KeyedWindowsTest, EvictDropsState) {
+  KeyedWindows<core::SlickDequeInv<ops::SumInt>> keyed(4);
+  keyed.Push(5, 7);
+  EXPECT_TRUE(keyed.HasKey(5));
+  EXPECT_TRUE(keyed.Evict(5));
+  EXPECT_FALSE(keyed.HasKey(5));
+  EXPECT_FALSE(keyed.Evict(5));
+  // A re-seen key starts a fresh window.
+  EXPECT_EQ(keyed.Push(5, 3), 3);
+}
+
+TEST(KeyedWindowsTest, RollUpFoldsPerKeyAnswers) {
+  KeyedWindows<core::SlickDequeNonInv<ops::MaxInt>> keyed(4);
+  keyed.Push(0, 10);
+  keyed.Push(1, 50);
+  keyed.Push(2, 30);
+  keyed.Push(1, 20);  // key 1's window max stays 50
+  int64_t global = INT64_MIN;
+  std::size_t visited = 0;
+  keyed.ForEach([&](uint64_t, int64_t answer) {
+    global = std::max(global, answer);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(global, 50);
+}
+
+TEST(KeyedWindowsTest, UnknownKeyQueryDies) {
+  KeyedWindows<core::SlickDequeInv<ops::SumInt>> keyed(4);
+  EXPECT_DEATH(keyed.Query(123), "unknown key");
+}
+
+TEST(KeyedWindowsTest, MemoryGrowsWithKeys) {
+  KeyedWindows<core::SlickDequeInv<ops::Sum>> keyed(64);
+  const std::size_t empty = keyed.memory_bytes();
+  for (uint64_t k = 0; k < 50; ++k) keyed.Push(k, 1.0);
+  EXPECT_GT(keyed.memory_bytes(), empty + 50 * 64 * sizeof(double) / 2);
+  EXPECT_EQ(keyed.key_count(), 50u);
+}
+
+}  // namespace
+}  // namespace slick::engine

@@ -1,0 +1,189 @@
+// Typed property tests: every aggregate operation in the library must
+// satisfy its declared algebraic contract — associativity, identity
+// neutrality, commutativity iff kCommutative, selectivity iff kSelective,
+// inverse round trips iff kInvertible, and Absorbs<> consistency — under
+// randomized values. A new op added to the type list gets the full battery
+// for free.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ops/maxcount.h"
+#include "ops/ops.h"
+#include "ops/sketch.h"
+#include "util/rng.h"
+
+namespace slick::ops {
+namespace {
+
+// Random value generation per input domain.
+template <typename Op>
+typename Op::value_type RandomValue(util::SplitMix64& rng) {
+  using In = typename Op::input_type;
+  if constexpr (std::is_same_v<In, std::string>) {
+    std::string s(1 + rng.NextBounded(4), 'a');
+    for (char& c : s) c = static_cast<char>('a' + rng.NextBounded(26));
+    return Op::lift(s);
+  } else if constexpr (std::is_same_v<In, ArgSample>) {
+    return Op::lift(ArgSample{static_cast<double>(rng.NextBounded(1000)),
+                              rng.NextU64()});
+  } else if constexpr (std::is_same_v<In, bool>) {
+    return Op::lift(rng.NextBounded(2) == 1);
+  } else if constexpr (std::is_same_v<In, uint64_t>) {
+    return Op::lift(rng.NextBounded(64));
+  } else {
+    // Numeric: strictly positive keeps Product/GeoMean exact & finite.
+    return Op::lift(static_cast<In>(1 + rng.NextBounded(1000)));
+  }
+}
+
+// Value equality: the library requires operator== only for selective ops;
+// for the rest, compare through lower() where possible, else operator==.
+template <typename Op>
+bool Equal(const typename Op::value_type& a, const typename Op::value_type& b) {
+  if constexpr (std::equality_comparable<typename Op::value_type>) {
+    return a == b;
+  } else {
+    return Op::lower(a) == Op::lower(b);
+  }
+}
+
+template <typename Op>
+class OpContractTest : public ::testing::Test {};
+
+using AllOps =
+    ::testing::Types<Sum, SumInt, Count, Product, SumOfSquares, Max, Min,
+                     MaxInt, ArgMax, ArgMin, First, Last, AlphaMax, Concat,
+                     BoolAnd, BoolOr, Average, StdDev, GeoMean, SumCount,
+                     BloomSketch, MaxCount>;
+TYPED_TEST_SUITE(OpContractTest, AllOps);
+
+TYPED_TEST(OpContractTest, Associativity) {
+  using Op = TypeParam;
+  util::SplitMix64 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const auto x = RandomValue<Op>(rng);
+    const auto y = RandomValue<Op>(rng);
+    const auto z = RandomValue<Op>(rng);
+    const auto lhs = Op::combine(Op::combine(x, y), z);
+    const auto rhs = Op::combine(x, Op::combine(y, z));
+    if constexpr (std::is_same_v<Op, GeoMean>) {
+      // log-sums regroup with floating rounding; associativity holds
+      // mathematically and to ~1 ulp numerically.
+      ASSERT_NEAR(Op::lower(lhs), Op::lower(rhs),
+                  1e-12 * (1.0 + Op::lower(lhs)))
+          << Op::kName << " trial " << i;
+    } else {
+      ASSERT_TRUE(Equal<Op>(lhs, rhs)) << Op::kName << " trial " << i;
+    }
+  }
+}
+
+TYPED_TEST(OpContractTest, IdentityIsNeutral) {
+  using Op = TypeParam;
+  util::SplitMix64 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = RandomValue<Op>(rng);
+    ASSERT_TRUE(Equal<Op>(Op::combine(Op::identity(), x), x)) << Op::kName;
+    ASSERT_TRUE(Equal<Op>(Op::combine(x, Op::identity()), x)) << Op::kName;
+  }
+}
+
+TYPED_TEST(OpContractTest, CommutativityMatchesTrait) {
+  using Op = TypeParam;
+  if constexpr (Op::kCommutative) {
+    util::SplitMix64 rng(3);
+    for (int i = 0; i < 300; ++i) {
+      const auto x = RandomValue<Op>(rng);
+      const auto y = RandomValue<Op>(rng);
+      ASSERT_TRUE(Equal<Op>(Op::combine(x, y), Op::combine(y, x)))
+          << Op::kName;
+    }
+  } else {
+    // Must exhibit at least one non-commuting pair, otherwise the trait is
+    // needlessly pessimistic.
+    util::SplitMix64 rng(3);
+    bool found = false;
+    for (int i = 0; i < 2000 && !found; ++i) {
+      const auto x = RandomValue<Op>(rng);
+      const auto y = RandomValue<Op>(rng);
+      found = !Equal<Op>(Op::combine(x, y), Op::combine(y, x));
+    }
+    EXPECT_TRUE(found) << Op::kName << " is marked non-commutative but no "
+                       << "counterexample found";
+  }
+}
+
+TYPED_TEST(OpContractTest, SelectivityMatchesTrait) {
+  using Op = TypeParam;
+  if constexpr (Op::kSelective) {
+    util::SplitMix64 rng(4);
+    for (int i = 0; i < 300; ++i) {
+      const auto x = RandomValue<Op>(rng);
+      const auto y = RandomValue<Op>(rng);
+      const auto c = Op::combine(x, y);
+      ASSERT_TRUE(Equal<Op>(c, x) || Equal<Op>(c, y))
+          << Op::kName << ": combine must select an argument";
+    }
+  }
+}
+
+TYPED_TEST(OpContractTest, InverseRoundTripsMatchTrait) {
+  using Op = TypeParam;
+  if constexpr (InvertibleOp<Op>) {
+    util::SplitMix64 rng(5);
+    for (int i = 0; i < 300; ++i) {
+      const auto x = RandomValue<Op>(rng);
+      const auto y = RandomValue<Op>(rng);
+      const auto back = Op::inverse(Op::combine(x, y), y);
+      if constexpr (std::is_same_v<Op, Product> || std::is_same_v<Op, GeoMean>) {
+        // Floating division/log round trips approximately.
+        ASSERT_NEAR(Op::lower(back), Op::lower(x),
+                    1e-9 * (1.0 + std::abs(Op::lower(x))))
+            << Op::kName;
+      } else if constexpr (std::is_same_v<typename Op::value_type, double>) {
+        ASSERT_NEAR(back, x, 1e-9) << Op::kName;
+      } else {
+        ASSERT_TRUE(Equal<Op>(back, x)) << Op::kName;
+      }
+    }
+  }
+}
+
+TYPED_TEST(OpContractTest, AbsorbsAgreesWithCombine) {
+  using Op = TypeParam;
+  if constexpr (SelectiveOp<Op> &&
+                std::equality_comparable<typename Op::value_type>) {
+    util::SplitMix64 rng(6);
+    for (int i = 0; i < 500; ++i) {
+      const auto older = RandomValue<Op>(rng);
+      const auto newer = RandomValue<Op>(rng);
+      const bool absorbs = Absorbs<Op>(newer, older);
+      const bool combine_selects_newer = Op::combine(older, newer) == newer;
+      // absorbs may be conservatively false on ties, never wrongly true.
+      if (absorbs) {
+        ASSERT_TRUE(combine_selects_newer)
+            << Op::kName << ": absorbs() returned true but combine keeps "
+            << "the older value";
+      }
+    }
+  }
+}
+
+TYPED_TEST(OpContractTest, LiftLowerRoundTripOnSingletons) {
+  using Op = TypeParam;
+  util::SplitMix64 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = RandomValue<Op>(rng);
+    // lower(lift(x)) must be a fixed point under re-aggregation with
+    // identity — i.e. lower() of a singleton window is stable.
+    ASSERT_TRUE(
+        Equal<Op>(Op::combine(v, Op::identity()), v))
+        << Op::kName;
+  }
+}
+
+}  // namespace
+}  // namespace slick::ops

@@ -1,0 +1,230 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ops/ops.h"
+
+namespace slick::ops {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trait classification (drives the paper's invertible/non-invertible split).
+// ---------------------------------------------------------------------------
+
+TEST(OpTraitsTest, ConceptsCoverTheLibrary) {
+  static_assert(AggregateOp<Sum>);
+  static_assert(AggregateOp<Count>);
+  static_assert(AggregateOp<Product>);
+  static_assert(AggregateOp<SumOfSquares>);
+  static_assert(AggregateOp<Max>);
+  static_assert(AggregateOp<Min>);
+  static_assert(AggregateOp<ArgMax>);
+  static_assert(AggregateOp<ArgMin>);
+  static_assert(AggregateOp<AlphaMax>);
+  static_assert(AggregateOp<Concat>);
+  static_assert(AggregateOp<BoolAnd>);
+  static_assert(AggregateOp<BoolOr>);
+  static_assert(AggregateOp<Average>);
+  static_assert(AggregateOp<StdDev>);
+  static_assert(AggregateOp<GeoMean>);
+
+  static_assert(InvertibleOp<Sum>);
+  static_assert(InvertibleOp<Average>);
+  static_assert(!InvertibleOp<Max>);
+  static_assert(!InvertibleOp<Concat>);
+
+  static_assert(SelectiveOp<Max>);
+  static_assert(SelectiveOp<ArgMin>);
+  static_assert(SelectiveOp<AlphaMax>);
+  static_assert(!SelectiveOp<Sum>);
+  static_assert(!SelectiveOp<Concat>);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic laws, checked op by op.
+// ---------------------------------------------------------------------------
+
+template <typename Op>
+void CheckAssociativity(typename Op::value_type x, typename Op::value_type y,
+                        typename Op::value_type z) {
+  EXPECT_EQ(Op::combine(Op::combine(x, y), z),
+            Op::combine(x, Op::combine(y, z)));
+}
+
+template <typename Op>
+void CheckIdentity(typename Op::value_type x) {
+  EXPECT_EQ(Op::combine(Op::identity(), x), x);
+  EXPECT_EQ(Op::combine(x, Op::identity()), x);
+}
+
+template <typename Op>
+void CheckInverseRoundTrip(typename Op::value_type x,
+                           typename Op::value_type y) {
+  EXPECT_EQ(Op::inverse(Op::combine(x, y), y), x);
+}
+
+TEST(SumTest, Laws) {
+  CheckAssociativity<Sum>(1.5, -2.0, 4.25);
+  CheckIdentity<Sum>(3.75);
+  CheckInverseRoundTrip<Sum>(10.5, 2.25);
+  EXPECT_DOUBLE_EQ(Sum::lower(Sum::lift(2.5)), 2.5);
+}
+
+TEST(CountTest, Laws) {
+  EXPECT_EQ(Count::lift(123.0), 1);
+  CheckAssociativity<Count>(1, 2, 3);
+  CheckIdentity<Count>(5);
+  CheckInverseRoundTrip<Count>(7, 3);
+}
+
+TEST(ProductTest, Laws) {
+  CheckAssociativity<Product>(2.0, 0.5, 8.0);
+  CheckIdentity<Product>(4.0);
+  CheckInverseRoundTrip<Product>(6.0, 2.0);
+}
+
+TEST(SumOfSquaresTest, LiftSquares) {
+  EXPECT_DOUBLE_EQ(SumOfSquares::lift(3.0), 9.0);
+  CheckInverseRoundTrip<SumOfSquares>(25.0, 9.0);
+}
+
+TEST(MaxMinTest, Laws) {
+  CheckAssociativity<Max>(1.0, 9.0, 4.0);
+  CheckIdentity<Max>(-100.0);
+  EXPECT_DOUBLE_EQ(Max::combine(2.0, 7.0), 7.0);
+  CheckAssociativity<Min>(1.0, 9.0, 4.0);
+  CheckIdentity<Min>(100.0);
+  EXPECT_DOUBLE_EQ(Min::combine(2.0, 7.0), 2.0);
+}
+
+TEST(MaxMinTest, SelectivityHolds) {
+  // combine(x, y) ∈ {x, y} — the paper's non-invertible assumption.
+  for (double x : {-3.0, 0.0, 5.5}) {
+    for (double y : {-7.0, 0.0, 5.5, 9.0}) {
+      const double m = Max::combine(x, y);
+      EXPECT_TRUE(m == x || m == y);
+      const double n = Min::combine(x, y);
+      EXPECT_TRUE(n == x || n == y);
+    }
+  }
+}
+
+TEST(ArgMaxTest, TiesKeepEarlier) {
+  const ArgSample a{5.0, 1};
+  const ArgSample b{5.0, 2};
+  EXPECT_EQ(ArgMax::combine(a, b).id, 1u);
+  EXPECT_EQ(ArgMax::combine(b, a).id, 2u);  // non-commutative on ties
+  const ArgSample c{7.0, 3};
+  EXPECT_EQ(ArgMax::combine(a, c).id, 3u);
+  CheckAssociativity<ArgMax>(a, b, c);
+  CheckIdentity<ArgMax>(a);
+}
+
+TEST(ArgMinTest, PicksSmallestKey) {
+  const ArgSample a{5.0, 1};
+  const ArgSample c{7.0, 3};
+  EXPECT_EQ(ArgMin::combine(a, c).id, 1u);
+  CheckIdentity<ArgMin>(c);
+}
+
+TEST(FirstLastTest, SelectEndpoints) {
+  EXPECT_DOUBLE_EQ(First::combine(1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(Last::combine(1.0, 2.0), 2.0);
+  // NaN identity behaves as neutral on both sides.
+  EXPECT_DOUBLE_EQ(First::combine(First::identity(), 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(Last::combine(4.0, Last::identity()), 4.0);
+  CheckAssociativity<First>(1.0, 2.0, 3.0);
+  CheckAssociativity<Last>(1.0, 2.0, 3.0);
+}
+
+TEST(AlphaMaxTest, Laws) {
+  CheckAssociativity<AlphaMax>("apple", "pear", "fig");
+  CheckIdentity<AlphaMax>(std::string("zebra"));
+  EXPECT_EQ(AlphaMax::combine("apple", "pear"), "pear");
+}
+
+TEST(ConcatTest, OrderSensitive) {
+  EXPECT_EQ(Concat::combine("ab", "cd"), "abcd");
+  EXPECT_NE(Concat::combine("ab", "cd"), Concat::combine("cd", "ab"));
+  CheckAssociativity<Concat>("a", "b", "c");
+  CheckIdentity<Concat>(std::string("x"));
+}
+
+TEST(BoolOpsTest, Laws) {
+  EXPECT_TRUE(BoolAnd::combine(true, true));
+  EXPECT_FALSE(BoolAnd::combine(true, false));
+  EXPECT_TRUE(BoolOr::combine(false, true));
+  CheckIdentity<BoolAnd>(false);
+  CheckIdentity<BoolOr>(true);
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic aggregations: lower() computes the paper's composite answers.
+// ---------------------------------------------------------------------------
+
+TEST(AverageTest, ComputesMean) {
+  auto acc = Average::identity();
+  for (double x : {2.0, 4.0, 6.0}) acc = Average::combine(acc, Average::lift(x));
+  EXPECT_DOUBLE_EQ(Average::lower(acc), 4.0);
+  acc = Average::inverse(acc, Average::lift(2.0));
+  EXPECT_DOUBLE_EQ(Average::lower(acc), 5.0);
+  EXPECT_DOUBLE_EQ(Average::lower(Average::identity()), 0.0);
+}
+
+TEST(StdDevTest, ComputesPopulationStdDev) {
+  auto acc = StdDev::identity();
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc = StdDev::combine(acc, StdDev::lift(x));
+  }
+  EXPECT_NEAR(StdDev::lower(acc), 2.0, 1e-12);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(StdDev::lower(StdDev::identity()), 0.0);
+}
+
+TEST(StdDevTest, InverseRemovesElement) {
+  auto acc = StdDev::identity();
+  for (double x : {1.0, 2.0, 3.0, 100.0}) {
+    acc = StdDev::combine(acc, StdDev::lift(x));
+  }
+  acc = StdDev::inverse(acc, StdDev::lift(100.0));
+  auto expect = StdDev::identity();
+  for (double x : {1.0, 2.0, 3.0}) expect = StdDev::combine(expect, StdDev::lift(x));
+  EXPECT_NEAR(StdDev::lower(acc), StdDev::lower(expect), 1e-9);
+}
+
+TEST(GeoMeanTest, ComputesGeometricMean) {
+  auto acc = GeoMean::identity();
+  for (double x : {2.0, 8.0}) acc = GeoMean::combine(acc, GeoMean::lift(x));
+  EXPECT_NEAR(GeoMean::lower(acc), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeoMean::lower(GeoMean::identity()), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Op counting (the Table 1 measurement harness).
+// ---------------------------------------------------------------------------
+
+TEST(CountingOpTest, CountsCombinesAndInverses) {
+  using CSum = CountingOp<Sum>;
+  static_assert(InvertibleOp<CSum>);
+  OpCounter::Reset();
+  auto v = CSum::combine(1.0, 2.0);
+  v = CSum::combine(v, 3.0);
+  v = CSum::inverse(v, 1.0);
+  EXPECT_EQ(OpCounter::combines, 2u);
+  EXPECT_EQ(OpCounter::inverses, 1u);
+  EXPECT_EQ(OpCounter::Total(), 3u);
+  EXPECT_DOUBLE_EQ(v, 5.0);
+  OpCounter::Reset();
+  EXPECT_EQ(OpCounter::Total(), 0u);
+}
+
+TEST(CountingOpTest, PreservesTraits) {
+  using CMax = CountingOp<Max>;
+  static_assert(SelectiveOp<CMax>);
+  static_assert(!InvertibleOp<CMax>);
+  EXPECT_STREQ(CMax::kName, "max");
+}
+
+}  // namespace
+}  // namespace slick::ops

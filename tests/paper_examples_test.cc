@@ -1,0 +1,170 @@
+// Replays the paper's worked examples step by step:
+//   * Example 1 / Fig 7  — shared plan for two Max ACQs (checked in
+//     plan_test.cc; the end-to-end answers are checked here)
+//   * Example 2 / Fig 8  — SlickDeque (Inv) vs Naive on Sum, including the
+//     paper's operation counts (Naive 48, SlickDeque 32)
+//   * Example 3 / Fig 9  — SlickDeque (Non-Inv) vs Naive on Max, including
+//     the operation counts (Naive 48, SlickDeque 11)
+// The input stream is the paper's: 6, 5, 0, 1, 3, 4, 2, 7.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "engine/acq_engine.h"
+#include "ops/arith.h"
+#include "ops/counting.h"
+#include "ops/minmax.h"
+#include "window/naive.h"
+
+namespace slick {
+namespace {
+
+constexpr std::array<int64_t, 8> kStream = {6, 5, 0, 1, 3, 4, 2, 7};
+
+// ---------------------------------------------------------------------------
+// Example 2 (Fig 8): Q1 = Sum(range 3), Q2 = Sum(range 5), slide 1.
+// ---------------------------------------------------------------------------
+
+TEST(PaperExample2, SlickDequeInvAnswers) {
+  // Expected per-step answers, from the figure's walkthrough.
+  constexpr std::array<int64_t, 8> kQ1 = {6, 11, 11, 6, 4, 8, 9, 13};
+  constexpr std::array<int64_t, 8> kQ2 = {6, 11, 11, 12, 15, 13, 10, 17};
+
+  core::SlickDequeInv<ops::SumInt> agg(5, {3, 5});
+  for (std::size_t step = 0; step < kStream.size(); ++step) {
+    agg.slide(kStream[step]);
+    EXPECT_EQ(agg.query(3), kQ1[step]) << "step " << step + 1;
+    EXPECT_EQ(agg.query(5), kQ2[step]) << "step " << step + 1;
+  }
+}
+
+TEST(PaperExample2, NaiveAnswersAgree) {
+  window::NaiveWindow<ops::SumInt> naive(5);
+  core::SlickDequeInv<ops::SumInt> slick(5, {3, 5});
+  for (int64_t x : kStream) {
+    naive.slide(x);
+    slick.slide(x);
+    EXPECT_EQ(naive.query(3), slick.query(3));
+    EXPECT_EQ(naive.query(5), slick.query(5));
+  }
+}
+
+TEST(PaperExample2, OperationCounts) {
+  // "Naive had to execute a total of 48 Sum operations, while SlickDeque
+  //  (Inv) executed a total of 32 operations (Sum and Subtract)."
+  using CSum = ops::CountingOp<ops::SumInt>;
+
+  ops::OpCounter::Reset();
+  window::NaiveWindow<CSum> naive(5);
+  for (int64_t x : kStream) {
+    naive.slide(x);
+    (void)naive.query(3);
+    (void)naive.query(5);
+  }
+  EXPECT_EQ(ops::OpCounter::Total(), 48u);
+
+  ops::OpCounter::Reset();
+  core::SlickDequeInv<CSum> slick(5, {3, 5});
+  for (int64_t x : kStream) {
+    slick.slide(x);
+    (void)slick.query(3);
+    (void)slick.query(5);
+  }
+  EXPECT_EQ(ops::OpCounter::Total(), 32u);
+  EXPECT_EQ(ops::OpCounter::combines, 16u);   // one ⊕ per query per slide
+  EXPECT_EQ(ops::OpCounter::inverses, 16u);   // one ⊖ per query per slide
+}
+
+// ---------------------------------------------------------------------------
+// Example 3 (Fig 9): Q1 = Max(range 3), Q2 = Max(range 5), slide 1.
+// ---------------------------------------------------------------------------
+
+TEST(PaperExample3, SlickDequeNonInvAnswers) {
+  constexpr std::array<int64_t, 8> kQ1 = {6, 6, 6, 5, 3, 4, 4, 7};
+  constexpr std::array<int64_t, 8> kQ2 = {6, 6, 6, 6, 6, 5, 4, 7};
+
+  core::SlickDequeNonInv<ops::MaxInt> agg(5);
+  for (std::size_t step = 0; step < kStream.size(); ++step) {
+    agg.slide(kStream[step]);
+    EXPECT_EQ(agg.query(3), kQ1[step]) << "step " << step + 1;
+    EXPECT_EQ(agg.query(5), kQ2[step]) << "step " << step + 1;
+  }
+}
+
+TEST(PaperExample3, DequeContentsFollowTheFigure) {
+  core::SlickDequeNonInv<ops::MaxInt> agg(5);
+  // Node counts per step, from Fig 9: [6] [6,5] [6,5,0] [6,5,1] [6,5,3]
+  // [5,4] [4,2] [7].
+  constexpr std::array<std::size_t, 8> kNodes = {1, 2, 3, 3, 3, 2, 2, 1};
+  for (std::size_t step = 0; step < kStream.size(); ++step) {
+    agg.slide(kStream[step]);
+    EXPECT_EQ(agg.node_count(), kNodes[step]) << "step " << step + 1;
+  }
+}
+
+TEST(PaperExample3, OperationCounts) {
+  // "Naive had to execute 48 Max operations total, while SlickDeque
+  //  (Non-Inv) executed 11."
+  using CMax = ops::CountingOp<ops::MaxInt>;
+
+  ops::OpCounter::Reset();
+  window::NaiveWindow<CMax> naive(5);
+  for (int64_t x : kStream) {
+    naive.slide(x);
+    (void)naive.query(3);
+    (void)naive.query(5);
+  }
+  EXPECT_EQ(ops::OpCounter::Total(), 48u);
+
+  ops::OpCounter::Reset();
+  core::SlickDequeNonInv<CMax> slick(5);
+  for (int64_t x : kStream) {
+    slick.slide(x);
+    (void)slick.query(3);  // answering costs zero aggregate operations
+    (void)slick.query(5);
+  }
+  EXPECT_EQ(ops::OpCounter::Total(), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Example 1 (Fig 7): shared Max ACQs end to end through the engine.
+// ---------------------------------------------------------------------------
+
+TEST(PaperExample1, SharedMaxQueriesThroughEngine) {
+  // Q1 = Max(range 6, slide 2), Q2 = Max(range 8, slide 4) on one stream.
+  engine::AcqEngine<core::SlickDequeNonInv<ops::MaxInt>> eng(
+      {{6, 2}, {8, 4}}, plan::Pat::kPairs);
+
+  std::vector<int64_t> stream = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+  std::vector<std::pair<uint32_t, int64_t>> answers;
+  for (int64_t x : stream) {
+    eng.Push(x, [&](uint32_t q, int64_t a) { answers.emplace_back(q, a); });
+  }
+  // Q1 answers at tuples 2,4,6,8,10,12 over the last 6; Q2 at 4,8,12 over
+  // the last 8 (identity-padded during warm-up). Larger ranges report
+  // first within a step, per the shared plan's descending order.
+  auto max_last = [&](std::size_t end, std::size_t r) {
+    int64_t m = INT64_MIN;
+    for (std::size_t i = end - std::min(end, r); i < end; ++i) {
+      m = std::max(m, stream[i]);
+    }
+    return m;
+  };
+  const std::vector<std::pair<uint32_t, int64_t>> expected = {
+      {0, max_last(2, 6)},  {1, max_last(4, 8)}, {0, max_last(4, 6)},
+      {0, max_last(6, 6)},  {1, max_last(8, 8)}, {0, max_last(8, 6)},
+      {0, max_last(10, 6)}, {1, max_last(12, 8)},
+      {0, max_last(12, 6)}};
+  ASSERT_EQ(answers.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(answers[i], expected[i]) << "answer " << i;
+  }
+}
+
+}  // namespace
+}  // namespace slick

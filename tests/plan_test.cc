@@ -1,0 +1,176 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plan/pat.h"
+#include "plan/query_spec.h"
+#include "plan/shared_plan.h"
+
+namespace slick::plan {
+namespace {
+
+// --------------------------- Fragment edges (§2.1) ------------------------
+
+TEST(PatTest, PanesUsesGcdPanes) {
+  // range 6, slide 4 -> pane = gcd(6,4) = 2 -> edges every 2 tuples.
+  EXPECT_EQ(FragmentEdges({6, 4}, Pat::kPanes),
+            (std::vector<uint64_t>{2, 4}));
+  // range % slide == 0 -> one pane per slide.
+  EXPECT_EQ(FragmentEdges({8, 4}, Pat::kPanes), (std::vector<uint64_t>{4}));
+  EXPECT_EQ(FragmentEdges({7, 3}, Pat::kPanes),
+            (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(PatTest, PairsUsesTwoFragments) {
+  // f2 = 6 % 4 = 2, f1 = 4 - 2 = 2 -> edges at 2 and 4.
+  EXPECT_EQ(FragmentEdges({6, 4}, Pat::kPairs),
+            (std::vector<uint64_t>{2, 4}));
+  // f2 = 7 % 3 = 1, f1 = 2 -> edges at 2 and 3.
+  EXPECT_EQ(FragmentEdges({7, 3}, Pat::kPairs),
+            (std::vector<uint64_t>{2, 3}));
+  // Divisible range: single fragment.
+  EXPECT_EQ(FragmentEdges({8, 4}, Pat::kPairs), (std::vector<uint64_t>{4}));
+}
+
+TEST(PatTest, CuttyCutsOnlyAtWindowBegins) {
+  EXPECT_EQ(FragmentEdges({7, 3}, Pat::kCutty), (std::vector<uint64_t>{3}));
+  EXPECT_EQ(FragmentEdges({6, 4}, Pat::kCutty), (std::vector<uint64_t>{4}));
+}
+
+TEST(PatTest, PartialsPerWindowMatchesPaperHierarchy) {
+  // The §2.1 progression: Pairs halves Panes; Cutty halves Pairs again.
+  const QuerySpec q{100, 8};  // range 100, slide 8, f2 = 4
+  const uint64_t panes = PartialsPerWindow(q, Pat::kPanes);
+  const uint64_t pairs = PartialsPerWindow(q, Pat::kPairs);
+  const uint64_t cutty = PartialsPerWindow(q, Pat::kCutty);
+  EXPECT_EQ(panes, 25u);  // gcd(100,8) = 4 -> 100/4
+  EXPECT_EQ(pairs, 25u);  // 12 slides * 2 + 1
+  EXPECT_EQ(cutty, 13u);  // 100/8 + 1
+  EXPECT_LE(pairs, panes);
+  EXPECT_LT(cutty, pairs);
+
+  const QuerySpec q2{100, 7};  // gcd = 1: Panes degenerates to per-tuple
+  EXPECT_EQ(PartialsPerWindow(q2, Pat::kPanes), 100u);
+  EXPECT_EQ(PartialsPerWindow(q2, Pat::kPairs), 29u);  // 14*2 + 1
+  EXPECT_EQ(PartialsPerWindow(q2, Pat::kCutty), 15u);
+}
+
+TEST(PatTest, RangeSmallerThanSlide) {
+  // range 3, slide 8: only the last 3 tuples of each slide matter.
+  EXPECT_EQ(FragmentEdges({3, 8}, Pat::kPairs),
+            (std::vector<uint64_t>{5, 8}));
+  EXPECT_EQ(PartialsPerWindow({3, 8}, Pat::kPairs), 1u);
+}
+
+// --------------------------- Shared plans (§2.3) --------------------------
+
+TEST(SharedPlanTest, PaperExampleOne) {
+  // Example 1 / Fig 7: Q1 = Max(range 6, slide 2), Q2 = Max(range 8,
+  // slide 4). Partials every 2 tuples; Q1 aggregates the last 3 partials,
+  // Q2 the last 4.
+  const SharedPlan plan =
+      SharedPlan::Build({{6, 2}, {8, 4}}, Pat::kPairs);
+  EXPECT_TRUE(plan.executable());
+  EXPECT_EQ(plan.composite_slide(), 4u);
+  ASSERT_EQ(plan.steps().size(), 2u);
+  EXPECT_EQ(plan.steps()[0].partial_len, 2u);
+  EXPECT_EQ(plan.steps()[1].partial_len, 2u);
+
+  // Step 0 (offset 2): only Q1 reports, spanning 3 partials.
+  ASSERT_EQ(plan.steps()[0].reports.size(), 1u);
+  EXPECT_EQ(plan.steps()[0].reports[0].query, 0u);
+  EXPECT_EQ(plan.steps()[0].reports[0].range_in_partials, 3u);
+
+  // Step 1 (offset 4): both report; Q2 (4 partials) ordered before Q1 (3).
+  ASSERT_EQ(plan.steps()[1].reports.size(), 2u);
+  EXPECT_EQ(plan.steps()[1].reports[0].query, 1u);
+  EXPECT_EQ(plan.steps()[1].reports[0].range_in_partials, 4u);
+  EXPECT_EQ(plan.steps()[1].reports[1].query, 0u);
+  EXPECT_EQ(plan.steps()[1].reports[1].range_in_partials, 3u);
+
+  EXPECT_EQ(plan.window_partials(), 4u);
+  EXPECT_EQ(plan.distinct_ranges(), (std::vector<uint64_t>{3, 4}));
+}
+
+TEST(SharedPlanTest, SingleQuerySlideOne) {
+  // The evaluation's workload: slide 1, no partial aggregation.
+  const SharedPlan plan = SharedPlan::Build({{1024, 1}}, Pat::kPairs);
+  EXPECT_TRUE(plan.executable());
+  EXPECT_EQ(plan.composite_slide(), 1u);
+  ASSERT_EQ(plan.steps().size(), 1u);
+  EXPECT_EQ(plan.steps()[0].partial_len, 1u);
+  EXPECT_EQ(plan.window_partials(), 1024u);
+  ASSERT_EQ(plan.steps()[0].reports.size(), 1u);
+  EXPECT_EQ(plan.steps()[0].reports[0].range_in_partials, 1024u);
+}
+
+TEST(SharedPlanTest, MaxMultiQuerySlideOne) {
+  // All ranges 1..n with slide 1 (the paper's max-multi-query environment).
+  std::vector<QuerySpec> queries;
+  for (uint64_t r = 1; r <= 8; ++r) queries.push_back({r, 1});
+  const SharedPlan plan = SharedPlan::Build(queries, Pat::kPairs);
+  EXPECT_TRUE(plan.executable());
+  EXPECT_EQ(plan.composite_slide(), 1u);
+  ASSERT_EQ(plan.steps().size(), 1u);
+  EXPECT_EQ(plan.steps()[0].reports.size(), 8u);
+  // Descending range order for the deque walk.
+  for (std::size_t i = 0; i + 1 < 8; ++i) {
+    EXPECT_GT(plan.steps()[0].reports[i].range_in_partials,
+              plan.steps()[0].reports[i + 1].range_in_partials);
+  }
+  EXPECT_EQ(plan.window_partials(), 8u);
+}
+
+TEST(SharedPlanTest, HeterogeneousSlidesShareEdges) {
+  // Slides 2 and 3 -> composite 6 with edges {2, 3, 4, 6}.
+  const SharedPlan plan = SharedPlan::Build({{4, 2}, {6, 3}}, Pat::kPairs);
+  EXPECT_TRUE(plan.executable());
+  EXPECT_EQ(plan.composite_slide(), 6u);
+  std::vector<uint64_t> lens;
+  for (const PlanStep& s : plan.steps()) lens.push_back(s.partial_len);
+  EXPECT_EQ(lens, (std::vector<uint64_t>{2, 1, 1, 2}));
+  // More sharing than running both alone: 4 partials instead of 3 + 2.
+  EXPECT_EQ(plan.partials_per_composite_slide(), 4u);
+}
+
+TEST(SharedPlanTest, RangeSpanningMultipleCompositeSlides) {
+  // range 10, slide 2: the range wraps the composite slide 5 times.
+  const SharedPlan plan = SharedPlan::Build({{10, 2}}, Pat::kPairs);
+  EXPECT_TRUE(plan.executable());
+  EXPECT_EQ(plan.composite_slide(), 2u);
+  ASSERT_EQ(plan.steps().size(), 1u);
+  EXPECT_EQ(plan.steps()[0].reports[0].range_in_partials, 5u);
+}
+
+TEST(SharedPlanTest, PairsFragmentRangesLandOnEdges) {
+  // range 7, slide 3 (f1 = 2, f2 = 1): ranges must land on edges at every
+  // report position, and span 5 partials (2 per covered slide + f2).
+  const SharedPlan plan = SharedPlan::Build({{7, 3}}, Pat::kPairs);
+  EXPECT_TRUE(plan.executable());
+  EXPECT_EQ(plan.composite_slide(), 3u);
+  ASSERT_EQ(plan.steps().size(), 2u);
+  EXPECT_EQ(plan.steps()[0].partial_len, 2u);
+  EXPECT_EQ(plan.steps()[1].partial_len, 1u);
+  EXPECT_EQ(plan.steps()[1].reports[0].range_in_partials, 5u);
+}
+
+TEST(SharedPlanTest, CuttyCanBeNonExecutable) {
+  // range 7, slide 3 under Cutty: the range starts mid-partial.
+  const SharedPlan plan = SharedPlan::Build({{7, 3}}, Pat::kCutty);
+  EXPECT_FALSE(plan.executable());
+  // But divisible ranges stay executable.
+  const SharedPlan ok = SharedPlan::Build({{6, 3}}, Pat::kCutty);
+  EXPECT_TRUE(ok.executable());
+  EXPECT_EQ(ok.window_partials(), 2u);
+}
+
+TEST(SharedPlanTest, SharedQueriesWithEqualRangesShareAnswers) {
+  // Two queries with identical range but different slides: one distinct
+  // range (they share one running answer in SlickDeque (Inv)).
+  const SharedPlan plan = SharedPlan::Build({{12, 2}, {12, 4}}, Pat::kPairs);
+  EXPECT_TRUE(plan.executable());
+  EXPECT_EQ(plan.distinct_ranges().size(), 1u);
+}
+
+}  // namespace
+}  // namespace slick::plan

@@ -1,0 +1,144 @@
+// ReorderBuffer tests: exact-order reconstruction of bounded-displacement
+// shuffles, straggler rejection, and end-to-end integration with the ACQ
+// engine (§3.1: slightly out-of-order arrivals must not change answers).
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/slick_deque_inv.h"
+#include "engine/acq_engine.h"
+#include "ops/arith.h"
+#include "stream/reorder.h"
+#include "util/rng.h"
+
+namespace slick::stream {
+namespace {
+
+/// Shuffles `values` with bounded displacement: elements are permuted only
+/// within consecutive blocks of `displacement + 1`, so no element arrives
+/// more than `displacement` positions from its slot (a bounded-lateness
+/// stream per §3.1).
+std::vector<std::pair<uint64_t, int>> BoundedShuffle(
+    const std::vector<int>& values, uint64_t displacement, uint64_t seed) {
+  std::vector<std::pair<uint64_t, int>> out;
+  out.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.emplace_back(i, values[i]);
+  }
+  util::SplitMix64 rng(seed);
+  const std::size_t block = static_cast<std::size_t>(displacement) + 1;
+  for (std::size_t lo = 0; lo < out.size(); lo += block) {
+    const std::size_t hi = std::min(lo + block, out.size());
+    for (std::size_t i = hi - 1; i > lo; --i) {  // Fisher-Yates per block
+      std::swap(out[i], out[lo + rng.NextBounded(i - lo + 1)]);
+    }
+  }
+  return out;
+}
+
+TEST(ReorderBufferTest, InOrderPassesThrough) {
+  ReorderBuffer<int> buf(4);
+  std::vector<uint64_t> seen;
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(buf.Offer(i, static_cast<int>(i),
+                          [&](uint64_t seq, int) { seen.push_back(seq); }));
+  }
+  buf.Flush([&](uint64_t seq, int) { seen.push_back(seq); });
+  ASSERT_EQ(seen.size(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ReorderBufferTest, ReconstructsBoundedShuffles) {
+  for (uint64_t displacement : {1u, 2u, 5u, 16u}) {
+    std::vector<int> values(500);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<int>(i * 7);
+    }
+    const auto shuffled = BoundedShuffle(values, displacement, displacement);
+    ReorderBuffer<int> buf(displacement);
+    std::vector<int> released;
+    uint64_t expected_next = 0;
+    auto emit = [&](uint64_t seq, int v) {
+      ASSERT_EQ(seq, expected_next++);
+      released.push_back(v);
+    };
+    for (const auto& [seq, v] : shuffled) {
+      ASSERT_TRUE(buf.Offer(seq, v, emit));
+    }
+    buf.Flush(emit);
+    EXPECT_EQ(released, values);
+  }
+}
+
+TEST(ReorderBufferTest, RejectsStragglersBeyondHorizon) {
+  ReorderBuffer<int> buf(2);
+  std::vector<uint64_t> released;
+  auto emit = [&](uint64_t seq, int) { released.push_back(seq); };
+  EXPECT_TRUE(buf.Offer(0, 0, emit));
+  EXPECT_TRUE(buf.Offer(1, 1, emit));
+  // 5, 6, 7 push the watermark: 0, 1 and then 5 itself become final (the
+  // buffer releases past the genuinely missing 2..4 for liveness).
+  EXPECT_TRUE(buf.Offer(5, 5, emit));
+  EXPECT_TRUE(buf.Offer(6, 6, emit));
+  EXPECT_TRUE(buf.Offer(7, 7, emit));
+  EXPECT_EQ(released, (std::vector<uint64_t>{0, 1, 5}));
+  EXPECT_FALSE(buf.Offer(2, 2, emit)) << "seq 2's slot was already passed";
+  buf.Flush(emit);
+  EXPECT_EQ(released, (std::vector<uint64_t>{0, 1, 5, 6, 7}));
+  EXPECT_EQ(buf.pending(), 0u);
+}
+
+TEST(ReorderBufferTest, PendingIsBoundedByHorizon) {
+  ReorderBuffer<int> buf(8);
+  auto drop = [](uint64_t, int) {};
+  for (uint64_t i = 0; i < 1000; ++i) {
+    buf.Offer(i, 0, drop);
+    EXPECT_LE(buf.pending(), 9u);
+  }
+}
+
+TEST(ReorderBufferTest, EngineAnswersUnchangedByOutOfOrderArrival) {
+  // The §3.1 guarantee, end to end: an engine fed through the reorder
+  // buffer from a shuffled stream produces exactly the answers of the
+  // in-order run.
+  const std::vector<plan::QuerySpec> queries = {{32, 4}, {10, 2}};
+  std::vector<int> values(400);
+  util::SplitMix64 rng(77);
+  for (int& v : values) v = static_cast<int>(rng.NextBounded(1000));
+
+  auto run_inorder = [&] {
+    engine::AcqEngine<core::SlickDequeInv<ops::Sum>> eng(queries,
+                                                         plan::Pat::kPairs);
+    std::vector<std::pair<uint32_t, double>> answers;
+    for (int v : values) {
+      eng.Push(v, [&](uint32_t q, double a) { answers.emplace_back(q, a); });
+    }
+    return answers;
+  };
+
+  auto run_shuffled = [&](uint64_t displacement, uint64_t seed) {
+    engine::AcqEngine<core::SlickDequeInv<ops::Sum>> eng(queries,
+                                                         plan::Pat::kPairs);
+    ReorderBuffer<int> buf(displacement);
+    std::vector<std::pair<uint32_t, double>> answers;
+    auto feed = [&](uint64_t, int v) {
+      eng.Push(v, [&](uint32_t q, double a) { answers.emplace_back(q, a); });
+    };
+    for (const auto& [seq, v] : BoundedShuffle(values, displacement, seed)) {
+      EXPECT_TRUE(buf.Offer(seq, v, feed));
+    }
+    buf.Flush(feed);
+    return answers;
+  };
+
+  const auto expected = run_inorder();
+  EXPECT_EQ(run_shuffled(3, 1), expected);
+  EXPECT_EQ(run_shuffled(8, 2), expected);
+}
+
+}  // namespace
+}  // namespace slick::stream

@@ -1,0 +1,157 @@
+// Tests for the multi-node simulation (RoundRobinSharded) and the
+// single-buffer TwoStacksRing.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "core/windowed.h"
+#include "engine/sharded.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "ops/string_ops.h"
+#include "util/rng.h"
+#include "window/naive.h"
+#include "window/reference.h"
+#include "window/two_stacks_ring.h"
+
+namespace slick {
+namespace {
+
+// --------------------------- RoundRobinSharded ---------------------------
+
+template <typename Agg>
+void RunShardedOracle(std::size_t window, std::size_t shards, uint64_t seed) {
+  using Op = typename Agg::op_type;
+  engine::RoundRobinSharded<Agg> sharded(window, shards);
+  window::NaiveWindow<Op> single(window);
+  util::SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < 4 * window + 17; ++i) {
+    const auto v = Op::lift(static_cast<typename Op::input_type>(
+        static_cast<int64_t>(rng.NextBounded(100000))));
+    sharded.slide(v);
+    single.slide(v);
+    // Exactness holds whenever the total tuple count is a multiple of the
+    // shard count (every shard's window covers the same global span).
+    if ((i + 1) % shards == 0 && i + 1 >= window) {
+      ASSERT_EQ(sharded.query(), single.query())
+          << "window=" << window << " shards=" << shards << " i=" << i;
+    }
+  }
+}
+
+class ShardSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardSweep,
+    ::testing::Values(std::tuple{8, 2}, std::tuple{8, 4}, std::tuple{8, 8},
+                      std::tuple{64, 4}, std::tuple{128, 8},
+                      std::tuple{96, 3}, std::tuple{100, 5}),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(ShardSweep, SumMatchesSingleNode) {
+  const auto [w, s] = GetParam();
+  RunShardedOracle<core::SlickDequeInv<ops::SumInt>>(w, s, 1);
+}
+TEST_P(ShardSweep, MaxMatchesSingleNode) {
+  const auto [w, s] = GetParam();
+  RunShardedOracle<core::SlickDequeNonInv<ops::MaxInt>>(w, s, 2);
+}
+
+TEST(ShardedTest, ShardStateScalesDown) {
+  engine::RoundRobinSharded<core::SlickDequeInv<ops::Sum>> sharded(1024, 8);
+  EXPECT_EQ(sharded.shard_count(), 8u);
+  EXPECT_EQ(sharded.shard(0).window_size(), 128u);
+  core::SlickDequeInv<ops::Sum> single(1024);
+  // Per-shard footprint is ~1/8 of the single-node structure.
+  EXPECT_LT(sharded.shard(0).memory_bytes(), single.memory_bytes() / 4);
+}
+
+TEST(ShardedTest, InvalidConfigsDie) {
+  using Sharded = engine::RoundRobinSharded<core::SlickDequeInv<ops::Sum>>;
+  EXPECT_DEATH(Sharded(10, 3), "multiple of the shard count");
+  EXPECT_DEATH(Sharded(8, 0), "at least one shard");
+}
+
+// --------------------------- TwoStacksRing --------------------------------
+
+template <typename Op>
+void RunRingOracle(std::size_t window, uint64_t seed) {
+  window::TwoStacksRing<Op> ring(window);
+  window::ReferenceAggregator<Op> ref;
+  util::SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < 5 * window + 23; ++i) {
+    if (ring.size() == window) {
+      ring.evict();
+      ref.evict();
+    }
+    typename Op::value_type v;
+    if constexpr (std::is_same_v<typename Op::input_type, std::string>) {
+      v = Op::lift(std::string(1, static_cast<char>('a' + rng.NextBounded(26))));
+    } else {
+      v = Op::lift(static_cast<typename Op::input_type>(
+          static_cast<int64_t>(rng.NextBounded(100000))));
+    }
+    ring.insert(v);
+    ref.insert(v);
+    ASSERT_EQ(ring.query(), ref.query()) << "window=" << window << " i=" << i;
+  }
+}
+
+class RingSweep : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Windows, RingSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 64, 100),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST_P(RingSweep, SumMatchesOracle) {
+  RunRingOracle<ops::SumInt>(GetParam(), 3);
+}
+TEST_P(RingSweep, MaxMatchesOracle) {
+  RunRingOracle<ops::MaxInt>(GetParam(), 4);
+}
+TEST_P(RingSweep, ConcatKeepsStreamOrder) {
+  RunRingOracle<ops::Concat>(GetParam(), 5);
+}
+
+TEST(TwoStacksRingTest, MemoryIsExactlyCapacity) {
+  window::TwoStacksRing<ops::Sum> ring(1024);
+  // 2n values: capacity entries of (val, agg).
+  EXPECT_EQ(ring.memory_bytes(),
+            sizeof(ring) + 1024 * 2 * sizeof(double));
+  for (int i = 0; i < 5000; ++i) {
+    if (ring.size() == 1024) ring.evict();
+    ring.insert(static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.memory_bytes(), sizeof(ring) + 1024 * 2 * sizeof(double));
+}
+
+TEST(TwoStacksRingTest, OverflowDies) {
+  window::TwoStacksRing<ops::Sum> ring(2);
+  ring.insert(1.0);
+  ring.insert(2.0);
+  EXPECT_DEATH(ring.insert(3.0), "capacity exceeded");
+}
+
+TEST(TwoStacksRingTest, WindowedAdapterWorks) {
+  core::Windowed<window::TwoStacksRing<ops::SumInt>> win(16, 16);
+  window::NaiveWindow<ops::SumInt> naive(16);
+  util::SplitMix64 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+    win.slide(v);
+    naive.slide(v);
+    ASSERT_EQ(win.query(), naive.query());
+  }
+}
+
+}  // namespace
+}  // namespace slick

@@ -1,0 +1,147 @@
+// Tests for the general-path operations (associative but neither invertible
+// nor selective): BloomSketch and MaxCount. These exercise the facade's
+// TwoStacks/DABA fallback — the class of queries where the paper's
+// state-of-the-art baselines remain the right tool.
+
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/sliding_aggregator.h"
+#include "core/windowed.h"
+#include "ops/maxcount.h"
+#include "ops/sketch.h"
+#include "util/rng.h"
+#include "window/daba.h"
+#include "window/reference.h"
+
+namespace slick::ops {
+namespace {
+
+// --------------------------- BloomSketch ----------------------------------
+
+TEST(BloomSketchTest, TraitsRouteToGeneralPath) {
+  static_assert(AggregateOp<BloomSketch>);
+  static_assert(!InvertibleOp<BloomSketch>);
+  static_assert(!SelectiveOp<BloomSketch>);
+  static_assert(std::is_same_v<core::FifoAggregatorFor<BloomSketch>,
+                               window::Daba<BloomSketch>>);
+  SUCCEED();
+}
+
+TEST(BloomSketchTest, AlgebraicLaws) {
+  const auto a = BloomSketch::lift(1), b = BloomSketch::lift(2),
+             c = BloomSketch::lift(3);
+  EXPECT_EQ(BloomSketch::combine(BloomSketch::combine(a, b), c),
+            BloomSketch::combine(a, BloomSketch::combine(b, c)));
+  EXPECT_EQ(BloomSketch::combine(a, b), BloomSketch::combine(b, a));
+  EXPECT_EQ(BloomSketch::combine(BloomSketch::identity(), a), a);
+}
+
+TEST(BloomSketchTest, NoFalseNegatives) {
+  auto sketch = BloomSketch::identity();
+  for (uint64_t item = 100; item < 150; ++item) {
+    sketch = BloomSketch::combine(sketch, BloomSketch::lift(item));
+  }
+  for (uint64_t item = 100; item < 150; ++item) {
+    EXPECT_TRUE(BloomSketch::MightContain(sketch, item));
+  }
+}
+
+TEST(BloomSketchTest, FalsePositivesAreRareWhenLightlyLoaded) {
+  auto sketch = BloomSketch::identity();
+  for (uint64_t item = 0; item < 30; ++item) {
+    sketch = BloomSketch::combine(sketch, BloomSketch::lift(item));
+  }
+  int false_positives = 0;
+  for (uint64_t probe = 1000; probe < 2000; ++probe) {
+    false_positives += BloomSketch::MightContain(sketch, probe) ? 1 : 0;
+  }
+  EXPECT_LT(false_positives, 50);  // ~1.3% expected at this load
+}
+
+TEST(BloomSketchTest, DistinctEstimateTracksTruth) {
+  util::SplitMix64 rng(3);
+  auto sketch = BloomSketch::identity();
+  std::set<uint64_t> truth;
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t item = rng.NextBounded(40);  // duplicates guaranteed
+    truth.insert(item);
+    sketch = BloomSketch::combine(sketch, BloomSketch::lift(item));
+  }
+  const double est = sketch.EstimateDistinct();
+  EXPECT_NEAR(est, static_cast<double>(truth.size()),
+              0.35 * static_cast<double>(truth.size()) + 3.0);
+}
+
+TEST(BloomSketchTest, SlidingWindowDistinctSymbols) {
+  // The realistic use: distinct item ids over the last 64 events, running
+  // on DABA via the facade (SlickDeque cannot execute this op).
+  core::Windowed<core::FifoAggregatorFor<BloomSketch>> win(64);
+  window::ReferenceAggregator<BloomSketch> ref;
+  util::SplitMix64 rng(9);
+  for (int i = 0; i < 64; ++i) ref.insert(BloomSketch::identity());
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t item = rng.NextBounded(30);
+    win.slide(BloomSketch::lift(item));
+    ref.evict();
+    ref.insert(BloomSketch::lift(item));
+    ASSERT_EQ(win.query(), ref.query()) << "i=" << i;
+  }
+}
+
+// --------------------------- MaxCount -------------------------------------
+
+TEST(MaxCountTest, TraitsRouteToGeneralPath) {
+  static_assert(AggregateOp<MaxCount>);
+  static_assert(!InvertibleOp<MaxCount>);
+  static_assert(!SelectiveOp<MaxCount>);
+  SUCCEED();
+}
+
+TEST(MaxCountTest, CombineMergesTies) {
+  const auto a = MaxCount::lift(5.0);
+  const auto b = MaxCount::lift(5.0);
+  const auto c = MaxCount::lift(3.0);
+  const auto ab = MaxCount::combine(a, b);
+  EXPECT_DOUBLE_EQ(ab.max, 5.0);
+  EXPECT_EQ(ab.count, 2);
+  const auto abc = MaxCount::combine(ab, c);
+  EXPECT_DOUBLE_EQ(abc.max, 5.0);
+  EXPECT_EQ(abc.count, 2);
+  EXPECT_EQ(MaxCount::combine(c, ab).count, 2);  // commutative
+  EXPECT_EQ(MaxCount::combine(MaxCount::identity(), a), a);
+}
+
+TEST(MaxCountTest, Associativity) {
+  util::SplitMix64 rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = MaxCount::lift(static_cast<double>(rng.NextBounded(5)));
+    const auto y = MaxCount::lift(static_cast<double>(rng.NextBounded(5)));
+    const auto z = MaxCount::lift(static_cast<double>(rng.NextBounded(5)));
+    ASSERT_EQ(MaxCount::combine(MaxCount::combine(x, y), z),
+              MaxCount::combine(x, MaxCount::combine(y, z)));
+  }
+}
+
+TEST(MaxCountTest, SlidingWindowCountsCeilingSensors) {
+  core::Windowed<window::Daba<MaxCount>> win(8);
+  // Stream: plateau of 9s among noise; the window must report how many 9s
+  // are inside it.
+  const double stream[] = {1, 9, 2, 9, 9, 3, 4, 5, 6, 7, 8, 9, 9, 9, 1, 2};
+  window::ReferenceAggregator<MaxCount> ref;
+  for (int i = 0; i < 8; ++i) ref.insert(MaxCount::identity());
+  for (double x : stream) {
+    win.slide(MaxCount::lift(x));
+    ref.evict();
+    ref.insert(MaxCount::lift(x));
+    ASSERT_EQ(win.query(), ref.query());
+  }
+  const auto last = win.query();
+  EXPECT_DOUBLE_EQ(last.max, 9.0);
+  EXPECT_EQ(last.count, 3);  // the final window holds 8,9,9,9,1,2 + 6,7
+}
+
+}  // namespace
+}  // namespace slick::ops

@@ -1,0 +1,96 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/synthetic.h"
+
+namespace slick::stream {
+namespace {
+
+TEST(SyntheticSensorSourceTest, DeterministicForSeed) {
+  SyntheticSensorSource a(7), b(7), c(8);
+  bool any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const SensorTuple ta = a.Next();
+    const SensorTuple tb = b.Next();
+    const SensorTuple tc = c.Next();
+    ASSERT_EQ(ta.seq, tb.seq);
+    ASSERT_EQ(ta.energy, tb.energy);
+    ASSERT_EQ(ta.state_bits, tb.state_bits);
+    any_diff = any_diff || ta.energy != tc.energy;
+  }
+  EXPECT_TRUE(any_diff);  // different seeds give different streams
+}
+
+TEST(SyntheticSensorSourceTest, EnergyStrictlyPositiveAndBounded) {
+  SyntheticSensorSource src(123);
+  for (int i = 0; i < 100000; ++i) {
+    const SensorTuple t = src.Next();
+    for (double e : t.energy) {
+      ASSERT_GT(e, 0.0);
+      ASSERT_LT(e, 1000.0);
+    }
+  }
+}
+
+TEST(SyntheticSensorSourceTest, SequenceIsMonotone) {
+  SyntheticSensorSource src(5);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(src.Next().seq, i);
+}
+
+TEST(SyntheticSensorSourceTest, ChannelsAreDistinct) {
+  SyntheticSensorSource src(9);
+  double mean[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const SensorTuple t = src.Next();
+    for (int c = 0; c < 3; ++c) mean[c] += t.energy[static_cast<size_t>(c)];
+  }
+  for (double& m : mean) m /= n;
+  // Channels orbit their distinct base levels (42, 87, 23).
+  EXPECT_NEAR(mean[0], 42.0, 15.0);
+  EXPECT_NEAR(mean[1], 87.0, 15.0);
+  EXPECT_NEAR(mean[2], 23.0, 15.0);
+  EXPECT_GT(mean[1], mean[0]);
+  EXPECT_GT(mean[0], mean[2]);
+}
+
+TEST(SyntheticSensorSourceTest, StreamIsAutocorrelated) {
+  // The source must look like real sensor data (random walk), not white
+  // noise: lag-1 autocorrelation should be strongly positive. This is the
+  // property that makes SlickDeque (Non-Inv)'s deque behaviour realistic.
+  SyntheticSensorSource src(31);
+  const std::vector<double> xs = src.MakeEnergySeries(50000, 0);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    num += (xs[i] - mean) * (xs[i + 1] - mean);
+    den += (xs[i] - mean) * (xs[i] - mean);
+  }
+  EXPECT_GT(num / den, 0.9);
+}
+
+TEST(SyntheticSensorSourceTest, TiesAreRare) {
+  // Adjacent equal readings would distort the monotonic-deque statistics.
+  SyntheticSensorSource src(77);
+  const std::vector<double> xs = src.MakeEnergySeries(20000, 1);
+  int ties = 0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (xs[i] == xs[i + 1]) ++ties;
+  }
+  EXPECT_LT(ties, 5);
+}
+
+TEST(SyntheticSensorSourceTest, MakeEnergySeriesMatchesNext) {
+  SyntheticSensorSource a(55), b(55);
+  const std::vector<double> xs = a.MakeEnergySeries(100, 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(xs[static_cast<size_t>(i)], b.Next().energy[2]);
+  }
+}
+
+}  // namespace
+}  // namespace slick::stream

@@ -1,0 +1,152 @@
+// Time-based multi-ACQ engine tests: answers at every slide boundary over
+// time-based ranges, with bursty and gappy timelines, checked against a
+// brute-force timestamped model.
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/time_acq_engine.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "util/rng.h"
+
+namespace slick::engine {
+namespace {
+
+using plan::Pat;
+
+/// Brute force: query q answers at every time boundary t = m*slide with
+/// the fold of elements whose timestamp lies in [t - range, t) — the
+/// engine's half-open-at-the-top pane convention.
+template <typename Op>
+class TimedModel {
+ public:
+  explicit TimedModel(std::vector<TimeQuerySpec> queries)
+      : queries_(std::move(queries)) {}
+
+  void Observe(uint64_t ts, typename Op::input_type x) {
+    events_.emplace_back(ts, Op::lift(x));
+  }
+
+  /// Answers due in time interval (from, to], in (time, query) order.
+  std::vector<std::pair<uint32_t, typename Op::result_type>> DueIn(
+      uint64_t from, uint64_t to) const {
+    std::vector<std::tuple<uint64_t, uint32_t,
+                           typename Op::result_type>> due;
+    for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
+      const auto& q = queries_[qi];
+      for (uint64_t t = (from / q.slide + 1) * q.slide; t <= to;
+           t += q.slide) {
+        // Window is [t - range, t), guarded against unsigned underflow.
+        auto acc = Op::identity();
+        for (const auto& [ts, v] : events_) {
+          const bool above_lo = t < q.range || ts >= t - q.range;
+          if (above_lo && ts < t) acc = Op::combine(acc, v);
+        }
+        due.emplace_back(t, qi, Op::lower(acc));
+      }
+    }
+    std::sort(due.begin(), due.end(), [this](const auto& a, const auto& b) {
+      if (std::get<0>(a) != std::get<0>(b)) {
+        return std::get<0>(a) < std::get<0>(b);
+      }
+      // Within a boundary the engine reports larger ranges first (the
+      // shared plan's descending order for the deque walk).
+      const auto& qa = queries_[std::get<1>(a)];
+      const auto& qb = queries_[std::get<1>(b)];
+      if (qa.range != qb.range) return qa.range > qb.range;
+      return std::get<1>(a) < std::get<1>(b);
+    });
+    std::vector<std::pair<uint32_t, typename Op::result_type>> out;
+    for (const auto& [t, qi, res] : due) out.emplace_back(qi, res);
+    return out;
+  }
+
+ private:
+  std::vector<TimeQuerySpec> queries_;
+  std::vector<std::pair<uint64_t, typename Op::value_type>> events_;
+};
+
+template <typename RawOp>
+void RunTimedOracle(std::vector<TimeQuerySpec> queries, uint64_t seed,
+                    bool gappy) {
+  TimeEngineFor<RawOp> eng(queries, Pat::kPairs);
+  TimedModel<RawOp> model(queries);
+  util::SplitMix64 rng(seed);
+
+  std::vector<std::pair<uint32_t, typename RawOp::result_type>> got;
+  uint64_t ts = 0;
+  uint64_t flushed_to = 0;
+  auto sink = [&](uint32_t q, const typename RawOp::result_type& r) {
+    got.emplace_back(q, r);
+  };
+  for (int i = 0; i < 1200; ++i) {
+    ts += gappy ? rng.NextBounded(50) : rng.NextBounded(3);
+    const auto x = static_cast<typename RawOp::input_type>(
+        static_cast<int64_t>(rng.NextBounded(1000)));
+    eng.Observe(ts, x, sink);
+    model.Observe(ts, x);
+    // Observe() already closed every pane ending at or before ts's pane
+    // start, so `got` holds exactly the answers due at times <= boundary.
+    if (i % 100 == 99) {
+      const uint64_t boundary = (ts / eng.pane_length()) * eng.pane_length();
+      const auto want = model.DueIn(flushed_to, boundary);
+      ASSERT_EQ(got, want) << "i=" << i << " boundary=" << boundary;
+      got.clear();
+      flushed_to = boundary;
+    }
+  }
+}
+
+TEST(TimeAcqEngineTest, SingleQueryDense) {
+  RunTimedOracle<ops::SumInt>({{40, 10}}, 1, false);
+}
+TEST(TimeAcqEngineTest, SingleQueryGappy) {
+  RunTimedOracle<ops::SumInt>({{40, 10}}, 2, true);
+}
+TEST(TimeAcqEngineTest, MultiQueryHeterogeneous) {
+  RunTimedOracle<ops::SumInt>({{60, 10}, {100, 20}, {35, 5}}, 3, false);
+  RunTimedOracle<ops::SumInt>({{60, 10}, {100, 20}, {35, 5}}, 4, true);
+}
+TEST(TimeAcqEngineTest, MaxThroughNonInvDeque) {
+  RunTimedOracle<ops::MaxInt>({{60, 10}, {30, 15}}, 5, false);
+  RunTimedOracle<ops::MaxInt>({{60, 10}, {30, 15}}, 6, true);
+}
+
+TEST(TimeAcqEngineTest, PaneIsGcdOfRangesAndSlides) {
+  TimeEngineFor<ops::SumInt> eng({{60, 10}, {100, 20}, {35, 5}}, Pat::kPairs);
+  EXPECT_EQ(eng.pane_length(), 5u);
+  TimeEngineFor<ops::SumInt> coarse({{1000, 500}}, Pat::kPairs);
+  EXPECT_EQ(coarse.pane_length(), 500u);
+}
+
+TEST(TimeAcqEngineTest, EmptyPanesContributeIdentity) {
+  // Max over (t-20, t] every 10 units; a long silent gap must yield the
+  // identity (-inf lowered) once all data expires, not a stale value.
+  TimeEngineFor<ops::Max> eng({{20, 10}}, Pat::kPairs);
+  std::vector<double> answers;
+  auto sink = [&](uint32_t, double a) { answers.push_back(a); };
+  eng.Observe(5, 42.0, sink);
+  eng.AdvanceTo(100, sink);
+  ASSERT_EQ(answers.size(), 10u);  // t = 10, 20, ..., 100
+  EXPECT_DOUBLE_EQ(answers[0], 42.0);   // t=10 covers [-10,10) ∋ 5
+  EXPECT_DOUBLE_EQ(answers[1], 42.0);   // t=20 covers [0,20)
+  for (std::size_t i = 2; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i], ops::Max::identity()) << "t=" << 10 * (i + 1);
+  }
+}
+
+TEST(TimeAcqEngineTest, RegressingTimestampDies) {
+  TimeEngineFor<ops::Sum> eng({{10, 5}}, Pat::kPairs);
+  auto drop = [](uint32_t, double) {};
+  eng.Observe(7, 1.0, drop);
+  EXPECT_DEATH(eng.Observe(6, 1.0, drop), "non-decreasing");
+}
+
+}  // namespace
+}  // namespace slick::engine

@@ -1,0 +1,108 @@
+// In-window update tests (paper §3.1: "all of the aforementioned
+// algorithms allow updates on multiple partial aggregates already stored
+// within the window"): Naive, FlatFAT, B-Int and SlickDeque (Inv) support
+// UpdateAt(age, value); all four must agree with a brute-force model under
+// interleaved slides and updates.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/slick_deque_inv.h"
+#include "ops/arith.h"
+#include "util/rng.h"
+#include "window/b_int.h"
+#include "window/flat_fat.h"
+#include "window/naive.h"
+
+namespace slick {
+namespace {
+
+class UpdateSweep : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Windows, UpdateSweep,
+                         ::testing::Values(1, 2, 5, 8, 16, 33, 64),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST_P(UpdateSweep, AllUpdatableAlgorithmsAgreeWithModel) {
+  const std::size_t n = GetParam();
+  window::NaiveWindow<ops::SumInt> naive(n);
+  window::FlatFat<ops::SumInt> fat(n);
+  window::BInt<ops::SumInt> bint(n);
+  std::vector<std::size_t> all_ranges(n);
+  for (std::size_t r = 1; r <= n; ++r) all_ranges[r - 1] = r;
+  core::SlickDequeInv<ops::SumInt> slick(n, all_ranges);
+
+  std::deque<int64_t> model(n, 0);
+  util::SplitMix64 rng(n * 7919 + 3);
+
+  for (int step = 0; step < 400; ++step) {
+    if (rng.NextBounded(3) == 0) {
+      // In-window correction of a random-age partial.
+      const std::size_t age = rng.NextBounded(n);
+      const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+      naive.UpdateAt(age, v);
+      fat.UpdateAt(age, v);
+      bint.UpdateAt(age, v);
+      slick.UpdateAt(age, v);
+      model[model.size() - 1 - age] = v;
+    } else {
+      const int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+      naive.slide(v);
+      fat.slide(v);
+      bint.slide(v);
+      slick.slide(v);
+      model.pop_front();
+      model.push_back(v);
+    }
+    for (std::size_t r = 1; r <= n; ++r) {
+      int64_t expect = 0;
+      for (std::size_t i = n - r; i < n; ++i) expect += model[i];
+      ASSERT_EQ(naive.query(r), expect) << "naive r=" << r;
+      ASSERT_EQ(fat.query(r), expect) << "flatfat r=" << r;
+      ASSERT_EQ(bint.query(r), expect) << "bint r=" << r;
+      ASSERT_EQ(slick.query(r), expect) << "slick r=" << r;
+    }
+  }
+}
+
+TEST(UpdateAtTest, NewestAndOldestEdges) {
+  window::FlatFat<ops::SumInt> fat(4);
+  for (int64_t v : {1, 2, 3, 4}) fat.slide(v);
+  fat.UpdateAt(0, 40);  // newest: 4 -> 40
+  EXPECT_EQ(fat.query(), 1 + 2 + 3 + 40);
+  fat.UpdateAt(3, 10);  // oldest: 1 -> 10
+  EXPECT_EQ(fat.query(), 10 + 2 + 3 + 40);
+  EXPECT_EQ(fat.query(1), 40);
+}
+
+TEST(UpdateAtTest, SlickDequeInvOnlyPatchesCoveringRanges) {
+  core::SlickDequeInv<ops::SumInt> slick(4, {1, 2, 4});
+  for (int64_t v : {1, 2, 3, 4}) slick.slide(v);
+  // Age 2 (value 2) is outside ranges 1 and 2 but inside range 4.
+  slick.UpdateAt(2, 200);
+  EXPECT_EQ(slick.query(1), 4);
+  EXPECT_EQ(slick.query(2), 7);
+  EXPECT_EQ(slick.query(4), 1 + 200 + 3 + 4);
+}
+
+TEST(UpdateAtTest, PeekAtReadsBack) {
+  window::NaiveWindow<ops::SumInt> naive(3);
+  for (int64_t v : {7, 8, 9}) naive.slide(v);
+  EXPECT_EQ(naive.PeekAt(0), 9);
+  EXPECT_EQ(naive.PeekAt(1), 8);
+  EXPECT_EQ(naive.PeekAt(2), 7);
+  EXPECT_DEATH(naive.PeekAt(3), "out of window");
+}
+
+TEST(UpdateAtTest, OutOfWindowAgeDies) {
+  window::FlatFat<ops::SumInt> fat(4);
+  fat.slide(1);
+  EXPECT_DEATH(fat.UpdateAt(4, 9), "out of window");
+}
+
+}  // namespace
+}  // namespace slick

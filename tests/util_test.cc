@@ -1,0 +1,132 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace slick::util {
+namespace {
+
+TEST(MathTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ULL << 40));
+  EXPECT_FALSE(IsPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(MathTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(MathTest, FloorCeilLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+TEST(MathTest, LcmAll) {
+  const uint64_t a[] = {2, 3, 4};
+  EXPECT_EQ(LcmAll(a, 3), 12u);
+  const uint64_t b[] = {7};
+  EXPECT_EQ(LcmAll(b, 1), 7u);
+  const uint64_t c[] = {6, 10, 15};
+  EXPECT_EQ(LcmAll(c, 3), 30u);
+}
+
+TEST(RngTest, DeterministicAndSpread) {
+  SplitMix64 rng1(42);
+  SplitMix64 rng2(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng1.NextU64(), rng2.NextU64());
+
+  SplitMix64 rng(7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(StatsTest, PercentileSorted) {
+  std::vector<uint64_t> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 0.25), 20.0);
+  std::vector<uint64_t> one = {7};
+  EXPECT_DOUBLE_EQ(PercentileSorted(one, 0.9), 7.0);
+}
+
+TEST(StatsTest, SummarizeBasic) {
+  std::vector<uint64_t> v = {5, 1, 3, 2, 4};
+  const LatencySummary s = Summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min_ns, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_ns, 5.0);
+  EXPECT_DOUBLE_EQ(s.median_ns, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_ns, 3.0);
+}
+
+TEST(StatsTest, SummarizeDropsTopOutliers) {
+  std::vector<uint64_t> v(1000, 10);
+  v.push_back(1000000);  // one outlier among 1001 samples
+  const LatencySummary s = Summarize(v, 0.001);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.max_ns, 10.0);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  std::vector<uint64_t> v;
+  const LatencySummary s = Summarize(v);
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(StatsTest, RecorderRoundTrip) {
+  LatencyRecorder rec(8);
+  for (uint64_t x : {4u, 8u, 2u}) rec.Record(x);
+  const LatencySummary s = rec.Finish();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min_ns, 2.0);
+  EXPECT_TRUE(rec.samples().empty());
+}
+
+TEST(MemoryTest, RssReadable) {
+  // Smoke check: on Linux both values should be nonzero and peak >= current.
+  const uint64_t peak = PeakRssBytes();
+  const uint64_t cur = CurrentRssBytes();
+  EXPECT_GT(peak, 0u);
+  EXPECT_GT(cur, 0u);
+  EXPECT_GE(peak, cur / 2);  // loose: RSS can shrink below the peak
+}
+
+}  // namespace
+}  // namespace slick::util

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Renders the paper's figures from bench output.
+
+Usage:
+    build/bench/exp1_single_query > exp1.txt
+    tools/plot_experiments.py exp1.txt          # writes exp1_fig10.png etc.
+
+Parses the table sections emitted by exp1_single_query (Figs 10-11),
+exp2_multi_query (Figs 12-13) and exp4_memory (Fig 15): a '== title =='
+header, a '# window col1 col2 ...' header row, then numeric rows. Requires
+matplotlib; degrades to CSV dumps without it.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+
+def parse_sections(text):
+    """Yields (title, columns, rows) per table section."""
+    sections = []
+    title, cols, rows = None, None, []
+    for line in text.splitlines():
+        m = re.match(r"== (.*) ==", line)
+        if m:
+            if title and rows:
+                sections.append((title, cols, rows))
+            title, cols, rows = m.group(1), None, []
+            continue
+        if line.startswith("#") and title and cols is None:
+            body = line.lstrip("# ").split("(")[0]
+            cols = body.split()
+            continue
+        if title and cols:
+            parts = line.split()
+            if not parts:
+                continue
+            try:
+                row = [float(p.replace("-", "nan") if p == "-" else p)
+                       for p in parts[: len(cols)]]
+            except ValueError:
+                continue
+            if len(row) == len(cols):
+                rows.append(row)
+    if title and rows:
+        sections.append((title, cols, rows))
+    return sections
+
+
+def slug(title):
+    s = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return s[:60]
+
+
+def dump_csv(path, cols, rows):
+    with open(path, "w") as f:
+        f.write(",".join(cols) + "\n")
+        for row in rows:
+            f.write(",".join(str(x) for x in row) + "\n")
+    print(f"wrote {path}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    text = Path(sys.argv[1]).read_text()
+    sections = parse_sections(text)
+    if not sections:
+        print("no table sections found")
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable; dumping CSVs instead")
+
+    for title, cols, rows in sections:
+        base = slug(title)
+        if plt is None:
+            dump_csv(base + ".csv", cols, rows)
+            continue
+        xs = [r[0] for r in rows]
+        fig, ax = plt.subplots(figsize=(7, 4.2))
+        for ci in range(1, len(cols)):
+            ys = [r[ci] for r in rows]
+            style = "-o" if "slick" in cols[ci] else "--s"
+            ax.plot(xs, ys, style, label=cols[ci], linewidth=2 if "slick" in cols[ci] else 1)
+        ax.set_xscale("log", base=2)
+        if all(y is not None and y > 0 for r in rows for y in r[1:] if y == y):
+            ax.set_yscale("log")
+        ax.set_xlabel(cols[0])
+        ax.set_title(title)
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+        out = base + ".png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=130)
+        plt.close(fig)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
