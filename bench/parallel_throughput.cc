@@ -1,0 +1,168 @@
+// Parallel runtime throughput (the paper's §6 future work, for real this
+// time): the stream is routed round-robin across N shard worker threads
+// through bounded SPSC rings, and tuples/s is reported per shard count
+// against the plain single-thread aggregator baseline.
+//
+// What to expect: on a machine with >= N+1 cores the pipeline overlaps the
+// router with N aggregating workers, so throughput grows with N until the
+// router saturates. On an oversubscribed host (fewer cores than threads)
+// the win comes from amortization instead: total ring buffering grows with
+// N, so producer/worker alternation — park/wake and context-switch pairs —
+// happens per `N * ring` tuples instead of per `ring`, and larger shard
+// counts still beat the 1-shard pipeline. The single-thread baseline pays
+// no handoff at all and bounds what the pipeline can reach on one core.
+//
+// Rates are best-of-`laps` (like table1_opcounts) so one unlucky scheduler
+// quantum does not decide a row; every lap runs the full tuple budget
+// against the already-warm window.
+//
+// The default ring is small (128 slots): tight bounded buffers keep the
+// handoff-amortization effect visible even on a single core and bound the
+// ingest-to-window latency; raise --ring for maximum throughput on a
+// multi-core box.
+//
+// Flags: --window=W (default 65536)  --tuples=T (default 1000000)
+//        --ring=R   (default 128)    --batch=B  (default 64)
+//        --qevery=Q queries per Q tuples (default 65536)
+//        --laps=L   (default 3)      --seed=S
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "core/slick_deque_noninv.h"
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "runtime/parallel_engine.h"
+
+namespace slick::bench {
+namespace {
+
+struct Config {
+  std::size_t window;
+  uint64_t tuples;
+  std::size_t ring;
+  std::size_t batch;
+  uint64_t qevery;
+  uint64_t laps;
+};
+
+/// Single-thread reference: the same aggregator, slide + periodic query,
+/// no handoff. Returns best-lap tuples/s.
+template <typename Agg>
+double RunBaseline(const Config& cfg, const std::vector<double>& data,
+                   Checksum& sink) {
+  using Op = typename Agg::op_type;
+  Agg agg(cfg.window);
+  std::size_t di = 0;
+  auto next = [&] {
+    const double v = data[di];
+    di = di + 1 == data.size() ? 0 : di + 1;
+    return v;
+  };
+  for (std::size_t i = 0; i < cfg.window; ++i) agg.slide(Op::lift(next()));
+  double best = 0.0;
+  for (uint64_t lap = 0; lap < cfg.laps; ++lap) {
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < cfg.tuples; ++i) {
+      agg.slide(Op::lift(next()));
+      if ((i + 1) % cfg.qevery == 0) {
+        sink.Add(static_cast<double>(agg.query()));
+      }
+    }
+    const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+    best = std::max(best, static_cast<double>(cfg.tuples) / elapsed_s);
+  }
+  sink.Add(static_cast<double>(agg.query()));
+  return best;
+}
+
+/// The parallel engine at `shards` workers. Queries go through the epoch
+/// snapshot at the same cadence as the baseline. Returns best-lap tuples/s.
+template <typename Agg>
+double RunParallel(std::size_t shards, const Config& cfg,
+                   const std::vector<double>& data, Checksum& sink) {
+  using Op = typename Agg::op_type;
+  runtime::ParallelShardedEngine<Agg> engine(
+      cfg.window, shards,
+      {.ring_capacity = cfg.ring, .batch = cfg.batch,
+       .backpressure = runtime::Backpressure::kBlock});
+  std::size_t di = 0;
+  auto next = [&] {
+    const double v = data[di];
+    di = di + 1 == data.size() ? 0 : di + 1;
+    return v;
+  };
+  for (std::size_t i = 0; i < cfg.window; ++i) engine.push(Op::lift(next()));
+  double best = 0.0;
+  for (uint64_t lap = 0; lap < cfg.laps; ++lap) {
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < cfg.tuples; ++i) {
+      engine.push(Op::lift(next()));
+      if ((i + 1) % cfg.qevery == 0) {
+        sink.Add(static_cast<double>(engine.query()));
+      }
+    }
+    engine.flush();
+    const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+    best = std::max(best, static_cast<double>(cfg.tuples) / elapsed_s);
+  }
+  sink.Add(static_cast<double>(engine.query()));
+  engine.stop();
+  return best;
+}
+
+template <typename Agg>
+void RunWorkload(const char* name, const Config& cfg,
+                 const std::vector<double>& data) {
+  std::printf("\n== %s, window %zu ==\n", name, cfg.window);
+  std::printf("%-14s %14s %12s\n", "config", "Mtuples/s", "vs 1-shard");
+  Checksum sink;
+  const double base = RunBaseline<Agg>(cfg, data, sink);
+  std::printf("%-14s %14.2f %12s\n", "single-thread", base / 1e6, "-");
+  double one_shard = 0.0;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{8}}) {
+    const double rate = RunParallel<Agg>(shards, cfg, data, sink);
+    if (shards == 1) one_shard = rate;
+    std::printf("%-14s", (std::to_string(shards) + "-shard").c_str());
+    std::printf(" %14.2f %11.2fx\n", rate / 1e6, rate / one_shard);
+    std::fflush(stdout);
+  }
+  sink.Report();
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  const Flags flags(argc, argv);
+  Config cfg;
+  cfg.window = flags.GetU64("window", 1 << 16);
+  cfg.tuples = flags.GetU64("tuples", 1'000'000);
+  cfg.ring = flags.GetU64("ring", 128);
+  cfg.batch = flags.GetU64("batch", 64);
+  cfg.qevery = flags.GetU64("qevery", 1 << 16);
+  cfg.laps = std::max<uint64_t>(1, flags.GetU64("laps", 3));
+  const uint64_t seed = flags.GetU64("seed", 42);
+
+  std::printf(
+      "Parallel sharded runtime: tuples/s vs shard count (best of %llu "
+      "laps)\n"
+      "# window=%zu tuples=%llu ring=%zu batch=%zu qevery=%llu seed=%llu\n",
+      (unsigned long long)cfg.laps, cfg.window, (unsigned long long)cfg.tuples,
+      cfg.ring, cfg.batch, (unsigned long long)cfg.qevery,
+      (unsigned long long)seed);
+
+  const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
+  RunWorkload<slick::core::SlickDequeInv<slick::ops::Sum>>(
+      "SlickDeque (Inv), Sum", cfg, data);
+  RunWorkload<slick::core::SlickDequeNonInv<slick::ops::Max>>(
+      "SlickDeque (Non-Inv), Max", cfg, data);
+  return 0;
+}

@@ -135,7 +135,17 @@ class SlickDequeNonInv {
         cur >= window) {
       return false;
     }
-    if (!deque_.LoadState(is)) return false;
+    // Restore into a temporary so a rejected payload leaves this instance
+    // untouched (a caller that ignores the false return keeps a coherent
+    // aggregator instead of a half-committed one).
+    window::ChunkedArrayQueue<Node> restored;
+    if (!restored.LoadState(is)) return false;
+    if (!ValidateRestoredDeque(restored, static_cast<std::size_t>(window),
+                               static_cast<std::size_t>(pos),
+                               static_cast<std::size_t>(cur))) {
+      return false;
+    }
+    deque_ = std::move(restored);
     window_ = static_cast<std::size_t>(window);
     pos_ = static_cast<std::size_t>(pos);
     cur_ = static_cast<std::size_t>(cur);
@@ -147,6 +157,40 @@ class SlickDequeNonInv {
     std::size_t pos;  // circular position in [0, window)
     value_type val;
   };
+
+  /// Cross-validates a deque restored by LoadState against Algorithm 2's
+  /// invariants before the header fields are committed. A corrupt payload
+  /// that only passed the header checks would otherwise poison AgeOf() and
+  /// the expiry test on later slides. Accepted states:
+  ///  * empty deque only for a pristine instance (pos == cur == 0);
+  ///  * every node's pos inside [0, window);
+  ///  * ages strictly decreasing head → tail (each circular position at
+  ///    most once, at most `window` nodes, head oldest);
+  ///  * the tail node at position `cur` (slide() always appends the newest
+  ///    partial there);
+  ///  * ⊕-monotonicity: no node absorbed by its newer neighbour — slide()
+  ///    would have popped it, so its presence proves a corrupt value.
+  static bool ValidateRestoredDeque(
+      const window::ChunkedArrayQueue<Node>& deque, std::size_t window,
+      std::size_t pos, std::size_t cur) {
+    if (deque.empty()) return pos == 0 && cur == 0;
+    const auto age_of = [&](std::size_t p) {
+      return cur >= p ? cur - p : cur + window - p;
+    };
+    std::size_t prev_age = window;  // sentinel: above every legal age
+    for (uint64_t s = deque.front_seq(); s != deque.end_seq(); ++s) {
+      const Node& node = deque[s];
+      if (node.pos >= window) return false;
+      const std::size_t age = age_of(node.pos);
+      if (age >= prev_age) return false;
+      if (s != deque.front_seq() &&
+          ops::Absorbs<Op>(node.val, deque[s - 1].val)) {
+        return false;
+      }
+      prev_age = age;
+    }
+    return deque.back().pos == cur;
+  }
 
   /// Slides-ago of the partial at circular position `pos` (0 = newest).
   /// Equivalent to Algorithm 2's startPos/boundaryCrossed test: the node is

@@ -50,15 +50,28 @@ class RoundRobinSharded {
   void slide(value_type v) {
     shards_[next_].slide(std::move(v));
     next_ = next_ + 1 == shards_.size() ? 0 : next_ + 1;
+    if (tuples_seen_ < global_window_) ++tuples_seen_;
   }
 
-  /// Global window answer: the coordinator's N-way combine.
-  result_type query() {
-    auto acc = op_type::identity();
-    for (Agg& shard : shards_) {
-      // Local answers re-lift trivially for the ops in this library
-      // (result_type == value_type for every distributive op).
-      acc = op_type::combine(acc, shard.query());
+  /// True once the global window is warm: every shard has received its full
+  /// complement of `window / shards` tuples, so each local answer covers a
+  /// real window rather than ⊕-identity padding.
+  bool ready() const { return tuples_seen_ >= global_window_; }
+
+  /// Global window answer: the coordinator's N-way combine. Requires
+  /// ready() — before warm-up a selective op's identity (±inf, NaN, ...) is
+  /// a *sentinel*, and folding it into the answer (or querying a shard
+  /// whose SlickDeque is still empty) would be wrong, so the combine seeds
+  /// from the first shard's local answer and never touches identity().
+  result_type query() const {
+    SLICK_CHECK(ready(),
+                "query before the global window is warm "
+                "(needs `window` tuples; poll ready())");
+    // Local answers re-lift trivially for the ops in this library
+    // (result_type == value_type for every distributive op).
+    value_type acc = shards_[0].query();
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+      acc = op_type::combine(acc, shards_[i].query());
     }
     return op_type::lower(acc);
   }
@@ -67,6 +80,7 @@ class RoundRobinSharded {
   std::size_t window_size() const { return global_window_; }
 
   Agg& shard(std::size_t i) { return shards_[i]; }
+  const Agg& shard(std::size_t i) const { return shards_[i]; }
 
   std::size_t memory_bytes() const {
     std::size_t bytes = sizeof(*this);
@@ -77,7 +91,8 @@ class RoundRobinSharded {
  private:
   std::size_t global_window_;
   std::vector<Agg> shards_;
-  std::size_t next_ = 0;  // round-robin cursor
+  std::size_t next_ = 0;         // round-robin cursor
+  std::size_t tuples_seen_ = 0;  // saturates at global_window_ (warm-up gate)
 };
 
 }  // namespace slick::engine

@@ -1,0 +1,246 @@
+#ifndef SLICKDEQUE_RUNTIME_PARALLEL_ENGINE_H_
+#define SLICKDEQUE_RUNTIME_PARALLEL_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ops/traits.h"
+#include "runtime/shard_worker.h"
+#include "runtime/spsc_ring.h"
+#include "util/check.h"
+#include "window/aggregator.h"
+
+namespace slick::runtime {
+
+/// What the router does when a shard's ring is full (bounded by design —
+/// backpressure is never an unbounded queue).
+enum class Backpressure {
+  kBlock,       ///< Park the router until the worker frees space (lossless).
+  kDropNewest,  ///< Shed the incoming element and count it (load shedding;
+                ///< answers then cover only the admitted prefix per shard).
+};
+
+/// Genuinely multi-threaded sharded window aggregation — the runtime the
+/// paper's §6 leaves as future work ("evaluate SlickDeque in multi-core /
+/// multi-node environments"). The calling thread routes the stream
+/// round-robin across N shard rings; each shard is a ShardWorker thread
+/// driving its own FixedWindowAggregator over a window of W/N partials.
+///
+/// Exactness — same argument as engine::RoundRobinSharded: with a global
+/// window of W = k·N tuples, the last W admitted tuples are exactly the
+/// last k tuples of every shard whenever the total admitted count is a
+/// multiple of N (a *slide barrier*), so for a commutative ⊕ the N-way
+/// combine of local answers equals the single-node answer. Per-shard order
+/// is preserved end-to-end (SPSC rings are FIFO), which is all the combine
+/// needs.
+///
+/// Epoch snapshot — how query() gets a consistent cut without pausing
+/// ingest structurally: the router flushes its staging buffers, fixing the
+/// epoch at "everything admitted so far" (per-shard targets pushed_[i]);
+/// it then waits until every worker's release-published processed counter
+/// reaches its target. At that point each ring is drained, every slide is
+/// visible (acquire/release edge, see ShardWorker), and no worker can touch
+/// its aggregator again until this same thread routes more data — so the
+/// coordinator reads the N local answers race-free and folds them. Workers
+/// park on their rings' eventcounts meanwhile; they are never busy-polled.
+///
+/// Warm-up — identical semantics to RoundRobinSharded: query() requires
+/// ready(), i.e. every shard's window is full. Folding before warm-up would
+/// combine ⊕-identity sentinels (±inf, NaN) into selective-op answers, and
+/// SlickDeque (Non-Inv) shards would assert on an empty deque.
+///
+/// Shutdown — the destructor (or stop()) closes every ring; workers drain
+/// what was already routed, publish their final counts, and join. No
+/// element that push() admitted is ever lost.
+template <window::FixedWindowAggregator Agg>
+  requires(Agg::op_type::kCommutative)
+class ParallelShardedEngine {
+ public:
+  using op_type = typename Agg::op_type;
+  using value_type = typename Agg::value_type;
+  using result_type = typename Agg::result_type;
+
+  struct Options {
+    std::size_t ring_capacity = 1 << 12;  ///< Per-shard ring slots (bounded).
+    std::size_t batch = 256;              ///< Router/worker batch size.
+    Backpressure backpressure = Backpressure::kBlock;
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;   ///< Elements accepted into shard rings.
+    uint64_t dropped = 0;    ///< Elements shed under kDropNewest.
+    uint64_t processed = 0;  ///< Elements slid into shard aggregators.
+  };
+
+  /// `global_window` must be a multiple of `shards`. Worker threads start
+  /// immediately.
+  ParallelShardedEngine(std::size_t global_window, std::size_t shards,
+                        Options options = {})
+      : global_window_(global_window), options_(options) {
+    SLICK_CHECK(shards >= 1, "need at least one shard");
+    SLICK_CHECK(global_window % shards == 0,
+                "global window must be a multiple of the shard count");
+    SLICK_CHECK(global_window / shards >= 1, "shard windows must be nonempty");
+    const std::size_t batch = options_.batch < 1 ? 1 : options_.batch;
+    workers_.reserve(shards);
+    staging_.resize(shards);
+    pushed_.assign(shards, 0);
+    dropped_.assign(shards, 0);
+    for (std::size_t i = 0; i < shards; ++i) {
+      workers_.push_back(std::make_unique<ShardWorker<Agg>>(
+          global_window / shards, options_.ring_capacity, batch));
+      staging_[i].reserve(batch);
+    }
+    for (auto& w : workers_) w->Start();
+  }
+
+  ~ParallelShardedEngine() { stop(); }
+
+  ParallelShardedEngine(const ParallelShardedEngine&) = delete;
+  ParallelShardedEngine& operator=(const ParallelShardedEngine&) = delete;
+
+  /// Routes the newest element to its shard (round-robin, matching
+  /// RoundRobinSharded::slide). Elements are staged per shard and handed to
+  /// the ring a batch at a time; call flush() (or query()) to force out a
+  /// partial batch. Single-threaded producer: call from one thread only.
+  void push(value_type v) {
+    SLICK_CHECK(!stopped_, "push after stop()");
+    std::vector<value_type>& stage = staging_[next_];
+    stage.push_back(std::move(v));
+    if (stage.size() >= BatchSize()) FlushShard(next_);
+    next_ = next_ + 1 == workers_.size() ? 0 : next_ + 1;
+  }
+
+  /// Routes a contiguous batch.
+  void push_n(const value_type* src, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) push(src[i]);
+  }
+
+  /// Forces every staged element into its shard ring (blocking or shedding
+  /// per the backpressure policy).
+  void flush() {
+    for (std::size_t i = 0; i < workers_.size(); ++i) FlushShard(i);
+  }
+
+  /// True once every shard's window is full — the warm-up gate for query().
+  bool ready() const {
+    const uint64_t shard_window = global_window_ / workers_.size();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (pushed_[i] + StagedCount(i) < shard_window) return false;
+    }
+    return true;
+  }
+
+  /// Global window answer via the epoch snapshot described above. Exact at
+  /// slide barriers (admitted count a multiple of the shard count) under
+  /// kBlock; under kDropNewest it aggregates each shard's admitted suffix.
+  /// Folds the shards' local answers directly (never starting from
+  /// ⊕-identity, whose sentinel would pollute selective ops).
+  result_type query() {
+    SLICK_CHECK(ready(),
+                "query before the global window is warm "
+                "(every shard window must be full)");
+    flush();
+    // Under kDropNewest a flush may shed staged elements, so re-verify the
+    // warm-up gate against what the rings actually admitted.
+    const uint64_t shard_window = global_window_ / workers_.size();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      SLICK_CHECK(pushed_[i] >= shard_window,
+                  "query before the global window is warm "
+                  "(backpressure shed the warm-up tuples)");
+    }
+    AwaitEpoch();
+    value_type acc = workers_[0]->aggregator().query();
+    for (std::size_t i = 1; i < workers_.size(); ++i) {
+      acc = op_type::combine(acc, workers_[i]->aggregator().query());
+    }
+    return op_type::lower(acc);
+  }
+
+  /// Graceful shutdown: flush staged elements, drain every ring, join every
+  /// worker. Idempotent; the destructor calls it.
+  void stop() {
+    if (stopped_) return;
+    flush();
+    stopped_ = true;
+    for (auto& w : workers_) w->Stop();
+  }
+
+  std::size_t shard_count() const { return workers_.size(); }
+  std::size_t window_size() const { return global_window_; }
+
+  /// The shard's aggregator — safe only at a quiescent point (after
+  /// query()/stop(), before further push()).
+  const Agg& shard(std::size_t i) const { return workers_[i]->aggregator(); }
+
+  Stats stats() const {
+    Stats s;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      s.admitted += pushed_[i];
+      s.dropped += dropped_[i];
+      s.processed += workers_[i]->processed();
+    }
+    return s;
+  }
+
+  std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const auto& w : workers_) {
+      bytes += sizeof(*w) + w->aggregator().memory_bytes() +
+               w->ring().capacity() * sizeof(value_type);
+    }
+    for (const auto& s : staging_) bytes += s.capacity() * sizeof(value_type);
+    return bytes;
+  }
+
+ private:
+  std::size_t BatchSize() const {
+    return options_.batch < 1 ? 1 : options_.batch;
+  }
+
+  std::size_t StagedCount(std::size_t i) const { return staging_[i].size(); }
+
+  void FlushShard(std::size_t i) {
+    std::vector<value_type>& stage = staging_[i];
+    if (stage.empty()) return;
+    SpscRing<value_type>& ring = workers_[i]->ring();
+    if (options_.backpressure == Backpressure::kBlock) {
+      const std::size_t accepted = ring.push_n(stage.data(), stage.size());
+      SLICK_CHECK(accepted == stage.size(), "ring closed during push");
+      pushed_[i] += accepted;
+    } else {
+      const std::size_t accepted = ring.try_push_n(stage.data(), stage.size());
+      pushed_[i] += accepted;
+      dropped_[i] += stage.size() - accepted;
+    }
+    stage.clear();
+  }
+
+  /// Blocks until every worker has processed exactly what was routed to it.
+  /// Rings are empty afterwards, so the workers are parked — the quiescent
+  /// cut the combine reads from.
+  void AwaitEpoch() {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      while (workers_[i]->processed() < pushed_[i]) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  const std::size_t global_window_;
+  const Options options_;
+  std::vector<std::unique_ptr<ShardWorker<Agg>>> workers_;
+  std::vector<std::vector<value_type>> staging_;  // router-side batches
+  std::vector<uint64_t> pushed_;   // admitted per shard (router-owned)
+  std::vector<uint64_t> dropped_;  // shed per shard (router-owned)
+  std::size_t next_ = 0;           // round-robin cursor
+  bool stopped_ = false;
+};
+
+}  // namespace slick::runtime
+
+#endif  // SLICKDEQUE_RUNTIME_PARALLEL_ENGINE_H_

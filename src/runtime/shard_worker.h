@@ -1,0 +1,93 @@
+#ifndef SLICKDEQUE_RUNTIME_SHARD_WORKER_H_
+#define SLICKDEQUE_RUNTIME_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/spsc_ring.h"
+#include "util/check.h"
+#include "window/aggregator.h"
+
+namespace slick::runtime {
+
+/// One shard of the parallel runtime: a dedicated thread that drains its
+/// SPSC ring in batches and drives any FixedWindowAggregator (SlickDeque
+/// Inv/Non-Inv, TwoStacks-via-Windowed, DABA-via-Windowed, Naive, ...).
+///
+/// Synchronization contract with the coordinator:
+///  * Only the worker thread touches `aggregator()` while running. After
+///    every drained batch the worker release-stores its cumulative count
+///    into `processed()`; a coordinator that acquire-loads `processed()`
+///    and sees it equal to the number of elements it routed here therefore
+///    observes all slides, and — being the only producer — knows the worker
+///    cannot slide again until the coordinator itself pushes more. That
+///    quiescent read is the runtime's epoch-snapshot edge.
+///  * The coordinator's post-snapshot pushes release-publish the ring tail,
+///    and the worker acquire-loads it before sliding, so snapshot reads and
+///    later slides never race (the edge the TSan CI job machine-checks).
+template <window::FixedWindowAggregator Agg>
+class ShardWorker {
+ public:
+  using value_type = typename Agg::value_type;
+
+  ShardWorker(std::size_t window, std::size_t ring_capacity, std::size_t batch)
+      : ring_(ring_capacity), batch_(batch < 1 ? 1 : batch), agg_(window) {}
+
+  ~ShardWorker() { Stop(); }
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Spawns the worker thread. Must be called exactly once before pushes.
+  void Start() {
+    SLICK_CHECK(!thread_.joinable(), "worker already started");
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  /// Graceful shutdown: closes the ring, lets the worker drain every
+  /// element already routed to it, then joins. Idempotent.
+  void Stop() {
+    ring_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  SpscRing<value_type>& ring() { return ring_; }
+
+  /// Cumulative number of elements slid into the aggregator
+  /// (release-published per batch; pair with an acquire load via this call).
+  uint64_t processed() const {
+    return processed_.load(std::memory_order_acquire);
+  }
+
+  /// The shard's aggregator. Safe for the coordinator to read only at a
+  /// quiescent point (processed() == elements routed); see class comment.
+  const Agg& aggregator() const { return agg_; }
+  Agg& aggregator() { return agg_; }
+
+ private:
+  void Run() {
+    std::vector<value_type> buf(batch_);
+    uint64_t done = 0;
+    for (;;) {
+      const std::size_t n = ring_.pop_n(buf.data(), batch_);
+      if (n == 0) break;  // closed and fully drained
+      for (std::size_t i = 0; i < n; ++i) agg_.slide(std::move(buf[i]));
+      done += n;
+      processed_.store(done, std::memory_order_release);
+    }
+  }
+
+  SpscRing<value_type> ring_;
+  const std::size_t batch_;
+  Agg agg_;
+  alignas(64) std::atomic<uint64_t> processed_{0};
+  std::thread thread_;
+};
+
+}  // namespace slick::runtime
+
+#endif  // SLICKDEQUE_RUNTIME_SHARD_WORKER_H_

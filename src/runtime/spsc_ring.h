@@ -1,0 +1,223 @@
+#ifndef SLICKDEQUE_RUNTIME_SPSC_RING_H_
+#define SLICKDEQUE_RUNTIME_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace slick::runtime {
+
+/// Bounded lock-free single-producer/single-consumer ring — the inter-thread
+/// channel of the parallel sharded runtime (modeled on SlickQuant's
+/// slick_queue: power-of-two slot array indexed by free-running 64-bit
+/// counters, acquire/release publication).
+///
+/// Layout: `head_` (consumer cursor) and `tail_` (producer cursor) live on
+/// separate cache lines so the two threads never false-share; each side also
+/// keeps a cached copy of the *other* side's cursor so the hot path
+/// (try_push_n / try_pop_n) usually runs on thread-local state and touches
+/// the shared counter only when the cached view says the ring looks full
+/// (producer) or empty (consumer).
+///
+/// Blocking: both sides batch their work, so parking is rare. Waits go
+/// through a per-direction eventcount (`tail_event_` for "data arrived",
+/// `head_event_` for "space freed"): the waiter snapshots the event word,
+/// re-checks the cursors, and `std::atomic::wait`s on the snapshot; the
+/// other side bumps + notifies once per *batch*, not per element.
+/// libstdc++'s waiter pool makes the notify a no-op syscall-wise when
+/// nobody is parked. `close()` bumps both events, so a parked peer always
+/// observes shutdown (waiting on the cursors themselves could miss it).
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (shift/mask addressing).
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_((std::size_t{1} << util::CeilLog2(
+                   min_capacity < 2 ? 2 : min_capacity)) -
+              1),
+        slots_(std::make_unique<T[]>(mask_ + 1)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate element count (exact when called by either endpoint while
+  /// the other is idle).
+  std::size_t size() const {
+    const uint64_t t = tail_.load(std::memory_order_acquire);
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+  bool empty() const { return size() == 0; }
+
+  // ------------------------------------------------------------------
+  // Producer side.
+  // ------------------------------------------------------------------
+
+  /// Copies up to `n` elements from `src` into the ring without blocking.
+  /// Returns the number accepted (0 when full or closed).
+  std::size_t try_push_n(const T* src, std::size_t n) {
+    if (closed_.load(std::memory_order_relaxed)) return 0;
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity() - static_cast<std::size_t>(tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = capacity() - static_cast<std::size_t>(tail - head_cache_);
+      if (free == 0) return 0;
+    }
+    const std::size_t count = n < free ? n : free;
+    for (std::size_t i = 0; i < count; ++i) {
+      slots_[static_cast<std::size_t>(tail + i) & mask_] = src[i];
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    // One event bump per publish batch; wakes a parked consumer.
+    tail_event_.fetch_add(1, std::memory_order_release);
+    tail_event_.notify_one();
+    return count;
+  }
+
+  bool try_push(const T& v) { return try_push_n(&v, 1) == 1; }
+
+  /// Blocking push: copies all `n` elements, parking when the ring is full
+  /// (the runtime's backpressure). Returns the number accepted, which is
+  /// `n` unless the ring is closed mid-wait.
+  std::size_t push_n(const T* src, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      const std::size_t k = try_push_n(src + done, n - done);
+      done += k;
+      if (done == n) break;
+      if (k == 0) {
+        if (closed_.load(std::memory_order_relaxed)) break;
+        WaitForSpace();
+      }
+    }
+    return done;
+  }
+
+  /// Producer is done: wakes the consumer, which drains the remaining
+  /// elements and then sees pop_n() return 0. Idempotent; callable from
+  /// either side during shutdown.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    tail_event_.fetch_add(1, std::memory_order_release);
+    head_event_.fetch_add(1, std::memory_order_release);
+    tail_event_.notify_all();
+    head_event_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // ------------------------------------------------------------------
+  // Consumer side.
+  // ------------------------------------------------------------------
+
+  /// Moves up to `max` elements into `dst` without blocking. Returns the
+  /// number popped (0 when the ring is currently empty).
+  std::size_t try_pop_n(T* dst, std::size_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
+    if (avail == 0) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(tail_cache_ - head);
+      if (avail == 0) return 0;
+    }
+    const std::size_t count = max < avail ? max : avail;
+    for (std::size_t i = 0; i < count; ++i) {
+      dst[i] = std::move(slots_[static_cast<std::size_t>(head + i) & mask_]);
+    }
+    head_.store(head + count, std::memory_order_release);
+    head_event_.fetch_add(1, std::memory_order_release);
+    head_event_.notify_one();
+    return count;
+  }
+
+  /// Blocking pop: returns at least one element unless the ring is closed
+  /// *and* drained, in which case it returns 0 — the consumer's shutdown
+  /// signal.
+  std::size_t pop_n(T* dst, std::size_t max) {
+    while (true) {
+      const std::size_t k = try_pop_n(dst, max);
+      if (k > 0) return k;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: elements published before close() must still drain.
+        return try_pop_n(dst, max);
+      }
+      WaitForData();
+    }
+  }
+
+ private:
+  // Briefly spin/yield, then park on the eventcount. The snapshot/recheck
+  // ordering makes the park race-free: if the producer publishes after our
+  // recheck, its event bump differs from `e` and wait() returns at once.
+  void WaitForData() {
+    for (int i = 0; i < kSpinYields; ++i) {
+      if (tail_.load(std::memory_order_acquire) !=
+              head_.load(std::memory_order_relaxed) ||
+          closed_.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+    const uint32_t e = tail_event_.load(std::memory_order_acquire);
+    if (tail_.load(std::memory_order_acquire) !=
+            head_.load(std::memory_order_relaxed) ||
+        closed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    tail_event_.wait(e, std::memory_order_acquire);
+  }
+
+  void WaitForSpace() {
+    for (int i = 0; i < kSpinYields; ++i) {
+      if (static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                   head_.load(std::memory_order_acquire)) <
+              capacity() ||
+          closed_.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+    const uint32_t e = head_event_.load(std::memory_order_acquire);
+    if (static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                 head_.load(std::memory_order_acquire)) <
+            capacity() ||
+        closed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    head_event_.wait(e, std::memory_order_acquire);
+  }
+
+  // On an oversubscribed host a yield hands the core to the peer almost for
+  // free, so only a few attempts before parking (parking costs a futex
+  // round trip but never burns the peer's quantum).
+  static constexpr int kSpinYields = 4;
+  static constexpr std::size_t kCacheLine = 64;
+
+  const std::size_t mask_;
+  const std::unique_ptr<T[]> slots_;
+
+  // Consumer cursor + the producer's view of it.
+  alignas(kCacheLine) std::atomic<uint64_t> head_{0};
+  alignas(kCacheLine) std::atomic<uint64_t> tail_{0};
+  // Producer-local cache of head_ (no sharing: only the producer touches it).
+  alignas(kCacheLine) uint64_t head_cache_ = 0;
+  // Consumer-local cache of tail_.
+  alignas(kCacheLine) uint64_t tail_cache_ = 0;
+  // Eventcounts for parking (bumped per batch, and by close()).
+  alignas(kCacheLine) std::atomic<uint32_t> tail_event_{0};
+  alignas(kCacheLine) std::atomic<uint32_t> head_event_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace slick::runtime
+
+#endif  // SLICKDEQUE_RUNTIME_SPSC_RING_H_

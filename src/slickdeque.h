@@ -29,6 +29,9 @@
 #include "ops/maxcount.h"              // IWYU pragma: export
 #include "ops/sketch.h"                // IWYU pragma: export
 #include "plan/optimizer.h"            // IWYU pragma: export
+#include "runtime/parallel_engine.h"   // IWYU pragma: export
+#include "runtime/shard_worker.h"      // IWYU pragma: export
+#include "runtime/spsc_ring.h"         // IWYU pragma: export
 #include "plan/pat.h"                  // IWYU pragma: export
 #include "plan/query_spec.h"           // IWYU pragma: export
 #include "plan/shared_plan.h"          // IWYU pragma: export

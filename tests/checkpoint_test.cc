@@ -230,6 +230,115 @@ TEST(CheckpointTest, TruncatedStreamRejected) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SlickDeque (Non-Inv) payload validation: the header checks alone used to
+// accept a corrupt deque (node pos >= window, non-monotone ages, absorbed
+// values), which later poisons AgeOf()/expiry. LoadState must cross-validate
+// the restored nodes.
+//
+// SDN1/CAQ1 byte layout (versioned, so these offsets are stable):
+//   [0]  SDN1 tag+version (8)   [8] window u64   [16] pos u64   [24] cur u64
+//   [32] CAQ1 tag+version (8)   [40] shift u32   [44] head u64  [52] tail u64
+//   [60] nodes, 16 bytes each: {pos u64, val i64}
+// ---------------------------------------------------------------------------
+
+std::string SaveNonInvMax(core::SlickDequeNonInv<ops::MaxInt>& agg) {
+  std::stringstream ss;
+  agg.SaveState(ss);
+  return ss.str();
+}
+
+bool LoadNonInvMax(const std::string& bytes) {
+  std::stringstream ss(bytes);
+  core::SlickDequeNonInv<ops::MaxInt> fresh(8);
+  return fresh.LoadState(ss);
+}
+
+class NonInvPayloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Strictly descending input keeps every node: pos 0..7, vals 100..93,
+    // pos_ = 0, cur_ = 7 (head legitimately sits at the write position).
+    core::SlickDequeNonInv<ops::MaxInt> agg(8);
+    for (int64_t i = 0; i < 8; ++i) agg.slide(100 - i);
+    bytes_ = SaveNonInvMax(agg);
+  }
+  static constexpr std::size_t kNodes = 60;  // first node's offset
+  std::string bytes_;
+};
+
+TEST_F(NonInvPayloadTest, IntactPayloadRoundTrips) {
+  // Baseline: the unmodified checkpoint — including a head node at pos_,
+  // which is a genuine full-window state — must still be accepted.
+  EXPECT_TRUE(LoadNonInvMax(bytes_));
+}
+
+TEST_F(NonInvPayloadTest, NodePosBeyondWindowRejected) {
+  std::string corrupt = bytes_;
+  corrupt[kNodes] = 0x09;  // head node pos: 0 -> 9, but window is 8
+  EXPECT_FALSE(LoadNonInvMax(corrupt));
+}
+
+TEST_F(NonInvPayloadTest, NonMonotoneAgesRejected) {
+  std::string corrupt = bytes_;
+  // Swap the first two nodes: ages go 6, 7, ... instead of 7, 6, ...
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::swap(corrupt[kNodes + i], corrupt[kNodes + 16 + i]);
+  }
+  EXPECT_FALSE(LoadNonInvMax(corrupt));
+}
+
+TEST_F(NonInvPayloadTest, AbsorbedValueRejected) {
+  std::string corrupt = bytes_;
+  // Bit-flip the second node's value from 99 to 227 (> the head's 100):
+  // slide() would have popped the head, so the pair proves corruption.
+  corrupt[kNodes + 16 + 8] = static_cast<char>(0xE3);
+  EXPECT_FALSE(LoadNonInvMax(corrupt));
+}
+
+TEST_F(NonInvPayloadTest, RejectedLoadLeavesTargetUntouched) {
+  // A failed LoadState must not half-commit: the target keeps answering
+  // from its own pre-load window, not from the rejected payload's nodes.
+  core::SlickDequeNonInv<ops::MaxInt> agg(4);
+  for (int64_t v : {7, 3, 5}) agg.slide(v);
+  std::string corrupt = bytes_;
+  corrupt[kNodes + 16 + 8] = static_cast<char>(0xE3);
+  std::stringstream ss(corrupt);
+  ASSERT_FALSE(agg.LoadState(ss));
+  EXPECT_EQ(agg.query(), 7);
+  agg.slide(9);
+  EXPECT_EQ(agg.query(), 9);
+}
+
+TEST_F(NonInvPayloadTest, TailNotAtNewestPositionRejected) {
+  // A sparser deque: nodes at pos {0, 1, 2, 5} after 40 absorbs 10 and 5.
+  core::SlickDequeNonInv<ops::MaxInt> agg(8);
+  for (int64_t v : {100, 90, 50, 10, 5, 40}) agg.slide(v);
+  std::string corrupt = SaveNonInvMax(agg);
+  // Advance the header's pos_/cur_ by one (pos 6 -> 7, cur 5 -> 6): node
+  // ages stay strictly decreasing, but the tail node (pos 5) no longer
+  // matches cur — slide() always appends the newest partial at cur.
+  corrupt[16] = 0x07;
+  corrupt[24] = 0x06;
+  EXPECT_FALSE(LoadNonInvMax(corrupt));
+}
+
+TEST_F(NonInvPayloadTest, EmptyDequeWithNonzeroCursorRejected) {
+  core::SlickDequeNonInv<ops::MaxInt> pristine(8);
+  std::string corrupt = SaveNonInvMax(pristine);
+  EXPECT_TRUE(LoadNonInvMax(corrupt));  // pristine round trip is fine
+  corrupt[16] = 0x01;  // pos_ = 1 with an empty deque: impossible state
+  EXPECT_FALSE(LoadNonInvMax(corrupt));
+}
+
+TEST_F(NonInvPayloadTest, TruncatedPayloadRejected) {
+  for (std::size_t cut :
+       {std::size_t{0}, std::size_t{12}, std::size_t{33}, std::size_t{59},
+        kNodes + 5, bytes_.size() - 1}) {
+    EXPECT_FALSE(LoadNonInvMax(bytes_.substr(0, cut))) << "cut=" << cut;
+  }
+}
+
 TEST(CheckpointTest, WrongStructureTagRejected) {
   window::NaiveWindow<ops::SumInt> naive(8);
   naive.slide(1);

@@ -80,6 +80,34 @@ TEST(ShardedTest, InvalidConfigsDie) {
   EXPECT_DEATH(Sharded(8, 0), "at least one shard");
 }
 
+// Regression for the warm-up bug: query() used to fold shard answers from
+// op identity, so a query before every shard had received a tuple either
+// combined the selective-op sentinel (-inf for Max) into the answer or
+// asserted inside an empty SlickDeque (Non-Inv) shard. The warm-up gate now
+// makes that state unreachable, and ready() exposes it.
+TEST(ShardedTest, QueryBeforeWarmupDies) {
+  engine::RoundRobinSharded<core::SlickDequeNonInv<ops::MaxInt>> sharded(8, 4);
+  EXPECT_FALSE(sharded.ready());
+  for (int64_t i = 0; i < 3; ++i) sharded.slide(i);  // one shard still empty
+  EXPECT_FALSE(sharded.ready());
+  EXPECT_DEATH(sharded.query(), "warm");
+}
+
+TEST(ShardedTest, ReadyFlipsExactlyAtWindowAndQueryIsConst) {
+  engine::RoundRobinSharded<core::SlickDequeNonInv<ops::MaxInt>> sharded(8, 4);
+  // All-negative input: a pre-fix identity fold would have seeded the
+  // combine with int64 min even when warm.
+  for (int64_t i = 0; i < 7; ++i) {
+    sharded.slide(-100 - i);
+    EXPECT_FALSE(sharded.ready());
+  }
+  sharded.slide(-50);
+  EXPECT_TRUE(sharded.ready());
+  const auto& csharded = sharded;  // query() is const-correct now
+  EXPECT_EQ(csharded.query(), -50);
+  EXPECT_EQ(csharded.shard(0).window_size(), 2u);
+}
+
 // --------------------------- TwoStacksRing --------------------------------
 
 template <typename Op>
