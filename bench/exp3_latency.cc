@@ -10,11 +10,24 @@
 // window-reset steps); DABA bounds the spike but pays in the median;
 // SlickDeque's max spike is far below DABA's.
 //
+// Each sample is recorded BOTH into the exact sorted-sample recorder and
+// into the telemetry layer's constant-memory log-bucketed histogram
+// (telemetry/histogram.h); after each exact row the histogram's estimates
+// are printed and cross-validated: any percentile deviating from the exact
+// value by more than the histogram's documented bucket-relative error
+// (plus rank-convention slack) fails the run. This is the acceptance check
+// that always-on production telemetry reports the same Fig-14 numbers as
+// the post-hoc research harness.
+//
 // Flags: --window=W (default 1024)  --tuples=T (default 1000000)
 //        --drop-top=F (default 0.00005)  --seed=S
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -23,6 +36,7 @@
 #include "core/windowed.h"
 #include "ops/arith.h"
 #include "ops/minmax.h"
+#include "telemetry/histogram.h"
 #include "util/stats.h"
 #include "window/b_int.h"
 #include "window/daba.h"
@@ -41,9 +55,41 @@ struct Config {
   uint64_t seed = 42;
 };
 
+void PrintRow(const char* name, const util::LatencySummary& s) {
+  std::printf("%-22s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %10.0f %9.1f\n",
+              name, s.min_ns, s.p25_ns, s.median_ns, s.p75_ns, s.p99_ns,
+              s.p999_ns, s.max_ns, s.avg_ns);
+  std::fflush(stdout);
+}
+
+/// Cross-validates the histogram estimate for quantile `q` against the
+/// exact (nearest-rank) order statistic of the full sorted sample set.
+/// Aborts the bench when the deviation exceeds the histogram's documented
+/// bucket-relative error — the acceptance bound is machine-checked on
+/// every run, not just in unit tests.
+void CheckQuantile(const char* name, double q,
+                   const std::vector<uint64_t>& sorted,
+                   const telemetry::LatencyHistogram::Snapshot& snap,
+                   double& worst_rel) {
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  const auto exact = static_cast<double>(sorted[rank]);
+  const double est = snap.Quantile(q);
+  const double rel = std::fabs(est - exact) / (exact > 1.0 ? exact : 1.0);
+  if (rel > worst_rel) worst_rel = rel;
+  if (rel > telemetry::LatencyHistogram::kRelativeError) {
+    std::fprintf(stderr,
+                 "histogram/exact divergence: %s q=%g exact=%.0f est=%.0f "
+                 "rel=%.4f > bound=%.4f\n",
+                 name, q, exact, est, rel,
+                 telemetry::LatencyHistogram::kRelativeError);
+    std::exit(1);
+  }
+}
+
 template <typename Agg>
 void RunPoint(const char* name, const std::vector<double>& data,
-              const Config& cfg, Checksum& cs) {
+              const Config& cfg, Checksum& cs, double& worst_rel) {
   using Op = typename Agg::op_type;
   Agg agg(cfg.window);
   std::size_t di = 0;
@@ -55,39 +101,53 @@ void RunPoint(const char* name, const std::vector<double>& data,
   for (std::size_t i = 0; i < cfg.window; ++i) agg.slide(Op::lift(next()));
 
   util::LatencyRecorder rec(cfg.tuples);
+  telemetry::LatencyHistogram hist;
   double sink = 0.0;
   for (uint64_t i = 0; i < cfg.tuples; ++i) {
     const double x = next();
     const uint64_t t0 = NowNs();
     agg.slide(Op::lift(x));
     sink += static_cast<double>(agg.query());
-    rec.Record(NowNs() - t0);
+    const uint64_t dt = NowNs() - t0;
+    rec.Record(dt);
+    hist.Record(dt);
   }
   cs.Add(sink);
-  const util::LatencySummary s = rec.Finish(cfg.drop_top);
-  std::printf("%-22s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %10.0f %9.1f\n",
-              name, s.min_ns, s.p25_ns, s.median_ns, s.p75_ns, s.p99_ns,
-              s.p999_ns, s.max_ns, s.avg_ns);
-  std::fflush(stdout);
+
+  // Cross-validate before Finish() drops outliers: the histogram holds
+  // every sample, so it must be compared against the undropped set.
+  std::vector<uint64_t> sorted = rec.samples();
+  std::sort(sorted.begin(), sorted.end());
+  const telemetry::LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 0.999, 1.0}) {
+    CheckQuantile(name, q, sorted, snap, worst_rel);
+  }
+
+  PrintRow(name, rec.Finish(cfg.drop_top));
+  const std::string hist_name = std::string("  ~hist(") + name + ")";
+  PrintRow(hist_name.c_str(), snap.Summarize());
 }
 
 template <typename Op>
 void RunOp(const char* title, const std::vector<double>& data,
-           const Config& cfg, Checksum& cs) {
+           const Config& cfg, Checksum& cs, double& worst_rel) {
   PrintHeader(title,
               "# algorithm                 min      p25   median      p75"
               "      p99    p99.9        max       avg   (ns/query)");
-  RunPoint<window::NaiveWindow<Op>>("naive", data, cfg, cs);
-  RunPoint<window::FlatFat<Op>>("flatfat", data, cfg, cs);
-  RunPoint<window::BInt<Op>>("bint", data, cfg, cs);
-  RunPoint<window::FlatFit<Op>>("flatfit", data, cfg, cs);
-  RunPoint<core::Windowed<window::TwoStacks<Op>>>("twostacks", data, cfg, cs);
-  RunPoint<core::Windowed<window::Daba<Op>>>("daba", data, cfg, cs);
+  RunPoint<window::NaiveWindow<Op>>("naive", data, cfg, cs, worst_rel);
+  RunPoint<window::FlatFat<Op>>("flatfat", data, cfg, cs, worst_rel);
+  RunPoint<window::BInt<Op>>("bint", data, cfg, cs, worst_rel);
+  RunPoint<window::FlatFit<Op>>("flatfit", data, cfg, cs, worst_rel);
+  RunPoint<core::Windowed<window::TwoStacks<Op>>>("twostacks", data, cfg, cs,
+                                                  worst_rel);
+  RunPoint<core::Windowed<window::Daba<Op>>>("daba", data, cfg, cs, worst_rel);
   if constexpr (ops::InvertibleOp<Op>) {
-    RunPoint<core::SlickDequeInv<Op>>("slickdeque(inv)", data, cfg, cs);
+    RunPoint<core::SlickDequeInv<Op>>("slickdeque(inv)", data, cfg, cs,
+                                      worst_rel);
   }
   if constexpr (ops::SelectiveOp<Op>) {
-    RunPoint<core::SlickDequeNonInv<Op>>("slickdeque(non-inv)", data, cfg, cs);
+    RunPoint<core::SlickDequeNonInv<Op>>("slickdeque(non-inv)", data, cfg, cs,
+                                         worst_rel);
   }
 }
 
@@ -110,8 +170,13 @@ int main(int argc, char** argv) {
 
   const std::vector<double> data = BenchSeries(flags, 1 << 20, cfg.seed);
   Checksum cs;
-  RunOp<slick::ops::Sum>("Sum (invertible)", data, cfg, cs);
-  RunOp<slick::ops::Max>("Max (non-invertible)", data, cfg, cs);
+  double worst_rel = 0.0;
+  RunOp<slick::ops::Sum>("Sum (invertible)", data, cfg, cs, worst_rel);
+  RunOp<slick::ops::Max>("Max (non-invertible)", data, cfg, cs, worst_rel);
   cs.Report();
+  std::printf(
+      "# histogram cross-validation: worst relative deviation %.5f "
+      "(bound %.5f)\n",
+      worst_rel, slick::telemetry::LatencyHistogram::kRelativeError);
   return 0;
 }

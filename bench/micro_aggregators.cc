@@ -11,8 +11,11 @@
 #include "core/slick_deque_inv.h"
 #include "core/slick_deque_noninv.h"
 #include "core/windowed.h"
+#include "engine/acq_engine.h"
 #include "ops/arith.h"
 #include "ops/minmax.h"
+#include "telemetry/histogram.h"
+#include "telemetry/sink.h"
 #include "window/b_int.h"
 #include "window/chunked_array_queue.h"
 #include "window/daba.h"
@@ -77,6 +80,56 @@ void BM_ChunkedQueuePushPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChunkedQueuePushPop)->Arg(16)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------
+// Telemetry overhead: the acceptance bar is that an engine compiled with
+// the default NullEngineSink is indistinguishable (±2%) from the
+// pre-telemetry baseline — the sink is an empty [[no_unique_address]]
+// member and every hook inlines to nothing, so Null vs the other variants
+// quantifies exactly what instrumentation costs when switched on.
+// ---------------------------------------------------------------------
+
+template <typename Tel>
+void BM_AcqEngineTelemetry(benchmark::State& state) {
+  using Agg = core::SlickDequeInv<ops::SumInt>;
+  const std::vector<plan::QuerySpec> queries = {
+      {static_cast<std::size_t>(state.range(0)), 1}};
+  engine::AcqEngine<Agg, Tel> eng(queries, plan::Pat::kPairs);
+  const std::vector<double>& data = Data();
+  std::size_t di = 0;
+  int64_t sink = 0;
+  for (auto _ : state) {
+    eng.Push(static_cast<int64_t>(data[di] * 1024.0),
+             [&sink](uint32_t, int64_t res) { sink += res; });
+    di = di + 1 == data.size() ? 0 : di + 1;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK_TEMPLATE(BM_AcqEngineTelemetry, telemetry::NullEngineSink)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_TEMPLATE(BM_AcqEngineTelemetry, telemetry::CountingEngineSink)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_TEMPLATE(BM_AcqEngineTelemetry, telemetry::HistogramEngineSink)
+    ->Arg(64)
+    ->Arg(1024);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  // Cost of one wait-free Record (two relaxed fetch_adds + a clz): the
+  // per-sample price the always-on runtime telemetry pays.
+  telemetry::LatencyHistogram hist;
+  uint64_t v = 0x9E3779B97F4A7C15ull;
+  for (auto _ : state) {
+    v ^= v >> 33;  // cheap value scrambling, spread across buckets
+    hist.Record(v >> (v & 31));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 }  // namespace slick::bench

@@ -8,7 +8,9 @@
 
 #include "ops/traits.h"
 #include "plan/shared_plan.h"
+#include "telemetry/sink.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "window/aggregator.h"
 
 namespace slick::engine {
@@ -23,7 +25,13 @@ namespace slick::engine {
 /// SlickDeque (Inv)/(Non-Inv), or Windowed<...> for single-query plans).
 /// Answers during warm-up treat not-yet-seen history as ⊕'s identity,
 /// matching the paper's identity-initialized window (Algorithms 1 and 2).
-template <typename Agg>
+///
+/// `Tel` selects the telemetry sink at compile time (telemetry/sink.h).
+/// The default NullEngineSink compiles every hook away, so the
+/// uninstrumented engine is bit-identical to the pre-telemetry hot loop;
+/// HistogramEngineSink additionally brackets each Push with clock reads
+/// and records per-push latency into a wait-free log histogram.
+template <typename Agg, typename Tel = telemetry::NullEngineSink>
 class AcqEngine {
  public:
   using op_type = typename Agg::op_type;
@@ -63,17 +71,22 @@ class AcqEngine {
   /// calls sink(query_index, result).
   template <typename Sink>
   void Push(const input_type& x, Sink&& sink) {
+    uint64_t t0 = 0;
+    if constexpr (Tel::kLatency) t0 = util::MonotonicNanos();
+    tel_.OnTuple();
     const plan::PlanStep& step = plan_.steps()[step_idx_];
     partial_ = in_partial_ == 0
                    ? op_type::lift(x)
                    : op_type::combine(partial_, op_type::lift(x));
     ++tuples_;
-    if (++in_partial_ < step.partial_len) return;
-
-    agg_.slide(std::move(partial_));
-    in_partial_ = 0;
-    EmitAnswers(step, sink);
-    step_idx_ = step_idx_ + 1 == plan_.steps().size() ? 0 : step_idx_ + 1;
+    if (++in_partial_ >= step.partial_len) {
+      agg_.slide(std::move(partial_));
+      tel_.OnPartial();
+      in_partial_ = 0;
+      EmitAnswers(step, sink);
+      step_idx_ = step_idx_ + 1 == plan_.steps().size() ? 0 : step_idx_ + 1;
+    }
+    if constexpr (Tel::kLatency) tel_.OnLatency(util::MonotonicNanos() - t0);
   }
 
   const plan::SharedPlan& plan() const { return plan_; }
@@ -82,6 +95,11 @@ class AcqEngine {
   Agg& mutable_aggregator() { return agg_; }
   uint64_t tuples_processed() const { return tuples_; }
   uint64_t answers_produced() const { return answers_; }
+
+  /// The compile-time-selected telemetry sink (counters/histogram live
+  /// here when Tel is not the null sink).
+  const Tel& telemetry() const { return tel_; }
+  Tel& telemetry() { return tel_; }
 
   std::size_t memory_bytes() const { return sizeof(*this) + agg_.memory_bytes(); }
 
@@ -117,17 +135,20 @@ class AcqEngine {
         sink(step.reports[i].query, multi_out_[i]);
         ++answers_;
       }
+      tel_.OnAnswer(step.reports.size());
     } else {
       for (const plan::ReportEntry& r : step.reports) {
         sink(r.query,
              agg_.query(static_cast<std::size_t>(r.range_in_partials)));
         ++answers_;
       }
+      tel_.OnAnswer(step.reports.size());
     }
   }
 
   plan::SharedPlan plan_;
   Agg agg_;
+  [[no_unique_address]] Tel tel_;
   std::vector<std::vector<std::size_t>> step_ranges_;  // descending, per step
   std::vector<result_type> multi_out_;
   value_type partial_ = op_type::identity();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/traits.h"
+#include "telemetry/sink.h"
 #include "util/check.h"
 #include "window/aggregator.h"
 
@@ -25,7 +26,11 @@ namespace slick::engine {
 /// Each shard runs an independent aggregator (its own SlickDeque), so
 /// per-shard state, per-slide work and (on a real cluster) communication
 /// all scale as 1/N — the measurement `bench/ablation_sharded` reports.
-template <window::FixedWindowAggregator Agg>
+///
+/// `Tel` is the compile-time telemetry sink (telemetry/sink.h); the default
+/// null sink keeps slide()/query() identical to the uninstrumented code.
+template <window::FixedWindowAggregator Agg,
+          typename Tel = telemetry::NullEngineSink>
   requires(Agg::op_type::kCommutative)
 class RoundRobinSharded {
  public:
@@ -48,7 +53,9 @@ class RoundRobinSharded {
 
   /// Routes the newest element to its shard.
   void slide(value_type v) {
+    tel_.OnTuple();
     shards_[next_].slide(std::move(v));
+    tel_.OnPartial();
     next_ = next_ + 1 == shards_.size() ? 0 : next_ + 1;
     if (tuples_seen_ < global_window_) ++tuples_seen_;
   }
@@ -67,6 +74,7 @@ class RoundRobinSharded {
     SLICK_CHECK(ready(),
                 "query before the global window is warm "
                 "(needs `window` tuples; poll ready())");
+    tel_.OnQuery();
     // Local answers re-lift trivially for the ops in this library
     // (result_type == value_type for every distributive op).
     value_type acc = shards_[0].query();
@@ -82,6 +90,11 @@ class RoundRobinSharded {
   Agg& shard(std::size_t i) { return shards_[i]; }
   const Agg& shard(std::size_t i) const { return shards_[i]; }
 
+  /// The compile-time-selected telemetry sink (mutable so the logically
+  /// const query() can tally itself).
+  const Tel& telemetry() const { return tel_; }
+  Tel& telemetry() { return tel_; }
+
   std::size_t memory_bytes() const {
     std::size_t bytes = sizeof(*this);
     for (const Agg& s : shards_) bytes += s.memory_bytes();
@@ -91,6 +104,7 @@ class RoundRobinSharded {
  private:
   std::size_t global_window_;
   std::vector<Agg> shards_;
+  [[no_unique_address]] mutable Tel tel_;
   std::size_t next_ = 0;         // round-robin cursor
   std::size_t tuples_seen_ = 0;  // saturates at global_window_ (warm-up gate)
 };

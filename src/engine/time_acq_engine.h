@@ -11,6 +11,7 @@
 #include "engine/acq_engine.h"
 #include "ops/traits.h"
 #include "plan/query_spec.h"
+#include "telemetry/sink.h"
 #include "util/check.h"
 
 namespace slick::engine {
@@ -74,7 +75,13 @@ struct Prelifted {
 /// over the window [t - range, t) — half-open at the top: an element
 /// stamped exactly t belongs to the next window, the standard pane/
 /// tumbling-boundary convention.
-template <ops::AggregateOp RawOp, typename Agg>
+///
+/// `Tel` is the compile-time telemetry sink (telemetry/sink.h; the default
+/// null sink costs nothing). The time engine reports pane-level flow —
+/// panes closed, empty (gap) panes, and the watermark (the end timestamp
+/// of the newest closed pane) — plus tuple/answer counts.
+template <ops::AggregateOp RawOp, typename Agg,
+          typename Tel = telemetry::NullEngineSink>
 class TimeAcqEngine {
   static_assert(std::is_same_v<typename Agg::op_type, Prelifted<RawOp>>,
                 "instantiate the aggregator over Prelifted<RawOp>");
@@ -94,6 +101,7 @@ class TimeAcqEngine {
   template <typename Sink>
   void Observe(uint64_t ts, const input_type& x, Sink&& sink) {
     SLICK_CHECK(ts >= now_, "timestamps must be non-decreasing");
+    tel_.OnTuple();
     ClosePanesThrough(ts, sink);
     now_ = ts;
     pane_acc_ = have_acc_ ? RawOp::combine(pane_acc_, RawOp::lift(x))
@@ -113,6 +121,12 @@ class TimeAcqEngine {
   uint64_t pane_length() const { return pane_; }
   const plan::SharedPlan& plan() const { return engine_.plan(); }
   std::size_t memory_bytes() const { return engine_.memory_bytes(); }
+
+  /// The compile-time-selected telemetry sink. Watermark lag at any moment
+  /// is `now - telemetry().counters.watermark` (time units): how far the
+  /// open pane trails the newest observed timestamp.
+  const Tel& telemetry() const { return tel_; }
+  Tel& telemetry() { return tel_; }
 
  private:
   static uint64_t PaneLength(const std::vector<TimeQuerySpec>& queries) {
@@ -142,7 +156,12 @@ class TimeAcqEngine {
   void ClosePanesThrough(uint64_t ts, Sink& sink) {
     const uint64_t target_pane = ts / pane_;
     while (open_pane_ < target_pane) {
-      engine_.Push(have_acc_ ? pane_acc_ : RawOp::identity(), sink);
+      auto counted = [&](uint32_t q, const result_type& r) {
+        tel_.OnAnswer();
+        sink(q, r);
+      };
+      engine_.Push(have_acc_ ? pane_acc_ : RawOp::identity(), counted);
+      tel_.OnPaneClose(!have_acc_, (open_pane_ + 1) * pane_);
       have_acc_ = false;
       ++open_pane_;
     }
@@ -150,6 +169,7 @@ class TimeAcqEngine {
 
   uint64_t pane_;
   AcqEngine<Agg> engine_;
+  [[no_unique_address]] Tel tel_;
   uint64_t now_ = 0;
   uint64_t open_pane_ = 0;  // index of the currently accumulating pane
   value_type pane_acc_ = RawOp::identity();
@@ -158,10 +178,10 @@ class TimeAcqEngine {
 
 /// The facade-selected time engine for RawOp (SlickDeque (Inv) for
 /// invertible ops, SlickDeque (Non-Inv) for selective ones, DABA
-/// otherwise).
-template <ops::AggregateOp RawOp>
+/// otherwise). Optionally pass a telemetry sink as the second argument.
+template <ops::AggregateOp RawOp, typename Tel = telemetry::NullEngineSink>
 using TimeEngineFor =
-    TimeAcqEngine<RawOp, core::WindowAggregatorFor<Prelifted<RawOp>>>;
+    TimeAcqEngine<RawOp, core::WindowAggregatorFor<Prelifted<RawOp>>, Tel>;
 
 }  // namespace slick::engine
 

@@ -22,14 +22,35 @@ struct OpCounter {
   static uint64_t Total() { return combines + inverses; }
 };
 
+/// Per-thread tally with the same shape as OpCounter: each thread sees its
+/// own counts, so the parallel runtime can attribute Table-1 op work to the
+/// shard worker that performed it (ShardWorker folds the deltas into its
+/// telemetry::ShardCounters once per batch). No synchronization needed —
+/// every access is thread-local.
+struct ThreadLocalOpCounter {
+  static inline thread_local uint64_t combines = 0;
+  static inline thread_local uint64_t inverses = 0;
+
+  static void Reset() {
+    combines = 0;
+    inverses = 0;
+  }
+  static uint64_t Total() { return combines + inverses; }
+};
+
 /// Instruments an op: forwards everything, counting combine()/inverse()
-/// calls in OpCounter. lift() and lower() are free, matching the paper's
-/// metric ("the number of aggregate operations performed per slide").
-template <AggregateOp Op>
-struct CountingOp {
+/// calls in `Counter` (OpCounter or ThreadLocalOpCounter — anything with
+/// static `combines`/`inverses` tallies). lift() and lower() are free,
+/// matching the paper's metric ("the number of aggregate operations
+/// performed per slide").
+template <AggregateOp Op, typename Counter>
+struct CountingOpT {
   using input_type = typename Op::input_type;
   using value_type = typename Op::value_type;
   using result_type = typename Op::result_type;
+  /// Exposes the tally so telemetry consumers (ShardWorker) can detect a
+  /// counted op and read the per-thread deltas.
+  using counter_type = Counter;
 
   static constexpr const char* kName = Op::kName;
   static constexpr bool kInvertible = Op::kInvertible;
@@ -39,13 +60,13 @@ struct CountingOp {
   static value_type identity() { return Op::identity(); }
   static value_type lift(input_type x) { return Op::lift(x); }
   static value_type combine(const value_type& a, const value_type& b) {
-    ++OpCounter::combines;
+    ++Counter::combines;
     return Op::combine(a, b);
   }
   static value_type inverse(const value_type& a, const value_type& b)
     requires InvertibleOp<Op>
   {
-    ++OpCounter::inverses;
+    ++Counter::inverses;
     return Op::inverse(a, b);
   }
   // The deque's domination test is an ⊕ application under the paper's
@@ -53,11 +74,20 @@ struct CountingOp {
   static bool absorbs(const value_type& newer, const value_type& older)
     requires SelectiveOp<Op>
   {
-    ++OpCounter::combines;
+    ++Counter::combines;
     return Absorbs<Op>(newer, older);
   }
   static result_type lower(const value_type& a) { return Op::lower(a); }
 };
+
+/// The Table-1 default: global single-threaded tally, as in the paper's
+/// testbed.
+template <AggregateOp Op>
+using CountingOp = CountingOpT<Op, OpCounter>;
+
+/// Thread-attributed variant for the parallel runtime.
+template <AggregateOp Op>
+using ThreadCountingOp = CountingOpT<Op, ThreadLocalOpCounter>;
 
 }  // namespace slick::ops
 

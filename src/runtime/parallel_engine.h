@@ -11,6 +11,7 @@
 #include "ops/traits.h"
 #include "runtime/shard_worker.h"
 #include "runtime/spsc_ring.h"
+#include "telemetry/snapshot.h"
 #include "util/check.h"
 #include "window/aggregator.h"
 
@@ -187,6 +188,39 @@ class ParallelShardedEngine {
     return s;
   }
 
+  /// Live telemetry cut: per-shard flow counters, ring occupancy and
+  /// high-water, watermark lag, per-shard ⊕/⊖ counts (when the op is
+  /// ops::ThreadCountingOp), and the merged per-batch drain-latency
+  /// histogram. Counters are relaxed atomics, so this is safe to call from
+  /// any thread while the runtime serves; the conservation identity
+  /// tuples_in == tuples_out + in_flight is exact at a quiescent cut
+  /// (after query()/stop()) and within one in-transit batch otherwise.
+  /// `staged` is router-owned and exact only from the router thread.
+  telemetry::RuntimeSnapshot snapshot() const {
+    telemetry::RuntimeSnapshot r;
+    r.shards.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const telemetry::ShardCounters& c = workers_[i]->counters();
+      telemetry::ShardSnapshot s;
+      s.tuples_in = c.tuples_in.Get();
+      s.tuples_out = c.tuples_out.Get();
+      s.dropped = c.dropped.Get();
+      s.batches = c.batches.Get();
+      s.in_flight = workers_[i]->ring().size();
+      s.staged = staging_[i].size();
+      s.ring_highwater = workers_[i]->ring().occupancy_highwater();
+      // Saturating: out can transiently lead in between the worker's batch
+      // publish and the router's counter bump.
+      s.watermark_lag =
+          s.tuples_in > s.tuples_out ? s.tuples_in - s.tuples_out : 0;
+      s.combines = c.combines.Get();
+      s.inverses = c.inverses.Get();
+      r.shards.push_back(s);
+      r.batch_latency_ns.Merge(workers_[i]->batch_latency().TakeSnapshot());
+    }
+    return r;
+  }
+
   std::size_t memory_bytes() const {
     std::size_t bytes = sizeof(*this);
     for (const auto& w : workers_) {
@@ -208,14 +242,18 @@ class ParallelShardedEngine {
     std::vector<value_type>& stage = staging_[i];
     if (stage.empty()) return;
     SpscRing<value_type>& ring = workers_[i]->ring();
+    telemetry::ShardCounters& tel = workers_[i]->counters();
     if (options_.backpressure == Backpressure::kBlock) {
       const std::size_t accepted = ring.push_n(stage.data(), stage.size());
       SLICK_CHECK(accepted == stage.size(), "ring closed during push");
       pushed_[i] += accepted;
+      tel.tuples_in.Add(accepted);
     } else {
       const std::size_t accepted = ring.try_push_n(stage.data(), stage.size());
       pushed_[i] += accepted;
       dropped_[i] += stage.size() - accepted;
+      tel.tuples_in.Add(accepted);
+      tel.dropped.Add(stage.size() - accepted);
     }
     stage.clear();
   }

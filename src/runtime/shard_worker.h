@@ -5,11 +5,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "ops/counting.h"
 #include "runtime/spsc_ring.h"
+#include "telemetry/counters.h"
+#include "telemetry/histogram.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "window/aggregator.h"
 
 namespace slick::runtime {
@@ -68,16 +73,50 @@ class ShardWorker {
   const Agg& aggregator() const { return agg_; }
   Agg& aggregator() { return agg_; }
 
+  /// Always-on flow telemetry. tuples_out/batches are bumped once per
+  /// drained batch (relaxed), so the per-element overhead is a fraction of
+  /// an atomic add; any thread may read concurrently with relaxed loads.
+  const telemetry::ShardCounters& counters() const { return counters_; }
+  telemetry::ShardCounters& counters() { return counters_; }
+
+  /// Per-batch drain latency (time to slide one popped batch into the
+  /// aggregator), recorded wait-free by the worker; mergeable across shards
+  /// into the runtime-wide distribution.
+  const telemetry::LatencyHistogram& batch_latency() const {
+    return batch_latency_;
+  }
+
  private:
+  /// True when the shard op is the thread-attributed counting wrapper
+  /// (ops::ThreadCountingOp): the worker then folds its thread-local ⊕/⊖
+  /// tallies into the shard telemetry after every batch, unifying the
+  /// paper's Table-1 metric with the runtime's live counters.
+  static constexpr bool kCountedOp = requires {
+    requires std::is_same_v<typename Agg::op_type::counter_type,
+                            ops::ThreadLocalOpCounter>;
+  };
+
   void Run() {
     std::vector<value_type> buf(batch_);
     uint64_t done = 0;
+    uint64_t seen_combines = 0, seen_inverses = 0;
     for (;;) {
       const std::size_t n = ring_.pop_n(buf.data(), batch_);
       if (n == 0) break;  // closed and fully drained
+      const uint64_t t0 = util::MonotonicNanos();
       for (std::size_t i = 0; i < n; ++i) agg_.slide(std::move(buf[i]));
+      batch_latency_.Record(util::MonotonicNanos() - t0);
       done += n;
       processed_.store(done, std::memory_order_release);
+      counters_.tuples_out.Add(n);
+      counters_.batches.Add(1);
+      if constexpr (kCountedOp) {
+        using Tally = ops::ThreadLocalOpCounter;
+        counters_.combines.Add(Tally::combines - seen_combines);
+        counters_.inverses.Add(Tally::inverses - seen_inverses);
+        seen_combines = Tally::combines;
+        seen_inverses = Tally::inverses;
+      }
     }
   }
 
@@ -85,6 +124,8 @@ class ShardWorker {
   const std::size_t batch_;
   Agg agg_;
   alignas(64) std::atomic<uint64_t> processed_{0};
+  telemetry::ShardCounters counters_;
+  telemetry::LatencyHistogram batch_latency_;
   std::thread thread_;
 };
 

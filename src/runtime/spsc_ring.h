@@ -57,6 +57,13 @@ class SpscRing {
   }
   bool empty() const { return size() == 0; }
 
+  /// Highest occupancy ever observed by the producer at a publish point
+  /// (an upper bound — see the comment in try_push_n). Readable from any
+  /// thread; feeds the runtime's ring_highwater telemetry gauge.
+  std::size_t occupancy_highwater() const {
+    return highwater_.load(std::memory_order_relaxed);
+  }
+
   // ------------------------------------------------------------------
   // Producer side.
   // ------------------------------------------------------------------
@@ -75,6 +82,15 @@ class SpscRing {
     const std::size_t count = n < free ? n : free;
     for (std::size_t i = 0; i < count; ++i) {
       slots_[static_cast<std::size_t>(tail + i) & mask_] = src[i];
+    }
+    // Telemetry: occupancy right after this publish, measured against the
+    // producer's (possibly stale) view of head_ — an upper bound, so the
+    // high-water mark never under-reports. Single-writer: only the producer
+    // touches highwater_, so a plain load-compare-store is race-free.
+    const auto occupancy =
+        static_cast<std::size_t>(tail + count - head_cache_);
+    if (occupancy > highwater_.load(std::memory_order_relaxed)) {
+      highwater_.store(occupancy, std::memory_order_relaxed);
     }
     tail_.store(tail + count, std::memory_order_release);
     // One event bump per publish batch; wakes a parked consumer.
@@ -216,6 +232,8 @@ class SpscRing {
   alignas(kCacheLine) std::atomic<uint32_t> tail_event_{0};
   alignas(kCacheLine) std::atomic<uint32_t> head_event_{0};
   std::atomic<bool> closed_{false};
+  // Producer-written occupancy high-water (telemetry; relaxed, see above).
+  alignas(kCacheLine) std::atomic<std::size_t> highwater_{0};
 };
 
 }  // namespace slick::runtime

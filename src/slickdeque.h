@@ -38,6 +38,11 @@
 #include "stream/dataset.h"            // IWYU pragma: export
 #include "stream/reorder.h"            // IWYU pragma: export
 #include "stream/synthetic.h"          // IWYU pragma: export
+#include "telemetry/counters.h"        // IWYU pragma: export
+#include "telemetry/histogram.h"       // IWYU pragma: export
+#include "telemetry/json.h"            // IWYU pragma: export
+#include "telemetry/sink.h"            // IWYU pragma: export
+#include "telemetry/snapshot.h"        // IWYU pragma: export
 #include "window/b_int.h"              // IWYU pragma: export
 #include "window/daba.h"               // IWYU pragma: export
 #include "window/flat_fat.h"           // IWYU pragma: export

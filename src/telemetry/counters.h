@@ -1,0 +1,83 @@
+#ifndef SLICKDEQUE_TELEMETRY_COUNTERS_H_
+#define SLICKDEQUE_TELEMETRY_COUNTERS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace slick::telemetry {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Monotonic event counter on its own cache line, so counters owned by
+/// different threads (one ShardCounters per shard) never false-share.
+/// Add() is a single relaxed fetch_add — wait-free, safe from any thread.
+struct alignas(kCacheLine) Counter {
+  std::atomic<uint64_t> v{0};
+
+  void Add(uint64_t n = 1) { v.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Get() const { return v.load(std::memory_order_relaxed); }
+  void Reset() { v.store(0, std::memory_order_relaxed); }
+};
+
+/// Last-value gauge (e.g. current watermark, ring occupancy at sample
+/// time). Single relaxed store/load.
+struct alignas(kCacheLine) Gauge {
+  std::atomic<uint64_t> v{0};
+
+  void Set(uint64_t x) { v.store(x, std::memory_order_relaxed); }
+  uint64_t Get() const { return v.load(std::memory_order_relaxed); }
+};
+
+/// High-water gauge with a SINGLE-WRITER update protocol: Observe() does a
+/// plain load-compare-store (no CAS loop), which is race-free because only
+/// the owning thread ever writes it — exactly the shape of the per-ring
+/// occupancy high-water, which only the producer samples. Readers on other
+/// threads use relaxed loads.
+struct alignas(kCacheLine) MaxGauge {
+  std::atomic<uint64_t> v{0};
+
+  void Observe(uint64_t x) {
+    if (x > v.load(std::memory_order_relaxed)) {
+      v.store(x, std::memory_order_relaxed);
+    }
+  }
+  uint64_t Get() const { return v.load(std::memory_order_relaxed); }
+  void Reset() { v.store(0, std::memory_order_relaxed); }
+};
+
+/// Per-shard registry of the parallel runtime's flow metrics. One instance
+/// per shard, each field cache-line-padded; the router writes the ingress
+/// side, the worker writes the egress side, and a snapshot thread reads
+/// everything with relaxed loads. The conservation law the fuzz tests
+/// assert at every epoch:
+///
+///   tuples_in == tuples_out + (in-flight in the ring)
+///
+/// with dropped counted separately (shed before ever becoming tuples_in).
+struct ShardCounters {
+  Counter tuples_in;   ///< admitted into the shard ring (router)
+  Counter tuples_out;  ///< slid into the shard aggregator (worker)
+  Counter dropped;     ///< shed under Backpressure::kDropNewest (router)
+  Counter batches;     ///< worker drain batches (worker)
+  Counter combines;    ///< ⊕ applications attributed to this shard
+  Counter inverses;    ///< ⊖ applications attributed to this shard
+};
+
+/// Engine-level tallies for the single-thread ACQ engines. Kept as plain
+/// (non-atomic) integers: the engines are single-threaded by contract, and
+/// the compile-time sink (see sink.h) decides whether these are maintained
+/// at all.
+struct EngineCounters {
+  uint64_t tuples_in = 0;   ///< raw stream elements pushed
+  uint64_t partials = 0;    ///< completed partials slid into the window
+  uint64_t answers = 0;     ///< query answers emitted
+  uint64_t queries = 0;     ///< explicit query() calls (sharded engines)
+  uint64_t panes_closed = 0;    ///< time engine: panes fed downstream
+  uint64_t panes_empty = 0;     ///< time engine: identity (gap) panes
+  uint64_t watermark = 0;       ///< time engine: latest closed-pane end ts
+};
+
+}  // namespace slick::telemetry
+
+#endif  // SLICKDEQUE_TELEMETRY_COUNTERS_H_

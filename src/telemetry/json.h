@@ -1,0 +1,26 @@
+#ifndef SLICKDEQUE_TELEMETRY_JSON_H_
+#define SLICKDEQUE_TELEMETRY_JSON_H_
+
+#include <string>
+
+#include "telemetry/counters.h"
+#include "telemetry/histogram.h"
+#include "telemetry/snapshot.h"
+
+namespace slick::telemetry {
+
+/// JSON renderings of the telemetry snapshots, for `tools/telemetry_dump`
+/// and any external scraper. No external JSON dependency: the shapes are
+/// fixed, so the writers are straight-line code.
+///
+/// Histogram JSON carries the summary percentiles plus a sparse
+/// `{bucket_lower: count}` dump of the non-empty buckets, which is enough
+/// to re-derive any quantile offline.
+std::string ToJson(const LatencyHistogram::Snapshot& h);
+std::string ToJson(const ShardSnapshot& s);
+std::string ToJson(const RuntimeSnapshot& r);
+std::string ToJson(const EngineCounters& c);
+
+}  // namespace slick::telemetry
+
+#endif  // SLICKDEQUE_TELEMETRY_JSON_H_

@@ -1,0 +1,55 @@
+#ifndef SLICKDEQUE_TELEMETRY_SNAPSHOT_H_
+#define SLICKDEQUE_TELEMETRY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/counters.h"
+#include "telemetry/histogram.h"
+
+namespace slick::telemetry {
+
+/// Point-in-time view of one shard of the parallel runtime. All fields are
+/// plain integers (the atomics were read once, with relaxed loads); the
+/// conservation identity the fuzz tests check is
+///
+///   tuples_in == tuples_out + in_flight
+///
+/// exactly at a quiescent cut (epoch snapshot / after stop()), and within
+/// the one in-transit batch otherwise.
+struct ShardSnapshot {
+  uint64_t tuples_in = 0;       ///< admitted into the shard ring
+  uint64_t tuples_out = 0;      ///< slid into the shard aggregator
+  uint64_t dropped = 0;         ///< shed by backpressure (never admitted)
+  uint64_t batches = 0;         ///< worker drain batches
+  uint64_t in_flight = 0;       ///< ring occupancy when sampled
+  uint64_t staged = 0;          ///< router-side staging, not yet admitted
+  uint64_t ring_highwater = 0;  ///< max ring occupancy ever observed
+  uint64_t watermark_lag = 0;   ///< tuples_in - tuples_out when sampled
+  uint64_t combines = 0;        ///< ⊕ applications (when op-counting is on)
+  uint64_t inverses = 0;        ///< ⊖ applications (when op-counting is on)
+};
+
+/// Point-in-time view of the whole parallel runtime: per-shard flow
+/// counters plus the merged per-batch drain-latency histogram.
+struct RuntimeSnapshot {
+  std::vector<ShardSnapshot> shards;
+  LatencyHistogram::Snapshot batch_latency_ns;  ///< merged across shards
+
+  uint64_t total_in() const { return Sum(&ShardSnapshot::tuples_in); }
+  uint64_t total_out() const { return Sum(&ShardSnapshot::tuples_out); }
+  uint64_t total_dropped() const { return Sum(&ShardSnapshot::dropped); }
+  uint64_t total_in_flight() const { return Sum(&ShardSnapshot::in_flight); }
+  uint64_t total_staged() const { return Sum(&ShardSnapshot::staged); }
+
+ private:
+  uint64_t Sum(uint64_t ShardSnapshot::* field) const {
+    uint64_t n = 0;
+    for (const ShardSnapshot& s : shards) n += s.*field;
+    return n;
+  }
+};
+
+}  // namespace slick::telemetry
+
+#endif  // SLICKDEQUE_TELEMETRY_SNAPSHOT_H_

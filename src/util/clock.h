@@ -1,0 +1,21 @@
+#ifndef SLICKDEQUE_UTIL_CLOCK_H_
+#define SLICKDEQUE_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace slick::util {
+
+/// Monotonic wall time in nanoseconds — the library-side twin of the bench
+/// harness's NowNs(), used by the telemetry layer to timestamp latency
+/// samples. steady_clock so the value never jumps backwards under NTP.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace slick::util
+
+#endif  // SLICKDEQUE_UTIL_CLOCK_H_

@@ -24,7 +24,18 @@ double PercentileSorted(const std::vector<uint64_t>& sorted, double q) {
 LatencySummary Summarize(std::vector<uint64_t>& samples,
                          double drop_top_fraction) {
   LatencySummary s;
+  // Explicit empty/single-sample handling: the interpolation in
+  // PercentileSorted needs at least one element, and a single sample IS
+  // every percentile — no interpolation, no outlier dropping (dropping the
+  // only sample would turn a measurement into "no data").
   if (samples.empty()) return s;
+  if (samples.size() == 1) {
+    const auto v = static_cast<double>(samples[0]);
+    s.count = 1;
+    s.min_ns = s.p25_ns = s.median_ns = s.p75_ns = v;
+    s.p99_ns = s.p999_ns = s.max_ns = s.avg_ns = v;
+    return s;
+  }
   std::sort(samples.begin(), samples.end());
   size_t keep = samples.size();
   if (drop_top_fraction > 0.0) {

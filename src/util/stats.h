@@ -25,7 +25,10 @@ struct LatencySummary {
 
 /// Computes a LatencySummary. `drop_top_fraction` removes that fraction of
 /// the highest samples as outliers before summarizing (the paper drops the
-/// top 0.005%). `samples` is consumed (sorted in place).
+/// top 0.005%). `samples` is consumed (sorted in place). Edge cases are
+/// explicit: an empty input yields an all-zero summary with count == 0; a
+/// single sample is reported as every percentile (and is never dropped as
+/// an outlier).
 LatencySummary Summarize(std::vector<uint64_t>& samples,
                          double drop_top_fraction = 0.0);
 

@@ -1,10 +1,12 @@
 // Differential fuzzing: randomized configurations (window sizes, query
 // sets, PATs, input shapes) drive every algorithm in lockstep; any
 // disagreement is a bug in exactly one of them. Seeds are fixed, so
-// failures reproduce; crank --gtest_repeat or the kTrials constants for
-// longer campaigns.
+// failures reproduce; crank --gtest_repeat, the kTrials constants, or the
+// SLICK_FUZZ_TRIALS environment variable (nightly CI sets it) for longer
+// campaigns.
 
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,8 +15,11 @@
 #include "core/slick_deque_noninv.h"
 #include "core/windowed.h"
 #include "engine/acq_engine.h"
+#include "engine/sharded.h"
 #include "ops/arith.h"
 #include "ops/minmax.h"
+#include "runtime/parallel_engine.h"
+#include "telemetry/snapshot.h"
 #include "util/rng.h"
 #include "window/b_int.h"
 #include "window/daba.h"
@@ -30,6 +35,17 @@ using plan::Pat;
 using plan::QuerySpec;
 
 constexpr int kConfigTrials = 40;
+
+/// Trial count for a fuzz campaign: `fallback` under the default budget,
+/// overridden by SLICK_FUZZ_TRIALS (the CI nightly job sets it much
+/// higher; locally export it for soak runs).
+int FuzzTrials(int fallback) {
+  if (const char* env = std::getenv("SLICK_FUZZ_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return fallback;
+}
 
 int64_t ShapedValue(util::SplitMix64& rng, int shape, int step) {
   switch (shape) {
@@ -48,7 +64,8 @@ int64_t ShapedValue(util::SplitMix64& rng, int shape, int step) {
 
 TEST(DifferentialFuzzTest, AllFixedWindowAlgorithmsAgreeOnRandomConfigs) {
   util::SplitMix64 config_rng(0xF00D);
-  for (int trial = 0; trial < kConfigTrials; ++trial) {
+  const int trials = FuzzTrials(kConfigTrials);
+  for (int trial = 0; trial < trials; ++trial) {
     const std::size_t window = 1 + config_rng.NextBounded(140);
     const int shape = static_cast<int>(config_rng.NextBounded(5));
     const uint64_t seed = config_rng.NextU64();
@@ -105,7 +122,8 @@ TEST(DifferentialFuzzTest, AllFixedWindowAlgorithmsAgreeOnRandomConfigs) {
 
 TEST(DifferentialFuzzTest, EnginesAgreeOnRandomQuerySets) {
   util::SplitMix64 config_rng(0xBEEF);
-  for (int trial = 0; trial < kConfigTrials; ++trial) {
+  const int trials = FuzzTrials(kConfigTrials);
+  for (int trial = 0; trial < trials; ++trial) {
     // 1-4 random queries with slides 1..8, ranges 1..80.
     const std::size_t q = 1 + config_rng.NextBounded(4);
     std::vector<QuerySpec> queries;
@@ -136,6 +154,122 @@ TEST(DifferentialFuzzTest, EnginesAgreeOnRandomQuerySets) {
       ASSERT_EQ(a, b) << "trial " << trial << " tuple " << t;
       ASSERT_EQ(a, c) << "trial " << trial << " tuple " << t;
     }
+  }
+}
+
+// Randomized configurations for the multi-threaded runtime: shard counts,
+// ring capacities, batch sizes and both backpressure modes, checked for
+// (a) answer agreement with the single-threaded RoundRobinSharded reference
+// at slide barriers (lossless mode) and (b) the telemetry conservation
+// identities at every epoch snapshot:
+//   live (router thread):   fed == admitted + dropped + staged,
+//                           tuples_out <= tuples_in        (per shard)
+//   quiescent (post-query): tuples_in == tuples_out, in_flight == 0.
+TEST(DifferentialFuzzTest, ParallelEngineTelemetryConservationOnRandomConfigs) {
+  using Agg = core::SlickDequeInv<ops::SumInt>;
+  util::SplitMix64 config_rng(0xD15C);
+  const int trials = FuzzTrials(12);
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::size_t shards = 1 + config_rng.NextBounded(8);
+    const std::size_t shard_window = 1 + config_rng.NextBounded(48);
+    const std::size_t window = shards * shard_window;
+    runtime::ParallelShardedEngine<Agg>::Options opt;
+    opt.ring_capacity = std::size_t{1} << (2 + config_rng.NextBounded(7));
+    opt.batch = 1 + config_rng.NextBounded(48);
+    const bool drop = config_rng.NextBounded(4) == 0;  // mostly lossless
+    opt.backpressure = drop ? runtime::Backpressure::kDropNewest
+                            : runtime::Backpressure::kBlock;
+    const uint64_t seed = config_rng.NextU64();
+    const int epochs = 2 + static_cast<int>(config_rng.NextBounded(4));
+    // Per-epoch tuple count is a multiple of `shards` so every epoch cut is
+    // a slide barrier (where the N-way combine is exact, see
+    // parallel_engine.h).
+    const uint64_t per_epoch =
+        shards * (shard_window + 1 + config_rng.NextBounded(200));
+
+    runtime::ParallelShardedEngine<Agg> par(window, shards, opt);
+    engine::RoundRobinSharded<Agg> ref(window, shards);
+
+    util::SplitMix64 rng(seed);
+    uint64_t fed = 0;
+    for (int e = 0; e < epochs; ++e) {
+      for (uint64_t i = 0; i < per_epoch; ++i) {
+        const auto v = static_cast<int64_t>(rng.NextBounded(1 << 20)) -
+                       (1 << 19);
+        par.push(v);
+        ref.slide(v);
+        ++fed;
+      }
+      par.flush();
+
+      // Live cut: workers may still be draining. Router-side admission
+      // accounting is exact (the test thread IS the router); worker-side
+      // counters may only trail admission.
+      const telemetry::RuntimeSnapshot live = par.snapshot();
+      ASSERT_EQ(live.total_in() + live.total_dropped() + live.total_staged(),
+                fed)
+          << "trial " << trial << " epoch " << e;
+      ASSERT_EQ(live.total_staged(), 0u) << "after flush, trial " << trial;
+      if (!drop) {
+        ASSERT_EQ(live.total_dropped(), 0u) << "trial " << trial;
+      }
+      for (std::size_t s = 0; s < live.shards.size(); ++s) {
+        const telemetry::ShardSnapshot& sh = live.shards[s];
+        ASSERT_LE(sh.tuples_out, sh.tuples_in)
+            << "trial " << trial << " shard " << s;
+        ASSERT_LE(sh.in_flight, opt.ring_capacity)
+            << "trial " << trial << " shard " << s;
+        ASSERT_LE(sh.ring_highwater, opt.ring_capacity)
+            << "trial " << trial << " shard " << s;
+        ASSERT_EQ(sh.watermark_lag, sh.tuples_in - sh.tuples_out)
+            << "trial " << trial << " shard " << s;
+      }
+
+      // Quiescent cut: query() awaits the epoch, so everything admitted has
+      // been slid and the rings are empty. Under kDropNewest, shedding can
+      // legitimately starve a shard's warm-up (the scheduler decides how
+      // fast workers drain), so only query once every shard actually
+      // admitted a full window.
+      bool warm = true;
+      for (const telemetry::ShardSnapshot& sh : live.shards) {
+        if (sh.tuples_in < shard_window) warm = false;
+      }
+      if (!drop) {
+        ASSERT_TRUE(warm) << "trial " << trial << " epoch " << e;
+        ASSERT_TRUE(par.ready()) << "trial " << trial << " epoch " << e;
+      }
+      if (!warm) continue;
+      const int64_t got = par.query();
+      const telemetry::RuntimeSnapshot quiet = par.snapshot();
+      ASSERT_EQ(quiet.total_in(), quiet.total_out())
+          << "trial " << trial << " epoch " << e;
+      ASSERT_EQ(quiet.total_in_flight(), 0u)
+          << "trial " << trial << " epoch " << e;
+      ASSERT_EQ(quiet.total_in() + quiet.total_dropped(), fed)
+          << "trial " << trial << " epoch " << e;
+      // Every drained batch was timed: the merged histogram's count equals
+      // the total batch count.
+      uint64_t batches = 0;
+      for (const telemetry::ShardSnapshot& sh : quiet.shards) {
+        batches += sh.batches;
+      }
+      ASSERT_EQ(quiet.batch_latency_ns.total(), batches)
+          << "trial " << trial << " epoch " << e;
+
+      // Answer agreement with the single-threaded reference (lossless mode
+      // only — shedding legitimately changes per-shard suffixes).
+      if (!drop) {
+        ASSERT_EQ(got, ref.query()) << "trial " << trial << " epoch " << e
+                                    << " shards=" << shards
+                                    << " window=" << window;
+      }
+    }
+
+    par.stop();
+    const telemetry::RuntimeSnapshot fin = par.snapshot();
+    ASSERT_EQ(fin.total_in(), fin.total_out()) << "trial " << trial;
+    ASSERT_EQ(fin.total_in_flight(), 0u) << "trial " << trial;
+    ASSERT_EQ(fin.total_in() + fin.total_dropped(), fed) << "trial " << trial;
   }
 }
 

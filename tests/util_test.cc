@@ -108,6 +108,49 @@ TEST(StatsTest, SummarizeEmpty) {
   std::vector<uint64_t> v;
   const LatencySummary s = Summarize(v);
   EXPECT_EQ(s.count, 0u);
+  // Every field of an empty summary is zero — no NaNs, no stale values.
+  EXPECT_DOUBLE_EQ(s.min_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.p25_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.median_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.p75_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.p999_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_ns, 0.0);
+}
+
+TEST(StatsTest, SummarizeEmptyWithDropFraction) {
+  // drop_top on an empty input must not underflow the kept-count.
+  std::vector<uint64_t> v;
+  const LatencySummary s = Summarize(v, 0.5);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max_ns, 0.0);
+}
+
+TEST(StatsTest, SummarizeSingleSample) {
+  // Regression: a single sample is every percentile, and the summary's
+  // count is 1 — it must not report zeros or divide by zero.
+  std::vector<uint64_t> v = {37};
+  const LatencySummary s = Summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min_ns, 37.0);
+  EXPECT_DOUBLE_EQ(s.p25_ns, 37.0);
+  EXPECT_DOUBLE_EQ(s.median_ns, 37.0);
+  EXPECT_DOUBLE_EQ(s.p75_ns, 37.0);
+  EXPECT_DOUBLE_EQ(s.p99_ns, 37.0);
+  EXPECT_DOUBLE_EQ(s.p999_ns, 37.0);
+  EXPECT_DOUBLE_EQ(s.max_ns, 37.0);
+  EXPECT_DOUBLE_EQ(s.avg_ns, 37.0);
+}
+
+TEST(StatsTest, SummarizeSingleSampleNeverDroppedAsOutlier) {
+  // Regression: even an aggressive drop fraction keeps the last sample —
+  // the outlier trim must never empty a nonempty input.
+  std::vector<uint64_t> v = {99};
+  const LatencySummary s = Summarize(v, 0.9);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min_ns, 99.0);
+  EXPECT_DOUBLE_EQ(s.max_ns, 99.0);
 }
 
 TEST(StatsTest, RecorderRoundTrip) {
