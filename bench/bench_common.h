@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_BENCH_BENCH_COMMON_H_
-#define SLICKDEQUE_BENCH_BENCH_COMMON_H_
+#pragma once
 
 // Shared infrastructure for the reproduction benches: tiny flag parser,
 // steady-clock timing, aligned table output, and the synthetic energy
@@ -98,4 +97,3 @@ inline void PrintHeader(const char* title, const char* cols) {
 
 }  // namespace slick::bench
 
-#endif  // SLICKDEQUE_BENCH_BENCH_COMMON_H_

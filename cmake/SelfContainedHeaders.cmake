@@ -1,0 +1,30 @@
+# Self-contained-header check: one generated TU per public header under
+# src/, each including the header twice (self-containment + re-inclusion
+# idempotence), compiled into an OBJECT library that produces no artifact
+# anyone links. A header that silently leans on its includer's context
+# breaks this target at build time instead of breaking the next user.
+#
+# configure_file() only rewrites a TU when its content changes, so
+# re-configuring does not dirty the build.
+option(SLICK_SELF_CONTAINED_HEADERS
+       "Compile a generated include-check TU per public header" ON)
+
+function(slick_add_header_check_target)
+  if(NOT SLICK_SELF_CONTAINED_HEADERS)
+    return()
+  endif()
+  file(GLOB_RECURSE _slick_headers RELATIVE ${PROJECT_SOURCE_DIR}/src
+       ${PROJECT_SOURCE_DIR}/src/*.h)
+  set(_tus "")
+  foreach(_hdr IN LISTS _slick_headers)
+    string(MAKE_C_IDENTIFIER ${_hdr} _hdr_id)
+    set(SLICK_HEADER_CHECK_INCLUDE ${_hdr})
+    set(_tu ${PROJECT_BINARY_DIR}/header_checks/check_${_hdr_id}.cc)
+    configure_file(${PROJECT_SOURCE_DIR}/cmake/header_check.cc.in ${_tu} @ONLY)
+    list(APPEND _tus ${_tu})
+  endforeach()
+  add_library(slick_header_checks OBJECT ${_tus})
+  target_link_libraries(slick_header_checks PRIVATE slickdeque)
+endfunction()
+
+slick_add_header_check_target()

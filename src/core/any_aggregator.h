@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_ANY_AGGREGATOR_H_
-#define SLICKDEQUE_CORE_ANY_AGGREGATOR_H_
+#pragma once
 
 #include <cstddef>
 #include <memory>
@@ -155,4 +154,3 @@ inline AnyWindowAggregator AnyWindowAggregator::Make(OpKind kind,
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_ANY_AGGREGATOR_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_MONOTONIC_DEQUE_H_
-#define SLICKDEQUE_CORE_MONOTONIC_DEQUE_H_
+#pragma once
 
 #include <concepts>
 #include <cstddef>
@@ -103,4 +102,3 @@ class MonotonicDeque {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_MONOTONIC_DEQUE_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_PER_QUERY_ADAPTER_H_
-#define SLICKDEQUE_CORE_PER_QUERY_ADAPTER_H_
+#pragma once
 
 #include <algorithm>
 #include <cstddef>
@@ -71,4 +70,3 @@ class PerQueryAdapter {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_PER_QUERY_ADAPTER_H_

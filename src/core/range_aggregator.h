@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_RANGE_AGGREGATOR_H_
-#define SLICKDEQUE_CORE_RANGE_AGGREGATOR_H_
+#pragma once
 
 #include <cstddef>
 
@@ -44,4 +43,3 @@ class RangeAggregator {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_RANGE_AGGREGATOR_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_SLICK_DEQUE_INV_H_
-#define SLICKDEQUE_CORE_SLICK_DEQUE_INV_H_
+#pragma once
 
 #include <algorithm>
 #include <cstddef>
@@ -164,4 +163,3 @@ class SlickDequeInv {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_SLICK_DEQUE_INV_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_SLICK_DEQUE_NONINV_H_
-#define SLICKDEQUE_CORE_SLICK_DEQUE_NONINV_H_
+#pragma once
 
 #include <concepts>
 #include <cstddef>
@@ -218,4 +217,3 @@ class SlickDequeNonInv {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_SLICK_DEQUE_NONINV_H_

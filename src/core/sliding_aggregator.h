@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_SLIDING_AGGREGATOR_H_
-#define SLICKDEQUE_CORE_SLIDING_AGGREGATOR_H_
+#pragma once
 
 #include <concepts>
 
@@ -75,4 +74,3 @@ using WindowAggregatorFor = typename internal::WindowPicker<Op>::type;
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_SLIDING_AGGREGATOR_H_

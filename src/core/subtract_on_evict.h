@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_SUBTRACT_ON_EVICT_H_
-#define SLICKDEQUE_CORE_SUBTRACT_ON_EVICT_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -71,4 +70,3 @@ class SubtractOnEvict {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_SUBTRACT_ON_EVICT_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_TIME_WINDOW_H_
-#define SLICKDEQUE_CORE_TIME_WINDOW_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -80,4 +79,3 @@ class TimeWindow {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_TIME_WINDOW_H_

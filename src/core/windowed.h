@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_CORE_WINDOWED_H_
-#define SLICKDEQUE_CORE_WINDOWED_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -61,4 +60,3 @@ class Windowed {
 
 }  // namespace slick::core
 
-#endif  // SLICKDEQUE_CORE_WINDOWED_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_ENGINE_ACQ_ENGINE_H_
-#define SLICKDEQUE_ENGINE_ACQ_ENGINE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -160,4 +159,3 @@ class AcqEngine {
 
 }  // namespace slick::engine
 
-#endif  // SLICKDEQUE_ENGINE_ACQ_ENGINE_H_

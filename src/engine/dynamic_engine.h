@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_ENGINE_DYNAMIC_ENGINE_H_
-#define SLICKDEQUE_ENGINE_DYNAMIC_ENGINE_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -131,4 +130,3 @@ class DynamicAcqEngine {
 
 }  // namespace slick::engine
 
-#endif  // SLICKDEQUE_ENGINE_DYNAMIC_ENGINE_H_

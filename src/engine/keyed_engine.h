@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_ENGINE_KEYED_ENGINE_H_
-#define SLICKDEQUE_ENGINE_KEYED_ENGINE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -76,4 +75,3 @@ class KeyedWindows {
 
 }  // namespace slick::engine
 
-#endif  // SLICKDEQUE_ENGINE_KEYED_ENGINE_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_ENGINE_SHARDED_H_
-#define SLICKDEQUE_ENGINE_SHARDED_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -111,4 +110,3 @@ class RoundRobinSharded {
 
 }  // namespace slick::engine
 
-#endif  // SLICKDEQUE_ENGINE_SHARDED_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_ENGINE_SHARED_FAMILY_H_
-#define SLICKDEQUE_ENGINE_SHARED_FAMILY_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -147,4 +146,3 @@ class SharedMinMaxFamilyEngine {
 
 }  // namespace slick::engine
 
-#endif  // SLICKDEQUE_ENGINE_SHARED_FAMILY_H_

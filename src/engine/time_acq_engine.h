@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_ENGINE_TIME_ACQ_ENGINE_H_
-#define SLICKDEQUE_ENGINE_TIME_ACQ_ENGINE_H_
+#pragma once
 
 #include <cstdint>
 #include <numeric>
@@ -185,4 +184,3 @@ using TimeEngineFor =
 
 }  // namespace slick::engine
 
-#endif  // SLICKDEQUE_ENGINE_TIME_ACQ_ENGINE_H_

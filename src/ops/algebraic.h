@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_ALGEBRAIC_H_
-#define SLICKDEQUE_OPS_ALGEBRAIC_H_
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -156,4 +155,3 @@ struct GeoMean {
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_ALGEBRAIC_H_

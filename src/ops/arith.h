@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_ARITH_H_
-#define SLICKDEQUE_OPS_ARITH_H_
+#pragma once
 
 #include <cstdint>
 
@@ -101,4 +100,3 @@ struct SumInt {
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_ARITH_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_BOOL_OPS_H_
-#define SLICKDEQUE_OPS_BOOL_OPS_H_
+#pragma once
 
 namespace slick::ops {
 
@@ -40,4 +39,3 @@ struct BoolOr {
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_BOOL_OPS_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_COUNTING_H_
-#define SLICKDEQUE_OPS_COUNTING_H_
+#pragma once
 
 #include <cstdint>
 
@@ -91,4 +90,3 @@ using ThreadCountingOp = CountingOpT<Op, ThreadLocalOpCounter>;
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_COUNTING_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_MAXCOUNT_H_
-#define SLICKDEQUE_OPS_MAXCOUNT_H_
+#pragma once
 
 #include <cstdint>
 
@@ -44,4 +43,3 @@ struct MaxCount {
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_MAXCOUNT_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_MINMAX_H_
-#define SLICKDEQUE_OPS_MINMAX_H_
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -185,4 +184,3 @@ struct Last {
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_MINMAX_H_

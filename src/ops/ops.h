@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_OPS_H_
-#define SLICKDEQUE_OPS_OPS_H_
+#pragma once
 
 // Umbrella header for the aggregate-operation framework.
 
@@ -11,4 +10,3 @@
 #include "ops/string_ops.h"   // IWYU pragma: export
 #include "ops/traits.h"       // IWYU pragma: export
 
-#endif  // SLICKDEQUE_OPS_OPS_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_SKETCH_H_
-#define SLICKDEQUE_OPS_SKETCH_H_
+#pragma once
 
 #include <array>
 #include <bit>
@@ -82,4 +81,3 @@ struct BloomSketch {
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_SKETCH_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_STRING_OPS_H_
-#define SLICKDEQUE_OPS_STRING_OPS_H_
+#pragma once
 
 #include <string>
 
@@ -50,4 +49,3 @@ struct Concat {
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_STRING_OPS_H_

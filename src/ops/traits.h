@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_OPS_TRAITS_H_
-#define SLICKDEQUE_OPS_TRAITS_H_
+#pragma once
 
 #include <concepts>
 #include <utility>
@@ -77,4 +76,3 @@ bool Absorbs(const typename Op::value_type& newer,
 
 }  // namespace slick::ops
 
-#endif  // SLICKDEQUE_OPS_TRAITS_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_PLAN_OPTIMIZER_H_
-#define SLICKDEQUE_PLAN_OPTIMIZER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -58,4 +57,3 @@ double NoSharingCost(const std::vector<QuerySpec>& queries, Pat pat,
 
 }  // namespace slick::plan
 
-#endif  // SLICKDEQUE_PLAN_OPTIMIZER_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_PLAN_PAT_H_
-#define SLICKDEQUE_PLAN_PAT_H_
+#pragma once
 
 #include <cstdint>
 #include <numeric>
@@ -78,4 +77,3 @@ inline uint64_t PartialsPerWindow(const QuerySpec& q, Pat pat) {
 
 }  // namespace slick::plan
 
-#endif  // SLICKDEQUE_PLAN_PAT_H_

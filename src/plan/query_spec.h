@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_PLAN_QUERY_SPEC_H_
-#define SLICKDEQUE_PLAN_QUERY_SPEC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -19,4 +18,3 @@ struct QuerySpec {
 
 }  // namespace slick::plan
 
-#endif  // SLICKDEQUE_PLAN_QUERY_SPEC_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_PLAN_SHARED_PLAN_H_
-#define SLICKDEQUE_PLAN_SHARED_PLAN_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -71,4 +70,3 @@ class SharedPlan {
 
 }  // namespace slick::plan
 
-#endif  // SLICKDEQUE_PLAN_SHARED_PLAN_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_RUNTIME_PARALLEL_ENGINE_H_
-#define SLICKDEQUE_RUNTIME_PARALLEL_ENGINE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -281,4 +280,3 @@ class ParallelShardedEngine {
 
 }  // namespace slick::runtime
 
-#endif  // SLICKDEQUE_RUNTIME_PARALLEL_ENGINE_H_

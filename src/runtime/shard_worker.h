@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_RUNTIME_SHARD_WORKER_H_
-#define SLICKDEQUE_RUNTIME_SHARD_WORKER_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -131,4 +130,3 @@ class ShardWorker {
 
 }  // namespace slick::runtime
 
-#endif  // SLICKDEQUE_RUNTIME_SHARD_WORKER_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_RUNTIME_SPSC_RING_H_
-#define SLICKDEQUE_RUNTIME_SPSC_RING_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -61,6 +60,7 @@ class SpscRing {
   /// (an upper bound — see the comment in try_push_n). Readable from any
   /// thread; feeds the runtime's ring_highwater telemetry gauge.
   std::size_t occupancy_highwater() const {
+    // relaxed: monotonic telemetry gauge, no data published through it.
     return highwater_.load(std::memory_order_relaxed);
   }
 
@@ -71,7 +71,12 @@ class SpscRing {
   /// Copies up to `n` elements from `src` into the ring without blocking.
   /// Returns the number accepted (0 when full or closed).
   std::size_t try_push_n(const T* src, std::size_t n) {
+    // relaxed: closed_ is a monotonic go/no-go flag here — no data is read
+    // on the strength of this load, and a stale `false` only means one more
+    // successful push into a ring the consumer still drains after close()
+    // (pop_n re-polls after observing closed). Promptness, not correctness.
     if (closed_.load(std::memory_order_relaxed)) return 0;
+    // relaxed: tail_ is this thread's own cursor (single producer).
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t free = capacity() - static_cast<std::size_t>(tail - head_cache_);
     if (free < n) {
@@ -85,8 +90,10 @@ class SpscRing {
     }
     // Telemetry: occupancy right after this publish, measured against the
     // producer's (possibly stale) view of head_ — an upper bound, so the
-    // high-water mark never under-reports. Single-writer: only the producer
-    // touches highwater_, so a plain load-compare-store is race-free.
+    // high-water mark never under-reports. relaxed: single-writer — only
+    // the producer touches highwater_, so the plain (non-CAS)
+    // load-compare-store is race-free, and readers only ever consume the
+    // value itself.
     const auto occupancy =
         static_cast<std::size_t>(tail + count - head_cache_);
     if (occupancy > highwater_.load(std::memory_order_relaxed)) {
@@ -111,6 +118,10 @@ class SpscRing {
       done += k;
       if (done == n) break;
       if (k == 0) {
+        // relaxed: only decides when to give up; WaitForSpace() re-checks
+        // closed_ with acquire before parking, and close() bumps
+        // head_event_, so a stale `false` here can cost one extra loop
+        // iteration but never a lost wakeup or a missed shutdown.
         if (closed_.load(std::memory_order_relaxed)) break;
         WaitForSpace();
       }
@@ -131,6 +142,16 @@ class SpscRing {
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  /// Read-only views of the eventcount words the wait paths snapshot —
+  /// introspection for the deterministic model checker (tests/model/),
+  /// which replays WaitForData/WaitForSpace step-by-step against these.
+  uint32_t tail_event_word() const {
+    return tail_event_.load(std::memory_order_acquire);
+  }
+  uint32_t head_event_word() const {
+    return head_event_.load(std::memory_order_acquire);
+  }
+
   // ------------------------------------------------------------------
   // Consumer side.
   // ------------------------------------------------------------------
@@ -138,6 +159,7 @@ class SpscRing {
   /// Moves up to `max` elements into `dst` without blocking. Returns the
   /// number popped (0 when the ring is currently empty).
   std::size_t try_pop_n(T* dst, std::size_t max) {
+    // relaxed: head_ is this thread's own cursor (single consumer).
     const uint64_t head = head_.load(std::memory_order_relaxed);
     std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
     if (avail == 0) {
@@ -174,6 +196,9 @@ class SpscRing {
   // Briefly spin/yield, then park on the eventcount. The snapshot/recheck
   // ordering makes the park race-free: if the producer publishes after our
   // recheck, its event bump differs from `e` and wait() returns at once.
+  // relaxed loads below are always of the calling thread's OWN cursor
+  // (head_ for the consumer here, tail_ for the producer in WaitForSpace);
+  // the peer's cursor and closed_ are acquire so slot writes are visible.
   void WaitForData() {
     for (int i = 0; i < kSpinYields; ++i) {
       if (tail_.load(std::memory_order_acquire) !=
@@ -184,6 +209,7 @@ class SpscRing {
       std::this_thread::yield();
     }
     const uint32_t e = tail_event_.load(std::memory_order_acquire);
+    // relaxed: head_ is the consumer's own cursor (see note above).
     if (tail_.load(std::memory_order_acquire) !=
             head_.load(std::memory_order_relaxed) ||
         closed_.load(std::memory_order_acquire)) {
@@ -194,6 +220,7 @@ class SpscRing {
 
   void WaitForSpace() {
     for (int i = 0; i < kSpinYields; ++i) {
+      // relaxed: tail_ is the producer's own cursor (see WaitForData note).
       if (static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
                                    head_.load(std::memory_order_acquire)) <
               capacity() ||
@@ -203,6 +230,7 @@ class SpscRing {
       std::this_thread::yield();
     }
     const uint32_t e = head_event_.load(std::memory_order_acquire);
+    // relaxed: tail_ again the producer's own cursor.
     if (static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
                                  head_.load(std::memory_order_acquire)) <
             capacity() ||
@@ -231,11 +259,12 @@ class SpscRing {
   // Eventcounts for parking (bumped per batch, and by close()).
   alignas(kCacheLine) std::atomic<uint32_t> tail_event_{0};
   alignas(kCacheLine) std::atomic<uint32_t> head_event_{0};
-  std::atomic<bool> closed_{false};
+  // Written once at shutdown but polled by both sides; its own line keeps
+  // the poll from false-sharing with the head_event_ bump traffic.
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
   // Producer-written occupancy high-water (telemetry; relaxed, see above).
   alignas(kCacheLine) std::atomic<std::size_t> highwater_{0};
 };
 
 }  // namespace slick::runtime
 
-#endif  // SLICKDEQUE_RUNTIME_SPSC_RING_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_SLICKDEQUE_H_
-#define SLICKDEQUE_SLICKDEQUE_H_
+#pragma once
 
 // Umbrella header: the whole public API in one include.
 //
@@ -53,4 +52,3 @@
 #include "window/two_stacks.h"         // IWYU pragma: export
 #include "window/two_stacks_ring.h"    // IWYU pragma: export
 
-#endif  // SLICKDEQUE_SLICKDEQUE_H_

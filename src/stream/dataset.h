@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_STREAM_DATASET_H_
-#define SLICKDEQUE_STREAM_DATASET_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -32,4 +31,3 @@ std::vector<double> LoadOrSynthesize(const std::string& path,
 
 }  // namespace slick::stream
 
-#endif  // SLICKDEQUE_STREAM_DATASET_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_STREAM_REORDER_H_
-#define SLICKDEQUE_STREAM_REORDER_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -76,4 +75,3 @@ class ReorderBuffer {
 
 }  // namespace slick::stream
 
-#endif  // SLICKDEQUE_STREAM_REORDER_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_STREAM_SYNTHETIC_H_
-#define SLICKDEQUE_STREAM_SYNTHETIC_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -35,4 +34,3 @@ class SyntheticSensorSource {
 
 }  // namespace slick::stream
 
-#endif  // SLICKDEQUE_STREAM_SYNTHETIC_H_

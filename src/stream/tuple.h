@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_STREAM_TUPLE_H_
-#define SLICKDEQUE_STREAM_TUPLE_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -20,4 +19,3 @@ struct SensorTuple {
 
 }  // namespace slick::stream
 
-#endif  // SLICKDEQUE_STREAM_TUPLE_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_TELEMETRY_COUNTERS_H_
-#define SLICKDEQUE_TELEMETRY_COUNTERS_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -80,4 +79,3 @@ struct EngineCounters {
 
 }  // namespace slick::telemetry
 
-#endif  // SLICKDEQUE_TELEMETRY_COUNTERS_H_

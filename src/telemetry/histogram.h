@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_TELEMETRY_HISTOGRAM_H_
-#define SLICKDEQUE_TELEMETRY_HISTOGRAM_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -7,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "telemetry/counters.h"
 #include "util/stats.h"
 
 namespace slick::telemetry {
@@ -47,6 +47,8 @@ class LatencyHistogram {
   LatencyHistogram()
       : buckets_(std::make_unique<std::atomic<uint64_t>[]>(kBucketCount)) {
     for (std::size_t i = 0; i < kBucketCount; ++i) {
+      // relaxed: pre-publication zeroing — no other thread can hold a
+      // reference to a histogram still under construction.
       buckets_[i].store(0, std::memory_order_relaxed);
     }
   }
@@ -95,7 +97,8 @@ class LatencyHistogram {
   }
 
   /// Drops every recorded sample (not linearizable against concurrent
-  /// Record; quiesce first if exact conservation matters).
+  /// Record; quiesce first if exact conservation matters). relaxed stores:
+  /// counts are pure data, nothing is published through them.
   void Reset() {
     for (std::size_t i = 0; i < kBucketCount; ++i) {
       buckets_[i].store(0, std::memory_order_relaxed);
@@ -104,6 +107,8 @@ class LatencyHistogram {
   }
 
   uint64_t TotalCount() const {
+    // relaxed: statistical read — a racing Record() may or may not be
+    // counted, which any live-telemetry reader already tolerates.
     uint64_t n = 0;
     for (std::size_t i = 0; i < kBucketCount; ++i) {
       n += buckets_[i].load(std::memory_order_relaxed);
@@ -120,7 +125,10 @@ class LatencyHistogram {
 
  private:
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
-  std::atomic<uint64_t> sum_{0};
+  // Every Record() hits sum_; its own cache line keeps that fetch_add from
+  // false-sharing with whatever neighbors the enclosing object packs next
+  // to the histogram.
+  alignas(kCacheLine) std::atomic<uint64_t> sum_{0};
 };
 
 /// A plain (non-atomic) copy of a histogram's state: what exporters,
@@ -210,6 +218,9 @@ struct LatencyHistogram::Snapshot {
 };
 
 inline LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  // relaxed: same statistical-read contract as TotalCount() — snapshots
+  // race benignly with Record(); a sample lands in this snapshot or the
+  // next, never torn and never lost from the histogram itself.
   Snapshot s;
   s.counts.resize(kBucketCount);
   for (std::size_t i = 0; i < kBucketCount; ++i) {
@@ -221,4 +232,3 @@ inline LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
 
 }  // namespace slick::telemetry
 
-#endif  // SLICKDEQUE_TELEMETRY_HISTOGRAM_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_TELEMETRY_JSON_H_
-#define SLICKDEQUE_TELEMETRY_JSON_H_
+#pragma once
 
 #include <string>
 
@@ -23,4 +22,3 @@ std::string ToJson(const EngineCounters& c);
 
 }  // namespace slick::telemetry
 
-#endif  // SLICKDEQUE_TELEMETRY_JSON_H_

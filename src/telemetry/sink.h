@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_TELEMETRY_SINK_H_
-#define SLICKDEQUE_TELEMETRY_SINK_H_
+#pragma once
 
 #include <cstdint>
 
@@ -82,4 +81,3 @@ struct HistogramEngineSink {
 
 }  // namespace slick::telemetry
 
-#endif  // SLICKDEQUE_TELEMETRY_SINK_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_TELEMETRY_SNAPSHOT_H_
-#define SLICKDEQUE_TELEMETRY_SNAPSHOT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -52,4 +51,3 @@ struct RuntimeSnapshot {
 
 }  // namespace slick::telemetry
 
-#endif  // SLICKDEQUE_TELEMETRY_SNAPSHOT_H_

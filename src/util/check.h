@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_UTIL_CHECK_H_
-#define SLICKDEQUE_UTIL_CHECK_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,4 +26,3 @@
   } while (0)
 #endif
 
-#endif  // SLICKDEQUE_UTIL_CHECK_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_UTIL_CLOCK_H_
-#define SLICKDEQUE_UTIL_CLOCK_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -18,4 +17,3 @@ inline uint64_t MonotonicNanos() {
 
 }  // namespace slick::util
 
-#endif  // SLICKDEQUE_UTIL_CLOCK_H_

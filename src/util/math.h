@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_UTIL_MATH_H_
-#define SLICKDEQUE_UTIL_MATH_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -47,4 +46,3 @@ inline uint64_t LcmAll(const uint64_t* values, size_t count) {
 
 }  // namespace slick::util
 
-#endif  // SLICKDEQUE_UTIL_MATH_H_

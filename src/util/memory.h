@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_UTIL_MEMORY_H_
-#define SLICKDEQUE_UTIL_MEMORY_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -18,4 +17,3 @@ uint64_t CurrentRssBytes();
 
 }  // namespace slick::util
 
-#endif  // SLICKDEQUE_UTIL_MEMORY_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_UTIL_RNG_H_
-#define SLICKDEQUE_UTIL_RNG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -35,4 +34,3 @@ class SplitMix64 {
 
 }  // namespace slick::util
 
-#endif  // SLICKDEQUE_UTIL_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_UTIL_SERDE_H_
-#define SLICKDEQUE_UTIL_SERDE_H_
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -75,4 +74,3 @@ constexpr uint32_t MakeTag(char a, char b, char c, char d) {
 
 }  // namespace slick::util
 
-#endif  // SLICKDEQUE_UTIL_SERDE_H_

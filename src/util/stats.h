@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_UTIL_STATS_H_
-#define SLICKDEQUE_UTIL_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -62,4 +61,3 @@ class LatencyRecorder {
 
 }  // namespace slick::util
 
-#endif  // SLICKDEQUE_UTIL_STATS_H_

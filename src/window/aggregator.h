@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_AGGREGATOR_H_
-#define SLICKDEQUE_WINDOW_AGGREGATOR_H_
+#pragma once
 
 #include <concepts>
 #include <cstddef>
@@ -47,4 +46,3 @@ concept FixedWindowAggregator =
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_AGGREGATOR_H_

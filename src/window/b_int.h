@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_B_INT_H_
-#define SLICKDEQUE_WINDOW_B_INT_H_
+#pragma once
 
 #include <bit>
 #include <cstddef>
@@ -122,4 +121,3 @@ class BInt {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_B_INT_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_CHUNKED_ARRAY_QUEUE_H_
-#define SLICKDEQUE_WINDOW_CHUNKED_ARRAY_QUEUE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -195,4 +194,3 @@ class ChunkedArrayQueue {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_CHUNKED_ARRAY_QUEUE_H_

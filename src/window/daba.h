@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_DABA_H_
-#define SLICKDEQUE_WINDOW_DABA_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -202,4 +201,3 @@ bool Daba<Op>::CheckInvariants() const {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_DABA_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_FLAT_FAT_H_
-#define SLICKDEQUE_WINDOW_FLAT_FAT_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -148,4 +147,3 @@ class FlatFat {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_FLAT_FAT_H_

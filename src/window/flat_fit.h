@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_FLAT_FIT_H_
-#define SLICKDEQUE_WINDOW_FLAT_FIT_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -156,4 +155,3 @@ class FlatFit {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_FLAT_FIT_H_

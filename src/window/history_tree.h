@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_HISTORY_TREE_H_
-#define SLICKDEQUE_WINDOW_HISTORY_TREE_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -97,4 +96,3 @@ class HistoryTree {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_HISTORY_TREE_H_

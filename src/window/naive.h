@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_NAIVE_H_
-#define SLICKDEQUE_WINDOW_NAIVE_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -110,4 +109,3 @@ class NaiveWindow {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_NAIVE_H_

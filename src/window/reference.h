@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_REFERENCE_H_
-#define SLICKDEQUE_WINDOW_REFERENCE_H_
+#pragma once
 
 #include <cstddef>
 #include <deque>
@@ -53,4 +52,3 @@ class ReferenceAggregator {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_REFERENCE_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_TWO_STACKS_H_
-#define SLICKDEQUE_WINDOW_TWO_STACKS_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -102,4 +101,3 @@ class TwoStacks {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_TWO_STACKS_H_

@@ -1,5 +1,4 @@
-#ifndef SLICKDEQUE_WINDOW_TWO_STACKS_RING_H_
-#define SLICKDEQUE_WINDOW_TWO_STACKS_RING_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -101,4 +100,3 @@ class TwoStacksRing {
 
 }  // namespace slick::window
 
-#endif  // SLICKDEQUE_WINDOW_TWO_STACKS_RING_H_

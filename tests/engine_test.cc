@@ -182,7 +182,7 @@ TEST(AcqEngineTest, CountersAdvance) {
   AcqEngine<core::SlickDequeInv<ops::SumInt>> eng({{4, 2}}, Pat::kPairs);
   int answers = 0;
   for (int i = 0; i < 10; ++i) {
-    eng.Push(1.0, [&](uint32_t, double) { ++answers; });
+    eng.Push(1, [&](uint32_t, long) { ++answers; });
   }
   EXPECT_EQ(eng.tuples_processed(), 10u);
   EXPECT_EQ(eng.answers_produced(), 5u);  // one answer per slide of 2

@@ -127,8 +127,10 @@ class FifoWindowSweep : public ::testing::TestWithParam<std::size_t> {};
 INSTANTIATE_TEST_SUITE_P(Windows, FifoWindowSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16,
                                            21, 32, 40, 64, 100, 130),
-                         [](const auto& info) {
-                           return "w" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string name("w");
+                           name += std::to_string(tpi.param);
+                           return name;
                          });
 
 // --------------------------- TwoStacks ------------------------------------

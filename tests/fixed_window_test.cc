@@ -151,9 +151,14 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Shape::kRandom, Shape::kAscending,
                                          Shape::kDescending,
                                          Shape::kTiesHeavy)),
-    [](const auto& info) {
-      return "w" + std::to_string(std::get<0>(info.param)) + "_shape" +
-             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    [](const auto& tpi) {
+      // Built with += (not chained operator+): GCC 12's -Wrestrict
+      // false-positives on `const char* + std::string&&` at -O2.
+      std::string name = "w";
+      name += std::to_string(std::get<0>(tpi.param));
+      name += "_shape";
+      name += std::to_string(static_cast<int>(std::get<1>(tpi.param)));
+      return name;
     });
 
 // --------------------------- Naive ---------------------------------------

@@ -43,8 +43,10 @@ class MemorySweep : public ::testing::TestWithParam<std::size_t> {};
 INSTANTIATE_TEST_SUITE_P(Windows, MemorySweep,
                          ::testing::Values(16, 64, 100, 1000, 1024, 1025,
                                            4096, 10000),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string name("n");
+                           name += std::to_string(tpi.param);
+                           return name;
                          });
 
 TEST_P(MemorySweep, NaiveIsN) {

@@ -70,8 +70,10 @@ const auto kFullQuery = [](auto& agg) { (void)agg.query(); };
 class OpComplexitySweep : public ::testing::TestWithParam<std::size_t> {};
 INSTANTIATE_TEST_SUITE_P(Windows, OpComplexitySweep,
                          ::testing::Values(8, 16, 64, 128, 256, 1024),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string name("n");
+                           name += std::to_string(tpi.param);
+                           return name;
                          });
 
 // --------------------------- single query --------------------------------
@@ -187,7 +189,8 @@ TEST_P(OpComplexitySweep, MultiNaiveIsQuadratic) {
   const std::size_t n = GetParam();
   if (n > 256) GTEST_SKIP() << "quadratic cost";
   const OpStats s = MeasureMulti<window::NaiveWindow<CSum>>(n);
-  const double expected = static_cast<double>(n) * (n - 1) / 2.0;
+  const double expected =
+      static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
   EXPECT_DOUBLE_EQ(s.amortized, expected);  // paper: n²/2 - n/2 exactly
 }
 
@@ -206,8 +209,9 @@ TEST_P(OpComplexitySweep, MultiFlatFatIsNLogN) {
   const std::size_t n = GetParam();
   if (n > 256) GTEST_SKIP() << "keep test time bounded";
   const OpStats s = MeasureMulti<window::FlatFat<CSum>>(n);
-  const double nlogn = static_cast<double>(n) * util::CeilLog2(n);
-  EXPECT_LE(s.amortized, nlogn + n);
+  const double nlogn =
+      static_cast<double>(n) * static_cast<double>(util::CeilLog2(n));
+  EXPECT_LE(s.amortized, nlogn + static_cast<double>(n));
   EXPECT_GE(s.amortized, nlogn / 4);
 }
 

@@ -78,9 +78,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{8, 2}, std::tuple{8, 4}, std::tuple{8, 8},
                       std::tuple{64, 4}, std::tuple{96, 3},
                       std::tuple{128, 8}),
-    [](const auto& info) {
-      return "w" + std::to_string(std::get<0>(info.param)) + "s" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& tpi) {
+      std::string name("w");
+      name += std::to_string(std::get<0>(tpi.param));
+      name += 's';
+      name += std::to_string(std::get<1>(tpi.param));
+      return name;
     });
 
 TEST_P(ParallelSweep, SumMatchesShardedAndOracle) {

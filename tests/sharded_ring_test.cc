@@ -51,9 +51,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{8, 2}, std::tuple{8, 4}, std::tuple{8, 8},
                       std::tuple{64, 4}, std::tuple{128, 8},
                       std::tuple{96, 3}, std::tuple{100, 5}),
-    [](const auto& info) {
-      return "w" + std::to_string(std::get<0>(info.param)) + "s" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& tpi) {
+      std::string name("w");
+      name += std::to_string(std::get<0>(tpi.param));
+      name += 's';
+      name += std::to_string(std::get<1>(tpi.param));
+      return name;
     });
 
 TEST_P(ShardSweep, SumMatchesSingleNode) {
@@ -136,8 +139,10 @@ void RunRingOracle(std::size_t window, uint64_t seed) {
 class RingSweep : public ::testing::TestWithParam<std::size_t> {};
 INSTANTIATE_TEST_SUITE_P(Windows, RingSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 17, 64, 100),
-                         [](const auto& info) {
-                           return "w" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string name("w");
+                           name += std::to_string(tpi.param);
+                           return name;
                          });
 
 TEST_P(RingSweep, SumMatchesOracle) {

@@ -74,8 +74,10 @@ void RunTimedOracle(uint64_t range, uint64_t seed, bool bursty) {
 class TimeRangeSweep : public ::testing::TestWithParam<uint64_t> {};
 INSTANTIATE_TEST_SUITE_P(Ranges, TimeRangeSweep,
                          ::testing::Values(1, 2, 5, 16, 100, 1000),
-                         [](const auto& info) {
-                           return "r" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string name("r");
+                           name += std::to_string(tpi.param);
+                           return name;
                          });
 
 TEST_P(TimeRangeSweep, SubtractOnEvictSumBursty) {

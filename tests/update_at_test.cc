@@ -23,8 +23,10 @@ namespace {
 class UpdateSweep : public ::testing::TestWithParam<std::size_t> {};
 INSTANTIATE_TEST_SUITE_P(Windows, UpdateSweep,
                          ::testing::Values(1, 2, 5, 8, 16, 33, 64),
-                         [](const auto& info) {
-                           return "w" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string name("w");
+                           name += std::to_string(tpi.param);
+                           return name;
                          });
 
 TEST_P(UpdateSweep, AllUpdatableAlgorithmsAgreeWithModel) {

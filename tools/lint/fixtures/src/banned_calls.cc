@@ -1,0 +1,23 @@
+// Fixture: seeded banned-call violations. Never compiled.
+
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+namespace fixture {
+
+inline unsigned Seed() {
+  return static_cast<unsigned>(time(nullptr));  // banned-call violation
+}
+
+inline int Noise() {
+  return std::rand();  // banned-call violation
+}
+
+inline void Print(int v) {
+  std::cout << v << std::endl;  // banned-call violation
+  // std::endl in a comment only: no finding
+  std::cout << v << std::endl;  // slick-lint: allow(banned-call)
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#ifndef FIXTURE_GUARDED_HEADER_H_
+#define FIXTURE_GUARDED_HEADER_H_
+// Fixture: classic include guard instead of #pragma once → one
+// pragma-once finding on the first non-comment line.
+
+namespace fixture {
+inline int One() { return 1; }
+}  // namespace fixture
+
+#endif  // FIXTURE_GUARDED_HEADER_H_

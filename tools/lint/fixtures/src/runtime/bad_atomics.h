@@ -1,0 +1,43 @@
+#pragma once
+// Fixture: seeded atomic-memory-order / atomic-alignas / relaxed-justified
+// violations (plus the allow-pragma escape hatches) for slick_lint_test.py.
+// Never compiled; the exact findings are pinned by the test.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct UnpaddedFlags {
+  std::atomic<bool> closed{false};          // atomic-alignas violation
+  alignas(64) std::atomic<uint64_t> ok{0};  // padded: no finding
+  // slick-lint: allow(atomic-alignas)
+  std::atomic<int> waived{0};               // explicitly waived: no finding
+};
+
+struct alignas(64) PaddedAsAWhole {
+  std::atomic<uint64_t> fine{0};  // enclosing struct padded: no finding
+};
+
+class Ring {
+ public:
+  void Publish(uint64_t v) {
+    // Implicit seq_cst — both violations below.
+    tail_.store(v);                // atomic-memory-order violation
+    (void)tail_.load();            // atomic-memory-order violation
+    tail_.fetch_add(               // atomic-memory-order violation
+        1);
+    // No ordering-argument comment anywhere near the next load .... filler
+    // ............................................................ filler
+    (void)gauge_.load(std::memory_order_relaxed);  // finding expected here
+    // relaxed: telemetry gauge, no data published through it.
+    (void)gauge_.load(std::memory_order_relaxed);  // justified: no finding
+    gauge_.store(0, std::memory_order_release);    // explicit: no finding
+  }
+
+ private:
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) std::atomic<uint64_t> gauge_{0};
+};
+
+}  // namespace fixture

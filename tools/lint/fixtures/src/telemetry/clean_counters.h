@@ -1,0 +1,18 @@
+#pragma once
+// Fixture: a fully conforming telemetry header — zero findings expected.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct alignas(64) CleanCounter {
+  std::atomic<uint64_t> v{0};
+
+  // relaxed: monotonic event count, readers tolerate lag.
+  void Add(uint64_t n) { v.fetch_add(n, std::memory_order_relaxed); }
+  // relaxed: statistical read.
+  uint64_t Get() const { return v.load(std::memory_order_relaxed); }
+};
+
+}  // namespace fixture
