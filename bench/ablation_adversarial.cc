@@ -61,7 +61,8 @@ std::vector<double> MakeSpikeInput(std::size_t window, std::size_t count) {
 
 template <typename Agg>
 void RunPoint(const char* algo, const char* input, std::size_t window,
-              uint64_t laps, const std::vector<double>& data) {
+              uint64_t laps, const std::vector<double>& data,
+              JsonReport& report) {
   using Op = typename Agg::op_type;
   Agg agg(window);
   std::size_t di = 0;
@@ -91,6 +92,7 @@ void RunPoint(const char* algo, const char* input, std::size_t window,
     }
   }
   const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+  const double slides_per_s = static_cast<double>(slides) / elapsed_s;
   std::printf("%-20s %-11s %10.3f %8llu %10.1f %10llu %12.2f\n", algo, input,
               static_cast<double>(total) / static_cast<double>(slides),
               (unsigned long long)worst,
@@ -98,8 +100,13 @@ void RunPoint(const char* algo, const char* input, std::size_t window,
                   ? static_cast<double>(nodes_sum) / static_cast<double>(slides)
                   : 0.0,
               (unsigned long long)nodes_max,
-              static_cast<double>(slides) / elapsed_s / 1e6);
+              slides_per_s / 1e6);
   std::fflush(stdout);
+  report.Row({{"algo", algo},
+              {"input", input},
+              {"window", JsonReport::Num(window)},
+              {"worst_ops", JsonReport::Num(worst)}},
+             slides_per_s);
   (void)sink;
 }
 
@@ -122,20 +129,23 @@ int main(int argc, char** argv) {
               "ops/slide", "worst", "avg-nodes", "max-nodes", "Mslides/s");
 
   const std::size_t count = 1 << 18;
+  JsonReport report(flags, "ablation_adversarial");
   for (const char* kind :
        {"sensor", "uniform", "ascending", "descending", "sawtooth"}) {
     RunPoint<slick::core::SlickDequeNonInv<CMax>>(
-        "slickdeque(non-inv)", kind, window, laps, MakeInput(kind, count, seed));
+        "slickdeque(non-inv)", kind, window, laps,
+        MakeInput(kind, count, seed), report);
   }
   RunPoint<slick::core::SlickDequeNonInv<CMax>>(
       "slickdeque(non-inv)", "spike", window, laps,
-      MakeSpikeInput(window, count));
+      MakeSpikeInput(window, count), report);
 
   for (const char* kind : {"sensor", "descending"}) {
     RunPoint<slick::core::Windowed<slick::window::Daba<CMax>>>(
-        "daba", kind, window, laps, MakeInput(kind, count, seed));
+        "daba", kind, window, laps, MakeInput(kind, count, seed), report);
   }
   RunPoint<slick::core::Windowed<slick::window::Daba<CMax>>>(
-      "daba", "spike", window, laps, MakeSpikeInput(window, count));
+      "daba", "spike", window, laps, MakeSpikeInput(window, count), report);
+  report.Write();
   return 0;
 }

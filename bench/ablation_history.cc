@@ -21,8 +21,9 @@ namespace slick::bench {
 namespace {
 
 template <typename Op>
-void Run(const char* name, std::size_t window, uint64_t tuples,
-         const std::vector<double>& data, auto&& make_sliding) {
+void Run(const char* name, const char* opname, std::size_t window,
+         uint64_t tuples, const std::vector<double>& data,
+         auto&& make_sliding, JsonReport& report) {
   std::printf("\n== %s, suffix window %zu ==\n", name, window);
   std::printf("%-24s %14s %16s\n", "# structure", "Mresults/s", "bytes");
 
@@ -42,9 +43,14 @@ void Run(const char* name, std::size_t window, uint64_t tuples,
       sink += static_cast<double>(tree.QuerySuffix(window));
     }
     const double s = static_cast<double>(NowNs() - t0) * 1e-9;
+    const double rate = static_cast<double>(tuples) / s;
     std::printf("%-24s %14.2f %16zu   # checksum %.6g\n",
-                "history-tree (§2.4)", static_cast<double>(tuples) / s / 1e6,
-                tree.memory_bytes(), sink);
+                "history-tree (§2.4)", rate / 1e6, tree.memory_bytes(), sink);
+    report.Row({{"algo", "history-tree"},
+                {"op", opname},
+                {"window", JsonReport::Num(window)},
+                {"bytes", JsonReport::Num(tree.memory_bytes())}},
+               rate);
   }
   {
     std::size_t di = 0;
@@ -62,9 +68,14 @@ void Run(const char* name, std::size_t window, uint64_t tuples,
       sink += static_cast<double>(agg.query());
     }
     const double s = static_cast<double>(NowNs() - t0) * 1e-9;
+    const double rate = static_cast<double>(tuples) / s;
     std::printf("%-24s %14.2f %16zu   # checksum %.6g\n", "slickdeque",
-                static_cast<double>(tuples) / s / 1e6, agg.memory_bytes(),
-                sink);
+                rate / 1e6, agg.memory_bytes(), sink);
+    report.Row({{"algo", "slickdeque"},
+                {"op", opname},
+                {"window", JsonReport::Num(window)},
+                {"bytes", JsonReport::Num(agg.memory_bytes())}},
+               rate);
   }
   std::fflush(stdout);
 }
@@ -86,11 +97,19 @@ int main(int argc, char** argv) {
               "# sliding structures retain only the window.\n");
 
   const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
-  Run<slick::ops::Sum>("Sum", window, tuples, data, [](std::size_t w) {
-    return slick::core::SlickDequeInv<slick::ops::Sum>(w);
-  });
-  Run<slick::ops::Max>("Max", window, tuples, data, [](std::size_t w) {
-    return slick::core::SlickDequeNonInv<slick::ops::Max>(w);
-  });
+  JsonReport report(flags, "ablation_history");
+  Run<slick::ops::Sum>(
+      "Sum", "sum", window, tuples, data,
+      [](std::size_t w) {
+        return slick::core::SlickDequeInv<slick::ops::Sum>(w);
+      },
+      report);
+  Run<slick::ops::Max>(
+      "Max", "max", window, tuples, data,
+      [](std::size_t w) {
+        return slick::core::SlickDequeNonInv<slick::ops::Max>(w);
+      },
+      report);
+  report.Write();
   return 0;
 }

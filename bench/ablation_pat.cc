@@ -76,7 +76,7 @@ void SharingTable() {
   }
 }
 
-void EngineThroughput(uint64_t tuples, uint64_t seed) {
+void EngineThroughput(uint64_t tuples, uint64_t seed, JsonReport& report) {
   std::printf(
       "\n== Engine throughput of a shared plan by PAT (Sum, SlickDeque "
       "(Inv)) ==\n");
@@ -94,13 +94,14 @@ void EngineThroughput(uint64_t tuples, uint64_t seed) {
       di = di + 1 == data.size() ? 0 : di + 1;
     }
     const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+    const double rate = static_cast<double>(tuples) / elapsed_s;
     std::printf("%-10s %14.2f %14llu %14llu   # checksum %.6g\n",
-                plan::ToString(pat),
-                static_cast<double>(tuples) / elapsed_s / 1e6,
+                plan::ToString(pat), rate / 1e6,
                 (unsigned long long)eng.answers_produced(),
                 (unsigned long long)eng.plan().partials_per_composite_slide(),
                 sink);
     std::fflush(stdout);
+    report.Row({{"algo", "acq-engine"}, {"pat", plan::ToString(pat)}}, rate);
   }
 }
 
@@ -135,9 +136,11 @@ int main(int argc, char** argv) {
   const uint64_t seed = flags.GetU64("seed", 42);
 
   std::printf("Ablation: partial aggregation techniques and sharing\n");
+  JsonReport report(flags, "ablation_pat");
   PartialCountTable();
   SharingTable();
   OptimizerTable();
-  EngineThroughput(tuples, seed);
+  EngineThroughput(tuples, seed, report);
+  report.Write();
   return 0;
 }

@@ -23,8 +23,9 @@ namespace slick::bench {
 namespace {
 
 template <typename Agg>
-void Run(const char* name, std::size_t window, uint64_t tuples,
-         const std::vector<double>& data) {
+void Run(const char* name, const char* algo, std::size_t window,
+         uint64_t tuples, const std::vector<double>& data,
+         JsonReport& report) {
   using Op = typename Agg::op_type;
   std::printf("\n== %s, global window %zu ==\n", name, window);
   std::printf("%8s %14s %14s %16s %12s\n", "# shards", "Mresults/s",
@@ -52,11 +53,17 @@ void Run(const char* name, std::size_t window, uint64_t tuples,
         static_cast<double>(ops::OpCounter::Total()) / static_cast<double>(tuples);
     // Coordinator cost: N combines per query (the cross-shard fold).
     const double coord_ops = static_cast<double>(shards);
+    const double rate = static_cast<double>(tuples) / elapsed_s;
     std::printf("%8zu %14.2f %14.2f %16zu %12.1f   # checksum %.6g\n", shards,
-                static_cast<double>(tuples) / elapsed_s / 1e6,
-                total_ops - coord_ops, sharded.shard(0).memory_bytes(),
-                coord_ops, sink);
+                rate / 1e6, total_ops - coord_ops,
+                sharded.shard(0).memory_bytes(), coord_ops, sink);
     std::fflush(stdout);
+    report.Row({{"algo", algo},
+                {"shards", JsonReport::Num(shards)},
+                {"window", JsonReport::Num(window)},
+                {"bytes_per_shard",
+                 JsonReport::Num(sharded.shard(0).memory_bytes())}},
+               rate);
   }
 }
 
@@ -77,9 +84,13 @@ int main(int argc, char** argv) {
               window, (unsigned long long)tuples, (unsigned long long)seed);
 
   const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
-  Run<slick::core::SlickDequeInv<CSum>>("SlickDeque (Inv), Sum", window,
-                                        tuples, data);
+  JsonReport report(flags, "ablation_sharded");
+  Run<slick::core::SlickDequeInv<CSum>>("SlickDeque (Inv), Sum",
+                                        "slickdeque-inv-sum", window, tuples,
+                                        data, report);
   Run<slick::core::SlickDequeNonInv<CMax>>("SlickDeque (Non-Inv), Max",
-                                           window, tuples, data);
+                                           "slickdeque-noninv-max", window,
+                                           tuples, data, report);
+  report.Write();
   return 0;
 }

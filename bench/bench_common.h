@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stream/dataset.h"
@@ -94,6 +96,86 @@ struct Checksum {
 inline void PrintHeader(const char* title, const char* cols) {
   std::printf("\n== %s ==\n%s\n", title, cols);
 }
+
+/// Machine-readable results: every bench accepts --json=<path> and, when
+/// set, writes an array of rows with the shared schema
+///
+///   {"bench": "<name>", "config": {"key": "value", ...},
+///    "tuples_per_sec": <num>, "p50_ns": <num|null>, "p99_ns": <num|null>}
+///
+/// tools/bench_summary.py merges these files into the committed
+/// BENCH_<name>.json snapshots and gates CI on them. The human-readable
+/// table output is unchanged — the report is purely additive.
+class JsonReport {
+ public:
+  JsonReport(const Flags& flags, const char* bench)
+      : path_(flags.GetString("json", "")), bench_(bench) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Stringifies a numeric config value (config values are all strings so
+  /// the schema stays uniform across benches).
+  static std::string Num(uint64_t v) { return std::to_string(v); }
+
+  /// Appends one result row. Negative percentiles emit JSON null — the
+  /// convention for throughput-only benches.
+  void Row(std::initializer_list<std::pair<const char*, std::string>> config,
+           double tuples_per_sec, double p50_ns = -1.0,
+           double p99_ns = -1.0) {
+    if (!enabled()) return;
+    std::string row = "{\"bench\":\"" + bench_ + "\",\"config\":{";
+    bool first = true;
+    for (const auto& [k, v] : config) {
+      if (!first) row += ",";
+      first = false;
+      row += "\"";
+      row += k;
+      row += "\":\"";
+      row += v;
+      row += "\"";
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "},\"tuples_per_sec\":%.1f",
+                  tuples_per_sec);
+    row += buf;
+    AppendNsField(row, "p50_ns", p50_ns);
+    AppendNsField(row, "p99_ns", p99_ns);
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes the accumulated array to the --json path; no-op when disabled.
+  void Write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json report: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs(rows_[i].c_str(), f);
+      std::fputs(i + 1 < rows_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  static void AppendNsField(std::string& row, const char* key, double v) {
+    char buf[96];
+    if (v < 0.0) {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":null", key);
+    } else {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%.1f", key, v);
+    }
+    row += buf;
+  }
+
+  std::string path_;
+  std::string bench_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace slick::bench
 

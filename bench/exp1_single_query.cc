@@ -79,9 +79,9 @@ double RunPoint(std::size_t window, const std::vector<double>& data,
 }
 
 template <typename Op>
-void RunSweep(const char* title, const Config& cfg,
+void RunSweep(const char* title, const char* opname, const Config& cfg,
               const std::vector<double>& data, bool include_inv,
-              bool include_noninv) {
+              bool include_noninv, JsonReport& report) {
   PrintHeader(title,
               "# window        naive      flatfat         bint      flatfit"
               "    twostacks         daba   slickdeque   (Mresults/s)");
@@ -89,24 +89,31 @@ void RunSweep(const char* title, const Config& cfg,
   for (uint64_t e = 0; e <= cfg.max_exp; ++e) {
     const std::size_t w = static_cast<std::size_t>(1) << e;
     std::printf("%8zu", w);
-    std::printf(" %12.2f", RunPoint<window::NaiveWindow<Op>>(w, data, cfg, cs));
-    std::printf(" %12.2f", RunPoint<window::FlatFat<Op>>(w, data, cfg, cs));
-    std::printf(" %12.2f", RunPoint<window::BInt<Op>>(w, data, cfg, cs));
-    std::printf(" %12.2f", RunPoint<window::FlatFit<Op>>(w, data, cfg, cs));
-    std::printf(" %12.2f",
-                RunPoint<core::Windowed<window::TwoStacks<Op>>>(w, data, cfg, cs));
-    std::printf(" %12.2f",
-                RunPoint<core::Windowed<window::Daba<Op>>>(w, data, cfg, cs));
+    const auto point = [&](const char* algo, double mps) {
+      std::printf(" %12.2f", mps);
+      report.Row({{"algo", algo},
+                  {"op", opname},
+                  {"window", JsonReport::Num(w)}},
+                 mps * 1e6);
+    };
+    point("naive", RunPoint<window::NaiveWindow<Op>>(w, data, cfg, cs));
+    point("flatfat", RunPoint<window::FlatFat<Op>>(w, data, cfg, cs));
+    point("bint", RunPoint<window::BInt<Op>>(w, data, cfg, cs));
+    point("flatfit", RunPoint<window::FlatFit<Op>>(w, data, cfg, cs));
+    point("twostacks",
+          RunPoint<core::Windowed<window::TwoStacks<Op>>>(w, data, cfg, cs));
+    point("daba",
+          RunPoint<core::Windowed<window::Daba<Op>>>(w, data, cfg, cs));
     if constexpr (ops::InvertibleOp<Op>) {
       if (include_inv) {
-        std::printf(" %12.2f",
-                    RunPoint<core::SlickDequeInv<Op>>(w, data, cfg, cs));
+        point("slickdeque",
+              RunPoint<core::SlickDequeInv<Op>>(w, data, cfg, cs));
       }
     }
     if constexpr (ops::SelectiveOp<Op>) {
       if (include_noninv) {
-        std::printf(" %12.2f",
-                    RunPoint<core::SlickDequeNonInv<Op>>(w, data, cfg, cs));
+        point("slickdeque",
+              RunPoint<core::SlickDequeNonInv<Op>>(w, data, cfg, cs));
       }
     }
     std::printf("\n");
@@ -138,15 +145,17 @@ int main(int argc, char** argv) {
   const std::vector<double> data = BenchSeries(
       flags, std::min<uint64_t>(cfg.max_tuples, 1 << 22), cfg.seed);
 
+  JsonReport report(flags, "exp1_single_query");
   if (op == "sum" || op == "both") {
     RunSweep<slick::ops::Sum>("Exp1(a) Sum over window, slide 1 (Fig 10)",
-                              cfg, data, /*include_inv=*/true,
-                              /*include_noninv=*/false);
+                              "sum", cfg, data, /*include_inv=*/true,
+                              /*include_noninv=*/false, report);
   }
   if (op == "max" || op == "both") {
     RunSweep<slick::ops::Max>("Exp1(b) Max over window, slide 1 (Fig 11)",
-                              cfg, data, /*include_inv=*/false,
-                              /*include_noninv=*/true);
+                              "max", cfg, data, /*include_inv=*/false,
+                              /*include_noninv=*/true, report);
   }
+  report.Write();
   return 0;
 }

@@ -131,8 +131,8 @@ double RunPoint(std::size_t window, const std::vector<double>& data,
 }
 
 template <typename Op, typename Slick>
-void RunSweep(const char* title, const Config& cfg,
-              const std::vector<double>& data) {
+void RunSweep(const char* title, const char* opname, const Config& cfg,
+              const std::vector<double>& data, JsonReport& report) {
   PrintHeader(title,
               "# window        naive      flatfat         bint      flatfit"
               "  twostacks*q      daba*q   slickdeque   (Mslides/s; each "
@@ -142,22 +142,28 @@ void RunSweep(const char* title, const Config& cfg,
   for (uint64_t e = 0; e <= cfg.max_exp; ++e) {
     const std::size_t w = static_cast<std::size_t>(1) << e;
     std::printf("%8zu", w);
-    std::printf(" %12.4f", RunPoint<window::NaiveWindow<Op>>(w, data, cfg, cs));
-    std::printf(" %12.4f", RunPoint<window::FlatFat<Op>>(w, data, cfg, cs));
-    std::printf(" %12.4f", RunPoint<window::BInt<Op>>(w, data, cfg, cs));
-    std::printf(" %12.4f", RunPoint<window::FlatFit<Op>>(w, data, cfg, cs));
+    const auto point = [&](const char* algo, double mslides) {
+      std::printf(" %12.4f", mslides);
+      report.Row({{"algo", algo},
+                  {"op", opname},
+                  {"window", JsonReport::Num(w)}},
+                 mslides * 1e6);
+    };
+    point("naive", RunPoint<window::NaiveWindow<Op>>(w, data, cfg, cs));
+    point("flatfat", RunPoint<window::FlatFat<Op>>(w, data, cfg, cs));
+    point("bint", RunPoint<window::BInt<Op>>(w, data, cfg, cs));
+    point("flatfit", RunPoint<window::FlatFit<Op>>(w, data, cfg, cs));
     if (w <= 1024) {
       // One aggregator instance per query needs Θ(w²) memory: capped.
-      std::printf(" %12.4f",
-                  RunPoint<core::PerQueryAdapter<window::TwoStacks<Op>>>(
-                      w, data, cfg, cs));
-      std::printf(" %12.4f",
-                  RunPoint<core::PerQueryAdapter<window::Daba<Op>>>(w, data,
-                                                                    cfg, cs));
+      point("twostacks*q",
+            RunPoint<core::PerQueryAdapter<window::TwoStacks<Op>>>(w, data,
+                                                                   cfg, cs));
+      point("daba*q", RunPoint<core::PerQueryAdapter<window::Daba<Op>>>(
+                          w, data, cfg, cs));
     } else {
       std::printf(" %12s %12s", "-", "-");
     }
-    std::printf(" %12.4f", RunPoint<Slick>(w, data, cfg, cs));
+    point("slickdeque", RunPoint<Slick>(w, data, cfg, cs));
     std::printf("\n");
     std::fflush(stdout);
   }
@@ -186,14 +192,18 @@ int main(int argc, char** argv) {
 
   const std::vector<double> data = BenchSeries(flags, 1 << 20, cfg.seed);
 
+  JsonReport report(flags, "exp2_multi_query");
   if (op == "sum" || op == "both") {
     RunSweep<slick::ops::Sum, slick::core::SlickDequeInv<slick::ops::Sum>>(
-        "Exp2(a) Sum over all ranges 1..window, slide 1 (Fig 12)", cfg, data);
+        "Exp2(a) Sum over all ranges 1..window, slide 1 (Fig 12)", "sum", cfg,
+        data, report);
   }
   if (op == "max" || op == "both") {
     RunSweep<slick::ops::Max,
              slick::core::SlickDequeNonInv<slick::ops::Max>>(
-        "Exp2(b) Max over all ranges 1..window, slide 1 (Fig 13)", cfg, data);
+        "Exp2(b) Max over all ranges 1..window, slide 1 (Fig 13)", "max", cfg,
+        data, report);
   }
+  report.Write();
   return 0;
 }

@@ -88,8 +88,9 @@ void CheckQuantile(const char* name, double q,
 }
 
 template <typename Agg>
-void RunPoint(const char* name, const std::vector<double>& data,
-              const Config& cfg, Checksum& cs, double& worst_rel) {
+void RunPoint(const char* name, const char* opname,
+              const std::vector<double>& data, const Config& cfg,
+              Checksum& cs, double& worst_rel, JsonReport& report) {
   using Op = typename Agg::op_type;
   Agg agg(cfg.window);
   std::size_t di = 0;
@@ -123,31 +124,42 @@ void RunPoint(const char* name, const std::vector<double>& data,
     CheckQuantile(name, q, sorted, snap, worst_rel);
   }
 
-  PrintRow(name, rec.Finish(cfg.drop_top));
+  const util::LatencySummary summary = rec.Finish(cfg.drop_top);
+  PrintRow(name, summary);
   const std::string hist_name = std::string("  ~hist(") + name + ")";
   PrintRow(hist_name.c_str(), snap.Summarize());
+  report.Row({{"algo", name},
+              {"op", opname},
+              {"window", JsonReport::Num(cfg.window)}},
+             summary.avg_ns > 0.0 ? 1e9 / summary.avg_ns : 0.0,
+             summary.median_ns, summary.p99_ns);
 }
 
 template <typename Op>
-void RunOp(const char* title, const std::vector<double>& data,
-           const Config& cfg, Checksum& cs, double& worst_rel) {
+void RunOp(const char* title, const char* opname,
+           const std::vector<double>& data, const Config& cfg, Checksum& cs,
+           double& worst_rel, JsonReport& report) {
   PrintHeader(title,
               "# algorithm                 min      p25   median      p75"
               "      p99    p99.9        max       avg   (ns/query)");
-  RunPoint<window::NaiveWindow<Op>>("naive", data, cfg, cs, worst_rel);
-  RunPoint<window::FlatFat<Op>>("flatfat", data, cfg, cs, worst_rel);
-  RunPoint<window::BInt<Op>>("bint", data, cfg, cs, worst_rel);
-  RunPoint<window::FlatFit<Op>>("flatfit", data, cfg, cs, worst_rel);
-  RunPoint<core::Windowed<window::TwoStacks<Op>>>("twostacks", data, cfg, cs,
-                                                  worst_rel);
-  RunPoint<core::Windowed<window::Daba<Op>>>("daba", data, cfg, cs, worst_rel);
+  RunPoint<window::NaiveWindow<Op>>("naive", opname, data, cfg, cs, worst_rel,
+                                    report);
+  RunPoint<window::FlatFat<Op>>("flatfat", opname, data, cfg, cs, worst_rel,
+                                report);
+  RunPoint<window::BInt<Op>>("bint", opname, data, cfg, cs, worst_rel, report);
+  RunPoint<window::FlatFit<Op>>("flatfit", opname, data, cfg, cs, worst_rel,
+                                report);
+  RunPoint<core::Windowed<window::TwoStacks<Op>>>("twostacks", opname, data,
+                                                  cfg, cs, worst_rel, report);
+  RunPoint<core::Windowed<window::Daba<Op>>>("daba", opname, data, cfg, cs,
+                                             worst_rel, report);
   if constexpr (ops::InvertibleOp<Op>) {
-    RunPoint<core::SlickDequeInv<Op>>("slickdeque(inv)", data, cfg, cs,
-                                      worst_rel);
+    RunPoint<core::SlickDequeInv<Op>>("slickdeque(inv)", opname, data, cfg,
+                                      cs, worst_rel, report);
   }
   if constexpr (ops::SelectiveOp<Op>) {
-    RunPoint<core::SlickDequeNonInv<Op>>("slickdeque(non-inv)", data, cfg, cs,
-                                         worst_rel);
+    RunPoint<core::SlickDequeNonInv<Op>>("slickdeque(non-inv)", opname, data,
+                                         cfg, cs, worst_rel, report);
   }
 }
 
@@ -171,8 +183,12 @@ int main(int argc, char** argv) {
   const std::vector<double> data = BenchSeries(flags, 1 << 20, cfg.seed);
   Checksum cs;
   double worst_rel = 0.0;
-  RunOp<slick::ops::Sum>("Sum (invertible)", data, cfg, cs, worst_rel);
-  RunOp<slick::ops::Max>("Max (non-invertible)", data, cfg, cs, worst_rel);
+  JsonReport report(flags, "exp3_latency");
+  RunOp<slick::ops::Sum>("Sum (invertible)", "sum", data, cfg, cs, worst_rel,
+                         report);
+  RunOp<slick::ops::Max>("Max (non-invertible)", "max", data, cfg, cs,
+                         worst_rel, report);
+  report.Write();
   cs.Report();
   std::printf(
       "# histogram cross-validation: worst relative deviation %.5f "

@@ -65,21 +65,29 @@ std::size_t Footprint(std::size_t window, const std::vector<double>& data) {
   return agg.memory_bytes();
 }
 
-void Row(std::size_t w, const std::vector<double>& data) {
+void Row(std::size_t w, const std::vector<double>& data, JsonReport& report) {
   using slick::ops::Max;
   using slick::ops::Sum;
   std::printf("%9zu", w);
-  std::printf(" %12zu", Footprint<window::NaiveWindow<Sum>>(w, data));
-  std::printf(" %12zu", Footprint<window::FlatFat<Sum>>(w, data));
-  std::printf(" %12zu", Footprint<window::BInt<Sum>>(w, data));
-  std::printf(" %12zu", Footprint<window::FlatFit<Sum>>(w, data));
-  std::printf(" %12zu",
-              Footprint<core::Windowed<window::TwoStacks<Sum>>>(w, data));
-  std::printf(" %12zu",
-              Footprint<core::Windowed<window::TwoStacksRing<Sum>>>(w, data));
-  std::printf(" %12zu", Footprint<core::Windowed<window::Daba<Sum>>>(w, data));
-  std::printf(" %12zu", Footprint<core::SlickDequeInv<Sum>>(w, data));
-  std::printf(" %12zu", Footprint<core::SlickDequeNonInv<Max>>(w, data));
+  // Memory bench: the shared schema's tuples_per_sec is not meaningful, so
+  // rows carry 0 and the footprint rides in config.bytes.
+  const auto point = [&](const char* algo, std::size_t bytes) {
+    std::printf(" %12zu", bytes);
+    report.Row({{"algo", algo},
+                {"window", JsonReport::Num(w)},
+                {"bytes", JsonReport::Num(bytes)}},
+               0.0);
+  };
+  point("naive", Footprint<window::NaiveWindow<Sum>>(w, data));
+  point("flatfat", Footprint<window::FlatFat<Sum>>(w, data));
+  point("bint", Footprint<window::BInt<Sum>>(w, data));
+  point("flatfit", Footprint<window::FlatFit<Sum>>(w, data));
+  point("twostacks", Footprint<core::Windowed<window::TwoStacks<Sum>>>(w, data));
+  point("2stk-ring",
+        Footprint<core::Windowed<window::TwoStacksRing<Sum>>>(w, data));
+  point("daba", Footprint<core::Windowed<window::Daba<Sum>>>(w, data));
+  point("slick-inv", Footprint<core::SlickDequeInv<Sum>>(w, data));
+  point("slick-noninv", Footprint<core::SlickDequeNonInv<Max>>(w, data));
   std::printf("\n");
   std::fflush(stdout);
 }
@@ -102,14 +110,16 @@ int main(int argc, char** argv) {
 
   const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
 
+  JsonReport report(flags, "exp4_memory");
   for (uint64_t e = 0; e <= max_exp; ++e) {
     const std::size_t w = static_cast<std::size_t>(1) << e;
-    Row(w, data);
+    Row(w, data, report);
     // Non-power-of-two sizes show the tree structures' rounding penalty.
     if (e >= 2 && e + 1 <= max_exp) {
-      Row(w + w / 2, data);  // 1.5 * 2^e
+      Row(w + w / 2, data, report);  // 1.5 * 2^e
     }
   }
+  report.Write();
 
   std::printf("\n# peak RSS of this process: %llu bytes\n",
               (unsigned long long)slick::util::PeakRssBytes());

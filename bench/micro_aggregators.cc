@@ -3,6 +3,7 @@
 // experiment binaries with statistically managed per-op timings.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -134,4 +135,34 @@ BENCHMARK(BM_HistogramRecord);
 }  // namespace
 }  // namespace slick::bench
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
+// `--json <path>` / `--json=<path>` convention into google-benchmark's
+// JSON reporter flags so every bench binary shares one CLI.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string path;
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      path = args[i].substr(7);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      continue;
+    }
+    args.push_back("--benchmark_out=" + path);
+    args.push_back("--benchmark_out_format=json");
+    break;
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -117,13 +117,18 @@ double RunParallel(std::size_t shards, const Config& cfg,
 }
 
 template <typename Agg>
-void RunWorkload(const char* name, const Config& cfg,
-                 const std::vector<double>& data) {
+void RunWorkload(const char* name, const char* algo, const Config& cfg,
+                 const std::vector<double>& data, JsonReport& report) {
   std::printf("\n== %s, window %zu ==\n", name, cfg.window);
   std::printf("%-14s %14s %12s\n", "config", "Mtuples/s", "vs 1-shard");
   Checksum sink;
   const double base = RunBaseline<Agg>(cfg, data, sink);
   std::printf("%-14s %14.2f %12s\n", "single-thread", base / 1e6, "-");
+  report.Row({{"algo", algo},
+              {"config", "single-thread"},
+              {"window", JsonReport::Num(cfg.window)},
+              {"batch", JsonReport::Num(cfg.batch)}},
+             base);
   double one_shard = 0.0;
   for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                              std::size_t{8}}) {
@@ -132,6 +137,11 @@ void RunWorkload(const char* name, const Config& cfg,
     std::printf("%-14s", (std::to_string(shards) + "-shard").c_str());
     std::printf(" %14.2f %11.2fx\n", rate / 1e6, rate / one_shard);
     std::fflush(stdout);
+    report.Row({{"algo", algo},
+                {"config", std::to_string(shards) + "-shard"},
+                {"window", JsonReport::Num(cfg.window)},
+                {"batch", JsonReport::Num(cfg.batch)}},
+               rate);
   }
   sink.Report();
 }
@@ -160,9 +170,12 @@ int main(int argc, char** argv) {
       (unsigned long long)seed);
 
   const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
+  JsonReport report(flags, "parallel_throughput");
   RunWorkload<slick::core::SlickDequeInv<slick::ops::Sum>>(
-      "SlickDeque (Inv), Sum", cfg, data);
+      "SlickDeque (Inv), Sum", "slickdeque-inv-sum", cfg, data, report);
   RunWorkload<slick::core::SlickDequeNonInv<slick::ops::Max>>(
-      "SlickDeque (Non-Inv), Max", cfg, data);
+      "SlickDeque (Non-Inv), Max", "slickdeque-noninv-max", cfg, data,
+      report);
+  report.Write();
   return 0;
 }

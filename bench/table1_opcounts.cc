@@ -74,8 +74,20 @@ void PrintRow(const char* name, const OpStats& s, const char* theory_amort,
               (unsigned long long)s.worst, theory_amort, theory_worst);
 }
 
+/// Op-count bench: the shared JSON schema's tuples_per_sec slot carries the
+/// amortized ⊕/⊖ count per slide (the row's measured quantity); worst-case
+/// rides in config.
+void ReportRow(JsonReport& report, const char* env, std::size_t n,
+               const char* algo, const OpStats& s) {
+  report.Row({{"algo", algo},
+              {"env", env},
+              {"window", JsonReport::Num(n)},
+              {"worst", JsonReport::Num(s.worst)}},
+             s.amortized);
+}
+
 void SingleQueryTable(std::size_t n, uint64_t laps,
-                      const std::vector<double>& data) {
+                      const std::vector<double>& data, JsonReport& report) {
   using CSum = ops::CountingOp<ops::Sum>;
   using CMax = ops::CountingOp<ops::Max>;
   auto full = [](auto& agg) { (void)agg.query(); };
@@ -83,44 +95,49 @@ void SingleQueryTable(std::size_t n, uint64_t laps,
   std::printf("\n== Single-query environment, window n=%zu ==\n", n);
   std::printf("%-22s %12s %10s   %-14s %-14s\n", "# algorithm", "amortized",
               "worst", "paper-amort", "paper-worst");
-  PrintRow("naive",
-           Measure<window::NaiveWindow<CSum>>(n, laps, data,
-                                              MakeDefault<window::NaiveWindow<CSum>>, full),
-           "n-1", "n-1");
-  PrintRow("flatfat",
-           Measure<window::FlatFat<CSum>>(n, laps, data,
-                                          MakeDefault<window::FlatFat<CSum>>, full),
-           "log2(n)", "log2(n)");
-  PrintRow("bint",
-           Measure<window::BInt<CSum>>(n, laps, data,
-                                       MakeDefault<window::BInt<CSum>>, full),
-           "~log2(n)", "~log2(n)");
-  PrintRow("flatfit",
-           Measure<window::FlatFit<CSum>>(n, laps, data,
-                                          MakeDefault<window::FlatFit<CSum>>, full),
-           "3", "n-1");
-  PrintRow("twostacks",
-           Measure<core::Windowed<window::TwoStacks<CSum>>>(
-               n, laps, data,
-               MakeDefault<core::Windowed<window::TwoStacks<CSum>>>, full),
-           "3", "n");
-  PrintRow("daba",
-           Measure<core::Windowed<window::Daba<CSum>>>(
-               n, laps, data,
-               MakeDefault<core::Windowed<window::Daba<CSum>>>, full),
-           "5", "8");
-  PrintRow("slickdeque(inv)",
-           Measure<core::SlickDequeInv<CSum>>(
-               n, laps, data, MakeDefault<core::SlickDequeInv<CSum>>, full),
-           "2", "2");
-  PrintRow("slickdeque(non-inv)",
-           Measure<core::SlickDequeNonInv<CMax>>(
-               n, laps, data, MakeDefault<core::SlickDequeNonInv<CMax>>, full),
-           "<2 (input)", "n (1/n!)");
+  const auto row = [&](const char* name, const OpStats& s,
+                       const char* theory_amort, const char* theory_worst) {
+    PrintRow(name, s, theory_amort, theory_worst);
+    ReportRow(report, "single", n, name, s);
+  };
+  row("naive",
+      Measure<window::NaiveWindow<CSum>>(n, laps, data,
+                                         MakeDefault<window::NaiveWindow<CSum>>, full),
+      "n-1", "n-1");
+  row("flatfat",
+      Measure<window::FlatFat<CSum>>(n, laps, data,
+                                     MakeDefault<window::FlatFat<CSum>>, full),
+      "log2(n)", "log2(n)");
+  row("bint",
+      Measure<window::BInt<CSum>>(n, laps, data,
+                                  MakeDefault<window::BInt<CSum>>, full),
+      "~log2(n)", "~log2(n)");
+  row("flatfit",
+      Measure<window::FlatFit<CSum>>(n, laps, data,
+                                     MakeDefault<window::FlatFit<CSum>>, full),
+      "3", "n-1");
+  row("twostacks",
+      Measure<core::Windowed<window::TwoStacks<CSum>>>(
+          n, laps, data,
+          MakeDefault<core::Windowed<window::TwoStacks<CSum>>>, full),
+      "3", "n");
+  row("daba",
+      Measure<core::Windowed<window::Daba<CSum>>>(
+          n, laps, data,
+          MakeDefault<core::Windowed<window::Daba<CSum>>>, full),
+      "5", "8");
+  row("slickdeque(inv)",
+      Measure<core::SlickDequeInv<CSum>>(
+          n, laps, data, MakeDefault<core::SlickDequeInv<CSum>>, full),
+      "2", "2");
+  row("slickdeque(non-inv)",
+      Measure<core::SlickDequeNonInv<CMax>>(
+          n, laps, data, MakeDefault<core::SlickDequeNonInv<CMax>>, full),
+      "<2 (input)", "n (1/n!)");
 }
 
 void MultiQueryTable(std::size_t n, uint64_t laps,
-                     const std::vector<double>& data) {
+                     const std::vector<double>& data, JsonReport& report) {
   using CSum = ops::CountingOp<ops::Sum>;
   using CMax = ops::CountingOp<ops::Max>;
 
@@ -150,31 +167,36 @@ void MultiQueryTable(std::size_t n, uint64_t laps,
   std::printf("\n== Max-multi-query environment, window n=%zu ==\n", n);
   std::printf("%-22s %12s %10s   %-14s %-14s\n", "# algorithm", "amortized",
               "worst", "paper-amort", "paper-worst");
-  PrintRow("naive",
-           Measure<window::NaiveWindow<CSum>>(
-               n, laps, data, MakeDefault<window::NaiveWindow<CSum>>, all_ranges),
-           "(n^2-n)/2", "(n^2-n)/2");
-  PrintRow("flatfat",
-           Measure<window::FlatFat<CSum>>(
-               n, laps, data, MakeDefault<window::FlatFat<CSum>>, all_ranges),
-           "~n*log2(n)", "~n*log2(n)");
-  PrintRow("bint",
-           Measure<window::BInt<CSum>>(n, laps, data,
-                                       MakeDefault<window::BInt<CSum>>, all_ranges),
-           "~n*log2(n)", "~n*log2(n)");
-  PrintRow("flatfit",
-           Measure<window::FlatFit<CSum>>(
-               n, laps, data, MakeDefault<window::FlatFit<CSum>>, all_ranges),
-           "n-1", "n-1");
-  PrintRow("slickdeque(inv)",
-           Measure<core::SlickDequeInv<CSum>>(n, laps, data, make_inv,
-                                              inv_answers),
-           "2n", "2n");
-  PrintRow("slickdeque(non-inv)",
-           Measure<core::SlickDequeNonInv<CMax>>(
-               n, laps, data, MakeDefault<core::SlickDequeNonInv<CMax>>,
-               noninv_answers),
-           "<=2n (input)", "2n (1/n!)");
+  const auto row = [&](const char* name, const OpStats& s,
+                       const char* theory_amort, const char* theory_worst) {
+    PrintRow(name, s, theory_amort, theory_worst);
+    ReportRow(report, "multi", n, name, s);
+  };
+  row("naive",
+      Measure<window::NaiveWindow<CSum>>(
+          n, laps, data, MakeDefault<window::NaiveWindow<CSum>>, all_ranges),
+      "(n^2-n)/2", "(n^2-n)/2");
+  row("flatfat",
+      Measure<window::FlatFat<CSum>>(
+          n, laps, data, MakeDefault<window::FlatFat<CSum>>, all_ranges),
+      "~n*log2(n)", "~n*log2(n)");
+  row("bint",
+      Measure<window::BInt<CSum>>(n, laps, data,
+                                  MakeDefault<window::BInt<CSum>>, all_ranges),
+      "~n*log2(n)", "~n*log2(n)");
+  row("flatfit",
+      Measure<window::FlatFit<CSum>>(
+          n, laps, data, MakeDefault<window::FlatFit<CSum>>, all_ranges),
+      "n-1", "n-1");
+  row("slickdeque(inv)",
+      Measure<core::SlickDequeInv<CSum>>(n, laps, data, make_inv,
+                                         inv_answers),
+      "2n", "2n");
+  row("slickdeque(non-inv)",
+      Measure<core::SlickDequeNonInv<CMax>>(
+          n, laps, data, MakeDefault<core::SlickDequeNonInv<CMax>>,
+          noninv_answers),
+      "<=2n (input)", "2n (1/n!)");
 }
 
 }  // namespace
@@ -192,8 +214,10 @@ int main(int argc, char** argv) {
               (unsigned long long)laps, (unsigned long long)seed);
 
   const std::vector<double> data = BenchSeries(flags, 1 << 18, seed);
-  SingleQueryTable(n, laps, data);
-  SingleQueryTable(4 * n, laps, data);
-  MultiQueryTable(n, laps, data);
+  JsonReport report(flags, "table1_opcounts");
+  SingleQueryTable(n, laps, data, report);
+  SingleQueryTable(4 * n, laps, data, report);
+  MultiQueryTable(n, laps, data, report);
+  report.Write();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "ops/traits.h"
 #include "util/check.h"
@@ -42,6 +43,55 @@ class MonotonicDeque {
     ++oldest_seq_;
     --live_;
     if (!deque_.empty() && deque_.front().seq < oldest_seq_) {
+      deque_.pop_front();
+    }
+  }
+
+  /// Batch insert (DESIGN.md §11): same staircase reduction as SlickDeque
+  /// (Non-Inv)'s BulkSlide — for total-order absorbs the batch survivors
+  /// are found right-to-left with one test per element and the existing
+  /// tail is pruned once against the whole-batch aggregate; other
+  /// selective ops run the exact per-element loop. Final deque state is
+  /// identical to n sequential insert() calls.
+  void BulkInsert(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    if constexpr (ops::TotalOrderSelectiveOp<Op>) {
+      stair_.clear();
+      stair_.push_back(n - 1);
+      value_type suffix = src[n - 1];
+      for (std::size_t k = n - 1; k-- > 0;) {
+        if (!ops::Absorbs<Op>(suffix, src[k])) stair_.push_back(k);
+        suffix = Op::combine(src[k], suffix);
+      }
+      while (!deque_.empty() &&
+             ops::Absorbs<Op>(suffix, deque_.back().val)) {
+        deque_.pop_back();
+      }
+      for (std::size_t t = stair_.size(); t-- > 0;) {
+        const std::size_t k = stair_[t];
+        deque_.push_back(Node{next_seq_ + k, src[k]});
+      }
+    } else {
+      for (std::size_t k = 0; k < n; ++k) {
+        while (!deque_.empty() &&
+               ops::Absorbs<Op>(src[k], deque_.back().val)) {
+          deque_.pop_back();
+        }
+        deque_.push_back(Node{next_seq_ + k, src[k]});
+      }
+    }
+    next_seq_ += n;
+    live_ += n;
+  }
+
+  /// Batch evict (DESIGN.md §11): one sequence-counter jump, then a single
+  /// head-prefix pop (sequence numbers are strictly increasing, so expired
+  /// nodes always form a prefix).
+  void BulkEvict(std::size_t n) {
+    SLICK_CHECK(n <= live_, "bulk evict larger than window");
+    oldest_seq_ += n;
+    live_ -= n;
+    while (!deque_.empty() && deque_.front().seq < oldest_seq_) {
       deque_.pop_front();
     }
   }
@@ -95,6 +145,7 @@ class MonotonicDeque {
   };
 
   window::ChunkedArrayQueue<Node> deque_;
+  std::vector<std::size_t> stair_;  // BulkInsert scratch: surviving indices
   uint64_t next_seq_ = 0;    // sequence of the next insert
   uint64_t oldest_seq_ = 0;  // sequence of the oldest live element
   std::size_t live_ = 0;     // live window size

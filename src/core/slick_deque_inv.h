@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "ops/kernels.h"
 #include "ops/traits.h"
 #include "util/check.h"
 #include "util/serde.h"
@@ -62,6 +63,46 @@ class SlickDequeInv {
     }
     partials_[pos_] = std::move(v);
     pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
+  }
+
+  /// Batch slide (DESIGN.md §11): refreshes every registered answer with
+  /// O(1) aggregate applications instead of one ⊕/⊖ pair per element —
+  /// ans' = (ans ⊕ fold(batch)) ⊖ fold(expiring span), where both folds go
+  /// through ops::FoldValues so invertible ops with registered kernels
+  /// (Sum, SumInt, ...) vectorize. Exact for integer group ops; floating
+  /// point may differ from the sequential path by reassociation only.
+  void BulkSlide(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    if (n >= window_) {
+      // Every pre-batch partial expires: recompute each answer directly
+      // from the trailing window_ batch elements.
+      const value_type* tail = src + (n - window_);
+      for (Answer& a : answers_) {
+        a.value = ops::FoldValues<Op>(tail + (window_ - a.range), a.range);
+      }
+      // The oldest surviving element lands at the post-batch cursor.
+      WriteCircular(tail, window_, (pos_ + n) % window_);
+      pos_ = (pos_ + n) % window_;
+      return;
+    }
+    const value_type batch = ops::FoldValues<Op>(src, n);
+    // Answers must be refreshed before the circular write: when a range
+    // spans the whole window its expiring span IS the write region.
+    for (Answer& a : answers_) {
+      if (a.range <= n) {
+        // The whole range now lies inside the batch.
+        a.value = ops::FoldValues<Op>(src + (n - a.range), a.range);
+      } else {
+        // The n oldest partials of the range expire: a circular span of
+        // length n starting at the range's current start position.
+        const std::size_t start =
+            pos_ >= a.range ? pos_ - a.range : pos_ + window_ - a.range;
+        a.value = Op::inverse(Op::combine(a.value, batch),
+                              FoldCircular(start, n));
+      }
+    }
+    WriteCircular(src, n, pos_);
+    pos_ = (pos_ + n) % window_;
   }
 
   /// Replaces the partial `age` slides old (0 = newest) — the §3.1
@@ -146,6 +187,26 @@ class SlickDequeInv {
     std::size_t range;
     value_type value;
   };
+
+  /// Fold of the circular partials span [start, start+len) in stream
+  /// order — at most two contiguous kernel folds.
+  value_type FoldCircular(std::size_t start, std::size_t len) const {
+    const std::size_t first = std::min(len, window_ - start);
+    value_type acc = ops::FoldValues<Op>(partials_.data() + start, first);
+    if (first < len) {
+      acc = Op::combine(acc,
+                        ops::FoldValues<Op>(partials_.data(), len - first));
+    }
+    return acc;
+  }
+
+  /// Copies `len` (<= window_) values into the circular buffer at `start`.
+  void WriteCircular(const value_type* src, std::size_t len,
+                     std::size_t start) {
+    const std::size_t first = std::min(len, window_ - start);
+    std::copy(src, src + first, partials_.data() + start);
+    std::copy(src + first, src + len, partials_.data());
+  }
 
   const Answer* Find(std::size_t range) const {
     auto it = std::lower_bound(

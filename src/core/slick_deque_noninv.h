@@ -63,6 +63,37 @@ class SlickDequeNonInv {
     pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
   }
 
+  /// Batch slide (DESIGN.md §11): expires every head node the n slides age
+  /// out in one prefix pop, then admits the whole batch —
+  ///  * total-order ops (ops::TotalOrderSelectiveOp): the batch's surviving
+  ///    "staircase" is found right-to-left with one absorbs test per
+  ///    element against the running suffix aggregate, and the pre-existing
+  ///    tail is pruned once against the whole-batch aggregate (for an
+  ///    order-induced absorbs, some batch element dominates a node iff the
+  ///    batch aggregate does);
+  ///  * other selective ops: the exact per-element stack loop, with only
+  ///    the expiry test hoisted out of the loop.
+  /// Both leave the deque identical to n sequential slide() calls.
+  void BulkSlide(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    if (n >= window_) {
+      // Only the trailing window_ elements can survive: restart empty.
+      while (!deque_.empty()) deque_.pop_back();
+      AppendBatch(src + (n - window_), window_,
+                  (pos_ + (n - window_)) % window_);
+    } else {
+      // Slide k expires the node of age window_-1-k, so the batch expires
+      // exactly the head prefix with age >= window_-n (ages decrease
+      // strictly head -> tail, so the loop stops at the first survivor).
+      while (!deque_.empty() && AgeOf(deque_.front().pos) >= window_ - n) {
+        deque_.pop_front();
+      }
+      AppendBatch(src, n, pos_);
+    }
+    cur_ = (pos_ + n - 1) % window_;
+    pos_ = (pos_ + n) % window_;
+  }
+
   /// Aggregate of the whole window: the head node's value. O(1), zero
   /// aggregate operations.
   result_type query() const {
@@ -107,7 +138,8 @@ class SlickDequeNonInv {
   std::size_t node_count() const { return deque_.size(); }
 
   std::size_t memory_bytes() const {
-    return sizeof(*this) + deque_.memory_bytes();
+    return sizeof(*this) + deque_.memory_bytes() +
+           stair_.capacity() * sizeof(std::size_t);
   }
 
   /// Checkpoints the deque (DSMS fault tolerance).
@@ -198,6 +230,46 @@ class SlickDequeNonInv {
     return cur_ >= pos ? cur_ - pos : cur_ + window_ - pos;
   }
 
+  /// Admits `m` batch elements whose circular positions start at
+  /// `start_pos`, pruning dominated nodes. Precondition: every head node
+  /// the batch expires is already gone.
+  void AppendBatch(const value_type* src, std::size_t m,
+                   std::size_t start_pos) {
+    if constexpr (ops::TotalOrderSelectiveOp<Op>) {
+      // Right-to-left suffix scan: element k survives the batch iff no
+      // later batch element absorbs it, which for an order-induced absorbs
+      // is one test against the aggregate of src[k+1..m).
+      stair_.clear();
+      stair_.push_back(m - 1);  // the newest element always survives
+      value_type suffix = src[m - 1];
+      for (std::size_t k = m - 1; k-- > 0;) {
+        if (!ops::Absorbs<Op>(suffix, src[k])) stair_.push_back(k);
+        suffix = Op::combine(src[k], suffix);
+      }
+      // suffix now aggregates the whole batch; prune the existing tail
+      // against it once — sequential processing pops exactly the tail
+      // nodes some batch element absorbs, and ages keep the survivors'
+      // relative order unchanged.
+      while (!deque_.empty() &&
+             ops::Absorbs<Op>(suffix, deque_.back().val)) {
+        deque_.pop_back();
+      }
+      for (std::size_t t = stair_.size(); t-- > 0;) {
+        const std::size_t k = stair_[t];
+        deque_.push_back(Node{(start_pos + k) % window_, src[k]});
+      }
+    } else {
+      // Ad-hoc absorbs predicates get the exact per-element stack loop.
+      for (std::size_t k = 0; k < m; ++k) {
+        while (!deque_.empty() &&
+               ops::Absorbs<Op>(src[k], deque_.back().val)) {
+          deque_.pop_back();
+        }
+        deque_.push_back(Node{(start_pos + k) % window_, src[k]});
+      }
+    }
+  }
+
   /// Advances *walk (a deque sequence number) to the first node whose
   /// position lies within the newest `range` positions, and returns its
   /// value. The newest node (age 0) always qualifies, so the walk
@@ -211,6 +283,7 @@ class SlickDequeNonInv {
 
   std::size_t window_;
   window::ChunkedArrayQueue<Node> deque_;
+  std::vector<std::size_t> stair_;  // BulkSlide scratch: surviving indices
   std::size_t pos_ = 0;  // write position of the next partial
   std::size_t cur_ = 0;  // position of the newest partial
 };

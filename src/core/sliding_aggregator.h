@@ -72,5 +72,13 @@ using FifoAggregatorFor = typename internal::FifoPicker<Op>::type;
 template <ops::AggregateOp Op>
 using WindowAggregatorFor = typename internal::WindowPicker<Op>::type;
 
+// Batch entry points (DESIGN.md §11). These are the window:: dispatchers:
+// aggregators with native Bulk* members take their algorithm-specific fast
+// path, everything else (including type-erased AnyAggregator wrappers)
+// falls back to the per-tuple loop — callers never need to know which.
+using window::BulkEvict;
+using window::BulkInsert;
+using window::BulkSlide;
+
 }  // namespace slick::core
 

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "ops/kernels.h"
 #include "ops/traits.h"
 #include "util/check.h"
 #include "util/serde.h"
@@ -34,6 +35,29 @@ class SubtractOnEvict {
     SLICK_CHECK(!values_.empty(), "evict from empty window");
     running_ = Op::inverse(running_, values_.front());
     values_.pop_front();
+  }
+
+  /// Batch insert (DESIGN.md §11): one kernel fold of the batch plus a
+  /// single ⊕ into the running aggregate. Exact for integer group ops;
+  /// floating point may differ from per-element insertion by
+  /// reassociation only.
+  void BulkInsert(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    running_ = Op::combine(running_, ops::FoldValues<Op>(src, n));
+    for (std::size_t i = 0; i < n; ++i) values_.push_back(src[i]);
+  }
+
+  /// Batch evict (DESIGN.md §11): folds the n expiring values and applies
+  /// one ⊖ instead of n.
+  void BulkEvict(std::size_t n) {
+    SLICK_CHECK(n <= values_.size(), "bulk evict larger than window");
+    if (n == 0) return;
+    value_type expiring = Op::identity();
+    for (std::size_t i = 0; i < n; ++i) {
+      expiring = Op::combine(expiring, values_.front());
+      values_.pop_front();
+    }
+    running_ = Op::inverse(running_, expiring);
   }
 
   result_type query() const { return Op::lower(running_); }

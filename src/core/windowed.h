@@ -38,6 +38,23 @@ class Windowed {
     impl_.insert(std::move(v));
   }
 
+  /// Batch slide (DESIGN.md §11): one bulk evict followed by one bulk
+  /// insert via the window:: dispatchers, so FIFO aggregators with native
+  /// batch members (TwoStacks, SubtractOnEvict, MonotonicDeque) amortize
+  /// across the batch. The window content after the call matches n
+  /// sequential slide() calls; internal stack/flip phase may differ from
+  /// the interleaved order, which queries cannot observe.
+  void BulkSlide(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    if (n >= window_) {
+      window::BulkEvict(impl_, window_);
+      window::BulkInsert(impl_, src + (n - window_), window_);
+    } else {
+      window::BulkEvict(impl_, n);
+      window::BulkInsert(impl_, src, n);
+    }
+  }
+
   result_type query() const { return impl_.query(); }
 
   result_type query(std::size_t range) const {

@@ -1,0 +1,301 @@
+#pragma once
+
+// Contiguous fold kernels for the batch ingestion path (DESIGN.md §11).
+//
+// Each kernel computes an identity-seeded fold of a contiguous value array
+// under one ⊕, written as a restrict-qualified loop the compiler can
+// auto-vectorize; behind SLICK_SIMD an AVX2 variant is also compiled and
+// selected at runtime (__builtin_cpu_supports), so one binary runs
+// everywhere and uses the wide path where the host has it.
+//
+// Exactness contract: the integer kernels (FoldAdd/FoldMax/FoldMin over
+// int64) and the min/max kernels are bit-identical to the sequential
+// combine fold regardless of dispatch — addition on int64 wraps
+// associatively and min/max are idempotent-associative. The
+// floating-point *sum* kernels reassociate (lane-parallel partial sums),
+// so their results are ULP-bounded relative to the sequential fold, not
+// bit-equal; callers needing exact oracle comparisons use the integer ops
+// (kernels_test.cc pins both guarantees).
+//
+// BulkKernel<Op> (declared in ops/traits.h) maps ops onto kernels; the
+// generic FoldValues<Op> falls back to a plain combine loop for everything
+// without a registered kernel, so counting wrappers and holistic ops keep
+// their exact per-combine semantics.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ops/arith.h"
+#include "ops/minmax.h"
+#include "ops/traits.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SLICK_RESTRICT __restrict__
+#else
+#define SLICK_RESTRICT
+#endif
+
+#if defined(SLICK_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SLICK_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace slick::ops {
+namespace kernels {
+
+// ------------------------------------------------------------------
+// Scalar kernels. SLICK_RESTRICT promises the input does not alias any
+// store the caller makes, which is what lets -O2 unroll and vectorize
+// these loops even without the explicit AVX2 variants below.
+// ------------------------------------------------------------------
+
+inline int64_t FoldAddScalar(const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+inline double FoldAddScalar(const double* SLICK_RESTRICT v, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+inline int64_t FoldMaxScalar(const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  int64_t acc = MaxInt::identity();
+  for (std::size_t i = 0; i < n; ++i) acc = acc < v[i] ? v[i] : acc;
+  return acc;
+}
+
+// The comparison shape matches Max::combine(acc, v) exactly, including its
+// NaN behaviour (a NaN element never replaces the accumulator).
+inline double FoldMaxScalar(const double* SLICK_RESTRICT v, std::size_t n) {
+  double acc = Max::identity();
+  for (std::size_t i = 0; i < n; ++i) acc = acc < v[i] ? v[i] : acc;
+  return acc;
+}
+
+inline double FoldMinScalar(const double* SLICK_RESTRICT v, std::size_t n) {
+  double acc = Min::identity();
+  for (std::size_t i = 0; i < n; ++i) acc = v[i] < acc ? v[i] : acc;
+  return acc;
+}
+
+#if defined(SLICK_SIMD_X86)
+
+// ------------------------------------------------------------------
+// AVX2 kernels, compiled with a per-function target attribute so the rest
+// of the binary keeps the baseline ISA. Dispatch is one cached CPUID test.
+// ------------------------------------------------------------------
+
+/// True when the host supports AVX2 (resolved once, then a plain load).
+inline bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+/// Batches below this length are not worth the dispatch + horizontal
+/// reduction; the scalar loop wins.
+inline constexpr std::size_t kSimdThreshold = 16;
+
+__attribute__((target("avx2"))) inline double FoldAddAvx2(
+    const double* SLICK_RESTRICT v, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double r = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) r += v[i];
+  return r;
+}
+
+__attribute__((target("avx2"))) inline int64_t FoldAddAvx2(
+    const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t r = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) r += v[i];
+  return r;
+}
+
+// maxpd/minpd return the SECOND operand when the compare fails (including
+// on NaN), so ordering the element first and the accumulator second makes
+// the lanes behave exactly like `acc = acc < v ? v : acc` — a NaN element
+// keeps the accumulator, a NaN accumulator stays NaN, matching the scalar
+// kernel bit for bit.
+__attribute__((target("avx2"))) inline double FoldMaxAvx2(
+    const double* SLICK_RESTRICT v, std::size_t n) {
+  __m256d acc = _mm256_set1_pd(Max::identity());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_max_pd(_mm256_loadu_pd(v + i), acc);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double r = Max::identity();
+  for (int k = 0; k < 4; ++k) r = r < lanes[k] ? lanes[k] : r;
+  for (; i < n; ++i) r = r < v[i] ? v[i] : r;
+  return r;
+}
+
+__attribute__((target("avx2"))) inline double FoldMinAvx2(
+    const double* SLICK_RESTRICT v, std::size_t n) {
+  __m256d acc = _mm256_set1_pd(Min::identity());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_min_pd(_mm256_loadu_pd(v + i), acc);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double r = Min::identity();
+  for (int k = 0; k < 4; ++k) r = lanes[k] < r ? lanes[k] : r;
+  for (; i < n; ++i) r = v[i] < r ? v[i] : r;
+  return r;
+}
+
+// AVX2 has no packed 64-bit max (that is AVX-512), so compare + blend.
+__attribute__((target("avx2"))) inline int64_t FoldMaxAvx2(
+    const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  __m256i acc = _mm256_set1_epi64x(MaxInt::identity());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    acc = _mm256_blendv_epi8(acc, x, _mm256_cmpgt_epi64(x, acc));
+  }
+  int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t r = MaxInt::identity();
+  for (int k = 0; k < 4; ++k) r = r < lanes[k] ? lanes[k] : r;
+  for (; i < n; ++i) r = r < v[i] ? v[i] : r;
+  return r;
+}
+
+#endif  // SLICK_SIMD_X86
+
+// ------------------------------------------------------------------
+// Public dispatching kernels: AVX2 when compiled in, runtime-supported,
+// and the batch is long enough to amortize the reduction; scalar otherwise.
+// ------------------------------------------------------------------
+
+inline double FoldAdd(const double* SLICK_RESTRICT v, std::size_t n) {
+#if defined(SLICK_SIMD_X86)
+  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldAddAvx2(v, n);
+#endif
+  return FoldAddScalar(v, n);
+}
+
+inline int64_t FoldAdd(const int64_t* SLICK_RESTRICT v, std::size_t n) {
+#if defined(SLICK_SIMD_X86)
+  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldAddAvx2(v, n);
+#endif
+  return FoldAddScalar(v, n);
+}
+
+inline double FoldMax(const double* SLICK_RESTRICT v, std::size_t n) {
+#if defined(SLICK_SIMD_X86)
+  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldMaxAvx2(v, n);
+#endif
+  return FoldMaxScalar(v, n);
+}
+
+inline int64_t FoldMax(const int64_t* SLICK_RESTRICT v, std::size_t n) {
+#if defined(SLICK_SIMD_X86)
+  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldMaxAvx2(v, n);
+#endif
+  return FoldMaxScalar(v, n);
+}
+
+inline double FoldMin(const double* SLICK_RESTRICT v, std::size_t n) {
+#if defined(SLICK_SIMD_X86)
+  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldMinAvx2(v, n);
+#endif
+  return FoldMinScalar(v, n);
+}
+
+}  // namespace kernels
+
+// ------------------------------------------------------------------
+// Kernel registrations. An op qualifies when its ⊕ over value_type is one
+// of the fold shapes above AND an identity-seeded fold equals the kernel's
+// result (true for these: + seeded with 0, min/max seeded with ±∞/INT_MIN).
+// ------------------------------------------------------------------
+
+template <>
+struct BulkKernel<Sum> {
+  static double Fold(const double* v, std::size_t n) {
+    return kernels::FoldAdd(v, n);
+  }
+};
+
+template <>
+struct BulkKernel<SumInt> {
+  static int64_t Fold(const int64_t* v, std::size_t n) {
+    return kernels::FoldAdd(v, n);
+  }
+};
+
+template <>
+struct BulkKernel<SumOfSquares> {
+  // value_type carries already-lifted squares, so the fold is a plain add.
+  static double Fold(const double* v, std::size_t n) {
+    return kernels::FoldAdd(v, n);
+  }
+};
+
+template <>
+struct BulkKernel<Count> {
+  // Partials are lifted 1s (or merged counts); still an integer sum.
+  static int64_t Fold(const int64_t* v, std::size_t n) {
+    return kernels::FoldAdd(v, n);
+  }
+};
+
+template <>
+struct BulkKernel<Max> {
+  static double Fold(const double* v, std::size_t n) {
+    return kernels::FoldMax(v, n);
+  }
+};
+
+template <>
+struct BulkKernel<MaxInt> {
+  static int64_t Fold(const int64_t* v, std::size_t n) {
+    return kernels::FoldMax(v, n);
+  }
+};
+
+template <>
+struct BulkKernel<Min> {
+  static double Fold(const double* v, std::size_t n) {
+    return kernels::FoldMin(v, n);
+  }
+};
+
+/// Identity-seeded fold of `n` contiguous partials under Op: the op's
+/// registered vector kernel when one exists, a plain combine loop
+/// otherwise. n == 0 yields Op::identity(). This is the single entry point
+/// the aggregators' batch fast paths fold through.
+template <AggregateOp Op>
+typename Op::value_type FoldValues(const typename Op::value_type* v,
+                                   std::size_t n) {
+  if constexpr (HasBulkKernel<Op>) {
+    return BulkKernel<Op>::Fold(v, n);
+  } else {
+    typename Op::value_type acc = Op::identity();
+    for (std::size_t i = 0; i < n; ++i) acc = Op::combine(acc, v[i]);
+    return acc;
+  }
+}
+
+}  // namespace slick::ops

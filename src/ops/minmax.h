@@ -17,6 +17,10 @@ struct Max {
   static constexpr bool kCommutative = true;
   static constexpr bool kSelective = true;
 
+  /// absorbs() is induced by <= on the value, so batch paths may test a
+  /// whole prefix against one ⊕-aggregate (ops::TotalOrderSelectiveOp).
+  static constexpr bool kAbsorbsTotal = true;
+
   static value_type identity() {
     return -std::numeric_limits<double>::infinity();
   }
@@ -42,6 +46,8 @@ struct Min {
   static constexpr bool kCommutative = true;
   static constexpr bool kSelective = true;
 
+  static constexpr bool kAbsorbsTotal = true;
+
   static value_type identity() {
     return std::numeric_limits<double>::infinity();
   }
@@ -65,6 +71,8 @@ struct MaxInt {
   static constexpr bool kInvertible = false;
   static constexpr bool kCommutative = true;
   static constexpr bool kSelective = true;
+
+  static constexpr bool kAbsorbsTotal = true;
 
   static value_type identity() { return std::numeric_limits<int64_t>::min(); }
   static value_type lift(input_type x) { return x; }
@@ -100,6 +108,12 @@ struct ArgMax {
   static constexpr bool kCommutative = false;
   static constexpr bool kSelective = true;
 
+  /// The strict-key absorbs test is still order-induced (combine preserves
+  /// the set's max key, and ties never absorb regardless of which tied
+  /// sample the aggregate carries), so batch paths may use one aggregate
+  /// comparison per element.
+  static constexpr bool kAbsorbsTotal = true;
+
   static value_type identity() { return ArgSample{}; }
   static value_type lift(input_type x) { return x; }
   static value_type combine(value_type a, value_type b) {
@@ -123,6 +137,8 @@ struct ArgMin {
   static constexpr bool kInvertible = false;
   static constexpr bool kCommutative = false;
   static constexpr bool kSelective = true;
+
+  static constexpr bool kAbsorbsTotal = true;
 
   static value_type identity() {
     return ArgSample{std::numeric_limits<double>::infinity(), 0};

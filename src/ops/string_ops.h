@@ -16,6 +16,9 @@ struct AlphaMax {
   static constexpr bool kInvertible = false;
   static constexpr bool kCommutative = true;
   static constexpr bool kSelective = true;
+  /// The generic Absorbs fallback reduces to older <= newer — a total
+  /// order, so batch paths may prune against a single ⊕-aggregate.
+  static constexpr bool kAbsorbsTotal = true;
 
   static value_type identity() { return std::string(); }
   static value_type lift(input_type x) { return x; }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <utility>
 
 namespace slick::ops {
@@ -73,6 +74,41 @@ bool Absorbs(const typename Op::value_type& newer,
     return Op::combine(older, newer) == newer;
   }
 }
+
+/// Selective ops whose Absorbs test is induced by a total preorder on the
+/// value (Max, Min, ArgMax, ...) opt in with
+/// `static constexpr bool kAbsorbsTotal = true`. The guarantee batch fast
+/// paths rely on: for any set S of values,
+///   ∃ y ∈ S: Absorbs(y, x)  ⟺  Absorbs(fold(S), x)
+/// i.e. testing x once against the set's ⊕-aggregate is equivalent to
+/// testing it against every member. Ops with ad-hoc absorbs predicates
+/// (where domination is not order-induced) must leave the flag off and get
+/// the exact per-element path.
+template <typename Op>
+concept TotalOrderSelectiveOp =
+    SelectiveOp<Op> && requires {
+      { Op::kAbsorbsTotal } -> std::convertible_to<bool>;
+    } && Op::kAbsorbsTotal;
+
+/// Customization point for contiguous fold kernels (ops/kernels.h):
+/// specializations provide a static
+/// `value_type Fold(const value_type*, std::size_t)` equal to an
+/// identity-seeded left fold under Op::combine, implemented as a
+/// vectorization-friendly loop. The primary template has no Fold, so
+/// has_bulk_kernel stays false until a specialization exists.
+template <typename Op>
+struct BulkKernel {};
+
+template <typename Op>
+concept HasBulkKernel =
+    AggregateOp<Op> &&
+    requires(const typename Op::value_type* v, std::size_t n) {
+      { BulkKernel<Op>::Fold(v, n) } ->
+          std::same_as<typename Op::value_type>;
+    };
+
+template <typename Op>
+inline constexpr bool has_bulk_kernel = HasBulkKernel<Op>;
 
 }  // namespace slick::ops
 

@@ -216,6 +216,7 @@ class ParallelShardedEngine {
       s.inverses = c.inverses.Get();
       r.shards.push_back(s);
       r.batch_latency_ns.Merge(workers_[i]->batch_latency().TakeSnapshot());
+      r.batch_sizes.Merge(workers_[i]->batch_sizes().TakeSnapshot());
     }
     return r;
   }

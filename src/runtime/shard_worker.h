@@ -6,7 +6,6 @@
 #include <thread>
 #include <type_traits>
 #include <utility>
-#include <vector>
 
 #include "ops/counting.h"
 #include "runtime/spsc_ring.h"
@@ -85,6 +84,13 @@ class ShardWorker {
     return batch_latency_;
   }
 
+  /// Distribution of drained-batch sizes (elements per ClaimPop span) —
+  /// shows how much of the configured batch knob the ring actually delivers
+  /// under the current load. Same wait-free recording as batch_latency().
+  const telemetry::LatencyHistogram& batch_sizes() const {
+    return batch_sizes_;
+  }
+
  private:
   /// True when the shard op is the thread-attributed counting wrapper
   /// (ops::ThreadCountingOp): the worker then folds its thread-local ⊕/⊖
@@ -96,15 +102,21 @@ class ShardWorker {
   };
 
   void Run() {
-    std::vector<value_type> buf(batch_);
     uint64_t done = 0;
     uint64_t seen_combines = 0, seen_inverses = 0;
     for (;;) {
-      const std::size_t n = ring_.pop_n(buf.data(), batch_);
-      if (n == 0) break;  // closed and fully drained
+      // Zero-copy drain: claim a contiguous ring span and feed it straight
+      // into the aggregator's batch entry point — no bounce buffer.
+      std::size_t n = 0;
+      value_type* span = ring_.ClaimPop(batch_, &n);
+      if (span == nullptr) break;  // closed and fully drained
       const uint64_t t0 = util::MonotonicNanos();
-      for (std::size_t i = 0; i < n; ++i) agg_.slide(std::move(buf[i]));
+      window::BulkSlide(agg_, span, n);
       batch_latency_.Record(util::MonotonicNanos() - t0);
+      // Release only after the slide: the moment the head cursor moves the
+      // router may overwrite the span.
+      ring_.ReleasePop(n);
+      batch_sizes_.Record(n);
       done += n;
       processed_.store(done, std::memory_order_release);
       counters_.tuples_out.Add(n);
@@ -125,6 +137,7 @@ class ShardWorker {
   alignas(64) std::atomic<uint64_t> processed_{0};
   telemetry::ShardCounters counters_;
   telemetry::LatencyHistogram batch_latency_;
+  telemetry::LatencyHistogram batch_sizes_;
   std::thread thread_;
 };
 

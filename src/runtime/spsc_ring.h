@@ -20,9 +20,12 @@ namespace slick::runtime {
 /// Layout: `head_` (consumer cursor) and `tail_` (producer cursor) live on
 /// separate cache lines so the two threads never false-share; each side also
 /// keeps a cached copy of the *other* side's cursor so the hot path
-/// (try_push_n / try_pop_n) usually runs on thread-local state and touches
-/// the shared counter only when the cached view says the ring looks full
-/// (producer) or empty (consumer).
+/// (TryClaimPush / TryClaimPop, which the copying try_push_n / try_pop_n
+/// wrap) usually runs on thread-local state and touches the shared counter
+/// only when the cached view says the ring looks full (producer) or empty
+/// (consumer). The claim primitives hand out contiguous in-place spans —
+/// one acquire/release pair per batch, zero per element — which is what
+/// lets the shard workers bulk-slide straight out of the ring.
 ///
 /// Blocking: both sides batch their work, so parking is rare. Waits go
 /// through a per-direction eventcount (`tail_event_` for "data arrived",
@@ -68,26 +71,43 @@ class SpscRing {
   // Producer side.
   // ------------------------------------------------------------------
 
-  /// Copies up to `n` elements from `src` into the ring without blocking.
-  /// Returns the number accepted (0 when full or closed).
-  std::size_t try_push_n(const T* src, std::size_t n) {
+  /// Claims a contiguous span of up to `max` free slots for in-place
+  /// writing, without blocking: returns the span start and sets *count to
+  /// its length (capped at the array wrap, so a full claim may take two
+  /// calls). Returns nullptr with *count == 0 when the ring is full or
+  /// closed. Nothing is visible to the consumer until PublishPush(count) —
+  /// one acquire refresh at most per claim, zero per element.
+  T* TryClaimPush(std::size_t max, std::size_t* count) {
+    *count = 0;
     // relaxed: closed_ is a monotonic go/no-go flag here — no data is read
     // on the strength of this load, and a stale `false` only means one more
     // successful push into a ring the consumer still drains after close()
     // (pop_n re-polls after observing closed). Promptness, not correctness.
-    if (closed_.load(std::memory_order_relaxed)) return 0;
+    if (closed_.load(std::memory_order_relaxed)) return nullptr;
     // relaxed: tail_ is this thread's own cursor (single producer).
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t free = capacity() - static_cast<std::size_t>(tail - head_cache_);
-    if (free < n) {
+    if (free < max) {
+      // acquire: pairs with ReleasePop's head_ release store, so slots the
+      // consumer has drained are safe to overwrite.
       head_cache_ = head_.load(std::memory_order_acquire);
       free = capacity() - static_cast<std::size_t>(tail - head_cache_);
-      if (free == 0) return 0;
+      if (free == 0) return nullptr;
     }
-    const std::size_t count = n < free ? n : free;
-    for (std::size_t i = 0; i < count; ++i) {
-      slots_[static_cast<std::size_t>(tail + i) & mask_] = src[i];
-    }
+    const std::size_t idx = static_cast<std::size_t>(tail) & mask_;
+    std::size_t n = max < free ? max : free;
+    const std::size_t to_wrap = capacity() - idx;
+    if (n > to_wrap) n = to_wrap;
+    *count = n;
+    return slots_.get() + idx;
+  }
+
+  /// Publishes `count` slots previously claimed with TryClaimPush (count
+  /// may be less than the claim; unpublished slots are simply re-claimed
+  /// next time). One cursor store and one event bump per batch.
+  void PublishPush(std::size_t count) {
+    // relaxed: tail_ is this thread's own cursor (single producer).
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
     // Telemetry: occupancy right after this publish, measured against the
     // producer's (possibly stale) view of head_ — an upper bound, so the
     // high-water mark never under-reports. relaxed: single-writer — only
@@ -99,11 +119,32 @@ class SpscRing {
     if (occupancy > highwater_.load(std::memory_order_relaxed)) {
       highwater_.store(occupancy, std::memory_order_relaxed);
     }
+    // release: publishes the claimed slots' contents; pairs with the
+    // consumer's acquire refresh of tail_ in TryClaimPop.
     tail_.store(tail + count, std::memory_order_release);
-    // One event bump per publish batch; wakes a parked consumer.
+    // One event bump per publish batch; wakes a parked consumer. release:
+    // orders the cursor store before the bump the waiter snapshots.
     tail_event_.fetch_add(1, std::memory_order_release);
     tail_event_.notify_one();
-    return count;
+  }
+
+  /// Copies up to `n` elements from `src` into the ring without blocking.
+  /// Returns the number accepted (0 when full or closed). Built on the
+  /// claim/publish primitives — at most two segments when the span wraps.
+  std::size_t try_push_n(const T* src, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      std::size_t k = 0;
+      T* span = TryClaimPush(n - done, &k);
+      if (span == nullptr) break;
+      for (std::size_t i = 0; i < k; ++i) span[i] = src[done + i];
+      PublishPush(k);
+      done += k;
+      // A claim is capped at the array wrap; continue only when this one
+      // ended exactly there (a second segment may be free at the front).
+      if (span + k != slots_.get() + capacity()) break;
+    }
+    return done;
   }
 
   bool try_push(const T& v) { return try_push_n(&v, 1) == 1; }
@@ -156,40 +197,92 @@ class SpscRing {
   // Consumer side.
   // ------------------------------------------------------------------
 
-  /// Moves up to `max` elements into `dst` without blocking. Returns the
-  /// number popped (0 when the ring is currently empty).
-  std::size_t try_pop_n(T* dst, std::size_t max) {
+  /// Claims a contiguous span of up to `max` ready elements for in-place
+  /// reading, without blocking: returns the span start and sets *count to
+  /// its length (capped at the array wrap). Returns nullptr with *count ==
+  /// 0 when the ring is currently empty. The producer cannot overwrite the
+  /// span until ReleasePop(count) hands it back — one acquire refresh at
+  /// most per claim, zero per element.
+  T* TryClaimPop(std::size_t max, std::size_t* count) {
+    *count = 0;
     // relaxed: head_ is this thread's own cursor (single consumer).
     const uint64_t head = head_.load(std::memory_order_relaxed);
     std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
     if (avail == 0) {
+      // acquire: pairs with PublishPush's tail_ release store, so the
+      // published slots' contents are visible before we read them.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       avail = static_cast<std::size_t>(tail_cache_ - head);
-      if (avail == 0) return 0;
+      if (avail == 0) return nullptr;
     }
-    const std::size_t count = max < avail ? max : avail;
-    for (std::size_t i = 0; i < count; ++i) {
-      dst[i] = std::move(slots_[static_cast<std::size_t>(head + i) & mask_]);
-    }
+    const std::size_t idx = static_cast<std::size_t>(head) & mask_;
+    std::size_t n = max < avail ? max : avail;
+    const std::size_t to_wrap = capacity() - idx;
+    if (n > to_wrap) n = to_wrap;
+    *count = n;
+    return slots_.get() + idx;
+  }
+
+  /// Returns `count` slots claimed with TryClaimPop to the producer. One
+  /// cursor store and one event bump per batch.
+  void ReleasePop(std::size_t count) {
+    // relaxed: head_ is this thread's own cursor (single consumer).
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    // release: hands the drained slots back; pairs with TryClaimPush's
+    // acquire refresh of head_ so the producer never overwrites a slot the
+    // consumer is still reading.
     head_.store(head + count, std::memory_order_release);
+    // release: orders the cursor store before the bump a parked producer
+    // snapshots in WaitForSpace.
     head_event_.fetch_add(1, std::memory_order_release);
     head_event_.notify_one();
-    return count;
+  }
+
+  /// Blocking claim: returns a non-empty span (and its length in *count)
+  /// unless the ring is closed *and* drained, in which case it returns
+  /// nullptr — the consumer's shutdown signal. Callers process the span in
+  /// place and then ReleasePop(*count).
+  T* ClaimPop(std::size_t max, std::size_t* count) {
+    while (true) {
+      T* span = TryClaimPop(max, count);
+      if (span != nullptr) return span;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: elements published before close() must still drain.
+        return TryClaimPop(max, count);
+      }
+      WaitForData();
+    }
+  }
+
+  /// Moves up to `max` elements into `dst` without blocking. Returns the
+  /// number popped (0 when the ring is currently empty). Built on the
+  /// claim/release primitives — at most two segments when the span wraps.
+  std::size_t try_pop_n(T* dst, std::size_t max) {
+    std::size_t done = 0;
+    while (done < max) {
+      std::size_t k = 0;
+      T* span = TryClaimPop(max - done, &k);
+      if (span == nullptr) break;
+      for (std::size_t i = 0; i < k; ++i) dst[done + i] = std::move(span[i]);
+      ReleasePop(k);
+      done += k;
+      // A claim is capped at the array wrap; continue only when this one
+      // ended exactly there (a second segment may be ready at the front).
+      if (span + k != slots_.get() + capacity()) break;
+    }
+    return done;
   }
 
   /// Blocking pop: returns at least one element unless the ring is closed
   /// *and* drained, in which case it returns 0 — the consumer's shutdown
   /// signal.
   std::size_t pop_n(T* dst, std::size_t max) {
-    while (true) {
-      const std::size_t k = try_pop_n(dst, max);
-      if (k > 0) return k;
-      if (closed_.load(std::memory_order_acquire)) {
-        // Re-check: elements published before close() must still drain.
-        return try_pop_n(dst, max);
-      }
-      WaitForData();
-    }
+    std::size_t k = 0;
+    T* span = ClaimPop(max, &k);
+    if (span == nullptr) return 0;
+    for (std::size_t i = 0; i < k; ++i) dst[i] = std::move(span[i]);
+    ReleasePop(k);
+    return k;
   }
 
  private:

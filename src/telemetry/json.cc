@@ -81,6 +81,8 @@ std::string ToJson(const RuntimeSnapshot& r) {
   }
   out += "],\"batch_latency_ns\":";
   out += ToJson(r.batch_latency_ns);
+  out += ",\"batch_sizes\":";
+  out += ToJson(r.batch_sizes);
   out += "}";
   return out;
 }

@@ -34,6 +34,7 @@ struct ShardSnapshot {
 struct RuntimeSnapshot {
   std::vector<ShardSnapshot> shards;
   LatencyHistogram::Snapshot batch_latency_ns;  ///< merged across shards
+  LatencyHistogram::Snapshot batch_sizes;       ///< drained elements/batch
 
   uint64_t total_in() const { return Sum(&ShardSnapshot::tuples_in); }
   uint64_t total_out() const { return Sum(&ShardSnapshot::tuples_out); }

@@ -44,5 +44,63 @@ concept FixedWindowAggregator =
       { agg.memory_bytes() } -> std::convertible_to<std::size_t>;
     };
 
+// ---------------------------------------------------------------------------
+// Batch ingestion (DESIGN.md §11). Aggregators with an algorithm-specific
+// fast path expose member bulk entry points:
+//
+//   BulkInsert(const value_type*, size_t) / BulkEvict(size_t)  (FIFO shape)
+//   BulkSlide(const value_type*, size_t)                (fixed-window shape)
+//
+// contracted to leave the aggregator in a state that answers every
+// supported query exactly as the equivalent per-tuple sequence would. The
+// free functions below dispatch to the member when present and otherwise
+// run the per-tuple loop, so every aggregator — including user-supplied
+// implementations behind the type-erased facades — accepts batches.
+
+template <typename A>
+concept BulkFifoAggregator =
+    FifoAggregator<A> &&
+    requires(A agg, const typename A::value_type* src, std::size_t n) {
+      agg.BulkInsert(src, n);
+      agg.BulkEvict(n);
+    };
+
+template <typename A>
+concept BulkFixedWindowAggregator =
+    FixedWindowAggregator<A> &&
+    requires(A agg, const typename A::value_type* src, std::size_t n) {
+      agg.BulkSlide(src, n);
+    };
+
+/// Appends `n` contiguous partials to a FIFO window in stream order.
+template <FifoAggregator A>
+void BulkInsert(A& agg, const typename A::value_type* src, std::size_t n) {
+  if constexpr (BulkFifoAggregator<A>) {
+    agg.BulkInsert(src, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) agg.insert(src[i]);
+  }
+}
+
+/// Removes the `n` oldest elements from a FIFO window.
+template <FifoAggregator A>
+void BulkEvict(A& agg, std::size_t n) {
+  if constexpr (BulkFifoAggregator<A>) {
+    agg.BulkEvict(n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) agg.evict();
+  }
+}
+
+/// Slides `n` contiguous partials through a fixed window in stream order.
+template <FixedWindowAggregator A>
+void BulkSlide(A& agg, const typename A::value_type* src, std::size_t n) {
+  if constexpr (BulkFixedWindowAggregator<A>) {
+    agg.BulkSlide(src, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) agg.slide(src[i]);
+  }
+}
+
 }  // namespace slick::window
 

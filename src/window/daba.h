@@ -64,6 +64,20 @@ class Daba {
     Step();
   }
 
+  /// Batch forms (DESIGN.md §11). DABA's de-amortization *requires* the
+  /// O(1) fix-up to run once per event — skipping Steps would let repair
+  /// fall behind the front pointer — so the batch entry points are tight
+  /// loops over insert()/evict(); the saving is call/dispatch overhead
+  /// only, which is exactly what Table 1's worst-case-O(1) design trades
+  /// throughput for.
+  void BulkInsert(const value_type* src, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) insert(src[i]);
+  }
+
+  void BulkEvict(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) evict();
+  }
+
   /// Aggregate of the entire window, in stream order. O(1) worst case.
   result_type query() const {
     if (q_.empty()) return Op::lower(Op::identity());

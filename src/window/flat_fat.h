@@ -48,6 +48,55 @@ class FlatFat {
     pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
   }
 
+  /// Batch slide (DESIGN.md §11): writes the min(n, window) surviving
+  /// leaves, then rebuilds ancestors level by level over the dirty
+  /// interval(s) — the circular write is at most two contiguous leaf runs,
+  /// which merge into one interval as they narrow toward the root. Costs
+  /// ~2·min(n, window) + 2·log₂(window) combines instead of n·log₂(window);
+  /// internal nodes are a deterministic function of the leaves, so state
+  /// matches n sequential slide() calls exactly.
+  void BulkSlide(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t m = n < window_ ? n : window_;
+    const value_type* last = src + (n - m);
+    const std::size_t start = (pos_ + (n - m)) % window_;
+    const std::size_t first = std::min(m, window_ - start);
+    for (std::size_t i = 0; i < first; ++i) {
+      tree_[leaves_ + start + i] = last[i];
+    }
+    for (std::size_t i = first; i < m; ++i) {
+      tree_[leaves_ + (i - first)] = last[i];
+    }
+    // Dirty leaf-node intervals, inclusive: [lo1, hi1] always; [lo2, hi2]
+    // only when the circular write wrapped. lo2 < lo1 by construction.
+    std::size_t lo1 = leaves_ + start;
+    std::size_t hi1 = leaves_ + start + first - 1;
+    std::size_t lo2 = leaves_;
+    std::size_t hi2 = first < m ? leaves_ + (m - first) - 1 : 0;
+    bool two = first < m;
+    while (lo1 > 1) {
+      lo1 >>= 1;
+      hi1 >>= 1;
+      if (two) {
+        lo2 >>= 1;
+        hi2 >>= 1;
+        if (hi2 + 1 >= lo1) {  // intervals touched or overlapped: merge
+          lo1 = lo2;
+          two = false;
+        }
+      }
+      for (std::size_t node = lo1; node <= hi1; ++node) {
+        tree_[node] = Op::combine(tree_[2 * node], tree_[2 * node + 1]);
+      }
+      if (two) {
+        for (std::size_t node = lo2; node <= hi2; ++node) {
+          tree_[node] = Op::combine(tree_[2 * node], tree_[2 * node + 1]);
+        }
+      }
+    }
+    pos_ = (pos_ + n) % window_;
+  }
+
   /// Replaces the partial `age` slides old (0 = newest) and refreshes the
   /// ancestor path — the update capability the paper notes FlatFAT was
   /// extended with (§2.2/§3.1). O(log n).

@@ -53,6 +53,25 @@ class FlatFit {
     pos_ = Next(pos_);
   }
 
+  /// Batch slide (DESIGN.md §11): FlatFIT's slide is pure stores (the index
+  /// traversal happens lazily inside query()), so the batch form is one
+  /// tight loop over the min(n, window) surviving elements. State is
+  /// bit-identical to n sequential slide() calls — overwritten stores and
+  /// their jump pointers are value-independent.
+  void BulkSlide(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t m = n < window_ ? n : window_;
+    const value_type* last = src + (n - m);
+    std::size_t i = (pos_ + (n - m)) % window_;
+    for (std::size_t k = 0; k < m; ++k) {
+      vals_[i] = last[k];
+      jump_[i] = static_cast<uint32_t>(Next(i));
+      i = Next(i);
+    }
+    cur_ = (pos_ + n - 1) % window_;
+    pos_ = (pos_ + n) % window_;
+  }
+
   /// Aggregate of the whole window. Non-const: traversals compress paths.
   result_type query() { return query(window_); }
 

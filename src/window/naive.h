@@ -36,6 +36,20 @@ class NaiveWindow {
     pos_ = pos_ + 1 == partials_.size() ? 0 : pos_ + 1;
   }
 
+  /// Batch slide (DESIGN.md §11): the circular write of the min(n, window)
+  /// surviving partials collapses to at most two contiguous copies.
+  void BulkSlide(const value_type* src, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t w = partials_.size();
+    const std::size_t m = n < w ? n : w;
+    const value_type* last = src + (n - m);
+    const std::size_t start = (pos_ + (n - m)) % w;
+    const std::size_t first = std::min(m, w - start);
+    std::copy(last, last + first, partials_.data() + start);
+    std::copy(last + first, last + m, partials_.data());
+    pos_ = (pos_ + n) % w;
+  }
+
   /// Replaces the partial `age` slides old (0 = newest) — the §3.1
   /// "updates on partial aggregates already stored within the window"
   /// capability. O(1); subsequent queries see the correction.

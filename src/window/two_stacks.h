@@ -41,6 +41,41 @@ class TwoStacks {
     front_.pop_back();
   }
 
+  /// Batch insert (DESIGN.md §11): the same prefix-aggregate chain as n
+  /// insert() calls, built in one reserved tight loop.
+  void BulkInsert(const value_type* src, std::size_t n) {
+    back_.reserve(back_.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const value_type agg =
+          back_.empty() ? src[i] : Op::combine(back_.back().agg, src[i]);
+      back_.push_back(Entry{src[i], agg});
+    }
+  }
+
+  /// Batch evict (DESIGN.md §11): pops min(n, |F|) front entries for free;
+  /// if the front stack runs out, the n' leftover evictions drop the n'
+  /// oldest back entries *before* flipping, so the flip builds suffix
+  /// chains for the survivors only — saving n' combines and pushes versus
+  /// per-element eviction. The surviving entries' aggregates are the exact
+  /// combine chains Flip() would have built (agg[i] = Σ val[i..end)), so
+  /// the state matches sequential eviction.
+  void BulkEvict(std::size_t n) {
+    SLICK_CHECK(n <= size(), "bulk evict larger than window");
+    const std::size_t from_front = n < front_.size() ? n : front_.size();
+    front_.resize(front_.size() - from_front);
+    n -= from_front;
+    if (n == 0) return;
+    // front_ is now empty; flip back_[n..) directly onto it.
+    front_.reserve(back_.size() - n);
+    for (std::size_t i = back_.size(); i-- > n;) {
+      const value_type agg =
+          front_.empty() ? back_[i].val
+                         : Op::combine(back_[i].val, front_.back().agg);
+      front_.push_back(Entry{std::move(back_[i].val), agg});
+    }
+    back_.clear();
+  }
+
   /// Aggregate of the entire window, in stream order.
   result_type query() const {
     if (front_.empty() && back_.empty()) return Op::lower(Op::identity());

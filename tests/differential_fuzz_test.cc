@@ -7,20 +7,25 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/monotonic_deque.h"
 #include "core/slick_deque_inv.h"
 #include "core/slick_deque_noninv.h"
+#include "core/subtract_on_evict.h"
 #include "core/windowed.h"
 #include "engine/acq_engine.h"
 #include "engine/sharded.h"
 #include "ops/arith.h"
 #include "ops/minmax.h"
+#include "ops/string_ops.h"
 #include "runtime/parallel_engine.h"
 #include "telemetry/snapshot.h"
 #include "util/rng.h"
+#include "window/aggregator.h"
 #include "window/b_int.h"
 #include "window/daba.h"
 #include "window/flat_fat.h"
@@ -155,6 +160,204 @@ TEST(DifferentialFuzzTest, EnginesAgreeOnRandomQuerySets) {
       ASSERT_EQ(a, c) << "trial " << trial << " tuple " << t;
     }
   }
+}
+
+/// A per-tuple-driven aggregator and a batch-driven twin of the same type.
+/// Feed() slides the same span through both — the twin via the bulk
+/// dispatch (or, randomly, per-tuple too, so member fast paths interleave
+/// with the scalar path mid-stream); any divergence is a bulk-path bug.
+template <typename Agg>
+struct BulkTwin {
+  Agg single, bulk;
+
+  template <typename... Args>
+  explicit BulkTwin(Args&&... args) : single(args...), bulk(args...) {}
+
+  void Feed(const typename Agg::value_type* src, std::size_t n,
+            bool use_bulk) {
+    for (std::size_t i = 0; i < n; ++i) single.slide(src[i]);
+    if (use_bulk) {
+      window::BulkSlide(bulk, src, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) bulk.slide(src[i]);
+    }
+  }
+};
+
+// Batch ingestion differential mode (DESIGN.md §11): random batch sizes —
+// including n >= window, which exercises the whole-window rebuild paths —
+// against a per-tuple twin of every fixed-window aggregator, checking the
+// full-window answer and sub-range answers after every batch.
+TEST(DifferentialFuzzTest, BatchSlideMatchesPerTupleSlide) {
+  util::SplitMix64 config_rng(0xBA7C);
+  const int trials = FuzzTrials(kConfigTrials);
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::size_t window = 1 + config_rng.NextBounded(120);
+    const int shape = static_cast<int>(config_rng.NextBounded(5));
+    const uint64_t seed = config_rng.NextU64();
+
+    BulkTwin<window::NaiveWindow<ops::SumInt>> naive_sum(window);
+    BulkTwin<window::FlatFat<ops::SumInt>> fat_sum(window);
+    BulkTwin<window::FlatFit<ops::SumInt>> fit_sum(window);
+    BulkTwin<core::Windowed<window::TwoStacks<ops::SumInt>>> two_sum(window);
+    BulkTwin<core::Windowed<window::Daba<ops::SumInt>>> daba_sum(window);
+    BulkTwin<core::Windowed<core::SubtractOnEvict<ops::SumInt>>> sub_sum(
+        window);
+    const std::vector<std::size_t> ranges = {1, 1 + window / 3, window};
+    BulkTwin<core::SlickDequeInv<ops::SumInt>> slick_sum(window, ranges);
+
+    BulkTwin<window::NaiveWindow<ops::MaxInt>> naive_max(window);
+    BulkTwin<window::FlatFat<ops::MaxInt>> fat_max(window);
+    BulkTwin<core::SlickDequeNonInv<ops::MaxInt>> slick_max(window);
+
+    util::SplitMix64 rng(seed);
+    int step = 0;
+    for (int round = 0; round < 12; ++round) {
+      const std::size_t n = 1 + rng.NextBounded(3 * window);
+      std::vector<int64_t> batch(n);
+      for (auto& v : batch) v = ShapedValue(rng, shape, step++);
+      const bool use_bulk = rng.NextBounded(4) != 0;  // mostly bulk
+
+      naive_sum.Feed(batch.data(), n, use_bulk);
+      fat_sum.Feed(batch.data(), n, use_bulk);
+      fit_sum.Feed(batch.data(), n, use_bulk);
+      two_sum.Feed(batch.data(), n, use_bulk);
+      daba_sum.Feed(batch.data(), n, use_bulk);
+      sub_sum.Feed(batch.data(), n, use_bulk);
+      slick_sum.Feed(batch.data(), n, use_bulk);
+      naive_max.Feed(batch.data(), n, use_bulk);
+      fat_max.Feed(batch.data(), n, use_bulk);
+      slick_max.Feed(batch.data(), n, use_bulk);
+
+      const int64_t expect_sum = naive_sum.single.query();
+      ASSERT_EQ(naive_sum.bulk.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(fat_sum.bulk.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(fit_sum.bulk.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(two_sum.bulk.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(daba_sum.bulk.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(sub_sum.bulk.query(), expect_sum) << "trial " << trial;
+      ASSERT_EQ(slick_sum.bulk.query(), expect_sum) << "trial " << trial;
+
+      const int64_t expect_max = naive_max.single.query();
+      ASSERT_EQ(naive_max.bulk.query(), expect_max) << "trial " << trial;
+      ASSERT_EQ(fat_max.bulk.query(), expect_max) << "trial " << trial;
+      ASSERT_EQ(slick_max.bulk.query(), expect_max) << "trial " << trial;
+
+      // Sub-range answers: a random range on the arbitrary-range four, and
+      // the registered ranges on SlickDeque (Inv).
+      const std::size_t r = 1 + rng.NextBounded(window);
+      const int64_t expect_range = naive_sum.single.query(r);
+      ASSERT_EQ(naive_sum.bulk.query(r), expect_range) << "trial " << trial;
+      ASSERT_EQ(fat_sum.bulk.query(r), expect_range) << "trial " << trial;
+      ASSERT_EQ(fit_sum.bulk.query(r), expect_range) << "trial " << trial;
+      ASSERT_EQ(slick_max.bulk.query(r), naive_max.single.query(r))
+          << "trial " << trial << " r=" << r;
+      for (std::size_t reg : ranges) {
+        ASSERT_EQ(slick_sum.bulk.query(reg), naive_sum.single.query(reg))
+            << "trial " << trial << " range " << reg;
+      }
+    }
+  }
+}
+
+/// FIFO counterpart of BulkTwin: random interleavings of bulk and
+/// per-tuple insert/evict against a per-tuple twin.
+template <typename Agg, typename Gen>
+void FifoBatchVsSingle(uint64_t master_seed, Gen gen) {
+  util::SplitMix64 config_rng(master_seed);
+  const int trials = FuzzTrials(kConfigTrials);
+  for (int trial = 0; trial < trials; ++trial) {
+    Agg single, bulk;
+    util::SplitMix64 rng(config_rng.NextU64());
+    std::size_t live = 0;
+    for (int round = 0; round < 40; ++round) {
+      const std::size_t n = 1 + rng.NextBounded(24);
+      std::vector<typename Agg::value_type> batch(n);
+      for (auto& v : batch) v = gen(rng);
+      for (const auto& v : batch) single.insert(v);
+      if (rng.NextBounded(4) != 0) {
+        window::BulkInsert(bulk, batch.data(), n);
+      } else {
+        for (const auto& v : batch) bulk.insert(v);
+      }
+      live += n;
+
+      const std::size_t k = rng.NextBounded(live + 1);  // may empty it
+      for (std::size_t i = 0; i < k; ++i) single.evict();
+      if (rng.NextBounded(4) != 0) {
+        window::BulkEvict(bulk, k);
+      } else {
+        for (std::size_t i = 0; i < k; ++i) bulk.evict();
+      }
+      live -= k;
+
+      ASSERT_EQ(bulk.size(), single.size()) << "trial " << trial;
+      if (live > 0) {
+        ASSERT_EQ(bulk.query(), single.query())
+            << "trial " << trial << " round " << round;
+      }
+    }
+  }
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleMonotonicDequeMax) {
+  FifoBatchVsSingle<core::MonotonicDeque<ops::MaxInt>>(
+      0xCAFE, [](util::SplitMix64& rng) {
+        return static_cast<int64_t>(rng.NextBounded(1 << 12)) - (1 << 11);
+      });
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleMonotonicDequeArgMax) {
+  // ArgMax's tie-keeps-earlier rule makes identity of the winner (not just
+  // its key) sensitive to staircase mistakes; narrow key range forces ties.
+  FifoBatchVsSingle<core::MonotonicDeque<ops::ArgMax>>(
+      0xACED, [id = uint64_t{0}](util::SplitMix64& rng) mutable {
+        return ops::ArgSample{static_cast<double>(rng.NextBounded(8)), id++};
+      });
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleMonotonicDequeAlphaMax) {
+  FifoBatchVsSingle<core::MonotonicDeque<ops::AlphaMax>>(
+      0xF1FA, [](util::SplitMix64& rng) {
+        return std::string(1, static_cast<char>('a' + rng.NextBounded(6)));
+      });
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleSubtractOnEvict) {
+  FifoBatchVsSingle<core::SubtractOnEvict<ops::SumInt>>(
+      0x5AFE, [](util::SplitMix64& rng) {
+        return static_cast<int64_t>(rng.NextBounded(1 << 16)) - (1 << 15);
+      });
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleTwoStacksSum) {
+  FifoBatchVsSingle<window::TwoStacks<ops::SumInt>>(
+      0x257C, [](util::SplitMix64& rng) {
+        return static_cast<int64_t>(rng.NextBounded(1 << 16)) - (1 << 15);
+      });
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleTwoStacksConcat) {
+  // Concat is the order-correctness probe: any bulk path that reorders
+  // combines produces a visibly different string.
+  FifoBatchVsSingle<window::TwoStacks<ops::Concat>>(
+      0xC0CA, [](util::SplitMix64& rng) {
+        return std::string(1, static_cast<char>('a' + rng.NextBounded(26)));
+      });
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleDabaMax) {
+  FifoBatchVsSingle<window::Daba<ops::MaxInt>>(
+      0xDABA, [](util::SplitMix64& rng) {
+        return static_cast<int64_t>(rng.NextBounded(1 << 12)) - (1 << 11);
+      });
+}
+
+TEST(DifferentialFuzzTest, FifoBatchMatchesPerTupleDabaConcat) {
+  FifoBatchVsSingle<window::Daba<ops::Concat>>(
+      0xDAB2, [](util::SplitMix64& rng) {
+        return std::string(1, static_cast<char>('a' + rng.NextBounded(26)));
+      });
 }
 
 // Randomized configurations for the multi-threaded runtime: shard counts,

@@ -1,0 +1,131 @@
+// Vectorized fold kernels (DESIGN.md §11): the dispatchers must agree with
+// a plain sequential combine loop — bit-identically for the integer and
+// selective (min/max) kernels, and within an accumulated-rounding ULP bound
+// for floating-point sums, whose SIMD lanes reassociate the addition. Sizes
+// straddle kSimdThreshold so both the scalar and the AVX2 paths run on
+// hardware that has them.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ops/arith.h"
+#include "ops/kernels.h"
+#include "ops/minmax.h"
+#include "ops/string_ops.h"
+#include "ops/traits.h"
+#include "util/rng.h"
+
+namespace slick::ops {
+namespace {
+
+constexpr std::size_t kSizes[] = {0, 1, 7, 15, 16, 17, 64, 255, 1000};
+
+std::vector<int64_t> RandomInts(std::size_t n, uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<int64_t>(rng.NextBounded(1u << 20)) - (1 << 19);
+  }
+  return v;
+}
+
+std::vector<double> RandomDoubles(std::size_t n, uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = (rng.NextDouble() - 0.5) * 1e6;
+  return v;
+}
+
+TEST(KernelsTest, FoldAddInt64MatchesLoopExactly) {
+  for (std::size_t n : kSizes) {
+    const std::vector<int64_t> v = RandomInts(n, 17 + n);
+    int64_t expect = 0;
+    for (int64_t x : v) expect += x;
+    EXPECT_EQ(kernels::FoldAdd(v.data(), n), expect) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, FoldMaxInt64MatchesLoopExactly) {
+  for (std::size_t n : kSizes) {
+    const std::vector<int64_t> v = RandomInts(n, 23 + n);
+    int64_t expect = MaxInt::identity();
+    for (int64_t x : v) expect = MaxInt::combine(expect, x);
+    EXPECT_EQ(kernels::FoldMax(v.data(), n), expect) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, FoldAddDoubleWithinReassociationBound) {
+  for (std::size_t n : kSizes) {
+    const std::vector<double> v = RandomDoubles(n, 29 + n);
+    double expect = 0.0, abs_sum = 0.0;
+    for (double x : v) {
+      expect += x;
+      abs_sum += std::abs(x);
+    }
+    EXPECT_NEAR(kernels::FoldAdd(v.data(), n), expect, 1e-12 * abs_sum)
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, FoldMaxMinDoubleBitIdentical) {
+  // Selective kernels never create new values: SIMD max/min must return
+  // exactly what the sequential loop returns.
+  for (std::size_t n : kSizes) {
+    const std::vector<double> v = RandomDoubles(n, 31 + n);
+    double emax = Max::identity(), emin = Min::identity();
+    for (double x : v) {
+      emax = Max::combine(emax, x);
+      emin = Min::combine(emin, x);
+    }
+    EXPECT_EQ(kernels::FoldMax(v.data(), n), emax) << "n=" << n;
+    EXPECT_EQ(kernels::FoldMin(v.data(), n), emin) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, FoldValuesUsesKernelForKernelOps) {
+  const std::vector<int64_t> v = RandomInts(100, 37);
+  int64_t sum = 0, max = MaxInt::identity();
+  for (int64_t x : v) {
+    sum += x;
+    max = MaxInt::combine(max, x);
+  }
+  EXPECT_EQ(FoldValues<SumInt>(v.data(), v.size()), sum);
+  EXPECT_EQ(FoldValues<MaxInt>(v.data(), v.size()), max);
+}
+
+TEST(KernelsTest, FoldValuesGenericLoopPreservesOrder) {
+  // Concat has no kernel: FoldValues must fall back to the in-order combine
+  // loop, and the non-commutative result proves the order.
+  const std::vector<std::string> v = {"a", "b", "c", "d"};
+  EXPECT_EQ(FoldValues<Concat>(v.data(), v.size()), "abcd");
+  EXPECT_EQ(FoldValues<Concat>(v.data(), 0), "");
+}
+
+// Compile-time wiring of the batch traits.
+static_assert(has_bulk_kernel<Sum>);
+static_assert(has_bulk_kernel<SumInt>);
+static_assert(has_bulk_kernel<SumOfSquares>);
+static_assert(has_bulk_kernel<Count>);
+static_assert(has_bulk_kernel<Max>);
+static_assert(has_bulk_kernel<MaxInt>);
+static_assert(has_bulk_kernel<Min>);
+static_assert(!has_bulk_kernel<Concat>);
+static_assert(!has_bulk_kernel<ArgMax>);
+static_assert(!has_bulk_kernel<AlphaMax>);
+
+static_assert(TotalOrderSelectiveOp<Max>);
+static_assert(TotalOrderSelectiveOp<Min>);
+static_assert(TotalOrderSelectiveOp<MaxInt>);
+static_assert(TotalOrderSelectiveOp<ArgMax>);
+static_assert(TotalOrderSelectiveOp<ArgMin>);
+static_assert(TotalOrderSelectiveOp<AlphaMax>);
+static_assert(!TotalOrderSelectiveOp<First>);
+static_assert(!TotalOrderSelectiveOp<SumInt>);
+static_assert(!TotalOrderSelectiveOp<Concat>);
+
+}  // namespace
+}  // namespace slick::ops

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Merge per-bench --json result files into committed BENCH_<name>.json
+snapshots, and gate CI on batch-ingestion throughput.
+
+Merge mode:
+    python3 tools/bench_summary.py --name batch --out-dir . exp5.json ...
+
+  Each input is either a bench_common.h JsonReport array (rows with the
+  shared {bench, config, tuples_per_sec, p50_ns, p99_ns} schema) or a
+  google-benchmark JSON report (detected by its top-level "benchmarks"
+  key, stored verbatim under "google_benchmark"). The merged snapshot is
+
+    {"name": <name>, "rows": [...], "google_benchmark": [...]}
+
+  written to <out-dir>/BENCH_<name>.json with stable ordering so re-runs
+  diff cleanly.
+
+Check mode:
+    python3 tools/bench_summary.py --check exp5.json \
+        --min-batch 64 --min-speedup 1.0
+
+  For every (algo, op) group among mode=="single" rows that has a
+  batch==1 baseline, requires the BEST row with batch >= --min-batch to
+  reach at least --min-speedup x the baseline tuples_per_sec (best-of, so
+  one noisy point on a loaded CI box does not fail the gate). --algos
+  restricts the gate to a comma-separated algo list — CI passes the
+  algorithms with real bulk fast paths and leaves the per-tuple-by-design
+  ones (DABA) ungated. Exits non-zero listing every violation.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def split_inputs(paths):
+    """Partition input files into JsonReport rows and google-benchmark blobs."""
+    rows, gbench = [], []
+    for path in paths:
+        doc = load(path)
+        if isinstance(doc, dict) and "benchmarks" in doc:
+            gbench.append(doc)
+        elif isinstance(doc, list):
+            for row in doc:
+                if not isinstance(row, dict) or "bench" not in row:
+                    raise ValueError(f"{path}: row without 'bench' key: {row!r}")
+                rows.append(row)
+        else:
+            raise ValueError(f"{path}: neither a JsonReport array nor a "
+                             "google-benchmark report")
+    return rows, gbench
+
+
+def row_sort_key(row):
+    config = row.get("config", {})
+    return (row.get("bench", ""),
+            sorted(config.items()),
+            row.get("tuples_per_sec", 0.0))
+
+
+def merge(args):
+    rows, gbench = split_inputs(args.files)
+    rows.sort(key=row_sort_key)
+    out = {"name": args.name, "rows": rows}
+    if gbench:
+        out["google_benchmark"] = gbench
+    path = f"{args.out_dir}/BENCH_{args.name}.json"
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=1)
+        f.write("\n")
+    print(f"wrote {path}: {len(rows)} rows"
+          + (f", {len(gbench)} google-benchmark reports" if gbench else ""))
+    return 0
+
+
+def check(args):
+    rows, _ = split_inputs([args.check])
+    wanted = set(args.algos.split(",")) if args.algos else None
+    groups = {}
+    for row in rows:
+        config = row.get("config", {})
+        if config.get("mode") != "single" or "batch" not in config:
+            continue
+        if wanted is not None and config.get("algo") not in wanted:
+            continue
+        key = (config.get("algo", "?"), config.get("op", "?"))
+        groups.setdefault(key, {})[int(config["batch"])] = row["tuples_per_sec"]
+
+    if not groups:
+        print("check: no single-mode batch rows found", file=sys.stderr)
+        return 1
+
+    failures = []
+    for (algo, op), by_batch in sorted(groups.items()):
+        if 1 not in by_batch:
+            continue
+        base = by_batch[1]
+        big = {b: r for b, r in by_batch.items() if b >= args.min_batch}
+        if not big:
+            continue
+        best_batch, best = max(big.items(), key=lambda kv: kv[1])
+        if best < args.min_speedup * base:
+            failures.append(
+                f"{algo}/{op} best batch={best_batch}: {best:.0f} tuples/s "
+                f"< {args.min_speedup:g}x baseline {base:.0f}")
+        else:
+            print(f"ok: {algo}/{op} best batch={best_batch}: "
+                  f"{best / base:.2f}x baseline")
+    if failures:
+        print("batch-throughput check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("batch-throughput check passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="input --json result files")
+    parser.add_argument("--name", help="snapshot name (BENCH_<name>.json)")
+    parser.add_argument("--out-dir", default=".", help="snapshot directory")
+    parser.add_argument("--check", metavar="FILE",
+                        help="gate batch throughput in FILE instead of merging")
+    parser.add_argument("--min-batch", type=int, default=64)
+    parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument("--algos", default="",
+                        help="comma-separated algo filter for --check")
+    args = parser.parse_args()
+
+    if args.check:
+        return check(args)
+    if not args.name:
+        parser.error("--name is required in merge mode")
+    if not args.files:
+        parser.error("at least one input file is required in merge mode")
+    return merge(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
