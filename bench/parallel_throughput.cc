@@ -25,6 +25,13 @@
 //        --ring=R   (default 128)    --batch=B  (default 64)
 //        --qevery=Q queries per Q tuples (default 65536)
 //        --laps=L   (default 3)      --seed=S
+//        --checkpoint-interval=C (default 0 = unsupervised)
+//
+// With --checkpoint-interval=C > 0 the engine runs supervised: each worker
+// checkpoints its window state every C processed tuples and defers ring
+// releases until the covering checkpoint commits. CI runs the bench twice
+// (C=0 and C>0) and gates the paired ratio via bench_summary.py
+// --baseline: the supervised tax must stay under 3%.
 
 #include <algorithm>
 #include <cstdint>
@@ -49,6 +56,7 @@ struct Config {
   std::size_t batch;
   uint64_t qevery;
   uint64_t laps;
+  std::size_t checkpoint_interval;
 };
 
 /// Single-thread reference: the same aggregator, slide + periodic query,
@@ -90,7 +98,8 @@ double RunParallel(std::size_t shards, const Config& cfg,
   runtime::ParallelShardedEngine<Agg> engine(
       cfg.window, shards,
       {.ring_capacity = cfg.ring, .batch = cfg.batch,
-       .backpressure = runtime::Backpressure::kBlock});
+       .backpressure = runtime::Backpressure::kBlock,
+       .checkpoint_interval = cfg.checkpoint_interval});
   std::size_t di = 0;
   auto next = [&] {
     const double v = data[di];
@@ -127,7 +136,9 @@ void RunWorkload(const char* name, const char* algo, const Config& cfg,
   report.Row({{"algo", algo},
               {"config", "single-thread"},
               {"window", JsonReport::Num(cfg.window)},
-              {"batch", JsonReport::Num(cfg.batch)}},
+              {"batch", JsonReport::Num(cfg.batch)},
+              {"checkpoint_interval",
+               JsonReport::Num(cfg.checkpoint_interval)}},
              base);
   double one_shard = 0.0;
   for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
@@ -140,7 +151,9 @@ void RunWorkload(const char* name, const char* algo, const Config& cfg,
     report.Row({{"algo", algo},
                 {"config", std::to_string(shards) + "-shard"},
                 {"window", JsonReport::Num(cfg.window)},
-                {"batch", JsonReport::Num(cfg.batch)}},
+                {"batch", JsonReport::Num(cfg.batch)},
+                {"checkpoint_interval",
+                 JsonReport::Num(cfg.checkpoint_interval)}},
                rate);
   }
   sink.Report();
@@ -159,15 +172,17 @@ int main(int argc, char** argv) {
   cfg.batch = flags.GetU64("batch", 64);
   cfg.qevery = flags.GetU64("qevery", 1 << 16);
   cfg.laps = std::max<uint64_t>(1, flags.GetU64("laps", 3));
+  cfg.checkpoint_interval = flags.GetU64("checkpoint-interval", 0);
   const uint64_t seed = flags.GetU64("seed", 42);
 
   std::printf(
       "Parallel sharded runtime: tuples/s vs shard count (best of %llu "
       "laps)\n"
-      "# window=%zu tuples=%llu ring=%zu batch=%zu qevery=%llu seed=%llu\n",
+      "# window=%zu tuples=%llu ring=%zu batch=%zu qevery=%llu seed=%llu "
+      "checkpoint-interval=%zu\n",
       (unsigned long long)cfg.laps, cfg.window, (unsigned long long)cfg.tuples,
       cfg.ring, cfg.batch, (unsigned long long)cfg.qevery,
-      (unsigned long long)seed);
+      (unsigned long long)seed, cfg.checkpoint_interval);
 
   const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
   JsonReport report(flags, "parallel_throughput");

@@ -142,9 +142,11 @@ class SlickDequeNonInv {
            stair_.capacity() * sizeof(std::size_t);
   }
 
-  /// Checkpoints the deque (DSMS fault tolerance).
+  /// Checkpoints the deque (DSMS fault tolerance). Trivially copyable
+  /// values keep the raw PR 1 byte layout; other value types (AlphaMax's
+  /// std::string) serialize node-wise through util::WriteVal.
   void SaveState(std::ostream& os) const
-    requires std::is_trivially_copyable_v<value_type>
+    requires util::Serializable<value_type>
   {
     util::WriteTag(os, util::MakeTag('S', 'D', 'N', '1'), 1);
     util::WritePod<uint64_t>(os, window_);
@@ -155,7 +157,7 @@ class SlickDequeNonInv {
 
   /// Restores a checkpoint, replacing the current state.
   bool LoadState(std::istream& is)
-    requires std::is_trivially_copyable_v<value_type>
+    requires util::Serializable<value_type>
   {
     if (!util::ExpectTag(is, util::MakeTag('S', 'D', 'N', '1'), 1)) {
       return false;
@@ -187,6 +189,17 @@ class SlickDequeNonInv {
   struct Node {
     std::size_t pos;  // circular position in [0, window)
     value_type val;
+
+    // util::MemberSerde hooks, used by ChunkedArrayQueue::SaveState when
+    // value_type is not trivially copyable (trivial nodes are written raw,
+    // preserving the PR 1 layout). Only instantiated on use.
+    void SaveValue(std::ostream& os) const {
+      util::WritePod(os, pos);
+      util::WriteVal(os, val);
+    }
+    bool LoadValue(std::istream& is) {
+      return util::ReadPod(is, &pos) && util::ReadVal(is, &val);
+    }
   };
 
   /// Cross-validates a deque restored by LoadState against Algorithm 2's

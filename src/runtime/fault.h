@@ -1,0 +1,163 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace slick::runtime::fault {
+
+/// Deterministic fault injection for the parallel runtime (DESIGN.md §12).
+///
+/// Every hazardous edge in the runtime is annotated with a named fault
+/// *point*; a test arms a point for a specific *lane* (shard index) to fire
+/// on the Nth time execution reaches it. Because the per-shard pipeline is
+/// deterministic (one producer, FIFO ring, fixed batch sizes), "the Nth
+/// hit of point P on lane L" names one exact program state — the same
+/// seeded schedule reproduces the same crash every run, which is what the
+/// recovery-determinism differential tests rely on.
+///
+/// When SLICK_FAULT_INJECTION is not defined (the default build), Fire()
+/// is a constant-false inline and every hook compiles away — the hot path
+/// pays zero overhead, which the perf-smoke CI gate checks. The CI `chaos`
+/// job builds with -DSLICK_FAULT_INJECTION=ON.
+enum class Point : uint32_t {
+  kWorkerKillBeforeSlide = 0,  ///< worker dies after claiming, before sliding
+  kWorkerKillAfterSlide,       ///< worker dies after sliding, before publish
+  kPublishDelay,               ///< producer stalls just before a ring publish
+  kRingSpuriousFull,           ///< a ring claim spuriously reports "full"
+  kCheckpointAllocFail,        ///< checkpoint serialization reports ENOMEM
+  kCheckpointCorrupt,          ///< one checkpoint byte flips before validate
+};
+
+inline constexpr std::size_t kPointCount = 6;
+inline constexpr std::size_t kMaxLanes = 16;
+
+#ifdef SLICK_FAULT_INJECTION
+
+/// Global armed-fault registry. Arm/Disarm run from the test thread before
+/// (or between) runs; Fire runs from router and worker threads. The only
+/// cross-thread state is the per-(point, lane) trigger/hit/fired atomics.
+class Injector {
+ public:
+  static Injector& Instance() {
+    static Injector g;
+    return g;
+  }
+
+  /// Arms `point` on `lane` to fire on the `nth` hit (1-based). nth == 0
+  /// disarms. Re-arming resets the hit counter.
+  void Arm(Point point, std::size_t lane, uint64_t nth) {
+    Slot& s = slot(point, lane);
+    // relaxed: test-thread configuration done before the run's threads
+    // start (or between runs at a quiescent point); the thread spawn /
+    // join that follows publishes these stores.
+    s.hits.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+    s.trigger.store(nth, std::memory_order_relaxed);
+  }
+
+  /// Disarms every point on every lane and clears all counters.
+  void DisarmAll() {
+    for (std::size_t p = 0; p < kPointCount; ++p) {
+      for (std::size_t l = 0; l < kMaxLanes; ++l) {
+        Arm(static_cast<Point>(p), l, 0);
+      }
+    }
+  }
+
+  /// Counts a hit; true exactly when this hit is the armed trigger.
+  bool Fire(Point point, std::size_t lane) {
+    Slot& s = slot(point, lane);
+    // relaxed: a disarmed slot (the overwhelmingly common case) needs no
+    // ordering — no data is published through the trigger value.
+    const uint64_t trigger = s.trigger.load(std::memory_order_relaxed);
+    if (trigger == 0) return false;
+    // relaxed: the hit counter is private to the one thread that executes
+    // this (point, lane) — shards are single-threaded pipelines — so the
+    // fetch_add only needs atomicity for the test thread's reads.
+    const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit != trigger) return false;
+    // relaxed: telemetry for test assertions, read after join/quiesce.
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Total times `point` actually fired (any lane) since the last Arm.
+  uint64_t FiredCount(Point point) const {
+    uint64_t n = 0;
+    for (std::size_t l = 0; l < kMaxLanes; ++l) {
+      // relaxed: test-side telemetry read at a quiescent point.
+      n += slots_[Index(point, l)].fired.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> trigger{0};  ///< fire on this hit count; 0 = off
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fired{0};
+  };
+
+  static std::size_t Index(Point point, std::size_t lane) {
+    return static_cast<std::size_t>(point) * kMaxLanes + (lane % kMaxLanes);
+  }
+  Slot& slot(Point point, std::size_t lane) {
+    return slots_[Index(point, lane)];
+  }
+
+  Slot slots_[kPointCount * kMaxLanes];
+};
+
+inline constexpr bool Enabled() { return true; }
+
+inline bool Fire(Point point, std::size_t lane) {
+  return Injector::Instance().Fire(point, lane);
+}
+
+inline void Arm(Point point, std::size_t lane, uint64_t nth) {
+  Injector::Instance().Arm(point, lane, nth);
+}
+
+inline void DisarmAll() { Injector::Instance().DisarmAll(); }
+
+inline uint64_t FiredCount(Point point) {
+  return Injector::Instance().FiredCount(point);
+}
+
+/// The kPublishDelay payload: yield a few quanta so a racing consumer (or
+/// supervisor heartbeat check) observes the stall window.
+inline void InjectDelay() {
+  for (int i = 0; i < 32; ++i) std::this_thread::yield();
+}
+
+/// The kCheckpointCorrupt payload: deterministically flip one bit of the
+/// serialized checkpoint, position seeded by the bytes' own CRC-free hash.
+inline void CorruptOneBit(std::string* bytes) {
+  if (bytes->empty()) return;
+  uint64_t h = 0x9E3779B97F4A7C15ull ^ bytes->size();
+  for (std::size_t i = 0; i < bytes->size(); i += 7) {
+    h = (h ^ static_cast<unsigned char>((*bytes)[i])) * 0x2545F4914F6CDD1Dull;
+  }
+  const std::size_t pos = static_cast<std::size_t>(h % bytes->size());
+  (*bytes)[pos] = static_cast<char>((*bytes)[pos] ^ (1 << (h >> 61)));
+}
+
+#else  // !SLICK_FAULT_INJECTION — every hook folds to a constant no-op.
+
+inline constexpr bool Enabled() { return false; }
+inline constexpr bool Fire(Point /*point*/, std::size_t /*lane*/) {
+  return false;
+}
+inline constexpr void Arm(Point /*point*/, std::size_t /*lane*/,
+                          uint64_t /*nth*/) {}
+inline constexpr void DisarmAll() {}
+inline constexpr uint64_t FiredCount(Point /*point*/) { return 0; }
+inline constexpr void InjectDelay() {}
+inline constexpr void CorruptOneBit(std::string* /*bytes*/) {}
+
+#endif  // SLICK_FAULT_INJECTION
+
+}  // namespace slick::runtime::fault

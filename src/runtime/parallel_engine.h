@@ -12,17 +12,38 @@
 #include "runtime/spsc_ring.h"
 #include "telemetry/snapshot.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "window/aggregator.h"
 
 namespace slick::runtime {
 
 /// What the router does when a shard's ring is full (bounded by design —
-/// backpressure is never an unbounded queue).
+/// backpressure is never an unbounded queue). Policy matrix in DESIGN.md
+/// §12.4.
 enum class Backpressure {
   kBlock,       ///< Park the router until the worker frees space (lossless).
   kDropNewest,  ///< Shed the incoming element and count it (load shedding;
                 ///< answers then cover only the admitted prefix per shard).
+  kBlockWithDeadline,  ///< Block up to Options::deadline_ns, then shed the
+                       ///< batch and count a deadline expiry (bounded-latency
+                       ///< ingest).
+  kShedOldest,  ///< Never block: shed the *oldest* unadmitted element to
+                ///< make progress, keeping the newest data (freshness over
+                ///< completeness).
+  kError,       ///< Treat ring-full as a configuration bug: SLICK_CHECK
+                ///< aborts (for pipelines sized to never be overrun).
 };
+
+inline const char* BackpressureName(Backpressure b) {
+  switch (b) {
+    case Backpressure::kBlock: return "block";
+    case Backpressure::kDropNewest: return "drop-newest";
+    case Backpressure::kBlockWithDeadline: return "block-with-deadline";
+    case Backpressure::kShedOldest: return "shed-oldest";
+    case Backpressure::kError: return "error";
+  }
+  return "unknown";
+}
 
 /// Genuinely multi-threaded sharded window aggregation — the runtime the
 /// paper's §6 leaves as future work ("evaluate SlickDeque in multi-core /
@@ -36,7 +57,9 @@ enum class Backpressure {
 /// multiple of N (a *slide barrier*), so for a commutative ⊕ the N-way
 /// combine of local answers equals the single-node answer. Per-shard order
 /// is preserved end-to-end (SPSC rings are FIFO), which is all the combine
-/// needs.
+/// needs. Non-commutative ops (ArgMax's earlier-tie rule, Concat) are
+/// admitted at shards == 1 only, where no combine reorders anything — the
+/// constructor enforces this at runtime.
 ///
 /// Epoch snapshot — how query() gets a consistent cut without pausing
 /// ingest structurally: the router flushes its staging buffers, fixing the
@@ -48,6 +71,20 @@ enum class Backpressure {
 /// coordinator reads the N local answers race-free and folds them. Workers
 /// park on their rings' eventcounts meanwhile; they are never busy-polled.
 ///
+/// Supervision (DESIGN.md §12) — when Options::checkpoint_interval > 0 the
+/// engine is *supervised*: workers checkpoint their aggregators into
+/// CRC32-framed buffers every `checkpoint_interval` processed tuples and
+/// defer ring releases until a checkpoint validates, so the unreleased ring
+/// span is always a complete replay log. The router doubles as supervisor:
+/// wherever it would otherwise park (flush on a full ring, AwaitEpoch) it
+/// polls Supervise(), which detects fail-stopped workers (state() ==
+/// kKilled), restores them from their last checkpoint, rewinds the ring's
+/// claim cursor, and respawns the thread — the replay makes recovered
+/// answers bit-identical to a no-fault run. Stalled-but-live workers (a
+/// heartbeat older than Options::stall_ns with backlog waiting) cannot be
+/// safely restarted (the thread still owns the aggregator), so they are
+/// detected and counted, never killed.
+///
 /// Warm-up — identical semantics to RoundRobinSharded: query() requires
 /// ready(), i.e. every shard's window is full. Folding before warm-up would
 /// combine ⊕-identity sentinels (±inf, NaN) into selective-op answers, and
@@ -57,7 +94,6 @@ enum class Backpressure {
 /// what was already routed, publish their final counts, and join. No
 /// element that push() admitted is ever lost.
 template <window::FixedWindowAggregator Agg>
-  requires(Agg::op_type::kCommutative)
 class ParallelShardedEngine {
  public:
   using op_type = typename Agg::op_type;
@@ -68,12 +104,21 @@ class ParallelShardedEngine {
     std::size_t ring_capacity = 1 << 12;  ///< Per-shard ring slots (bounded).
     std::size_t batch = 256;              ///< Router/worker batch size.
     Backpressure backpressure = Backpressure::kBlock;
+    /// Tuples a shard processes between checkpoints; 0 disables
+    /// supervision (the PR 4 fast path: per-batch releases, futex parking).
+    std::size_t checkpoint_interval = 0;
+    /// kBlockWithDeadline: how long a flush may wait on a full ring.
+    uint64_t deadline_ns = 5'000'000;
+    /// Supervisor stall detector: a live worker whose heartbeat is older
+    /// than this while backlog waits is counted as stalled.
+    uint64_t stall_ns = 500'000'000;
   };
 
   struct Stats {
     uint64_t admitted = 0;   ///< Elements accepted into shard rings.
-    uint64_t dropped = 0;    ///< Elements shed under kDropNewest.
+    uint64_t dropped = 0;    ///< Elements shed by the backpressure policy.
     uint64_t processed = 0;  ///< Elements slid into shard aggregators.
+    uint64_t restarts = 0;   ///< Worker fail-stops recovered.
   };
 
   /// `global_window` must be a multiple of `shards`. Worker threads start
@@ -85,14 +130,23 @@ class ParallelShardedEngine {
     SLICK_CHECK(global_window % shards == 0,
                 "global window must be a multiple of the shard count");
     SLICK_CHECK(global_window / shards >= 1, "shard windows must be nonempty");
+    SLICK_CHECK(shards == 1 || op_type::kCommutative,
+                "multi-shard aggregation needs a commutative op "
+                "(the N-way combine reorders shard answers)");
+    SLICK_CHECK(options_.checkpoint_interval == 0 ||
+                    ShardWorker<Agg>::kCheckpointable,
+                "supervision (checkpoint_interval > 0) needs an aggregator "
+                "with SaveState/LoadState");
     const std::size_t batch = options_.batch < 1 ? 1 : options_.batch;
     workers_.reserve(shards);
     staging_.resize(shards);
     pushed_.assign(shards, 0);
     dropped_.assign(shards, 0);
+    stall_latched_.assign(shards, 0);
     for (std::size_t i = 0; i < shards; ++i) {
       workers_.push_back(std::make_unique<ShardWorker<Agg>>(
-          global_window / shards, options_.ring_capacity, batch));
+          global_window / shards, options_.ring_capacity, batch,
+          options_.checkpoint_interval, i));
       staging_[i].reserve(batch);
     }
     for (auto& w : workers_) w->Start();
@@ -137,16 +191,16 @@ class ParallelShardedEngine {
 
   /// Global window answer via the epoch snapshot described above. Exact at
   /// slide barriers (admitted count a multiple of the shard count) under
-  /// kBlock; under kDropNewest it aggregates each shard's admitted suffix.
-  /// Folds the shards' local answers directly (never starting from
-  /// ⊕-identity, whose sentinel would pollute selective ops).
+  /// lossless policies; under shedding policies it aggregates each shard's
+  /// admitted suffix. Folds the shards' local answers directly (never
+  /// starting from ⊕-identity, whose sentinel would pollute selective ops).
   result_type query() {
     SLICK_CHECK(ready(),
                 "query before the global window is warm "
                 "(every shard window must be full)");
     flush();
-    // Under kDropNewest a flush may shed staged elements, so re-verify the
-    // warm-up gate against what the rings actually admitted.
+    // A shedding flush may drop staged elements, so re-verify the warm-up
+    // gate against what the rings actually admitted.
     const uint64_t shard_window = global_window_ / workers_.size();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       SLICK_CHECK(pushed_[i] >= shard_window,
@@ -161,11 +215,13 @@ class ParallelShardedEngine {
     return op_type::lower(acc);
   }
 
-  /// Graceful shutdown: flush staged elements, drain every ring, join every
-  /// worker. Idempotent; the destructor calls it.
+  /// Graceful shutdown: flush staged elements, drain every ring (recovering
+  /// dead workers first when supervised, so their backlog is not stranded),
+  /// join every worker. Idempotent; the destructor calls it.
   void stop() {
     if (stopped_) return;
     flush();
+    if (Supervised()) AwaitEpoch();
     stopped_ = true;
     for (auto& w : workers_) w->Stop();
   }
@@ -177,19 +233,35 @@ class ParallelShardedEngine {
   /// query()/stop(), before further push()).
   const Agg& shard(std::size_t i) const { return workers_[i]->aggregator(); }
 
+  /// Chaos/test hook: arms a deterministic fail-stop of shard `i`'s worker
+  /// at its `nth_batch`-th drained batch (cumulative across restarts); see
+  /// ShardWorker::KillWorker. The supervisor recovers it on its next poll —
+  /// meaningful only in supervised engines (checkpoint_interval > 0).
+  void InjectWorkerKill(std::size_t i, KillPoint point, uint64_t nth_batch) {
+    SLICK_CHECK(i < workers_.size(), "kill on a nonexistent shard");
+    workers_[i]->KillWorker(point, nth_batch);
+  }
+
+  /// Lifecycle of shard `i`'s worker thread (supervisor view).
+  WorkerState worker_state(std::size_t i) const {
+    return workers_[i]->state();
+  }
+
   Stats stats() const {
     Stats s;
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       s.admitted += pushed_[i];
       s.dropped += dropped_[i];
       s.processed += workers_[i]->processed();
+      s.restarts += workers_[i]->counters().restarts.Get();
     }
     return s;
   }
 
   /// Live telemetry cut: per-shard flow counters, ring occupancy and
-  /// high-water, watermark lag, per-shard ⊕/⊖ counts (when the op is
-  /// ops::ThreadCountingOp), and the merged per-batch drain-latency
+  /// high-water, watermark lag, fault-tolerance metrics (restarts,
+  /// checkpoints, replay, heartbeat age), per-shard ⊕/⊖ counts (when the op
+  /// is ops::ThreadCountingOp), and the merged per-batch drain-latency
   /// histogram. Counters are relaxed atomics, so this is safe to call from
   /// any thread while the runtime serves; the conservation identity
   /// tuples_in == tuples_out + in_flight is exact at a quiescent cut
@@ -197,6 +269,9 @@ class ParallelShardedEngine {
   /// `staged` is router-owned and exact only from the router thread.
   telemetry::RuntimeSnapshot snapshot() const {
     telemetry::RuntimeSnapshot r;
+    r.backpressure = BackpressureName(options_.backpressure);
+    r.checkpoint_interval = options_.checkpoint_interval;
+    const uint64_t now = util::MonotonicNanos();
     r.shards.reserve(workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       const telemetry::ShardCounters& c = workers_[i]->counters();
@@ -205,7 +280,8 @@ class ParallelShardedEngine {
       s.tuples_out = c.tuples_out.Get();
       s.dropped = c.dropped.Get();
       s.batches = c.batches.Get();
-      s.in_flight = workers_[i]->ring().size();
+      s.in_flight = workers_[i]->ring().unconsumed();
+      s.unreleased = workers_[i]->ring().unreleased();
       s.staged = staging_[i].size();
       s.ring_highwater = workers_[i]->ring().occupancy_highwater();
       // Saturating: out can transiently lead in between the worker's batch
@@ -214,6 +290,14 @@ class ParallelShardedEngine {
           s.tuples_in > s.tuples_out ? s.tuples_in - s.tuples_out : 0;
       s.combines = c.combines.Get();
       s.inverses = c.inverses.Get();
+      s.worker_restarts = c.restarts.Get();
+      s.checkpoints = c.checkpoints.Get();
+      s.checkpoint_failures = c.checkpoint_failures.Get();
+      s.replayed = c.replayed.Get();
+      s.deadline_expiries = c.deadline_expiries.Get();
+      s.stall_detections = c.stall_detections.Get();
+      const uint64_t beat = workers_[i]->heartbeat_ns();
+      s.heartbeat_age_ns = (beat != 0 && now > beat) ? now - beat : 0;
       r.shards.push_back(s);
       r.batch_latency_ns.Merge(workers_[i]->batch_latency().TakeSnapshot());
       r.batch_sizes.Merge(workers_[i]->batch_sizes().TakeSnapshot());
@@ -232,38 +316,131 @@ class ParallelShardedEngine {
   }
 
  private:
+  bool Supervised() const { return options_.checkpoint_interval > 0; }
+
   std::size_t BatchSize() const {
     return options_.batch < 1 ? 1 : options_.batch;
   }
 
   std::size_t StagedCount(std::size_t i) const { return staging_[i].size(); }
 
+  /// One supervisor poll (router thread only): recover fail-stopped
+  /// workers; latch-count heartbeat stalls on live ones. No-op when
+  /// supervision is off.
+  void Supervise() {
+    if (!Supervised()) return;
+    const uint64_t now = util::MonotonicNanos();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      ShardWorker<Agg>& w = *workers_[i];
+      if (w.state() == WorkerState::kKilled) {
+        w.RecoverAndRestart();
+        stall_latched_[i] = 0;
+        continue;
+      }
+      // Stall detector: live thread, backlog waiting, heartbeat stale. A
+      // stalled worker still owns its aggregator, so it is reported (once
+      // per episode), never restarted — see DESIGN.md §12.3.
+      const uint64_t beat = w.heartbeat_ns();
+      const bool stalled = w.state() == WorkerState::kRunning && beat != 0 &&
+                           w.ring().unconsumed() > 0 && now > beat &&
+                           now - beat > options_.stall_ns;
+      if (stalled && stall_latched_[i] == 0) {
+        w.counters().stall_detections.Add(1);
+        stall_latched_[i] = 1;
+      } else if (!stalled) {
+        stall_latched_[i] = 0;
+      }
+    }
+  }
+
+  /// Admits stage[from..) into the ring without ever parking: polls
+  /// try_push_n, supervising between attempts, until done or (deadline_ns
+  /// != 0) the deadline passes. Returns the count admitted.
+  std::size_t PollPush(SpscRing<value_type>& ring, const value_type* src,
+                       std::size_t n, uint64_t deadline_ns) {
+    const uint64_t t0 = deadline_ns != 0 ? util::MonotonicNanos() : 0;
+    std::size_t done = 0;
+    while (done < n) {
+      done += ring.try_push_n(src + done, n - done);
+      if (done == n) break;
+      Supervise();
+      if (deadline_ns != 0 && util::MonotonicNanos() - t0 >= deadline_ns) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    return done;
+  }
+
   void FlushShard(std::size_t i) {
     std::vector<value_type>& stage = staging_[i];
     if (stage.empty()) return;
     SpscRing<value_type>& ring = workers_[i]->ring();
     telemetry::ShardCounters& tel = workers_[i]->counters();
-    if (options_.backpressure == Backpressure::kBlock) {
-      const std::size_t accepted = ring.push_n(stage.data(), stage.size());
-      SLICK_CHECK(accepted == stage.size(), "ring closed during push");
-      pushed_[i] += accepted;
-      tel.tuples_in.Add(accepted);
-    } else {
-      const std::size_t accepted = ring.try_push_n(stage.data(), stage.size());
-      pushed_[i] += accepted;
-      dropped_[i] += stage.size() - accepted;
-      tel.tuples_in.Add(accepted);
-      tel.dropped.Add(stage.size() - accepted);
+    std::size_t accepted = 0;
+    switch (options_.backpressure) {
+      case Backpressure::kBlock:
+        if (!Supervised()) {
+          // Fast path (PR 4 object code): futex-parked blocking push.
+          accepted = ring.push_n(stage.data(), stage.size());
+          SLICK_CHECK(accepted == stage.size(), "ring closed during push");
+        } else {
+          // Supervised engines must keep polling: a parked router could
+          // never restart the dead worker it is waiting on.
+          accepted = PollPush(ring, stage.data(), stage.size(), 0);
+          SLICK_CHECK(accepted == stage.size(), "ring closed during push");
+        }
+        break;
+      case Backpressure::kDropNewest:
+        accepted = ring.try_push_n(stage.data(), stage.size());
+        break;
+      case Backpressure::kBlockWithDeadline: {
+        accepted =
+            PollPush(ring, stage.data(), stage.size(), options_.deadline_ns);
+        if (accepted < stage.size()) tel.deadline_expiries.Add(1);
+        break;
+      }
+      case Backpressure::kShedOldest: {
+        // Never park: when the ring is full, shed the *oldest* unadmitted
+        // element and keep going, so the admitted stream is always the
+        // freshest suffix. (The ring itself cannot evict — exactly-once
+        // spans — so shedding happens at the admission edge.)
+        std::size_t from = 0;
+        while (from + accepted < stage.size()) {
+          const std::size_t got = ring.try_push_n(
+              stage.data() + from + accepted, stage.size() - from - accepted);
+          accepted += got;
+          if (from + accepted == stage.size()) break;
+          if (got == 0) {
+            ++from;  // shed stage[from-1], the oldest unadmitted element
+            Supervise();
+          }
+        }
+        break;
+      }
+      case Backpressure::kError:
+        accepted = ring.try_push_n(stage.data(), stage.size());
+        SLICK_CHECK(accepted == stage.size(),
+                    "shard ring full under Backpressure::kError "
+                    "(size the ring for the peak burst, or pick a "
+                    "shedding/blocking policy)");
+        break;
     }
+    pushed_[i] += accepted;
+    dropped_[i] += stage.size() - accepted;
+    tel.tuples_in.Add(accepted);
+    if (accepted < stage.size()) tel.dropped.Add(stage.size() - accepted);
     stage.clear();
   }
 
-  /// Blocks until every worker has processed exactly what was routed to it.
-  /// Rings are empty afterwards, so the workers are parked — the quiescent
+  /// Blocks until every worker has processed exactly what was routed to it,
+  /// supervising (recovering dead workers) while it waits. Rings are
+  /// claim-drained afterwards, so the workers are parked — the quiescent
   /// cut the combine reads from.
   void AwaitEpoch() {
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       while (workers_[i]->processed() < pushed_[i]) {
+        Supervise();
         std::this_thread::yield();
       }
     }
@@ -275,9 +452,9 @@ class ParallelShardedEngine {
   std::vector<std::vector<value_type>> staging_;  // router-side batches
   std::vector<uint64_t> pushed_;   // admitted per shard (router-owned)
   std::vector<uint64_t> dropped_;  // shed per shard (router-owned)
+  std::vector<uint8_t> stall_latched_;  // per-shard stall episode latch
   std::size_t next_ = 0;           // round-robin cursor
   bool stopped_ = false;
 };
 
 }  // namespace slick::runtime
-

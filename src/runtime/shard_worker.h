@@ -3,19 +3,39 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 
 #include "ops/counting.h"
+#include "runtime/fault.h"
 #include "runtime/spsc_ring.h"
 #include "telemetry/counters.h"
 #include "telemetry/histogram.h"
 #include "util/check.h"
 #include "util/clock.h"
+#include "util/serde.h"
 #include "window/aggregator.h"
 
 namespace slick::runtime {
+
+/// Lifecycle of a shard worker thread, release-published by the worker at
+/// its exit edges and acquire-read by the supervisor (DESIGN.md §12).
+enum class WorkerState : uint32_t {
+  kRunning = 0,  ///< thread live (or about to be spawned)
+  kStopped,      ///< clean exit: ring closed and fully drained
+  kKilled,       ///< fail-stop exit mid-drain (injected crash)
+};
+
+/// Where an injected worker crash lands relative to the batch being
+/// drained — the two sides of the slide, so recovery is exercised both
+/// with and without the aggregator having absorbed the doomed batch.
+enum class KillPoint : uint32_t {
+  kBeforeSlide = 0,  ///< span claimed, aggregator untouched
+  kAfterSlide,       ///< aggregator updated, nothing published/released
+};
 
 /// One shard of the parallel runtime: a dedicated thread that drains its
 /// SPSC ring in batches and drives any FixedWindowAggregator (SlickDeque
@@ -32,13 +52,50 @@ namespace slick::runtime {
 ///  * The coordinator's post-snapshot pushes release-publish the ring tail,
 ///    and the worker acquire-loads it before sliding, so snapshot reads and
 ///    later slides never race (the edge the TSan CI job machine-checks).
+///
+/// Fault tolerance (DESIGN.md §12) — active when `checkpoint_interval > 0`:
+///  * The worker defers ReleasePop: ring slots stay owned by the consumer
+///    until their contents are covered by a CRC32-framed checkpoint of the
+///    aggregator (util::SaveStateFramed + the processed count), validated
+///    by re-reading the frame before a single slot is released. The
+///    unreleased span [head_, tail_) is therefore always a complete replay
+///    log for the state since the last durable checkpoint.
+///  * A crash (KillWorker test hook, or the SLICK_FAULT_INJECTION kill
+///    points) fail-stops the thread mid-drain with state() == kKilled. The
+///    supervisor then calls RecoverAndRestart(): join the dead thread,
+///    restore the last good checkpoint (or a fresh aggregator when none
+///    exists — nothing was released before the first checkpoint), rewind
+///    the ring's claim cursor, and respawn. Replaying the unreleased span
+///    through the same BulkSlide path makes the recovered state
+///    bit-identical to the no-fault run.
+///  * A checkpoint that fails validation (torn/corrupt/alloc failure) is
+///    discarded and counted; slots stay unreleased and the next batch
+///    retries, trading ring backpressure for recoverability.
 template <window::FixedWindowAggregator Agg>
 class ShardWorker {
  public:
   using value_type = typename Agg::value_type;
 
-  ShardWorker(std::size_t window, std::size_t ring_capacity, std::size_t batch)
-      : ring_(ring_capacity), batch_(batch < 1 ? 1 : batch), agg_(window) {}
+  /// True when the aggregator supports SaveState/LoadState — required for
+  /// supervised mode (checkpoint_interval > 0).
+  static constexpr bool kCheckpointable = util::Checkpointable<Agg>;
+
+  ShardWorker(std::size_t window, std::size_t ring_capacity, std::size_t batch,
+              std::size_t checkpoint_interval = 0, std::size_t shard_index = 0)
+      : ring_(ring_capacity),
+        batch_(batch < 1 ? 1 : batch),
+        checkpoint_interval_(checkpoint_interval),
+        shard_index_(shard_index),
+        window_(window),
+        agg_(window) {
+    SLICK_CHECK(checkpoint_interval == 0 || kCheckpointable,
+                "checkpoint_interval > 0 needs SaveState/LoadState support");
+    // A checkpoint (and its ReleasePop) must be reachable before the ring
+    // can fill with unreleased slots, or producer and consumer deadlock.
+    SLICK_CHECK(checkpoint_interval <= ring_.capacity() / 2,
+                "checkpoint_interval must be at most half the ring capacity");
+    ring_.set_fault_lane(shard_index);
+  }
 
   ~ShardWorker() { Stop(); }
 
@@ -48,11 +105,15 @@ class ShardWorker {
   /// Spawns the worker thread. Must be called exactly once before pushes.
   void Start() {
     SLICK_CHECK(!thread_.joinable(), "worker already started");
+    state_.store(static_cast<uint32_t>(WorkerState::kRunning),
+                 std::memory_order_release);
     thread_ = std::thread([this] { Run(); });
   }
 
   /// Graceful shutdown: closes the ring, lets the worker drain every
-  /// element already routed to it, then joins. Idempotent.
+  /// element already routed to it, then joins. Idempotent. (A worker that
+  /// is already dead joins immediately; its unprocessed backlog stays in
+  /// the ring — the supervised engine drains via recovery before closing.)
   void Stop() {
     ring_.close();
     if (thread_.joinable()) thread_.join();
@@ -64,6 +125,75 @@ class ShardWorker {
   /// (release-published per batch; pair with an acquire load via this call).
   uint64_t processed() const {
     return processed_.load(std::memory_order_acquire);
+  }
+
+  /// Worker lifecycle, for the supervisor (acquire pairs with the worker's
+  /// release store at its exit edges).
+  WorkerState state() const {
+    return static_cast<WorkerState>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Nanosecond timestamp of the worker's last drain-loop iteration — the
+  /// supervisor's stall detector input. 0 until the thread first runs.
+  uint64_t heartbeat_ns() const { return heartbeat_.Get(); }
+
+  /// Arms a deterministic fail-stop: the worker dies at `point` while
+  /// draining its `nth_batch`-th claimed batch (1-based, cumulative across
+  /// restarts). Always compiled — this is the recovery tests' crash switch;
+  /// the SLICK_FAULT_INJECTION build adds seeded schedule variants on top.
+  /// One shot: the trigger disarms when it fires.
+  void KillWorker(KillPoint point, uint64_t nth_batch) {
+    SLICK_CHECK(nth_batch >= 1, "kill batch ordinal is 1-based");
+    auto& trigger =
+        point == KillPoint::kBeforeSlide ? kill_before_ : kill_after_;
+    // relaxed: a kill request is advisory — the worker's relaxed poll sees
+    // it on its next batch; no payload rides on this store.
+    trigger.store(nth_batch, std::memory_order_relaxed);
+  }
+
+  /// Restores the shard after a fail-stop and respawns the thread. Must be
+  /// called with state() == kKilled, from the supervising thread only; the
+  /// join/spawn pair orders every access to worker-owned state. Returns the
+  /// number of elements slid twice: published since the restored checkpoint
+  /// and about to be re-slid from the ring. A batch slid but not yet
+  /// *published* at death is also re-slid but not counted — from out here it
+  /// is indistinguishable from one never slid, so `replayed` is a lower
+  /// bound, tight to within one batch.
+  uint64_t RecoverAndRestart() {
+    SLICK_CHECK(state() == WorkerState::kKilled,
+                "RecoverAndRestart on a live worker");
+    SLICK_CHECK(thread_.joinable(), "killed worker has no thread");
+    thread_.join();
+    uint64_t replayed = 0;
+    if constexpr (kCheckpointable) {
+      // relaxed: the join above ordered every store the dead thread made.
+      const uint64_t observed = processed_.load(std::memory_order_relaxed);
+      uint64_t restored = 0;
+      if (!last_good_.empty()) {
+        std::istringstream frame(last_good_);
+        restored = RestoreCheckpoint(&frame);
+      } else {
+        // No checkpoint yet => nothing was ever released: replaying the
+        // whole ring from a fresh aggregator reproduces the run exactly.
+        agg_ = Agg(window_);
+      }
+      SLICK_CHECK(observed >= restored,
+                  "checkpoint is ahead of the published processed count");
+      replayed = observed - restored;
+      ring_.ResetClaims();
+      last_ckpt_processed_ = restored;
+      resume_processed_ = restored;
+      processed_.store(restored, std::memory_order_release);
+      counters_.tuples_out.Set(restored);
+      counters_.replayed.Add(replayed);
+      counters_.restarts.Add(1);
+    } else {
+      SLICK_CHECK(false, "recovery requires a checkpointable aggregator");
+    }
+    state_.store(static_cast<uint32_t>(WorkerState::kRunning),
+                 std::memory_order_release);
+    thread_ = std::thread([this] { Run(); });
+    return replayed;
   }
 
   /// The shard's aggregator. Safe for the coordinator to read only at a
@@ -101,23 +231,84 @@ class ShardWorker {
                             ops::ThreadLocalOpCounter>;
   };
 
+  bool Supervised() const { return checkpoint_interval_ > 0; }
+
+  /// One relaxed load per batch: did a kill trigger fire for this batch
+  /// ordinal (or a seeded fault-injection kill for this point)?
+  bool ShouldDie(std::atomic<uint64_t>& trigger, uint64_t batch_ordinal,
+                 fault::Point point) {
+    // relaxed: the trigger carries no payload; a stale read only delays
+    // the injected crash by one batch, which no invariant depends on.
+    const uint64_t t = trigger.load(std::memory_order_relaxed);
+    if (t != 0 && batch_ordinal >= t) {
+      // relaxed: one-shot disarm, same reasoning as the load above.
+      trigger.store(0, std::memory_order_relaxed);
+      return true;
+    }
+    return fault::Fire(point, shard_index_);
+  }
+
   void Run() {
-    uint64_t done = 0;
+    uint64_t done = resume_processed_;
+    std::size_t pending_release = 0;
     uint64_t seen_combines = 0, seen_inverses = 0;
+    if constexpr (kCountedOp) {
+      // The thread-local tallies are per OS thread: a respawned worker
+      // starts from this thread's base line, not zero.
+      seen_combines = ops::ThreadLocalOpCounter::combines;
+      seen_inverses = ops::ThreadLocalOpCounter::inverses;
+    }
     for (;;) {
+      heartbeat_.Set(util::MonotonicNanos());
+      // Retry a due-but-failed checkpoint before a claim that might park:
+      // a transient failure (alloc, corruption) must not strand the
+      // unreleased span until the next batch happens to arrive.
+      if (Supervised() && pending_release > 0 &&
+          done - last_ckpt_processed_ >= checkpoint_interval_) {
+        if (TakeCheckpoint(done)) {
+          ring_.ReleasePop(pending_release);
+          pending_release = 0;
+        }
+      }
       // Zero-copy drain: claim a contiguous ring span and feed it straight
       // into the aggregator's batch entry point — no bounce buffer.
       std::size_t n = 0;
       value_type* span = ring_.ClaimPop(batch_, &n);
       if (span == nullptr) break;  // closed and fully drained
+      ++batches_drained_;
+      if (ShouldDie(kill_before_, batches_drained_,
+                    fault::Point::kWorkerKillBeforeSlide)) {
+        Die();
+        return;
+      }
       const uint64_t t0 = util::MonotonicNanos();
       window::BulkSlide(agg_, span, n);
       batch_latency_.Record(util::MonotonicNanos() - t0);
-      // Release only after the slide: the moment the head cursor moves the
-      // router may overwrite the span.
-      ring_.ReleasePop(n);
-      batch_sizes_.Record(n);
+      if (ShouldDie(kill_after_, batches_drained_,
+                    fault::Point::kWorkerKillAfterSlide)) {
+        Die();
+        return;
+      }
       done += n;
+      if (Supervised()) {
+        // Slots stay claimed until a validated checkpoint covers them; the
+        // unreleased span is the crash-replay log. The capacity backstop
+        // forces a checkpoint attempt before the ring can wedge on
+        // unreleased slots alone.
+        pending_release += n;
+        if (done - last_ckpt_processed_ >= checkpoint_interval_ ||
+            pending_release + batch_ >= ring_.capacity()) {
+          if (TakeCheckpoint(done)) {
+            ring_.ReleasePop(pending_release);
+            pending_release = 0;
+          }
+        }
+      } else {
+        // Release only after the slide: the moment the head cursor moves
+        // the router may overwrite the span.
+        ring_.ReleasePop(n);
+      }
+      batch_sizes_.Record(n);
       processed_.store(done, std::memory_order_release);
       counters_.tuples_out.Add(n);
       counters_.batches.Add(1);
@@ -129,12 +320,107 @@ class ShardWorker {
         seen_inverses = Tally::inverses;
       }
     }
+    // Clean close: everything drained is final — hand the replay log back.
+    if (pending_release > 0) ring_.ReleasePop(pending_release);
+    state_.store(static_cast<uint32_t>(WorkerState::kStopped),
+                 std::memory_order_release);
   }
+
+  /// Fail-stop: abandon the claimed span, publish nothing, flag the
+  /// supervisor. Simulates a worker crash at an arbitrary drain point.
+  void Die() {
+    state_.store(static_cast<uint32_t>(WorkerState::kKilled),
+                 std::memory_order_release);
+  }
+
+  /// Serializes {tag, processed, aggregator} into a CRC32 frame, validates
+  /// it by re-reading, and commits it as the durable checkpoint. Returns
+  /// false (counting a failure, releasing nothing) when serialization or
+  /// validation fails — including the injected alloc-fail and corruption
+  /// faults, which land exactly like real torn writes.
+  bool TakeCheckpoint(uint64_t done) {
+    if constexpr (kCheckpointable) {
+      if (fault::Fire(fault::Point::kCheckpointAllocFail, shard_index_)) {
+        counters_.checkpoint_failures.Add(1);
+        return false;
+      }
+      std::ostringstream payload;
+      util::WriteTag(payload, kCheckpointTag, 1);
+      util::WritePod<uint64_t>(payload, done);
+      agg_.SaveState(payload);
+      std::ostringstream framed;
+      util::WriteFramed(framed, payload.str());
+      std::string frame = framed.str();
+      if (fault::Fire(fault::Point::kCheckpointCorrupt, shard_index_)) {
+        fault::CorruptOneBit(&frame);
+      }
+      // Validate before commit: a checkpoint that cannot be restored must
+      // never unlock the release of its covered ring slots.
+      std::istringstream reread(frame);
+      std::string verified;
+      if (util::ReadFramed(reread, &verified) != util::FrameError::kOk) {
+        counters_.checkpoint_failures.Add(1);
+        return false;
+      }
+      last_good_ = std::move(frame);
+      last_ckpt_processed_ = done;
+      counters_.checkpoints.Add(1);
+      return true;
+    } else {
+      SLICK_CHECK(false, "checkpoint on a non-checkpointable aggregator");
+      return false;
+    }
+  }
+
+  /// Restores agg_ + the processed count from a validated frame. The frame
+  /// was CRC-checked at write time, so any failure here is a logic bug, not
+  /// bit rot — hence hard SLICK_CHECKs rather than soft errors.
+  uint64_t RestoreCheckpoint(std::istream* frame) {
+    if constexpr (kCheckpointable) {
+      std::string payload;
+      SLICK_CHECK(util::ReadFramed(*frame, &payload) == util::FrameError::kOk,
+                  "stored checkpoint frame failed validation");
+      std::istringstream body(payload);
+      SLICK_CHECK(util::ExpectTag(body, kCheckpointTag, 1),
+                  "stored checkpoint has a foreign tag");
+      uint64_t done = 0;
+      SLICK_CHECK(util::ReadPod(body, &done),
+                  "stored checkpoint truncated before the processed count");
+      SLICK_CHECK(agg_.LoadState(body),
+                  "stored checkpoint rejected by the aggregator");
+      return done;
+    } else {
+      SLICK_CHECK(false, "restore on a non-checkpointable aggregator");
+      return 0;
+    }
+  }
+
+  static constexpr uint32_t kCheckpointTag =
+      util::MakeTag('S', 'C', 'K', 'P');
 
   SpscRing<value_type> ring_;
   const std::size_t batch_;
+  const std::size_t checkpoint_interval_;  // tuples per checkpoint; 0 = off
+  const std::size_t shard_index_;          // fault-injection lane
+  const std::size_t window_;               // for fresh-aggregator recovery
   Agg agg_;
   alignas(64) std::atomic<uint64_t> processed_{0};
+  // Cold supervisor-facing control words; they share processed_'s padding
+  // region rather than burning a cache line each (all are written at most
+  // once per batch / per crash). slick-lint: allow(atomic-alignas)
+  alignas(64) std::atomic<uint32_t> state_{
+      static_cast<uint32_t>(WorkerState::kRunning)};
+  // slick-lint: allow(atomic-alignas)
+  std::atomic<uint64_t> kill_before_{0};  // batch ordinal to die at; 0 = off
+  // slick-lint: allow(atomic-alignas)
+  std::atomic<uint64_t> kill_after_{0};
+  // Worker-thread-owned recovery bookkeeping. Accessed by the supervisor
+  // only between join and respawn (ordered by the thread lifecycle).
+  uint64_t batches_drained_ = 0;      // cumulative across restarts
+  uint64_t last_ckpt_processed_ = 0;  // processed count in last_good_
+  uint64_t resume_processed_ = 0;     // where a respawned Run() resumes
+  std::string last_good_;             // last validated checkpoint frame
+  telemetry::Gauge heartbeat_;
   telemetry::ShardCounters counters_;
   telemetry::LatencyHistogram batch_latency_;
   telemetry::LatencyHistogram batch_sizes_;
@@ -142,4 +428,3 @@ class ShardWorker {
 };
 
 }  // namespace slick::runtime
-

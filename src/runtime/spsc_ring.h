@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/fault.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -26,6 +27,17 @@ namespace slick::runtime {
 /// (consumer). The claim primitives hand out contiguous in-place spans —
 /// one acquire/release pair per batch, zero per element — which is what
 /// lets the shard workers bulk-slide straight out of the ring.
+///
+/// Claims vs releases: the consumer side keeps a third cursor, `claim_`,
+/// with head_ <= claim_ <= tail_. TryClaimPop hands out [claim_, claim_+n)
+/// and advances claim_ immediately, so sequential claims return *disjoint*
+/// spans even when nothing has been released yet — a consumer holding an
+/// unreleased span when the producer closes still drains the remainder
+/// exactly once. ReleasePop advances head_, returning slots to the
+/// producer; releases may be deferred and batched across several claims,
+/// which turns the span [head_, claim_) into a replay log: the supervised
+/// runtime releases only up to its last durable checkpoint, and recovery
+/// rewinds claim_ to head_ (ResetClaims) to replay the unreleased suffix.
 ///
 /// Blocking: both sides batch their work, so parking is rare. Waits go
 /// through a per-direction eventcount (`tail_event_` for "data arrived",
@@ -84,6 +96,11 @@ class SpscRing {
     // successful push into a ring the consumer still drains after close()
     // (pop_n re-polls after observing closed). Promptness, not correctness.
     if (closed_.load(std::memory_order_relaxed)) return nullptr;
+    // Chaos hook (no-op unless SLICK_FAULT_INJECTION): a spurious "full"
+    // exercises every caller's full-ring handling on an arbitrary claim.
+    if (fault::Fire(fault::Point::kRingSpuriousFull, fault_lane_)) {
+      return nullptr;
+    }
     // relaxed: tail_ is this thread's own cursor (single producer).
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t free = capacity() - static_cast<std::size_t>(tail - head_cache_);
@@ -106,6 +123,11 @@ class SpscRing {
   /// may be less than the claim; unpublished slots are simply re-claimed
   /// next time). One cursor store and one event bump per batch.
   void PublishPush(std::size_t count) {
+    // Chaos hook (no-op unless SLICK_FAULT_INJECTION): stall the publish to
+    // widen the window where the consumer sees a stale tail.
+    if (fault::Fire(fault::Point::kPublishDelay, fault_lane_)) {
+      fault::InjectDelay();
+    }
     // relaxed: tail_ is this thread's own cursor (single producer).
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     // Telemetry: occupancy right after this publish, measured against the
@@ -183,6 +205,11 @@ class SpscRing {
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  /// Names this ring's lane for the fault-injection schedule (the owning
+  /// shard index). Set before threads start; unused unless the build
+  /// defines SLICK_FAULT_INJECTION.
+  void set_fault_lane(std::size_t lane) { fault_lane_ = lane; }
+
   /// Read-only views of the eventcount words the wait paths snapshot —
   /// introspection for the deterministic model checker (tests/model/),
   /// which replays WaitForData/WaitForSpace step-by-step against these.
@@ -200,34 +227,43 @@ class SpscRing {
   /// Claims a contiguous span of up to `max` ready elements for in-place
   /// reading, without blocking: returns the span start and sets *count to
   /// its length (capped at the array wrap). Returns nullptr with *count ==
-  /// 0 when the ring is currently empty. The producer cannot overwrite the
-  /// span until ReleasePop(count) hands it back — one acquire refresh at
-  /// most per claim, zero per element.
+  /// 0 when no *unclaimed* element is ready. Sequential claims return
+  /// disjoint spans (the claim cursor advances immediately); the producer
+  /// cannot overwrite a span until ReleasePop hands its slots back — one
+  /// acquire refresh at most per claim, zero per element.
   T* TryClaimPop(std::size_t max, std::size_t* count) {
     *count = 0;
-    // relaxed: head_ is this thread's own cursor (single consumer).
-    const uint64_t head = head_.load(std::memory_order_relaxed);
-    std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
+    // relaxed: claim_ is this thread's own cursor (single consumer); other
+    // threads only read it for telemetry/recovery at quiescent points.
+    const uint64_t claim = claim_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(tail_cache_ - claim);
     if (avail == 0) {
       // acquire: pairs with PublishPush's tail_ release store, so the
       // published slots' contents are visible before we read them.
       tail_cache_ = tail_.load(std::memory_order_acquire);
-      avail = static_cast<std::size_t>(tail_cache_ - head);
+      avail = static_cast<std::size_t>(tail_cache_ - claim);
       if (avail == 0) return nullptr;
     }
-    const std::size_t idx = static_cast<std::size_t>(head) & mask_;
+    const std::size_t idx = static_cast<std::size_t>(claim) & mask_;
     std::size_t n = max < avail ? max : avail;
     const std::size_t to_wrap = capacity() - idx;
     if (n > to_wrap) n = to_wrap;
     *count = n;
+    // relaxed: single-consumer cursor advance; the span's contents were
+    // already acquired through tail_cache_ above.
+    claim_.store(claim + n, std::memory_order_relaxed);
     return slots_.get() + idx;
   }
 
-  /// Returns `count` slots claimed with TryClaimPop to the producer. One
-  /// cursor store and one event bump per batch.
+  /// Returns `count` claimed slots to the producer, oldest first. Releases
+  /// may lag claims (head_ <= claim_) and may batch several claimed spans
+  /// into one call. One cursor store and one event bump per batch.
   void ReleasePop(std::size_t count) {
     // relaxed: head_ is this thread's own cursor (single consumer).
     const uint64_t head = head_.load(std::memory_order_relaxed);
+    // relaxed: own cursor, DCHECK only — never release past the claim.
+    SLICK_DCHECK(head + count <= claim_.load(std::memory_order_relaxed),
+                 "ReleasePop past the claim cursor");
     // release: hands the drained slots back; pairs with TryClaimPush's
     // acquire refresh of head_ so the producer never overwrites a slot the
     // consumer is still reading.
@@ -236,6 +272,41 @@ class SpscRing {
     // snapshots in WaitForSpace.
     head_event_.fetch_add(1, std::memory_order_release);
     head_event_.notify_one();
+  }
+
+  /// Rewinds the claim cursor to the release cursor, so every unreleased
+  /// element is claimable again — the recovery primitive: after a worker
+  /// dies mid-drain, the supervisor restores the aggregator from its last
+  /// checkpoint (which covers exactly [0, head_)) and replays [head_,
+  /// tail_) by rewinding the claims. MUST only be called when no consumer
+  /// thread is live (after join, before respawn): the joins/spawns order
+  /// this store against both the dead consumer's and the successor's
+  /// accesses.
+  void ResetClaims() {
+    // relaxed: see the thread-lifecycle contract above — the caller owns
+    // the consumer role here, and thread join/spawn provide the ordering.
+    claim_.store(head_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+
+  /// Elements published but not yet claimed (exact from the consumer
+  /// thread, approximate elsewhere) — the backlog still to aggregate.
+  std::size_t unconsumed() const {
+    const uint64_t t = tail_.load(std::memory_order_acquire);
+    // relaxed: claim_ carries no payload; pairing with tail_'s acquire
+    // above only ever *under*-counts the backlog by a stale claim.
+    const uint64_t c = claim_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(t - c);
+  }
+
+  /// Elements claimed (aggregated or in flight) but not yet released — the
+  /// replay span a recovery would re-drain.
+  std::size_t unreleased() const {
+    // relaxed: telemetry view; both cursors are monotonic and the
+    // difference is only read for reporting, never to index slots.
+    const uint64_t c = claim_.load(std::memory_order_relaxed);
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(c - h);
   }
 
   /// Blocking claim: returns a non-empty span (and its length in *count)
@@ -293,18 +364,22 @@ class SpscRing {
   // (head_ for the consumer here, tail_ for the producer in WaitForSpace);
   // the peer's cursor and closed_ are acquire so slot writes are visible.
   void WaitForData() {
+    // The wake condition is "unclaimed data exists" (tail_ != claim_), not
+    // tail_ != head_: with releases deferred past a claim, head_ can lag
+    // while everything published is already claimed — waiting on head_
+    // would spin forever without a single claimable element.
     for (int i = 0; i < kSpinYields; ++i) {
       if (tail_.load(std::memory_order_acquire) !=
-              head_.load(std::memory_order_relaxed) ||
+              claim_.load(std::memory_order_relaxed) ||
           closed_.load(std::memory_order_acquire)) {
         return;
       }
       std::this_thread::yield();
     }
     const uint32_t e = tail_event_.load(std::memory_order_acquire);
-    // relaxed: head_ is the consumer's own cursor (see note above).
+    // relaxed: claim_ is the consumer's own cursor (see note above).
     if (tail_.load(std::memory_order_acquire) !=
-            head_.load(std::memory_order_relaxed) ||
+            claim_.load(std::memory_order_relaxed) ||
         closed_.load(std::memory_order_acquire)) {
       return;
     }
@@ -341,14 +416,21 @@ class SpscRing {
 
   const std::size_t mask_;
   const std::unique_ptr<T[]> slots_;
+  // Fault-injection lane id (shard index); written once before threads
+  // start, read only inside fault::Fire hooks.
+  std::size_t fault_lane_ = 0;
 
   // Consumer cursor + the producer's view of it.
   alignas(kCacheLine) std::atomic<uint64_t> head_{0};
   alignas(kCacheLine) std::atomic<uint64_t> tail_{0};
   // Producer-local cache of head_ (no sharing: only the producer touches it).
   alignas(kCacheLine) uint64_t head_cache_ = 0;
-  // Consumer-local cache of tail_.
+  // Consumer-local cache of tail_, and the claim cursor (written only by
+  // the consumer; atomic so telemetry/recovery may read it cross-thread).
   alignas(kCacheLine) uint64_t tail_cache_ = 0;
+  // Deliberately shares the consumer-owned cache line with tail_cache_:
+  // only the consumer writes either. slick-lint: allow(atomic-alignas)
+  std::atomic<uint64_t> claim_{0};
   // Eventcounts for parking (bumped per batch, and by close()).
   alignas(kCacheLine) std::atomic<uint32_t> tail_event_{0};
   alignas(kCacheLine) std::atomic<uint32_t> head_event_{0};

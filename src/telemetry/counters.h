@@ -17,6 +17,10 @@ struct alignas(kCacheLine) Counter {
   void Add(uint64_t n = 1) { v.fetch_add(n, std::memory_order_relaxed); }
   uint64_t Get() const { return v.load(std::memory_order_relaxed); }
   void Reset() { v.store(0, std::memory_order_relaxed); }
+  /// Rewind/overwrite — used by crash recovery to reset a counter to the
+  /// restored checkpoint's value before the replay re-accumulates it. Only
+  /// call while the counting thread is quiescent (joined).
+  void Set(uint64_t x) { v.store(x, std::memory_order_relaxed); }
 };
 
 /// Last-value gauge (e.g. current watermark, ring occupancy at sample
@@ -57,10 +61,18 @@ struct alignas(kCacheLine) MaxGauge {
 struct ShardCounters {
   Counter tuples_in;   ///< admitted into the shard ring (router)
   Counter tuples_out;  ///< slid into the shard aggregator (worker)
-  Counter dropped;     ///< shed under Backpressure::kDropNewest (router)
+  Counter dropped;     ///< shed by a backpressure policy (router)
   Counter batches;     ///< worker drain batches (worker)
   Counter combines;    ///< ⊕ applications attributed to this shard
   Counter inverses;    ///< ⊖ applications attributed to this shard
+  // Fault-tolerance metrics (DESIGN.md §12; see RUNBOOK.md for how to
+  // read them). All zero on a fault-free run.
+  Counter restarts;             ///< worker fail-stops recovered (supervisor)
+  Counter checkpoints;          ///< validated checkpoints committed (worker)
+  Counter checkpoint_failures;  ///< checkpoints discarded at write (worker)
+  Counter replayed;             ///< tuples re-slid after a restore (recovery)
+  Counter deadline_expiries;    ///< kBlockWithDeadline timeouts (router)
+  Counter stall_detections;     ///< heartbeat-stall transitions (supervisor)
 };
 
 /// Engine-level tallies for the single-thread ACQ engines. Kept as plain

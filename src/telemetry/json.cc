@@ -58,11 +58,19 @@ std::string ToJson(const ShardSnapshot& s) {
   AppendU64(out, "dropped", s.dropped, true);
   AppendU64(out, "batches", s.batches, true);
   AppendU64(out, "in_flight", s.in_flight, true);
+  AppendU64(out, "unreleased", s.unreleased, true);
   AppendU64(out, "staged", s.staged, true);
   AppendU64(out, "ring_highwater", s.ring_highwater, true);
   AppendU64(out, "watermark_lag", s.watermark_lag, true);
   AppendU64(out, "combines", s.combines, true);
-  AppendU64(out, "inverses", s.inverses, false);
+  AppendU64(out, "inverses", s.inverses, true);
+  AppendU64(out, "worker_restarts", s.worker_restarts, true);
+  AppendU64(out, "checkpoints", s.checkpoints, true);
+  AppendU64(out, "checkpoint_failures", s.checkpoint_failures, true);
+  AppendU64(out, "replayed", s.replayed, true);
+  AppendU64(out, "deadline_expiries", s.deadline_expiries, true);
+  AppendU64(out, "stall_detections", s.stall_detections, true);
+  AppendU64(out, "heartbeat_age_ns", s.heartbeat_age_ns, false);
   out += "}";
   return out;
 }
@@ -74,6 +82,10 @@ std::string ToJson(const RuntimeSnapshot& r) {
   AppendU64(out, "total_dropped", r.total_dropped(), true);
   AppendU64(out, "total_in_flight", r.total_in_flight(), true);
   AppendU64(out, "total_staged", r.total_staged(), true);
+  AppendU64(out, "total_restarts", r.total_restarts(), true);
+  AppendU64(out, "total_replayed", r.total_replayed(), true);
+  AppendF(out, "\"backpressure\":\"%s\",", r.backpressure);
+  AppendU64(out, "checkpoint_interval", r.checkpoint_interval, true);
   out += "\"shards\":[";
   for (std::size_t i = 0; i < r.shards.size(); ++i) {
     if (i != 0) out += ",";

@@ -21,12 +21,21 @@ struct ShardSnapshot {
   uint64_t tuples_out = 0;      ///< slid into the shard aggregator
   uint64_t dropped = 0;         ///< shed by backpressure (never admitted)
   uint64_t batches = 0;         ///< worker drain batches
-  uint64_t in_flight = 0;       ///< ring occupancy when sampled
+  uint64_t in_flight = 0;       ///< published, not yet claimed by the worker
+  uint64_t unreleased = 0;      ///< claimed replay log, pre-checkpoint
   uint64_t staged = 0;          ///< router-side staging, not yet admitted
   uint64_t ring_highwater = 0;  ///< max ring occupancy ever observed
   uint64_t watermark_lag = 0;   ///< tuples_in - tuples_out when sampled
   uint64_t combines = 0;        ///< ⊕ applications (when op-counting is on)
   uint64_t inverses = 0;        ///< ⊖ applications (when op-counting is on)
+  // Fault-tolerance view (DESIGN.md §12, RUNBOOK.md). Zero when fault-free.
+  uint64_t worker_restarts = 0;      ///< fail-stops recovered on this shard
+  uint64_t checkpoints = 0;          ///< validated checkpoints committed
+  uint64_t checkpoint_failures = 0;  ///< checkpoints discarded at write
+  uint64_t replayed = 0;             ///< tuples re-slid after restores
+  uint64_t deadline_expiries = 0;    ///< kBlockWithDeadline timeouts
+  uint64_t stall_detections = 0;     ///< heartbeat-stall transitions
+  uint64_t heartbeat_age_ns = 0;     ///< now - last worker loop iteration
 };
 
 /// Point-in-time view of the whole parallel runtime: per-shard flow
@@ -35,12 +44,18 @@ struct RuntimeSnapshot {
   std::vector<ShardSnapshot> shards;
   LatencyHistogram::Snapshot batch_latency_ns;  ///< merged across shards
   LatencyHistogram::Snapshot batch_sizes;       ///< drained elements/batch
+  const char* backpressure = "block";  ///< engine ring-full policy name
+  uint64_t checkpoint_interval = 0;    ///< tuples per checkpoint; 0 = off
 
   uint64_t total_in() const { return Sum(&ShardSnapshot::tuples_in); }
   uint64_t total_out() const { return Sum(&ShardSnapshot::tuples_out); }
   uint64_t total_dropped() const { return Sum(&ShardSnapshot::dropped); }
   uint64_t total_in_flight() const { return Sum(&ShardSnapshot::in_flight); }
   uint64_t total_staged() const { return Sum(&ShardSnapshot::staged); }
+  uint64_t total_restarts() const {
+    return Sum(&ShardSnapshot::worker_restarts);
+  }
+  uint64_t total_replayed() const { return Sum(&ShardSnapshot::replayed); }
 
  private:
   uint64_t Sum(uint64_t ShardSnapshot::* field) const {

@@ -105,21 +105,23 @@ class ChunkedArrayQueue {
   }
 
   /// Checkpoints the queue (content plus absolute sequence numbering, so
-  /// holders of sequence pointers — DABA — survive a round trip).
+  /// holders of sequence pointers — DABA — survive a round trip). Trivially
+  /// copyable elements are written raw (the PR 1 byte layout); other
+  /// element types go through the util::WriteVal customization layer.
   void SaveState(std::ostream& os) const
-    requires std::is_trivially_copyable_v<T>
+    requires util::Serializable<T>
   {
     util::WriteTag(os, kSerdeTag, 1);
     util::WritePod<uint32_t>(os, shift_);
     util::WritePod<uint64_t>(os, head_);
     util::WritePod<uint64_t>(os, tail_);
-    for (uint64_t s = head_; s < tail_; ++s) util::WritePod(os, (*this)[s]);
+    for (uint64_t s = head_; s < tail_; ++s) util::WriteVal(os, (*this)[s]);
   }
 
   /// Restores a checkpoint, replacing the current content. Returns false
   /// (leaving the queue unusable) on a malformed stream.
   bool LoadState(std::istream& is)
-    requires std::is_trivially_copyable_v<T>
+    requires util::Serializable<T>
   {
     if (!util::ExpectTag(is, kSerdeTag, 1)) return false;
     uint32_t shift = 0;
@@ -136,8 +138,8 @@ class ChunkedArrayQueue {
     first_chunk_ = 0;
     base_ = head_ = tail_ = head;
     for (uint64_t s = head; s < tail; ++s) {
-      T v;
-      if (!util::ReadPod(is, &v)) return false;
+      T v{};
+      if (!util::ReadVal(is, &v)) return false;
       push_back(std::move(v));
     }
     return true;

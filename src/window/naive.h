@@ -82,22 +82,22 @@ class NaiveWindow {
 
   /// Checkpoints the window (DSMS fault tolerance).
   void SaveState(std::ostream& os) const
-    requires std::is_trivially_copyable_v<value_type>
+    requires util::Serializable<value_type>
   {
     util::WriteTag(os, util::MakeTag('N', 'A', 'I', '1'), 1);
-    util::WritePodVec(os, partials_);
+    util::WriteValVec(os, partials_);
     util::WritePod<uint64_t>(os, pos_);
   }
 
   /// Restores a checkpoint, replacing the current state.
   bool LoadState(std::istream& is)
-    requires std::is_trivially_copyable_v<value_type>
+    requires util::Serializable<value_type>
   {
     if (!util::ExpectTag(is, util::MakeTag('N', 'A', 'I', '1'), 1)) {
       return false;
     }
     uint64_t pos = 0;
-    if (!util::ReadPodVec(is, &partials_) || !util::ReadPod(is, &pos)) {
+    if (!util::ReadValVec(is, &partials_) || !util::ReadPod(is, &pos)) {
       return false;
     }
     if (partials_.empty() || pos >= partials_.size()) return false;

@@ -16,6 +16,7 @@
 #include "core/subtract_on_evict.h"
 #include "ops/arith.h"
 #include "ops/minmax.h"
+#include "ops/string_ops.h"
 #include "util/rng.h"
 #include "util/serde.h"
 #include "window/chunked_array_queue.h"
@@ -346,6 +347,169 @@ TEST(CheckpointTest, WrongStructureTagRejected) {
   naive.SaveState(ss);
   window::FlatFat<ops::SumInt> fat(8);
   EXPECT_FALSE(fat.LoadState(ss));  // NAI1 tag, FAT1 expected
+}
+
+// ---------------------------------------------------------------------------
+// CRC32-framed checkpoint container (DESIGN.md §12.2): magic + version +
+// length + CRC around every SaveState payload, with typed errors that
+// distinguish truncation from bit rot from foreign bytes — and a
+// compatibility read for the unframed PR 1 streams.
+//
+// Frame layout: [0] magic 'SLKF' u32  [4] version u32  [8] payload len u64
+//               [16] crc32 u32        [20] payload bytes.
+// ---------------------------------------------------------------------------
+
+TEST(FramedSerdeTest, Crc32KnownAnswer) {
+  // The IEEE 802.3 check value: CRC32("123456789") == 0xCBF43926.
+  EXPECT_EQ(util::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32(""), 0u);
+}
+
+TEST(FramedSerdeTest, FrameRoundTrip) {
+  std::stringstream ss;
+  util::WriteFramed(ss, "hello, frames");
+  std::string payload;
+  EXPECT_EQ(util::ReadFramed(ss, &payload), util::FrameError::kOk);
+  EXPECT_EQ(payload, "hello, frames");
+}
+
+TEST(FramedSerdeTest, TypedErrorsDistinguishCorruptionModes) {
+  std::stringstream ss;
+  util::WriteFramed(ss, "payload bytes under test");
+  const std::string frame = ss.str();
+  std::string out;
+
+  {  // Foreign bytes: wrong magic.
+    std::string bad = frame;
+    bad[0] ^= 0x01;
+    std::stringstream in(bad);
+    EXPECT_EQ(util::ReadFramed(in, &out), util::FrameError::kBadMagic);
+  }
+  {  // Right container, future version.
+    std::string bad = frame;
+    bad[4] ^= 0x02;
+    std::stringstream in(bad);
+    EXPECT_EQ(util::ReadFramed(in, &out), util::FrameError::kBadVersion);
+  }
+  {  // Single bit flip in the payload: CRC catches it.
+    std::string bad = frame;
+    bad[20] ^= 0x10;
+    std::stringstream in(bad);
+    EXPECT_EQ(util::ReadFramed(in, &out), util::FrameError::kCrcMismatch);
+  }
+  {  // Single bit flip in the stored CRC itself.
+    std::string bad = frame;
+    bad[16] ^= 0x40;
+    std::stringstream in(bad);
+    EXPECT_EQ(util::ReadFramed(in, &out), util::FrameError::kCrcMismatch);
+  }
+  // Truncation at every boundary: header, length, CRC, mid-payload.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                          std::size_t{17}, frame.size() - 1}) {
+    std::stringstream in(frame.substr(0, cut));
+    EXPECT_EQ(util::ReadFramed(in, &out), util::FrameError::kTruncated)
+        << "cut=" << cut;
+  }
+  {  // Absurd payload length is truncation, not an allocation attempt.
+    std::string bad = frame;
+    for (std::size_t i = 8; i < 16; ++i) bad[i] = static_cast<char>(0xFF);
+    std::stringstream in(bad);
+    EXPECT_EQ(util::ReadFramed(in, &out), util::FrameError::kTruncated);
+  }
+  EXPECT_STREQ(util::FrameErrorName(util::FrameError::kCrcMismatch),
+               "crc-mismatch");
+}
+
+TEST(FramedSerdeTest, SaveStateFramedRoundTrip) {
+  window::FlatFat<ops::SumInt> agg(16);
+  for (int64_t i = 0; i < 20; ++i) agg.slide(i);
+  std::stringstream ss;
+  util::SaveStateFramed(agg, ss);
+  window::FlatFat<ops::SumInt> fresh(16);
+  EXPECT_EQ(util::LoadStateFramed(&fresh, ss), util::FrameError::kOk);
+  for (int64_t i = 0; i < 40; ++i) {
+    agg.slide(i * 3);
+    fresh.slide(i * 3);
+    ASSERT_EQ(agg.query(), fresh.query());
+  }
+}
+
+TEST(FramedSerdeTest, FramedLoadRejectsFlippedBit) {
+  core::SlickDequeNonInv<ops::MaxInt> agg(8);
+  for (int64_t i = 0; i < 8; ++i) agg.slide(100 - i);
+  std::stringstream ss;
+  util::SaveStateFramed(agg, ss);
+  std::string frame = ss.str();
+  // Flip one payload bit the structural validators would NOT catch (a value
+  // byte): the frame CRC must reject it anyway.
+  frame[frame.size() - 3] ^= 0x04;
+  std::stringstream in(frame);
+  core::SlickDequeNonInv<ops::MaxInt> fresh(8);
+  EXPECT_EQ(util::LoadStateFramed(&fresh, in),
+            util::FrameError::kCrcMismatch);
+}
+
+TEST(FramedSerdeTest, LegacyUnframedStreamStillLoads) {
+  // A PR 1 checkpoint has no frame: LoadStateFramed must detect the missing
+  // magic, rewind, and delegate to the raw LoadState path.
+  window::NaiveWindow<ops::SumInt> agg(8);
+  for (int64_t i = 0; i < 12; ++i) agg.slide(i);
+  std::stringstream legacy;
+  agg.SaveState(legacy);  // unframed, exactly as PR 1 wrote it
+  window::NaiveWindow<ops::SumInt> fresh(8);
+  EXPECT_EQ(util::LoadStateFramed(&fresh, legacy), util::FrameError::kOk);
+  EXPECT_EQ(fresh.query(), agg.query());
+}
+
+// ---------------------------------------------------------------------------
+// Non-POD checkpoint values: AlphaMax aggregates are std::string, so its
+// SlickDeque (Non-Inv) checkpoint exercises the length-prefixed WriteVal
+// path through both the node deque (ChunkedArrayQueue) and the Node
+// pos/value pairs.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, AlphaMaxStringStateRoundTrips) {
+  using Agg = core::SlickDequeNonInv<ops::AlphaMax>;
+  const char* words[] = {"pear",  "apple", "quince", "fig",   "mango",
+                         "grape", "kiwi",  "plum",   "peach", "lime"};
+  Agg original(5);
+  util::SplitMix64 rng(77);
+  for (int i = 0; i < 137; ++i) {
+    original.slide(std::string(words[rng.NextBounded(10)]));
+  }
+  std::stringstream ss;
+  original.SaveState(ss);
+  Agg restored(5);
+  ASSERT_TRUE(restored.LoadState(ss));
+  EXPECT_EQ(restored.query(), original.query());
+  for (int i = 0; i < 200; ++i) {
+    const std::string v(words[rng.NextBounded(10)]);
+    original.slide(v);
+    restored.slide(v);
+    ASSERT_EQ(original.query(), restored.query()) << "i=" << i;
+  }
+}
+
+TEST(SerdeTest, StringValRoundTrip) {
+  std::stringstream ss;
+  util::WriteVal(ss, std::string("alpha"));
+  util::WriteVal(ss, std::string());  // empty string round-trips too
+  util::WriteVal(ss, std::string(1000, 'x'));
+  std::string a, b, c;
+  EXPECT_TRUE(util::ReadVal(ss, &a));
+  EXPECT_TRUE(util::ReadVal(ss, &b));
+  EXPECT_TRUE(util::ReadVal(ss, &c));
+  EXPECT_EQ(a, "alpha");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+  EXPECT_FALSE(util::ReadVal(ss, &a));  // exhausted
+}
+
+TEST(SerdeTest, CorruptStringLengthRejected) {
+  std::stringstream ss;
+  util::WritePod<uint64_t>(ss, UINT64_MAX);  // absurd string length
+  std::string s;
+  EXPECT_FALSE(util::ReadVal(ss, &s));
 }
 
 }  // namespace

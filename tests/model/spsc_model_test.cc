@@ -384,6 +384,168 @@ TEST(SpscRingModel, CapacitySweep) {
 }
 
 // ---------------------------------------------------------------------------
+// Claim-holding consumer (PR 5): the supervised worker defers ReleasePop
+// until a checkpoint covers the claimed slots, so claims outlive batches
+// and may still be unreleased when the producer closes. The consumer below
+// drains via TryClaimPop with releases batched behind a threshold — the
+// regression this hunts is a close() landing while a claimed span is held:
+// the remainder must still drain exactly once (no re-handout of the held
+// span, no stranded suffix).
+// ---------------------------------------------------------------------------
+
+/// Consumer draining via claim-range primitives with deferred releases
+/// (mirrors ShardWorker's supervised loop shape, minus the aggregator).
+class ClaimingConsumerThread : public VirtualThread {
+ public:
+  ClaimingConsumerThread(RingWorld* w, std::size_t batch,
+                         std::size_t release_threshold)
+      : w_(w), batch_(batch), release_threshold_(release_threshold) {}
+
+  void Step() override {
+    switch (state_) {
+      case State::kClaim:
+      case State::kFinalClaim: {
+        const bool final_pass = state_ == State::kFinalClaim;
+        std::size_t n = 0;
+        int* span = w_->ring.TryClaimPop(batch_, &n);
+        if (span != nullptr) {
+          // Observing the span IS the consume: a double-handout of held
+          // slots shows up as a FIFO/double-consume oracle failure.
+          w_->popped.insert(w_->popped.end(), span, span + n);
+          pending_ += n;
+          state_ = State::kMaybeRelease;
+        } else {
+          state_ = final_pass ? State::kFinalRelease : State::kCheckClosed;
+        }
+        return;
+      }
+      case State::kMaybeRelease:
+        // Deferred-release model: slots go back only once a "checkpoint"
+        // (threshold) covers them — claims outlive batches meanwhile.
+        if (pending_ >= release_threshold_) {
+          w_->ring.ReleasePop(pending_);
+          pending_ = 0;
+        }
+        state_ = State::kClaim;
+        return;
+      case State::kCheckClosed:
+        state_ = w_->ring.closed() ? State::kFinalClaim : State::kSnapshotEvent;
+        return;
+      case State::kSnapshotEvent:
+        event_snapshot_ = w_->ring.tail_event_word();
+        state_ = State::kRecheck;
+        return;
+      case State::kRecheck:
+        // WaitForData under deferred releases parks on "no unclaimed data"
+        // (tail != claim), not occupancy — held claims keep size() > 0
+        // forever, which would otherwise spin or park on a stale predicate.
+        if (w_->ring.unconsumed() != 0 || w_->ring.closed()) {
+          state_ = State::kClaim;
+        } else {
+          state_ = State::kParked;
+        }
+        return;
+      case State::kParked:
+        state_ = State::kClaim;
+        return;
+      case State::kFinalRelease:
+        if (pending_ > 0) {
+          w_->ring.ReleasePop(pending_);
+          pending_ = 0;
+        }
+        state_ = State::kDone;
+        return;
+      case State::kDone:
+        return;
+    }
+  }
+  bool Done() const override { return state_ == State::kDone; }
+  bool Parked() const override {
+    return state_ == State::kParked &&
+           w_->ring.tail_event_word() == event_snapshot_;
+  }
+
+ private:
+  enum class State {
+    kClaim,
+    kMaybeRelease,
+    kCheckClosed,
+    kSnapshotEvent,
+    kRecheck,
+    kParked,
+    kFinalClaim,
+    kFinalRelease,
+    kDone,
+  };
+  RingWorld* w_;
+  const std::size_t batch_;
+  const std::size_t release_threshold_;
+  State state_ = State::kClaim;
+  std::size_t pending_ = 0;
+  uint32_t event_snapshot_ = 0;
+};
+
+/// Oracles for the claiming consumer: conservation is stated against the
+/// claim cursor (popped + unconsumed == accepted) because held claims are
+/// both "popped" (observed) and still occupying ring slots; at termination
+/// everything must also be *released* (head caught up with claim).
+void WireClaimOracles(OwnedWorld* ow) {
+  RingWorld* s = ow->state.get();
+  ow->world.check_step = [s](const auto& fail) {
+    if (s->popped.size() > static_cast<std::size_t>(s->accepted)) {
+      fail("double-consume: claimed more than accepted");
+      return;
+    }
+    for (std::size_t i = 0; i < s->popped.size(); ++i) {
+      if (s->popped[i] != static_cast<int>(i)) {
+        fail("FIFO violation at index " + std::to_string(i) + ": got " +
+             std::to_string(s->popped[i]));
+        return;
+      }
+    }
+    if (s->popped.size() + s->ring.unconsumed() !=
+        static_cast<std::size_t>(s->accepted)) {
+      fail("claim conservation violated mid-run: accepted=" +
+           std::to_string(s->accepted) + " claimed=" +
+           std::to_string(s->popped.size()) + " unconsumed=" +
+           std::to_string(s->ring.unconsumed()));
+    }
+  };
+  ow->world.check_final = [s](const auto& fail) {
+    if (s->popped.size() != static_cast<std::size_t>(s->accepted) ||
+        s->ring.unconsumed() != 0 || s->ring.unreleased() != 0 ||
+        !s->ring.empty()) {
+      fail("held claim stranded elements at close: accepted=" +
+           std::to_string(s->accepted) + " claimed=" +
+           std::to_string(s->popped.size()) + " unreleased=" +
+           std::to_string(s->ring.unreleased()));
+    }
+  };
+  for (auto& t : ow->threads) ow->world.threads.push_back(t.get());
+}
+
+/// Producer pushes N then closes while the consumer may be holding an
+/// unreleased claimed span (threshold 3 with batch 2 guarantees held spans
+/// at most steps). Every interleaving must drain exactly once.
+TEST(SpscRingModel, CloseWithHeldClaimDrainsOnce) {
+  const ModelConfig cfg = ConfigFromEnv();
+  ScheduleExplorer explorer(cfg.explore);
+  const ExploreResult r = explorer.Explore([&] {
+    auto ow = std::make_unique<OwnedWorld>();
+    // Capacity 4: roomy enough that close can land mid-hold, small enough
+    // to keep the space exhaustive.
+    ow->state = std::make_unique<RingWorld>(4);
+    ow->threads.push_back(std::make_unique<ProducerThread>(
+        ow->state.get(), cfg.ops, /*close_when_done=*/true));
+    ow->threads.push_back(std::make_unique<ClaimingConsumerThread>(
+        ow->state.get(), /*batch=*/2, /*release_threshold=*/3));
+    WireClaimOracles(ow.get());
+    return ow;
+  });
+  ReportAndExpectExhausted(r, "CloseWithHeldClaimDrainsOnce");
+}
+
+// ---------------------------------------------------------------------------
 // Explorer self-tests: prove the checker can actually fail.
 // ---------------------------------------------------------------------------
 

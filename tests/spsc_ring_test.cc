@@ -101,6 +101,101 @@ TEST(SpscRingTest, TwoThreadStressKeepsOrder) {
   producer.join();
 }
 
+// Two sequential TryClaimPop calls without an intervening ReleasePop must
+// return *disjoint* spans. Before the claim cursor existed, both claims
+// were computed from head_ and returned the same elements — a consumer
+// deferring releases would aggregate every batch twice.
+TEST(SpscRingTest, SequentialClaimsAreDisjoint) {
+  runtime::SpscRing<int> ring(16);
+  std::vector<int> src(8);
+  std::iota(src.begin(), src.end(), 0);
+  ASSERT_EQ(ring.try_push_n(src.data(), src.size()), src.size());
+  std::size_t n1 = 0, n2 = 0;
+  int* a = ring.TryClaimPop(4, &n1);
+  int* b = ring.TryClaimPop(4, &n2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(n1, 4u);
+  ASSERT_EQ(n2, 4u);
+  EXPECT_EQ(b, a + 4);  // second claim starts where the first ended
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 4 + i);
+  }
+  EXPECT_EQ(ring.unconsumed(), 0u);  // everything claimed
+  EXPECT_EQ(ring.unreleased(), 8u);  // nothing released
+  ring.ReleasePop(8);
+  EXPECT_EQ(ring.unreleased(), 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+// Regression (close() vs claim-range): a consumer holding an unreleased
+// claimed span when the producer closes must still observe the span's
+// elements exactly once, and the post-close drain must hand out only the
+// *remaining* elements.
+TEST(SpscRingTest, CloseWithUnreleasedClaimDrainsExactlyOnce) {
+  runtime::SpscRing<int> ring(16);
+  std::vector<int> src(10);
+  std::iota(src.begin(), src.end(), 0);
+  ASSERT_EQ(ring.try_push_n(src.data(), src.size()), src.size());
+
+  // Claim (but do not release) the first batch, as a supervised worker
+  // deferring releases to its next checkpoint would.
+  std::size_t n1 = 0;
+  int* held = ring.TryClaimPop(6, &n1);
+  ASSERT_NE(held, nullptr);
+  ASSERT_EQ(n1, 6u);
+
+  ring.close();
+
+  // The blocking claim must hand out the remaining 4 elements — not the
+  // held span again, and not the shutdown signal while data remains.
+  std::size_t n2 = 0;
+  int* rest = ring.ClaimPop(16, &n2);
+  ASSERT_NE(rest, nullptr);
+  ASSERT_EQ(n2, 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rest[i], 6 + i);
+
+  // Both spans released (out of claim order is fine — releases are a
+  // single cursor): only now is the ring drained and the shutdown visible.
+  ring.ReleasePop(n1 + n2);
+  std::size_t n3 = ~std::size_t{0};
+  EXPECT_EQ(ring.ClaimPop(16, &n3), nullptr);
+  EXPECT_EQ(n3, 0u);
+}
+
+// ResetClaims rewinds the claim cursor to the release cursor, making the
+// whole unreleased span claimable again in order — the crash-recovery
+// replay primitive.
+TEST(SpscRingTest, ResetClaimsReplaysUnreleasedSpan) {
+  runtime::SpscRing<int> ring(16);
+  std::vector<int> src(12);
+  std::iota(src.begin(), src.end(), 0);
+  ASSERT_EQ(ring.try_push_n(src.data(), src.size()), src.size());
+
+  // Drain-and-release the first 4 (they are "checkpointed"), then claim
+  // 4 more without releasing (the in-flight batch a crash abandons).
+  std::size_t n = 0;
+  ASSERT_NE(ring.TryClaimPop(4, &n), nullptr);
+  ASSERT_EQ(n, 4u);
+  ring.ReleasePop(4);
+  ASSERT_NE(ring.TryClaimPop(4, &n), nullptr);
+  ASSERT_EQ(n, 4u);
+  EXPECT_EQ(ring.unreleased(), 4u);
+  EXPECT_EQ(ring.unconsumed(), 4u);
+
+  ring.ResetClaims();  // "crash": abandon the claimed batch
+
+  // Replay: the abandoned batch comes back first, in the original order,
+  // followed by the never-claimed suffix.
+  EXPECT_EQ(ring.unreleased(), 0u);
+  EXPECT_EQ(ring.unconsumed(), 8u);
+  int out[16];
+  EXPECT_EQ(ring.try_pop_n(out, 16), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], 4 + i);
+  EXPECT_TRUE(ring.empty());
+}
+
 // close() must wake a consumer parked on an empty ring (the shutdown path
 // waits on the eventcount, not on the cursors, precisely for this).
 TEST(SpscRingTest, CloseWakesParkedConsumer) {

@@ -27,6 +27,19 @@ Check mode:
   algorithms with real bulk fast paths and leaves the per-tuple-by-design
   ones (DABA) ungated. Exits non-zero listing every violation.
 
+Baseline-ratio mode:
+    python3 tools/bench_summary.py --check exp5_super.json \
+        --baseline exp5_fast.json --max-regression 0.03
+
+  Compares each row of --check against the row with the same (bench,
+  config) key in --baseline and fails if tuples_per_sec dropped by more
+  than --max-regression (fractional). CI uses this to prove the
+  supervised runtime (checkpointing on, fault injection compiled out)
+  costs < 3% against the same binary's unsupervised run on the same
+  box — a paired same-run comparison, so it is robust to machine-speed
+  variation in a way absolute thresholds are not. Rows missing from the
+  baseline are reported but do not fail the gate.
+
 Stdlib only; no third-party dependencies.
 """
 
@@ -77,6 +90,55 @@ def merge(args):
         f.write("\n")
     print(f"wrote {path}: {len(rows)} rows"
           + (f", {len(gbench)} google-benchmark reports" if gbench else ""))
+    return 0
+
+
+def row_key(row, ignore=()):
+    """Identity of a bench row for baseline pairing: bench + config minus
+    the knobs that deliberately differ between the paired runs (e.g.
+    checkpoint_interval when gating supervised vs unsupervised)."""
+    config = row.get("config", {})
+    items = tuple(sorted((k, v) for k, v in config.items()
+                         if k not in ignore))
+    return (row.get("bench", ""), items)
+
+
+def check_baseline(args):
+    ignore = tuple(k for k in args.ignore_config_keys.split(",") if k)
+    rows, _ = split_inputs([args.check])
+    base_rows, _ = split_inputs([args.baseline])
+    baseline = {row_key(r, ignore): r["tuples_per_sec"] for r in base_rows}
+
+    compared, failures = 0, []
+    for row in rows:
+        key = row_key(row, ignore)
+        if key not in baseline:
+            print(f"note: no baseline row for {key[0]} {dict(key[1])}")
+            continue
+        compared += 1
+        base = baseline[key]
+        cur = row["tuples_per_sec"]
+        floor = (1.0 - args.max_regression) * base
+        ratio = cur / base if base else float("inf")
+        tag = "ok" if cur >= floor else "REGRESSED"
+        print(f"{tag}: {key[0]} {dict(key[1])}: {cur:.0f} vs baseline "
+              f"{base:.0f} tuples/s ({ratio:.3f}x)")
+        if cur < floor:
+            failures.append(
+                f"{key[0]} {dict(key[1])}: {cur:.0f} < "
+                f"{1.0 - args.max_regression:g}x baseline {base:.0f}")
+
+    if compared == 0:
+        print("baseline check: no comparable rows", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"baseline regression check FAILED "
+              f"(> {args.max_regression:.0%} drop):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"baseline regression check passed ({compared} rows within "
+          f"{args.max_regression:.0%})")
     return 0
 
 
@@ -133,8 +195,21 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=1.0)
     parser.add_argument("--algos", default="",
                         help="comma-separated algo filter for --check")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="with --check: paired baseline result file; "
+                             "gate per-row tuples_per_sec ratio instead of "
+                             "batch speedup")
+    parser.add_argument("--max-regression", type=float, default=0.03,
+                        help="with --baseline: max fractional drop vs the "
+                             "baseline row (default 0.03 = 3%%)")
+    parser.add_argument("--ignore-config-keys", default="",
+                        help="with --baseline: comma-separated config keys "
+                             "excluded from row pairing (knobs that differ "
+                             "between the paired runs by design)")
     args = parser.parse_args()
 
+    if args.check and args.baseline:
+        return check_baseline(args)
     if args.check:
         return check(args)
     if not args.name:

@@ -13,10 +13,21 @@
 //        --tuples=T (default 500000) --ring=R (default 1024)
 //        --batch=B (default 64)      --epochs=E snapshots (default 8)
 //        --drop (use kDropNewest backpressure)  --seed=S
+//        --policy=P (block | drop-newest | block-with-deadline |
+//                    shed-oldest | error; overrides --drop)
+//        --checkpoint-interval=C (default 0; C > 0 runs supervised with
+//                                 periodic worker checkpoints)
+//        --deadline-us=D (block-with-deadline budget, default 5000)
+//
+// Supervised runs additionally assert the fault-tolerant conservation
+// identity: admitted == processed + in_flight at every epoch cut, and the
+// final snapshot reports worker_restarts / checkpoints / replayed so the
+// JSONL stream doubles as a smoke test for the recovery telemetry.
 
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -34,6 +45,18 @@ using Op = ops::ThreadCountingOp<ops::Sum>;
 using Agg = core::SlickDequeInv<Op>;
 using Engine = runtime::ParallelShardedEngine<Agg>;
 
+runtime::Backpressure ParsePolicy(const std::string& name) {
+  for (const auto policy :
+       {runtime::Backpressure::kBlock, runtime::Backpressure::kDropNewest,
+        runtime::Backpressure::kBlockWithDeadline,
+        runtime::Backpressure::kShedOldest, runtime::Backpressure::kError}) {
+    if (name == runtime::BackpressureName(policy)) return policy;
+  }
+  SLICK_CHECK(false, "unknown --policy (want block | drop-newest | "
+                     "block-with-deadline | shed-oldest | error)");
+  return runtime::Backpressure::kBlock;
+}
+
 int Run(const bench::Flags& flags) {
   const std::size_t window = flags.GetU64("window", 8192);
   const std::size_t shards = flags.GetU64("shards", 4);
@@ -45,6 +68,11 @@ int Run(const bench::Flags& flags) {
   opt.backpressure = flags.GetU64("drop", 0) != 0
                          ? runtime::Backpressure::kDropNewest
                          : runtime::Backpressure::kBlock;
+  const std::string policy = flags.GetString("policy", "");
+  if (!policy.empty()) opt.backpressure = ParsePolicy(policy);
+  opt.checkpoint_interval = flags.GetU64("checkpoint-interval", 0);
+  opt.deadline_ns = flags.GetU64("deadline-us", 5000) * 1000;
+  const bool supervised = opt.checkpoint_interval > 0;
 
   SLICK_CHECK(window % shards == 0, "window must be a multiple of shards");
   Engine engine(window, shards, opt);
@@ -62,8 +90,17 @@ int Run(const bench::Flags& flags) {
     }
     engine.flush();
     double answer = 0.0;
-    if (engine.ready()) answer = engine.query();  // quiescent epoch cut
+    const bool quiescent = engine.ready();
+    if (quiescent) answer = engine.query();  // quiescent epoch cut
     const telemetry::RuntimeSnapshot snap = engine.snapshot();
+    if (quiescent) {
+      // The recovery-aware conservation identity must hold exactly at a
+      // quiescent cut, supervised or not — replayed tuples never inflate
+      // tuples_out, drops never vanish.
+      SLICK_CHECK(snap.total_in() ==
+                      snap.total_out() + snap.total_in_flight(),
+                  "conservation violated at epoch cut");
+    }
     std::printf("{\"epoch\":%" PRIu64 ",\"fed\":%" PRIu64
                 ",\"answer\":%.3f,\"runtime\":%s}\n",
                 e, fed, answer, telemetry::ToJson(snap).c_str());
@@ -81,6 +118,17 @@ int Run(const bench::Flags& flags) {
                       final_snap.total_staged() ==
                   fed,
               "admitted + dropped + staged != fed");
+  if (supervised) {
+    // Each shard saw tuples/shards >> interval tuples, so every worker
+    // must have committed at least one checkpoint; with no injected
+    // faults nothing may have restarted or replayed.
+    uint64_t checkpoints = 0;
+    for (const auto& s : final_snap.shards) checkpoints += s.checkpoints;
+    SLICK_CHECK(checkpoints > 0, "supervised run committed no checkpoints");
+    SLICK_CHECK(final_snap.total_restarts() == 0 &&
+                    final_snap.total_replayed() == 0,
+                "fault-free run reported restarts or replay");
+  }
   std::printf("{\"final\":%s}\n", telemetry::ToJson(final_snap).c_str());
   return 0;
 }
