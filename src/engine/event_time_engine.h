@@ -1,0 +1,215 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "core/sliding_aggregator.h"
+#include "engine/time_acq_engine.h"
+#include "ops/traits.h"
+#include "telemetry/sink.h"
+#include "util/check.h"
+#include "util/serde.h"
+#include "window/aggregator.h"
+
+namespace slick::engine {
+
+/// Event-time multi-ACQ processing for OUT-OF-ORDER streams (DESIGN.md
+/// §13). Where TimeAcqEngine requires non-decreasing timestamps and
+/// reduces time windows to the count-based pane machinery, this engine
+/// ingests tuples in any order into a window::OooTree and drives answer
+/// emission from a WATERMARK:
+///
+///   wm = (max event time observed) − (allowed lateness L)
+///
+/// A query with slide s answers at every boundary t = m·s (m >= 1) once
+/// t <= wm, over the window [t − range, t) — the same half-open boundary
+/// convention as TimeAcqEngine, so on an in-order stream with L = 0 the
+/// two engines emit identical answer sequences (checked differentially in
+/// tests/event_time_test.cc). Boundaries are emitted in ascending time
+/// order; queries due at the same boundary emit in query-index order.
+/// Empty windows answer ⊕'s identity, like the pane engine's gap panes.
+///
+/// Lateness policy (no retractions): a tuple behind the watermark is still
+/// ADMITTED as long as its timestamp can appear in a not-yet-emitted
+/// window — i.e. ts >= the eviction floor, the minimum over queries of
+/// (next boundary − range). Already-emitted answers are never revised.
+/// Below the floor the tuple is dropped and counted (late_dropped()).
+/// Choose L at least the maximum expected out-of-order displacement to
+/// drop nothing. (With range < slide a tuple in the dead gap between
+/// windows is dropped too — no window, past or future, covers it.)
+///
+/// Eviction is watermark-driven and batched: after each emission round the
+/// floor advances and one Tree::BulkEvict(floor) chops every expired entry,
+/// so steady watermark progress costs amortized O(1) per evicted entry.
+///
+/// Telemetry maps the pane hooks onto boundaries: OnPaneClose(empty, b)
+/// fires once per emitted boundary with the boundary time as the
+/// watermark gauge, so EngineCounters.watermark reports real event-time
+/// progress and `max_ts − watermark` is the true event-time lag.
+///
+/// Checkpointing: SaveState/LoadState persist the tree plus the emission
+/// cursors, and the tree's serialized form is a pure function of content,
+/// so supervised recovery replay converges to byte-identical checkpoints
+/// (use util::SaveStateFramed / LoadStateFramed for CRC framing).
+template <ops::AggregateOp RawOp,
+          typename Tree = core::OooAggregatorFor<RawOp>,
+          typename Tel = telemetry::NullEngineSink>
+class EventTimeAcqEngine {
+  static_assert(window::OutOfOrderAggregator<Tree>,
+                "Tree must be a timestamped out-of-order aggregator");
+
+ public:
+  using input_type = typename RawOp::input_type;
+  using value_type = typename RawOp::value_type;
+  using result_type = typename RawOp::result_type;
+
+  static constexpr uint32_t kTag = util::MakeTag('E', 'T', 'A', '1');
+
+  explicit EventTimeAcqEngine(std::vector<TimeQuerySpec> queries,
+                              uint64_t lateness = 0)
+      : queries_(std::move(queries)), lateness_(lateness) {
+    SLICK_CHECK(!queries_.empty(), "need at least one query");
+    next_.reserve(queries_.size());
+    for (const TimeQuerySpec& q : queries_) {
+      SLICK_CHECK(q.range >= 1 && q.slide >= 1, "range/slide must be >= 1");
+      next_.push_back(q.slide);
+    }
+  }
+
+  /// Feeds one element observed at event time `ts` — in any order. Emits
+  /// every answer that became due, via sink(query_index, result). Returns
+  /// false when the element was dropped as too late to matter (no current
+  /// or future window can cover ts).
+  template <typename Sink>
+  bool Observe(uint64_t ts, const input_type& x, Sink&& sink) {
+    tel_.OnTuple();
+    if (ts < evict_floor_) {
+      ++late_dropped_;
+      return false;
+    }
+    tree_.Insert(ts, RawOp::lift(x));
+    if (ts > max_ts_) max_ts_ = ts;
+    EmitDue(sink);
+    return true;
+  }
+
+  /// Advances the watermark clock without an element (punctuation / source
+  /// heartbeat), flushing every answer due up to wm = ts − lateness.
+  template <typename Sink>
+  void AdvanceTo(uint64_t ts, Sink&& sink) {
+    if (ts > max_ts_) max_ts_ = ts;
+    EmitDue(sink);
+  }
+
+  /// Current watermark: max observed event time minus allowed lateness.
+  uint64_t watermark() const {
+    return max_ts_ > lateness_ ? max_ts_ - lateness_ : 0;
+  }
+
+  uint64_t lateness() const { return lateness_; }
+  uint64_t late_dropped() const { return late_dropped_; }
+  std::size_t size() const { return tree_.size(); }
+  const std::vector<TimeQuerySpec>& queries() const { return queries_; }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + tree_.memory_bytes() +
+           queries_.capacity() * sizeof(TimeQuerySpec) +
+           next_.capacity() * sizeof(uint64_t);
+  }
+
+  const Tel& telemetry() const { return tel_; }
+  Tel& telemetry() { return tel_; }
+
+  // --- checkpoint (util::Checkpointable) ---------------------------------
+
+  void SaveState(std::ostream& os) const {
+    util::WriteTag(os, kTag, 1);
+    util::WritePod(os, max_ts_);
+    util::WritePod(os, evict_floor_);
+    util::WritePod(os, late_dropped_);
+    util::WritePodVec(os, next_);
+    tree_.SaveState(os);
+  }
+
+  /// Restores a checkpoint taken by an engine with the SAME query set and
+  /// lateness (those are construction parameters, not state).
+  bool LoadState(std::istream& is) {
+    if (!util::ExpectTag(is, kTag, 1)) return false;
+    uint64_t max_ts = 0, floor = 0, dropped = 0;
+    std::vector<uint64_t> next;
+    if (!util::ReadPod(is, &max_ts) || !util::ReadPod(is, &floor) ||
+        !util::ReadPod(is, &dropped) || !util::ReadPodVec(is, &next)) {
+      return false;
+    }
+    if (next.size() != queries_.size()) return false;
+    if (!tree_.LoadState(is)) return false;
+    max_ts_ = max_ts;
+    evict_floor_ = floor;
+    late_dropped_ = dropped;
+    next_ = std::move(next);
+    return true;
+  }
+
+ private:
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  /// Emits every boundary that reached the watermark, ascending, then
+  /// advances the eviction floor and bulk-evicts expired entries.
+  template <typename Sink>
+  void EmitDue(Sink& sink) {
+    const uint64_t wm = watermark();
+    for (;;) {
+      uint64_t best = kNever;
+      for (const uint64_t b : next_) {
+        if (b <= wm && b < best) best = b;
+      }
+      if (best == kNever) break;
+      bool any = false;
+      for (std::size_t q = 0; q < queries_.size(); ++q) {
+        if (next_[q] != best) continue;
+        const uint64_t lo =
+            best > queries_[q].range ? best - queries_[q].range : 0;
+        value_type acc = RawOp::identity();
+        // Window [best − range, best): inclusive time range [lo, best − 1].
+        if (tree_.RangeAggregate(lo, best - 1, &acc)) any = true;
+        tel_.OnAnswer();
+        sink(static_cast<uint32_t>(q), RawOp::lower(acc));
+        next_[q] += queries_[q].slide;
+      }
+      tel_.OnPaneClose(!any, best);
+    }
+    uint64_t floor = kNever;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      floor = std::min(floor, next_[q] > queries_[q].range
+                                  ? next_[q] - queries_[q].range
+                                  : 0);
+    }
+    if (floor != kNever && floor > evict_floor_) {
+      evict_floor_ = floor;
+      tree_.BulkEvict(evict_floor_);
+    }
+  }
+
+  std::vector<TimeQuerySpec> queries_;
+  uint64_t lateness_;
+  Tree tree_;
+  [[no_unique_address]] Tel tel_;
+  std::vector<uint64_t> next_;  ///< per-query next answer boundary
+  uint64_t max_ts_ = 0;
+  uint64_t evict_floor_ = 0;  ///< entries below this can never matter again
+  uint64_t late_dropped_ = 0;
+};
+
+/// The facade-selected event-time engine for RawOp: the OoO finger-B-tree
+/// (one algorithm for every op class — no inverse needed). Optionally pass
+/// a telemetry sink as the second argument.
+template <ops::AggregateOp RawOp, typename Tel = telemetry::NullEngineSink>
+using EventEngineFor =
+    EventTimeAcqEngine<RawOp, core::OooAggregatorFor<RawOp>, Tel>;
+
+}  // namespace slick::engine

@@ -2,11 +2,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <unordered_map>
 #include <utility>
 
+#include "ops/traits.h"
 #include "util/check.h"
 #include "window/aggregator.h"
+#include "window/ooo_tree.h"
 
 namespace slick::engine {
 
@@ -71,6 +74,115 @@ class KeyedWindows {
  private:
   std::size_t window_;
   std::unordered_map<uint64_t, Agg> windows_;
+};
+
+/// Group-by-key EVENT-TIME sliding aggregation (DESIGN.md §13): one
+/// out-of-order tree per key, one shared watermark derived from the
+/// maximum event time seen across ALL keys minus the allowed lateness —
+/// the standard DSMS convention, so a quiet key's window still slides
+/// forward as the rest of the stream advances. Each key's current window
+/// is the time range (wm − range, wm] of that key's sub-stream (closed at
+/// the top: the tuple that carries the watermark is included, matching
+/// core::TimeWindow), and tuples may arrive in any order within the
+/// lateness bound.
+///
+/// Unlike the count-based KeyedWindows, queries here do not see tuples
+/// AHEAD of the watermark: a fresh tuple enters the answer once the
+/// watermark catches up to its timestamp. Call EvictExpired() periodically
+/// (e.g. per ingest batch) to bulk-drop entries behind the window; keys
+/// whose trees empty out are reclaimed.
+template <ops::AggregateOp Op, typename Agg = window::OooTree<Op>>
+class KeyedEventWindows {
+  static_assert(window::OutOfOrderAggregator<Agg>,
+                "Agg must be a timestamped out-of-order aggregator");
+
+ public:
+  using op_type = Op;
+  using value_type = typename Agg::value_type;
+  using result_type = typename Agg::result_type;
+
+  explicit KeyedEventWindows(uint64_t range, uint64_t lateness = 0)
+      : range_(range), lateness_(lateness) {
+    SLICK_CHECK(range >= 1, "range must cover at least one time unit");
+  }
+
+  /// Feeds one LIFTED element of `key`'s sub-stream at event time ts (any
+  /// order). Returns false — and drops the element — when ts already lies
+  /// behind the window at the current watermark: it could never appear in
+  /// this or any future answer.
+  bool Push(uint64_t key, uint64_t ts, value_type v) {
+    if (ts < WindowLow()) {
+      ++late_dropped_;
+      return false;
+    }
+    auto [it, inserted] = windows_.try_emplace(key);
+    it->second.Insert(ts, std::move(v));
+    if (ts > max_ts_) max_ts_ = ts;
+    return true;
+  }
+
+  /// `key`'s aggregate over (watermark − range, watermark]; dies if the
+  /// key was never seen (or has been reclaimed after emptying out).
+  result_type Query(uint64_t key) {
+    const auto it = windows_.find(key);
+    SLICK_CHECK(it != windows_.end(), "unknown key");
+    return it->second.RangeQuery(WindowLow(), watermark());
+  }
+
+  bool HasKey(uint64_t key) const { return windows_.contains(key); }
+
+  /// Drops a key's window outright (e.g. a delisted symbol).
+  bool Evict(uint64_t key) { return windows_.erase(key) > 0; }
+
+  /// Bulk-drops every entry that slid behind the current window and
+  /// reclaims emptied keys. Returns the number of entries removed.
+  std::size_t EvictExpired() {
+    const uint64_t lo = WindowLow();
+    std::size_t evicted = 0;
+    for (auto it = windows_.begin(); it != windows_.end();) {
+      evicted += it->second.BulkEvict(lo);
+      it = it->second.empty() ? windows_.erase(it) : std::next(it);
+    }
+    return evicted;
+  }
+
+  /// Visits every (key, answer) pair at the current watermark.
+  template <typename F>
+  void ForEach(F&& f) {
+    const uint64_t lo = WindowLow();
+    const uint64_t wm = watermark();
+    for (auto& [key, agg] : windows_) f(key, agg.RangeQuery(lo, wm));
+  }
+
+  uint64_t watermark() const {
+    return max_ts_ > lateness_ ? max_ts_ - lateness_ : 0;
+  }
+  uint64_t range() const { return range_; }
+  uint64_t lateness() const { return lateness_; }
+  uint64_t late_dropped() const { return late_dropped_; }
+  std::size_t key_count() const { return windows_.size(); }
+
+  std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const auto& [key, agg] : windows_) {
+      bytes += sizeof(key) + agg.memory_bytes();
+    }
+    return bytes;
+  }
+
+ private:
+  /// Oldest event time the current window covers: wm − range + 1
+  /// (saturating), since the window is (wm − range, wm].
+  uint64_t WindowLow() const {
+    const uint64_t wm = watermark();
+    return wm >= range_ ? wm - range_ + 1 : 0;
+  }
+
+  uint64_t range_;
+  uint64_t lateness_;
+  std::unordered_map<uint64_t, Agg> windows_;
+  uint64_t max_ts_ = 0;
+  uint64_t late_dropped_ = 0;
 };
 
 }  // namespace slick::engine

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -93,12 +94,35 @@ inline const char* BackpressureName(Backpressure b) {
 /// Shutdown — the destructor (or stop()) closes every ring; workers drain
 /// what was already routed, publish their final counts, and join. No
 /// element that push() admitted is ever lost.
-template <window::FixedWindowAggregator Agg>
+/// Event-time extension (DESIGN.md §13): instantiating the engine over an
+/// OutOfOrderAggregator (window::OooTree) switches it into EVENT-TIME mode
+/// at compile time. `global_window` is then a TIME RANGE, not a tuple
+/// count; push(ts, v) routes timestamped tuples (any order) round-robin,
+/// ring slots carry window::Timed pairs, and each worker advances a
+/// per-shard low-watermark gauge as it drains. query() answers the window
+/// (wm − range, wm] where wm is the GLOBAL watermark — the minimum shard
+/// watermark at the quiescent cut — and drives watermark-driven BulkEvict
+/// on every shard tree while it is parked. Per-shard answers combine by ⊕
+/// (commutative ops for shards > 1, as in count mode: round-robin striping
+/// interleaves the sub-streams). There is no warm-up gate: an event-time
+/// window is conceptually always defined, empty ranges answer ⊕'s
+/// identity. Supervision/recovery works unchanged — the tree checkpoints
+/// through the same framed serde, and a recovered shard's watermark is
+/// rewound to its restored tree and re-raised by the replay.
+template <typename Agg>
+  requires window::FixedWindowAggregator<Agg> ||
+           window::OutOfOrderAggregator<Agg>
 class ParallelShardedEngine {
  public:
   using op_type = typename Agg::op_type;
   using value_type = typename Agg::value_type;
   using result_type = typename Agg::result_type;
+
+  /// True when the engine runs in event-time mode (see class comment).
+  static constexpr bool kEventTime = ShardWorker<Agg>::kEventTime;
+
+  /// What one ring/staging slot carries (Timed pairs in event-time mode).
+  using slot_type = typename ShardWorker<Agg>::slot_type;
 
   struct Options {
     std::size_t ring_capacity = 1 << 12;  ///< Per-shard ring slots (bounded).
@@ -127,9 +151,16 @@ class ParallelShardedEngine {
                         Options options = {})
       : global_window_(global_window), options_(options) {
     SLICK_CHECK(shards >= 1, "need at least one shard");
-    SLICK_CHECK(global_window % shards == 0,
-                "global window must be a multiple of the shard count");
-    SLICK_CHECK(global_window / shards >= 1, "shard windows must be nonempty");
+    if constexpr (kEventTime) {
+      // `global_window` is a time range; every shard sees the full range
+      // over its own sub-stream, so no divisibility constraint applies.
+      SLICK_CHECK(global_window >= 1, "time range must be >= 1");
+    } else {
+      SLICK_CHECK(global_window % shards == 0,
+                  "global window must be a multiple of the shard count");
+      SLICK_CHECK(global_window / shards >= 1,
+                  "shard windows must be nonempty");
+    }
     SLICK_CHECK(shards == 1 || op_type::kCommutative,
                 "multi-shard aggregation needs a commutative op "
                 "(the N-way combine reorders shard answers)");
@@ -143,11 +174,35 @@ class ParallelShardedEngine {
     pushed_.assign(shards, 0);
     dropped_.assign(shards, 0);
     stall_latched_.assign(shards, 0);
+    const std::size_t shard_window =
+        kEventTime ? global_window : global_window / shards;
     for (std::size_t i = 0; i < shards; ++i) {
       workers_.push_back(std::make_unique<ShardWorker<Agg>>(
-          global_window / shards, options_.ring_capacity, batch,
+          shard_window, options_.ring_capacity, batch,
           options_.checkpoint_interval, i));
       staging_[i].reserve(batch);
+    }
+    if constexpr (kEventTime) {
+      // Worker-side lazy eviction (DESIGN.md §13): each worker polls this
+      // probe once per drained batch and BulkEvicts its own tree below the
+      // returned floor, spreading eviction work across shard threads as
+      // the stream runs instead of serializing all of it on the
+      // coordinator at query time. The floor uses the RAW minimum over
+      // every shard's watermark gauge — no pushed_[] filter, since
+      // pushed_ is coordinator-owned — so a shard that has not drained
+      // yet pins the floor at 0 (no eviction). That raw minimum can only
+      // lag GlobalWatermark(), hence floor <= the quiescent query's `lo`
+      // and lazy eviction only ever removes entries the query's own
+      // BulkEvict(lo) would discard.
+      for (auto& w : workers_) {
+        w->SetEvictionFloorProbe([this] {
+          uint64_t wm = std::numeric_limits<uint64_t>::max();
+          for (const auto& peer : workers_) {
+            wm = std::min(wm, peer->counters().watermark.Get());
+          }
+          return wm >= global_window_ ? wm - global_window_ + 1 : 0;
+        });
+      }
     }
     for (auto& w : workers_) w->Start();
   }
@@ -161,17 +216,41 @@ class ParallelShardedEngine {
   /// RoundRobinSharded::slide). Elements are staged per shard and handed to
   /// the ring a batch at a time; call flush() (or query()) to force out a
   /// partial batch. Single-threaded producer: call from one thread only.
-  void push(value_type v) {
+  void push(value_type v)
+    requires(!kEventTime)
+  {
     SLICK_CHECK(!stopped_, "push after stop()");
-    std::vector<value_type>& stage = staging_[next_];
+    std::vector<slot_type>& stage = staging_[next_];
     stage.push_back(std::move(v));
     if (stage.size() >= BatchSize()) FlushShard(next_);
     next_ = next_ + 1 == workers_.size() ? 0 : next_ + 1;
   }
 
+  /// Event-time mode: routes one tuple observed at event time `ts` — in
+  /// any order — to its round-robin shard.
+  void push(uint64_t ts, value_type v)
+    requires kEventTime
+  {
+    SLICK_CHECK(!stopped_, "push after stop()");
+    if (ts > max_ts_routed_) max_ts_routed_ = ts;
+    std::vector<slot_type>& stage = staging_[next_];
+    stage.push_back(slot_type{ts, std::move(v)});
+    if (stage.size() >= BatchSize()) FlushShard(next_);
+    next_ = next_ + 1 == workers_.size() ? 0 : next_ + 1;
+  }
+
   /// Routes a contiguous batch.
-  void push_n(const value_type* src, std::size_t n) {
+  void push_n(const value_type* src, std::size_t n)
+    requires(!kEventTime)
+  {
     for (std::size_t i = 0; i < n; ++i) push(src[i]);
+  }
+
+  /// Event-time mode: routes a contiguous batch of timestamped tuples.
+  void push_n(const slot_type* src, std::size_t n)
+    requires kEventTime
+  {
+    for (std::size_t i = 0; i < n; ++i) push(src[i].t, src[i].v);
   }
 
   /// Forces every staged element into its shard ring (blocking or shedding
@@ -181,7 +260,10 @@ class ParallelShardedEngine {
   }
 
   /// True once every shard's window is full — the warm-up gate for query().
+  /// Event-time mode has no warm-up: the window is always defined (empty
+  /// time ranges answer ⊕'s identity), so ready() is always true.
   bool ready() const {
+    if constexpr (kEventTime) return true;
     const uint64_t shard_window = global_window_ / workers_.size();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       if (pushed_[i] + StagedCount(i) < shard_window) return false;
@@ -195,6 +277,7 @@ class ParallelShardedEngine {
   /// admitted suffix. Folds the shards' local answers directly (never
   /// starting from ⊕-identity, whose sentinel would pollute selective ops).
   result_type query() {
+    if constexpr (kEventTime) return EventQuery();
     SLICK_CHECK(ready(),
                 "query before the global window is warm "
                 "(every shard window must be full)");
@@ -228,6 +311,26 @@ class ParallelShardedEngine {
 
   std::size_t shard_count() const { return workers_.size(); }
   std::size_t window_size() const { return global_window_; }
+
+  /// Event-time mode: the global low watermark — the minimum over shards
+  /// (that ever received data) of the max event ts the shard has drained.
+  /// Exact at a quiescent cut (after query()/stop()); a conservative lower
+  /// bound while workers drain. An idle shard with old data holds this
+  /// back — see RUNBOOK.md's stuck-watermark triage.
+  uint64_t watermark() const
+    requires kEventTime
+  {
+    return GlobalWatermark();
+  }
+
+  /// Event-time mode: the newest event ts the router has admitted
+  /// (router-owned; exact from the router thread). watermark lag in event
+  /// time is `max_ts_routed() - watermark()`.
+  uint64_t max_ts_routed() const
+    requires kEventTime
+  {
+    return max_ts_routed_;
+  }
 
   /// The shard's aggregator — safe only at a quiescent point (after
   /// query()/stop(), before further push()).
@@ -288,6 +391,13 @@ class ParallelShardedEngine {
       // publish and the router's counter bump.
       s.watermark_lag =
           s.tuples_in > s.tuples_out ? s.tuples_in - s.tuples_out : 0;
+      if constexpr (kEventTime) {
+        // Re-express the lag in EVENT TIME: how far this shard's drained
+        // watermark trails the newest timestamp the router admitted.
+        s.watermark = c.watermark.Get();
+        s.watermark_lag =
+            max_ts_routed_ > s.watermark ? max_ts_routed_ - s.watermark : 0;
+      }
       s.combines = c.combines.Get();
       s.inverses = c.inverses.Get();
       s.worker_restarts = c.restarts.Get();
@@ -309,14 +419,55 @@ class ParallelShardedEngine {
     std::size_t bytes = sizeof(*this);
     for (const auto& w : workers_) {
       bytes += sizeof(*w) + w->aggregator().memory_bytes() +
-               w->ring().capacity() * sizeof(value_type);
+               w->ring().capacity() * sizeof(slot_type);
     }
-    for (const auto& s : staging_) bytes += s.capacity() * sizeof(value_type);
+    for (const auto& s : staging_) bytes += s.capacity() * sizeof(slot_type);
     return bytes;
   }
 
  private:
   bool Supervised() const { return options_.checkpoint_interval > 0; }
+
+  /// Event-time answer at the quiescent cut: window (wm − range, wm] over
+  /// the global watermark wm. While parked, also drives watermark-driven
+  /// bulk eviction on every shard tree, so the steady-state memory is
+  /// bounded by range + in-flight data regardless of stream length.
+  result_type EventQuery()
+    requires kEventTime
+  {
+    flush();
+    AwaitEpoch();
+    const uint64_t wm = GlobalWatermark();
+    const uint64_t lo = wm >= global_window_ ? wm - global_window_ + 1 : 0;
+    for (auto& w : workers_) w->aggregator().BulkEvict(lo);
+    bool have = false;
+    value_type acc = op_type::identity();
+    for (auto& w : workers_) {
+      value_type a = op_type::identity();
+      if (w->aggregator().RangeAggregate(lo, wm, &a)) {
+        acc = have ? op_type::combine(std::move(acc), std::move(a))
+                   : std::move(a);
+        have = true;
+      }
+    }
+    return op_type::lower(acc);
+  }
+
+  uint64_t GlobalWatermark() const
+    requires kEventTime
+  {
+    uint64_t wm = std::numeric_limits<uint64_t>::max();
+    bool any = false;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      // A shard that never received data holds no entries and cannot hold
+      // the watermark back; one that received data long ago legitimately
+      // does (RUNBOOK.md stuck-watermark triage).
+      if (pushed_[i] == 0) continue;
+      wm = std::min(wm, workers_[i]->counters().watermark.Get());
+      any = true;
+    }
+    return any ? wm : 0;
+  }
 
   std::size_t BatchSize() const {
     return options_.batch < 1 ? 1 : options_.batch;
@@ -356,7 +507,7 @@ class ParallelShardedEngine {
   /// Admits stage[from..) into the ring without ever parking: polls
   /// try_push_n, supervising between attempts, until done or (deadline_ns
   /// != 0) the deadline passes. Returns the count admitted.
-  std::size_t PollPush(SpscRing<value_type>& ring, const value_type* src,
+  std::size_t PollPush(SpscRing<slot_type>& ring, const slot_type* src,
                        std::size_t n, uint64_t deadline_ns) {
     const uint64_t t0 = deadline_ns != 0 ? util::MonotonicNanos() : 0;
     std::size_t done = 0;
@@ -373,9 +524,9 @@ class ParallelShardedEngine {
   }
 
   void FlushShard(std::size_t i) {
-    std::vector<value_type>& stage = staging_[i];
+    std::vector<slot_type>& stage = staging_[i];
     if (stage.empty()) return;
-    SpscRing<value_type>& ring = workers_[i]->ring();
+    SpscRing<slot_type>& ring = workers_[i]->ring();
     telemetry::ShardCounters& tel = workers_[i]->counters();
     std::size_t accepted = 0;
     switch (options_.backpressure) {
@@ -449,11 +600,12 @@ class ParallelShardedEngine {
   const std::size_t global_window_;
   const Options options_;
   std::vector<std::unique_ptr<ShardWorker<Agg>>> workers_;
-  std::vector<std::vector<value_type>> staging_;  // router-side batches
+  std::vector<std::vector<slot_type>> staging_;  // router-side batches
   std::vector<uint64_t> pushed_;   // admitted per shard (router-owned)
   std::vector<uint64_t> dropped_;  // shed per shard (router-owned)
   std::vector<uint8_t> stall_latched_;  // per-shard stall episode latch
   std::size_t next_ = 0;           // round-robin cursor
+  uint64_t max_ts_routed_ = 0;     // event mode: newest admitted event ts
   bool stopped_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "util/clock.h"
 #include "util/serde.h"
 #include "window/aggregator.h"
+#include "window/ooo_tree.h"
 
 namespace slick::runtime {
 
@@ -71,10 +73,31 @@ enum class KillPoint : uint32_t {
 ///  * A checkpoint that fails validation (torn/corrupt/alloc failure) is
 ///    discarded and counted; slots stay unreleased and the next batch
 ///    retries, trading ring backpressure for recoverability.
-template <window::FixedWindowAggregator Agg>
+/// Event-time extension (DESIGN.md §13): when Agg is an
+/// OutOfOrderAggregator (window::OooTree), the shard switches modes at
+/// compile time — ring slots become window::Timed<value_type> pairs, the
+/// drain feeds Agg::BulkInsert (timestamped, any order), and after every
+/// batch the worker advances its LOW WATERMARK gauge to the maximum event
+/// timestamp drained so far (counters().watermark). The coordinator reads
+/// the minimum across shards at quiescent points and drives BulkEvict with
+/// it; recovery resets the gauge to the restored tree's newest entry, and
+/// the replay re-raises it — so the published watermark never runs ahead
+/// of the durable state.
+template <typename Agg>
+  requires window::FixedWindowAggregator<Agg> ||
+           window::OutOfOrderAggregator<Agg>
 class ShardWorker {
  public:
   using value_type = typename Agg::value_type;
+
+  /// True when the shard runs in event-time mode (timestamped slots,
+  /// out-of-order tree, watermark tracking).
+  static constexpr bool kEventTime = window::OutOfOrderAggregator<Agg>;
+
+  /// What one ring slot carries: a bare partial in count-based mode, a
+  /// (timestamp, partial) pair in event-time mode.
+  using slot_type =
+      std::conditional_t<kEventTime, window::Timed<value_type>, value_type>;
 
   /// True when the aggregator supports SaveState/LoadState — required for
   /// supervised mode (checkpoint_interval > 0).
@@ -119,7 +142,7 @@ class ShardWorker {
     if (thread_.joinable()) thread_.join();
   }
 
-  SpscRing<value_type>& ring() { return ring_; }
+  SpscRing<slot_type>& ring() { return ring_; }
 
   /// Cumulative number of elements slid into the aggregator
   /// (release-published per batch; pair with an acquire load via this call).
@@ -180,6 +203,13 @@ class ShardWorker {
       SLICK_CHECK(observed >= restored,
                   "checkpoint is ahead of the published processed count");
       replayed = observed - restored;
+      if constexpr (kEventTime) {
+        // Rewind the watermark to what the durable state actually covers;
+        // the ring replay re-raises it. (The restored tree's newest entry
+        // is a lower bound when bulk eviction removed the true maximum —
+        // conservative is the safe direction for a low watermark.)
+        counters_.watermark.Set(agg_.empty() ? 0 : agg_.newest());
+      }
       ring_.ResetClaims();
       last_ckpt_processed_ = restored;
       resume_processed_ = restored;
@@ -194,6 +224,23 @@ class ShardWorker {
                  std::memory_order_release);
     thread_ = std::thread([this] { Run(); });
     return replayed;
+  }
+
+  /// Event-time mode: installs the eviction-floor probe the drain loop
+  /// polls once per batch, bulk-evicting its own tree below the returned
+  /// floor. The probe runs on the WORKER thread and must be safe to call
+  /// concurrently with every shard (the engine's probe reads relaxed
+  /// watermark gauges only). It must return a floor that can never exceed
+  /// a future quiescent query's eviction point — the engine derives it
+  /// from the raw minimum watermark across ALL shards, which lower-bounds
+  /// GlobalWatermark() (a conservative 0 until every shard has drained
+  /// something). Install before Start(); never re-install.
+  void SetEvictionFloorProbe(std::function<uint64_t()> probe)
+    requires kEventTime
+  {
+    SLICK_CHECK(!thread_.joinable(),
+                "eviction-floor probe must be installed before Start()");
+    evict_floor_probe_ = std::move(probe);
   }
 
   /// The shard's aggregator. Safe for the coordinator to read only at a
@@ -273,7 +320,7 @@ class ShardWorker {
       // Zero-copy drain: claim a contiguous ring span and feed it straight
       // into the aggregator's batch entry point — no bounce buffer.
       std::size_t n = 0;
-      value_type* span = ring_.ClaimPop(batch_, &n);
+      slot_type* span = ring_.ClaimPop(batch_, &n);
       if (span == nullptr) break;  // closed and fully drained
       ++batches_drained_;
       if (ShouldDie(kill_before_, batches_drained_,
@@ -282,7 +329,32 @@ class ShardWorker {
         return;
       }
       const uint64_t t0 = util::MonotonicNanos();
-      window::BulkSlide(agg_, span, n);
+      if constexpr (kEventTime) {
+        agg_.BulkInsert(span, n);
+        // Advance the shard low watermark: the max event ts drained so
+        // far. Published AFTER the insert (relaxed gauge, but ordered for
+        // the coordinator by the processed() release below), so a
+        // watermark the coordinator trusts always covers inserted data.
+        uint64_t wm = counters_.watermark.Get();
+        for (std::size_t k = 0; k < n; ++k) {
+          if (span[k].t > wm) wm = span[k].t;
+        }
+        counters_.watermark.Set(wm);
+        // Lazy watermark-driven eviction: expire this shard's dead prefix
+        // HERE, in parallel across workers, so the coordinator's serial
+        // BulkEvict at query time finds an already-trimmed tree. The probe
+        // floor is conservative (<= any future quiescent query's eviction
+        // point), so this only ever removes entries the next query would
+        // discard anyway — tree content at a quiescent point stays a pure
+        // function of the routed stream, which is what keeps supervised
+        // recovery bit-identical.
+        if (evict_floor_probe_) {
+          const uint64_t floor = evict_floor_probe_();
+          if (floor > 0) agg_.BulkEvict(floor);
+        }
+      } else {
+        window::BulkSlide(agg_, span, n);
+      }
       batch_latency_.Record(util::MonotonicNanos() - t0);
       if (ShouldDie(kill_after_, batches_drained_,
                     fault::Point::kWorkerKillAfterSlide)) {
@@ -398,7 +470,7 @@ class ShardWorker {
   static constexpr uint32_t kCheckpointTag =
       util::MakeTag('S', 'C', 'K', 'P');
 
-  SpscRing<value_type> ring_;
+  SpscRing<slot_type> ring_;
   const std::size_t batch_;
   const std::size_t checkpoint_interval_;  // tuples per checkpoint; 0 = off
   const std::size_t shard_index_;          // fault-injection lane
@@ -417,6 +489,9 @@ class ShardWorker {
   // Worker-thread-owned recovery bookkeeping. Accessed by the supervisor
   // only between join and respawn (ordered by the thread lifecycle).
   uint64_t batches_drained_ = 0;      // cumulative across restarts
+  // Event-time only: polled once per drained batch (worker thread). Set
+  // before Start(), immutable afterwards — no synchronization needed.
+  std::function<uint64_t()> evict_floor_probe_;
   uint64_t last_ckpt_processed_ = 0;  // processed count in last_good_
   uint64_t resume_processed_ = 0;     // where a respawned Run() resumes
   std::string last_good_;             // last validated checkpoint frame

@@ -73,6 +73,13 @@ struct ShardCounters {
   Counter replayed;             ///< tuples re-slid after a restore (recovery)
   Counter deadline_expiries;    ///< kBlockWithDeadline timeouts (router)
   Counter stall_detections;     ///< heartbeat-stall transitions (supervisor)
+  /// Event-time mode (DESIGN.md §13): the shard's low watermark — the
+  /// maximum event timestamp the worker has drained into its OoO tree
+  /// (worker-written; reset by recovery to the restored tree's newest
+  /// entry). The runtime's global watermark is the minimum across shards,
+  /// and `max routed ts − watermark` is the true event-time lag. Stays 0
+  /// in count-based mode.
+  Gauge watermark;
 };
 
 /// Engine-level tallies for the single-thread ACQ engines. Kept as plain

@@ -70,7 +70,8 @@ std::string ToJson(const ShardSnapshot& s) {
   AppendU64(out, "replayed", s.replayed, true);
   AppendU64(out, "deadline_expiries", s.deadline_expiries, true);
   AppendU64(out, "stall_detections", s.stall_detections, true);
-  AppendU64(out, "heartbeat_age_ns", s.heartbeat_age_ns, false);
+  AppendU64(out, "heartbeat_age_ns", s.heartbeat_age_ns, true);
+  AppendU64(out, "watermark", s.watermark, false);
   out += "}";
   return out;
 }

@@ -36,6 +36,11 @@ struct ShardSnapshot {
   uint64_t deadline_expiries = 0;    ///< kBlockWithDeadline timeouts
   uint64_t stall_detections = 0;     ///< heartbeat-stall transitions
   uint64_t heartbeat_age_ns = 0;     ///< now - last worker loop iteration
+  /// Event-time mode (DESIGN.md §13): max event ts drained by this shard.
+  /// Zero in count-based mode. In event mode `watermark_lag` above is
+  /// re-expressed in EVENT TIME (max ts routed to the shard − watermark),
+  /// the real lag a stuck-watermark triage reads (RUNBOOK.md).
+  uint64_t watermark = 0;
 };
 
 /// Point-in-time view of the whole parallel runtime: per-shard flow

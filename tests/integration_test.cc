@@ -67,7 +67,7 @@ TEST(IntegrationTest, ReorderedSensorStreamThroughKeyedTimeWindows) {
     ASSERT_DOUBLE_EQ(it->second.query(), expect) << "key=" << e.key;
   };
   for (const Event& e : events) {
-    ASSERT_TRUE(reorder.Offer(e.seq, e, feed));
+    ASSERT_EQ(reorder.Offer(e.seq, e, feed), stream::Admission::kAdmitted);
   }
   reorder.Flush(feed);
   EXPECT_EQ(windows.size(), 3u);

@@ -1,6 +1,7 @@
 // ReorderBuffer tests: exact-order reconstruction of bounded-displacement
-// shuffles, straggler rejection, and end-to-end integration with the ACQ
-// engine (§3.1: slightly out-of-order arrivals must not change answers).
+// shuffles, straggler rejection, duplicate detection, and end-to-end
+// integration with the ACQ engine (§3.1: slightly out-of-order arrivals
+// must not change answers).
 
 #include <algorithm>
 #include <cstdint>
@@ -44,12 +45,33 @@ TEST(ReorderBufferTest, InOrderPassesThrough) {
   ReorderBuffer<int> buf(4);
   std::vector<uint64_t> seen;
   for (uint64_t i = 0; i < 20; ++i) {
-    EXPECT_TRUE(buf.Offer(i, static_cast<int>(i),
-                          [&](uint64_t seq, int) { seen.push_back(seq); }));
+    EXPECT_EQ(buf.Offer(i, static_cast<int>(i),
+                        [&](uint64_t seq, int) { seen.push_back(seq); }),
+              Admission::kAdmitted);
   }
   buf.Flush([&](uint64_t seq, int) { seen.push_back(seq); });
   ASSERT_EQ(seen.size(), 20u);
   for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ReorderBufferTest, ZeroHorizonIsPureInOrderPassThrough) {
+  // horizon=0 means no tolerated lateness: every in-order element is final
+  // the moment it arrives, and anything else is late or duplicate.
+  ReorderBuffer<int> buf(0);
+  std::vector<uint64_t> seen;
+  auto emit = [&](uint64_t seq, int) { seen.push_back(seq); };
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(buf.Offer(i, static_cast<int>(i), emit), Admission::kAdmitted);
+    EXPECT_EQ(buf.pending(), 0u) << "horizon=0 never holds elements back";
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+  // An already-released element is a duplicate (within the dedup window)...
+  EXPECT_EQ(buf.Offer(9, 9, emit), Admission::kDuplicate);
+  // ...and a skipped slot is late.
+  EXPECT_EQ(buf.Offer(12, 12, emit), Admission::kAdmitted);  // skips 10, 11
+  EXPECT_EQ(buf.Offer(10, 10, emit), Admission::kLate);
+  EXPECT_EQ(seen.size(), 11u);
 }
 
 TEST(ReorderBufferTest, ReconstructsBoundedShuffles) {
@@ -67,7 +89,7 @@ TEST(ReorderBufferTest, ReconstructsBoundedShuffles) {
       released.push_back(v);
     };
     for (const auto& [seq, v] : shuffled) {
-      ASSERT_TRUE(buf.Offer(seq, v, emit));
+      ASSERT_EQ(buf.Offer(seq, v, emit), Admission::kAdmitted);
     }
     buf.Flush(emit);
     EXPECT_EQ(released, values);
@@ -78,18 +100,129 @@ TEST(ReorderBufferTest, RejectsStragglersBeyondHorizon) {
   ReorderBuffer<int> buf(2);
   std::vector<uint64_t> released;
   auto emit = [&](uint64_t seq, int) { released.push_back(seq); };
-  EXPECT_TRUE(buf.Offer(0, 0, emit));
-  EXPECT_TRUE(buf.Offer(1, 1, emit));
+  EXPECT_EQ(buf.Offer(0, 0, emit), Admission::kAdmitted);
+  EXPECT_EQ(buf.Offer(1, 1, emit), Admission::kAdmitted);
   // 5, 6, 7 push the watermark: 0, 1 and then 5 itself become final (the
   // buffer releases past the genuinely missing 2..4 for liveness).
-  EXPECT_TRUE(buf.Offer(5, 5, emit));
-  EXPECT_TRUE(buf.Offer(6, 6, emit));
-  EXPECT_TRUE(buf.Offer(7, 7, emit));
+  EXPECT_EQ(buf.Offer(5, 5, emit), Admission::kAdmitted);
+  EXPECT_EQ(buf.Offer(6, 6, emit), Admission::kAdmitted);
+  EXPECT_EQ(buf.Offer(7, 7, emit), Admission::kAdmitted);
   EXPECT_EQ(released, (std::vector<uint64_t>{0, 1, 5}));
-  EXPECT_FALSE(buf.Offer(2, 2, emit)) << "seq 2's slot was already passed";
+  EXPECT_EQ(buf.Offer(2, 2, emit), Admission::kLate)
+      << "seq 2's slot was already passed and never emitted";
   buf.Flush(emit);
   EXPECT_EQ(released, (std::vector<uint64_t>{0, 1, 5, 6, 7}));
   EXPECT_EQ(buf.pending(), 0u);
+}
+
+TEST(ReorderBufferTest, StragglerExactlyAtHorizonBoundaryIsReleased) {
+  // The release rule is front + horizon <= max_seen_: an element arriving
+  // exactly `horizon` behind the newest is still admissible, and the next
+  // arrival makes it final. Exercise the == boundary precisely.
+  const uint64_t kHorizon = 4;
+  ReorderBuffer<int> buf(kHorizon);
+  std::vector<uint64_t> released;
+  auto emit = [&](uint64_t seq, int) { released.push_back(seq); };
+  // Arrivals 1..4 leave seq 0 pending: front(0) + 4 <= max_seen only once
+  // max_seen reaches 4 — at which point 0 releases immediately.
+  for (uint64_t i = 1; i < kHorizon; ++i) {
+    EXPECT_EQ(buf.Offer(i, static_cast<int>(i), emit), Admission::kAdmitted);
+    EXPECT_TRUE(released.empty()) << "nothing final before the gap fills";
+  }
+  EXPECT_EQ(buf.Offer(kHorizon, 4, emit), Admission::kAdmitted);
+  EXPECT_TRUE(released.empty()) << "front=1: 1 + 4 > max_seen=4";
+  // The straggler lands exactly at the boundary: front(0) + 4 == max_seen(4).
+  EXPECT_EQ(buf.Offer(0, 0, emit), Admission::kAdmitted);
+  EXPECT_EQ(released, (std::vector<uint64_t>{0}));
+  buf.Flush(emit);
+  EXPECT_EQ(released, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ReorderBufferTest, DetectsInHeapDuplicates) {
+  // The release-build bug: a duplicate of a *pending* sequence used to be
+  // pushed into the heap and emitted twice (the DCHECK at Release only
+  // fires in debug builds). It must be rejected without buffering.
+  ReorderBuffer<int> buf(8);
+  std::vector<std::pair<uint64_t, int>> released;
+  auto emit = [&](uint64_t seq, int v) { released.emplace_back(seq, v); };
+  EXPECT_EQ(buf.Offer(2, 200, emit), Admission::kAdmitted);
+  EXPECT_EQ(buf.pending(), 1u);
+  EXPECT_EQ(buf.Offer(2, 999, emit), Admission::kDuplicate);
+  EXPECT_EQ(buf.pending(), 1u) << "duplicate must not be buffered";
+  EXPECT_EQ(buf.Offer(0, 0, emit), Admission::kAdmitted);
+  EXPECT_EQ(buf.Offer(1, 100, emit), Admission::kAdmitted);
+  buf.Flush(emit);
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[2], (std::pair<uint64_t, int>{2, 200}))
+      << "the first-offered value wins; the duplicate's payload is dropped";
+}
+
+TEST(ReorderBufferTest, DetectsAlreadyReleasedDuplicates) {
+  ReorderBuffer<int> buf(2);
+  std::vector<uint64_t> released;
+  auto emit = [&](uint64_t seq, int) { released.push_back(seq); };
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(buf.Offer(i, static_cast<int>(i), emit), Admission::kAdmitted);
+  }
+  EXPECT_EQ(released, (std::vector<uint64_t>{0, 1, 2, 3}));
+  // 3 was released and is within the dedup horizon: a re-send is a
+  // duplicate, not merely "late".
+  EXPECT_EQ(buf.Offer(3, 3, emit), Admission::kDuplicate);
+  // 0 was released long ago (outside the bounded dedup window); the buffer
+  // cannot distinguish it from a straggler and classifies it late. Either
+  // way it is rejected and never re-emitted.
+  EXPECT_EQ(buf.Offer(0, 0, emit), Admission::kLate);
+  buf.Flush(emit);
+  EXPECT_EQ(released, (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ReorderBufferTest, FuzzShuffleWithDuplicatesEmitsExactSequence) {
+  // Randomized regression for the duplicate-emission bug: shuffle 0..n-1
+  // within the horizon, randomly re-offer ~20% of elements (both pending
+  // and already-released), and assert the emitted sequence is *exactly*
+  // 0..n-1 — no duplicates, no gaps, no reordering.
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    const uint64_t displacement = 1 + trial % 12;
+    const std::size_t n = 300;
+    std::vector<int> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<int>(i);
+    auto stream = BoundedShuffle(values, displacement, 1000 + trial);
+
+    // Splice duplicate offers into the arrival order: each re-sends an
+    // element a few positions after its original arrival.
+    util::SplitMix64 rng(7000 + trial);
+    std::vector<std::pair<uint64_t, int>> arrivals;
+    arrivals.reserve(stream.size() * 2);
+    std::vector<std::pair<uint64_t, int>> delayed;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      arrivals.push_back(stream[i]);
+      if (rng.NextBounded(5) == 0) {
+        delayed.push_back(stream[i]);
+      }
+      if (!delayed.empty() && rng.NextBounded(3) == 0) {
+        arrivals.push_back(delayed.front());
+        delayed.erase(delayed.begin());
+      }
+    }
+    for (const auto& d : delayed) arrivals.push_back(d);
+
+    ReorderBuffer<int> buf(displacement);
+    std::vector<uint64_t> emitted;
+    auto emit = [&](uint64_t seq, int) { emitted.push_back(seq); };
+    std::vector<bool> admitted(n, false);
+    for (const auto& [seq, v] : arrivals) {
+      const Admission a = buf.Offer(seq, v, emit);
+      if (a == Admission::kAdmitted) {
+        ASSERT_FALSE(admitted[seq]) << "seq " << seq << " admitted twice";
+        admitted[seq] = true;
+      }
+    }
+    buf.Flush(emit);
+    ASSERT_EQ(emitted.size(), n) << "trial " << trial;
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(emitted[i], i) << "trial " << trial;
+    }
+  }
 }
 
 TEST(ReorderBufferTest, PendingIsBoundedByHorizon) {
@@ -129,7 +262,7 @@ TEST(ReorderBufferTest, EngineAnswersUnchangedByOutOfOrderArrival) {
       eng.Push(v, [&](uint32_t q, double a) { answers.emplace_back(q, a); });
     };
     for (const auto& [seq, v] : BoundedShuffle(values, displacement, seed)) {
-      EXPECT_TRUE(buf.Offer(seq, v, feed));
+      EXPECT_EQ(buf.Offer(seq, v, feed), Admission::kAdmitted);
     }
     buf.Flush(feed);
     return answers;

@@ -40,6 +40,19 @@ Baseline-ratio mode:
   variation in a way absolute thresholds are not. Rows missing from the
   baseline are reported but do not fail the gate.
 
+Cost-ratio mode:
+    python3 tools/bench_summary.py --check exp6_ooo.json \
+        --num-algo ooo-tree --den-algo slick-inv --max-cost-ratio 1.2 \
+        --where frac_ooo=0,op=sum
+
+  Pairs rows within ONE file by config-minus-algo and requires the
+  --num-algo row's per-tuple cost (1 / tuples_per_sec) to stay within
+  --max-cost-ratio x the --den-algo row's. CI uses this to prove the
+  out-of-order tree's in-order ingest path costs at most 1.2x the
+  SlickDeque slide loop (DESIGN.md §13) — a paired same-run comparison,
+  robust to runner speed. --where restricts to rows whose config matches
+  every key=value given (e.g. only the frac_ooo=0 in-order lane).
+
 Stdlib only; no third-party dependencies.
 """
 
@@ -142,6 +155,57 @@ def check_baseline(args):
     return 0
 
 
+def check_cost_ratio(args):
+    rows, _ = split_inputs([args.check])
+    where = dict(kv.split("=", 1) for kv in args.where.split(",") if kv)
+
+    def matches(row):
+        config = row.get("config", {})
+        return all(config.get(k) == v for k, v in where.items())
+
+    num, den = {}, {}
+    for row in rows:
+        if not matches(row):
+            continue
+        algo = row.get("config", {}).get("algo")
+        key = row_key(row, ignore=("algo",))
+        if algo == args.num_algo:
+            num[key] = row["tuples_per_sec"]
+        elif algo == args.den_algo:
+            den[key] = row["tuples_per_sec"]
+
+    compared, failures = 0, []
+    for key, num_tps in sorted(num.items()):
+        if key not in den:
+            print(f"note: no {args.den_algo} row pairs {dict(key[1])}")
+            continue
+        compared += 1
+        den_tps = den[key]
+        # Per-tuple cost ratio: how much slower the numerator algo is.
+        ratio = den_tps / num_tps if num_tps else float("inf")
+        tag = "ok" if ratio <= args.max_cost_ratio else "FAILED"
+        print(f"{tag}: {args.num_algo} vs {args.den_algo} {dict(key[1])}: "
+              f"{num_tps:.0f} vs {den_tps:.0f} tuples/s "
+              f"(cost ratio {ratio:.3f}x)")
+        if ratio > args.max_cost_ratio:
+            failures.append(
+                f"{dict(key[1])}: cost ratio {ratio:.3f}x > "
+                f"{args.max_cost_ratio:g}x")
+
+    if compared == 0:
+        print("cost-ratio check: no comparable row pairs", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"cost-ratio check FAILED ({args.num_algo} vs "
+              f"{args.den_algo}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"cost-ratio check passed ({compared} pairs within "
+          f"{args.max_cost_ratio:g}x)")
+    return 0
+
+
 def check(args):
     rows, _ = split_inputs([args.check])
     wanted = set(args.algos.split(",")) if args.algos else None
@@ -206,10 +270,26 @@ def main():
                         help="with --baseline: comma-separated config keys "
                              "excluded from row pairing (knobs that differ "
                              "between the paired runs by design)")
+    parser.add_argument("--num-algo",
+                        help="with --check: algo whose per-tuple cost is "
+                             "gated (cost-ratio mode)")
+    parser.add_argument("--den-algo",
+                        help="with --check: the reference algo the "
+                             "numerator is compared against")
+    parser.add_argument("--max-cost-ratio", type=float, default=1.2,
+                        help="cost-ratio mode: max allowed per-tuple cost "
+                             "multiple (default 1.2)")
+    parser.add_argument("--where", default="",
+                        help="cost-ratio mode: comma-separated key=value "
+                             "config filters applied before pairing")
     args = parser.parse_args()
 
     if args.check and args.baseline:
         return check_baseline(args)
+    if args.check and args.num_algo:
+        if not args.den_algo:
+            parser.error("--num-algo requires --den-algo")
+        return check_cost_ratio(args)
     if args.check:
         return check(args)
     if not args.name:
