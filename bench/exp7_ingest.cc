@@ -1,0 +1,384 @@
+// Exp 7: ingest saturation — producer-count x batch-size sweep over the
+// three ways tuples reach the shard workers (DESIGN.md §14):
+//
+//  - router:      N producer threads serialize through ONE router thread
+//                 (per-producer SPSC ring -> router -> engine.push), the
+//                 pre-MPMC architecture. Every tuple crosses two rings.
+//  - mpmc-direct: N producer threads each hold an engine Producer handle
+//                 and publish batches straight into the shard MPMC rings —
+//                 no router hop, one ring crossing per tuple.
+//  - tcp:         N loopback client PROCESSES send framed batches to the
+//                 epoll IngestServer, whose event loops sink into Producer
+//                 handles. Measures the full front door: syscalls, frame
+//                 decode, CRC, admission.
+//
+// On a multi-core box mpmc-direct scales with producers until the shard
+// workers saturate — the router thread caps the old path at one core's
+// engine.push rate, so 4 producers on their own cores clear 2x the
+// single-router throughput at batch 256. On ONE core (every thread
+// timeshares a single CPU) no architecture can beat total-work physics:
+// the mpmc-direct advantage compresses to path length alone — one ring
+// crossing per tuple instead of two — and lands at ~1.1-1.5x. Each JSON
+// row records `cores` so readers can tell which regime a snapshot
+// measured. CI gates mpmc-direct >= the router baseline per (producers,
+// batch) point via tools/bench_summary.py --baseline (see ci.yml), and the
+// committed BENCH_ingest.json records the 4-producer batch-256 ratio.
+//
+// Rates are best-of-`laps` (like parallel_throughput) so one unlucky
+// scheduler quantum does not decide a row.
+//
+// Flags: --window=W (default 65536)  --tuples=T per lap (default 400000)
+//        --ring=R   (default 4096)   --laps=L (default 3)
+//        --shards=S (default 2)      --seed=S
+//        --producers=CSV (default 1,2,4)  --batches=CSV (default 64,256)
+//        --mode=router|mpmc|tcp|all (default all)  --json=PATH
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/slick_deque_inv.h"
+#include "net/frame.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "ops/arith.h"
+#include "runtime/mpmc_ring.h"
+#include "runtime/parallel_engine.h"
+#include "runtime/spsc_ring.h"
+
+namespace slick::bench {
+namespace {
+
+using Agg = core::SlickDequeInv<ops::Sum>;
+using RouterEngine = runtime::ParallelShardedEngine<Agg>;
+using DirectEngine = runtime::ParallelShardedEngine<Agg, runtime::MpmcRing>;
+
+struct Config {
+  std::size_t window;
+  uint64_t tuples;
+  std::size_t ring;
+  std::size_t shards;
+  uint64_t laps;
+  std::vector<std::size_t> producers;
+  std::vector<std::size_t> batches;
+};
+
+std::vector<std::size_t> ParseList(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    out.push_back(std::strtoull(csv.c_str() + pos, nullptr, 10));
+    const std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+template <typename Engine>
+typename Engine::Options EngineOpts(const Config& cfg, std::size_t batch) {
+  typename Engine::Options o;
+  o.ring_capacity = cfg.ring;
+  o.batch = batch;
+  o.backpressure = runtime::Backpressure::kBlock;
+  return o;
+}
+
+/// Per-producer slice [first, first + count) of the lap's tuple budget.
+struct Slice {
+  uint64_t first;
+  uint64_t count;
+};
+
+Slice SliceOf(uint64_t total, std::size_t producers, std::size_t p) {
+  const uint64_t per = total / producers;
+  const uint64_t first = per * p;
+  const uint64_t count = p + 1 == producers ? total - first : per;
+  return {first, count};
+}
+
+/// Wrapping cursor over the bench series — a branch, not a per-tuple
+/// divide, so data generation stays off the measured critical path.
+class DataCursor {
+ public:
+  DataCursor(const std::vector<double>& data, uint64_t start)
+      : data_(data), i_(start % data.size()) {}
+  double Next() {
+    const double v = data_[i_];
+    i_ = i_ + 1 == data_.size() ? 0 : i_ + 1;
+    return v;
+  }
+
+ private:
+  const std::vector<double>& data_;
+  std::size_t i_;
+};
+
+/// The pre-MPMC architecture: producers -> per-producer SPSC ring ->
+/// one router thread -> engine.push. Returns best-lap tuples/s.
+double RunRouter(const Config& cfg, std::size_t producers, std::size_t batch,
+                 const std::vector<double>& data, Checksum& sink) {
+  RouterEngine engine(cfg.window, cfg.shards, EngineOpts<RouterEngine>(cfg, batch));
+  for (std::size_t i = 0; i < cfg.window; ++i) {
+    engine.push(ops::Sum::lift(data[i % data.size()]));
+  }
+  double best = 0.0;
+  for (uint64_t lap = 0; lap < cfg.laps; ++lap) {
+    std::vector<std::unique_ptr<runtime::SpscRing<double>>> rings;
+    for (std::size_t p = 0; p < producers; ++p) {
+      rings.push_back(std::make_unique<runtime::SpscRing<double>>(cfg.ring));
+    }
+    const uint64_t t0 = NowNs();
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        const Slice s = SliceOf(cfg.tuples, producers, p);
+        DataCursor cur(data, s.first);
+        std::vector<double> stage;
+        stage.reserve(batch);
+        for (uint64_t i = 0; i < s.count; ++i) {
+          stage.push_back(cur.Next());
+          if (stage.size() == batch) {
+            rings[p]->push_n(stage.data(), stage.size());
+            stage.clear();
+          }
+        }
+        if (!stage.empty()) rings[p]->push_n(stage.data(), stage.size());
+        rings[p]->close();
+      });
+    }
+    // The router hop: drain every producer ring round-robin and feed the
+    // engine through its single-thread ingress — the serialization point
+    // the MPMC path removes.
+    std::vector<double> buf(batch);
+    std::size_t open = producers;
+    std::vector<bool> closed(producers, false);
+    while (open > 0) {
+      bool moved = false;
+      for (std::size_t p = 0; p < producers; ++p) {
+        if (closed[p]) continue;
+        const std::size_t n = rings[p]->try_pop_n(buf.data(), buf.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          engine.push(ops::Sum::lift(buf[i]));
+        }
+        if (n > 0) {
+          moved = true;
+        } else if (rings[p]->closed() && rings[p]->empty()) {
+          closed[p] = true;
+          --open;
+        }
+      }
+      if (!moved && open > 0) std::this_thread::yield();
+    }
+    for (auto& t : threads) t.join();
+    engine.flush();
+    const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+    best = std::max(best, static_cast<double>(cfg.tuples) / elapsed_s);
+  }
+  sink.Add(static_cast<double>(engine.query()));
+  engine.stop();
+  return best;
+}
+
+/// The tentpole path: producers publish batches straight into the shard
+/// MPMC rings through engine Producer handles. Returns best-lap tuples/s.
+double RunDirect(const Config& cfg, std::size_t producers, std::size_t batch,
+                 const std::vector<double>& data, Checksum& sink) {
+  DirectEngine engine(cfg.window, cfg.shards, EngineOpts<DirectEngine>(cfg, batch));
+  for (std::size_t i = 0; i < cfg.window; ++i) {
+    engine.push(ops::Sum::lift(data[i % data.size()]));
+  }
+  engine.flush();
+  double best = 0.0;
+  for (uint64_t lap = 0; lap < cfg.laps; ++lap) {
+    const uint64_t t0 = NowNs();
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        const Slice s = SliceOf(cfg.tuples, producers, p);
+        DataCursor cur(data, s.first);
+        DirectEngine::Producer prod = engine.MakeProducer();
+        for (uint64_t i = 0; i < s.count; ++i) {
+          prod.push(ops::Sum::lift(cur.Next()));
+        }
+        // Producer dtor flushes its staging before the thread exits.
+      });
+    }
+    for (auto& t : threads) t.join();
+    engine.flush();
+    const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+    best = std::max(best, static_cast<double>(cfg.tuples) / elapsed_s);
+  }
+  sink.Add(static_cast<double>(engine.query()));
+  engine.stop();
+  return best;
+}
+
+/// One forked loopback client: sends its slice as framed batches of
+/// `batch` tuples, half-closes, exits without running parent atexit state.
+[[noreturn]] void ClientProcess(uint16_t port, const Config& cfg,
+                                std::size_t producers, std::size_t p,
+                                std::size_t batch,
+                                const std::vector<double>& data) {
+  net::IngestClient client;
+  if (!client.Connect("127.0.0.1", port)) _exit(1);
+  const Slice s = SliceOf(cfg.tuples, producers, p);
+  DataCursor cur(data, s.first);
+  std::vector<net::WireTuple> stage;
+  stage.reserve(batch);
+  for (uint64_t i = 0; i < s.count; ++i) {
+    stage.push_back({s.first + i + 1, cur.Next()});
+    if (stage.size() == batch) {
+      if (!client.SendBatch(stage.data(), stage.size())) _exit(1);
+      stage.clear();
+    }
+  }
+  if (!stage.empty() &&
+      !client.SendBatch(stage.data(), stage.size())) {
+    _exit(1);
+  }
+  client.CloseSend();
+  client.Close();
+  _exit(0);
+}
+
+/// The full front door: loopback client processes -> epoll server ->
+/// Producer sinks -> shard MPMC rings. Returns best-lap tuples/s.
+double RunTcp(const Config& cfg, std::size_t producers, std::size_t batch,
+              const std::vector<double>& data, Checksum& sink) {
+  DirectEngine engine(cfg.window, cfg.shards, EngineOpts<DirectEngine>(cfg, batch));
+  for (std::size_t i = 0; i < cfg.window; ++i) {
+    engine.push(ops::Sum::lift(data[i % data.size()]));
+  }
+  engine.flush();
+  double best = 0.0;
+  uint64_t expected = 0;
+  {
+    net::IngestServer server(
+        {.port = 0, .threads = producers,
+         .backpressure = runtime::Backpressure::kBlock},
+        [&engine](std::size_t) {
+          auto prod =
+              std::make_shared<DirectEngine::Producer>(engine.MakeProducer());
+          return [prod](const net::WireTuple* tuples, std::size_t n) {
+            for (std::size_t i = 0; i < n; ++i) prod->push(tuples[i].v);
+            return n;
+          };
+        });
+    if (!server.Start()) {
+      std::fprintf(stderr, "exp7: cannot start ingest server\n");
+      return 0.0;
+    }
+    for (uint64_t lap = 0; lap < cfg.laps; ++lap) {
+      expected += cfg.tuples;
+      const uint64_t t0 = NowNs();
+      std::vector<pid_t> pids;
+      pids.reserve(producers);
+      for (std::size_t p = 0; p < producers; ++p) {
+        const pid_t pid = fork();
+        if (pid == 0) {
+          ClientProcess(server.port(), cfg, producers, p, batch, data);
+        }
+        pids.push_back(pid);
+      }
+      for (pid_t pid : pids) {
+        int status = 0;
+        waitpid(pid, &status, 0);
+      }
+      while (server.snapshot().tuples_accepted < expected) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      const double elapsed_s = static_cast<double>(NowNs() - t0) * 1e-9;
+      best = std::max(best, static_cast<double>(cfg.tuples) / elapsed_s);
+    }
+    server.Stop();
+  }  // server (and its Producer sinks) destroyed before the engine quiesces
+  engine.flush();
+  sink.Add(static_cast<double>(engine.query()));
+  engine.stop();
+  return best;
+}
+
+using RunFn = double (*)(const Config&, std::size_t, std::size_t,
+                         const std::vector<double>&, Checksum&);
+
+void RunSweep(const char* algo, RunFn run, const Config& cfg,
+              const std::vector<double>& data, JsonReport& report) {
+  std::printf("\n== %s ==\n%-10s %8s %14s\n", algo, "producers", "batch",
+              "Mtuples/s");
+  Checksum sink;
+  for (std::size_t producers : cfg.producers) {
+    for (std::size_t batch : cfg.batches) {
+      const double rate = run(cfg, producers, batch, data, sink);
+      std::printf("%-10zu %8zu %14.2f\n", producers, batch, rate / 1e6);
+      std::fflush(stdout);
+      // `cores` is provenance, not a knob: the producer-scaling headroom
+      // is real only when producers own their own hardware threads. On a
+      // single-core host every mode serializes onto one CPU and the
+      // mpmc-direct advantage compresses to path length alone.
+      report.Row({{"algo", algo},
+                  {"producers", JsonReport::Num(producers)},
+                  {"batch", JsonReport::Num(batch)},
+                  {"window", JsonReport::Num(cfg.window)},
+                  {"shards", JsonReport::Num(cfg.shards)},
+                  {"cores",
+                   JsonReport::Num(std::thread::hardware_concurrency())}},
+                 rate);
+    }
+  }
+  sink.Report();
+}
+
+}  // namespace
+}  // namespace slick::bench
+
+int main(int argc, char** argv) {
+  using namespace slick::bench;
+  const Flags flags(argc, argv);
+  Config cfg;
+  cfg.window = flags.GetU64("window", 1 << 16);
+  cfg.tuples = flags.GetU64("tuples", 400'000);
+  cfg.ring = flags.GetU64("ring", 1 << 12);
+  cfg.shards = flags.GetU64("shards", 2);
+  cfg.laps = std::max<uint64_t>(1, flags.GetU64("laps", 3));
+  cfg.producers = ParseList(flags.GetString("producers", "1,2,4"));
+  cfg.batches = ParseList(flags.GetString("batches", "64,256"));
+  const std::string mode = flags.GetString("mode", "all");
+  const uint64_t seed = flags.GetU64("seed", 42);
+
+  std::printf(
+      "Exp 7: ingest saturation, producer-count x batch-size (best of %llu "
+      "laps)\n"
+      "# window=%zu tuples=%llu ring=%zu shards=%zu seed=%llu mode=%s\n",
+      (unsigned long long)cfg.laps, cfg.window,
+      (unsigned long long)cfg.tuples, cfg.ring, cfg.shards,
+      (unsigned long long)seed, mode.c_str());
+
+  const std::vector<double> data = BenchSeries(flags, 1 << 20, seed);
+  JsonReport report(flags, "exp7_ingest");
+  if (mode == "all" || mode == "router") {
+    RunSweep("router", RunRouter, cfg, data, report);
+  }
+  if (mode == "all" || mode == "mpmc") {
+    RunSweep("mpmc-direct", RunDirect, cfg, data, report);
+  }
+  if (mode == "all" || mode == "tcp") {
+    RunSweep("tcp", RunTcp, cfg, data, report);
+  }
+  report.Write();
+  return 0;
+}

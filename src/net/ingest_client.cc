@@ -1,0 +1,66 @@
+#include "net/ingest_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace slick::net {
+
+bool IngestClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool IngestClient::SendBatch(const WireTuple* tuples, std::size_t n) {
+  frame_.clear();
+  EncodeBatch(tuples, n, &frame_);
+  return SendRaw(frame_.data(), frame_.size());
+}
+
+bool IngestClient::SendRaw(const char* data, std::size_t len) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that closed on a protocol error must surface as
+    // EPIPE here, not kill the producer process with SIGPIPE.
+    const ssize_t r =
+        ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void IngestClient::CloseSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void IngestClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace slick::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+
+namespace slick::net {
+
+/// Minimal blocking TCP client for the ingest protocol — the loopback
+/// producer side of the differential tests and bench/exp7_ingest. One
+/// socket, blocking writes (the kernel's send buffer plus the server's
+/// fd-level backpressure do the flow control), no reads: the protocol is
+/// one-way.
+class IngestClient {
+ public:
+  IngestClient() = default;
+  ~IngestClient() { Close(); }
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  /// Opens a blocking TCP connection. False on refusal/failure.
+  bool Connect(const std::string& host, uint16_t port);
+
+  /// Frames and sends `n` tuples as one batch. Blocks until the kernel has
+  /// taken every byte; false on a broken connection.
+  bool SendBatch(const WireTuple* tuples, std::size_t n);
+
+  /// Sends raw bytes verbatim — the adversarial tests' tool for split,
+  /// corrupted and truncated frames.
+  bool SendRaw(const char* data, std::size_t len);
+
+  /// Half-close (SHUT_WR): signals end-of-stream while keeping the socket
+  /// alive, the clean way to let the server drain and close.
+  void CloseSend();
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string frame_;  ///< reused encode buffer
+};
+
+}  // namespace slick::net

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "ops/traits.h"
+#include "runtime/mpmc_ring.h"
 #include "runtime/shard_worker.h"
 #include "runtime/spsc_ring.h"
+#include "telemetry/counters.h"
 #include "telemetry/snapshot.h"
 #include "util/check.h"
 #include "util/clock.h"
@@ -109,7 +111,22 @@ inline const char* BackpressureName(Backpressure b) {
 /// identity. Supervision/recovery works unchanged — the tree checkpoints
 /// through the same framed serde, and a recovered shard's watermark is
 /// rewound to its restored tree and re-raised by the replay.
-template <typename Agg>
+///
+/// MPMC ingress extension (DESIGN.md §14): instantiating the engine with
+/// Ring = MpmcRing turns each shard ring multi-producer. The routing
+/// thread's API is unchanged, but MakeProducer() additionally hands out
+/// Producer handles — each with its own staging buffers and round-robin
+/// cursor — that N threads (or the ingest server's event loops) drive
+/// concurrently, feeding shard rings directly with no router hop. Admission
+/// accounting (pushed_/dropped_) is per-shard relaxed atomics so producer
+/// handles and the router compose. The quiescence contract extends
+/// naturally: flush/destroy every Producer (and join its thread) BEFORE
+/// query()/stop() — the epoch snapshot still reads "everything admitted so
+/// far", it just requires the admission edge to be quiesced by the caller.
+/// Under supervision, blocking producers park on ring eventcounts, so some
+/// thread must keep polling SupervisePoll() (query()/AwaitEpoch do) to
+/// recover a dead worker they are parked on.
+template <typename Agg, template <typename> class Ring = SpscRing>
   requires window::FixedWindowAggregator<Agg> ||
            window::OutOfOrderAggregator<Agg>
 class ParallelShardedEngine {
@@ -117,12 +134,16 @@ class ParallelShardedEngine {
   using op_type = typename Agg::op_type;
   using value_type = typename Agg::value_type;
   using result_type = typename Agg::result_type;
+  using Worker = ShardWorker<Agg, Ring>;
 
   /// True when the engine runs in event-time mode (see class comment).
-  static constexpr bool kEventTime = ShardWorker<Agg>::kEventTime;
+  static constexpr bool kEventTime = Worker::kEventTime;
+
+  /// True when shard rings admit concurrent producers (Producer handles).
+  static constexpr bool kMultiProducer = Ring<int>::kMultiProducer;
 
   /// What one ring/staging slot carries (Timed pairs in event-time mode).
-  using slot_type = typename ShardWorker<Agg>::slot_type;
+  using slot_type = typename Worker::slot_type;
 
   struct Options {
     std::size_t ring_capacity = 1 << 12;  ///< Per-shard ring slots (bounded).
@@ -164,20 +185,18 @@ class ParallelShardedEngine {
     SLICK_CHECK(shards == 1 || op_type::kCommutative,
                 "multi-shard aggregation needs a commutative op "
                 "(the N-way combine reorders shard answers)");
-    SLICK_CHECK(options_.checkpoint_interval == 0 ||
-                    ShardWorker<Agg>::kCheckpointable,
+    SLICK_CHECK(options_.checkpoint_interval == 0 || Worker::kCheckpointable,
                 "supervision (checkpoint_interval > 0) needs an aggregator "
                 "with SaveState/LoadState");
     const std::size_t batch = options_.batch < 1 ? 1 : options_.batch;
     workers_.reserve(shards);
     staging_.resize(shards);
-    pushed_.assign(shards, 0);
-    dropped_.assign(shards, 0);
+    admit_ = std::make_unique<AdmitCounters[]>(shards);
     stall_latched_.assign(shards, 0);
     const std::size_t shard_window =
         kEventTime ? global_window : global_window / shards;
     for (std::size_t i = 0; i < shards; ++i) {
-      workers_.push_back(std::make_unique<ShardWorker<Agg>>(
+      workers_.push_back(std::make_unique<Worker>(
           shard_window, options_.ring_capacity, batch,
           options_.checkpoint_interval, i));
       staging_[i].reserve(batch);
@@ -232,7 +251,7 @@ class ParallelShardedEngine {
     requires kEventTime
   {
     SLICK_CHECK(!stopped_, "push after stop()");
-    if (ts > max_ts_routed_) max_ts_routed_ = ts;
+    RouteMaxTs(ts);
     std::vector<slot_type>& stage = staging_[next_];
     stage.push_back(slot_type{ts, std::move(v)});
     if (stage.size() >= BatchSize()) FlushShard(next_);
@@ -259,6 +278,99 @@ class ParallelShardedEngine {
     for (std::size_t i = 0; i < workers_.size(); ++i) FlushShard(i);
   }
 
+  /// Concurrent producer handle (MPMC rings only). Each Producer owns its
+  /// own per-shard staging buffers and round-robin cursor, so N handles on
+  /// N threads feed the shard rings directly — no router hop, no shared
+  /// mutable router state. Admission runs the same backpressure policies as
+  /// the router (DirectFlushShard); tallies land in the per-shard atomic
+  /// AdmitCounters, so producer pushes and router pushes compose.
+  ///
+  /// Contract: a Producer must be flushed (flush(), or just destroyed) and
+  /// its thread joined BEFORE the engine's query()/stop() — the epoch
+  /// snapshot reads "everything admitted so far" and needs the admission
+  /// edge quiesced. On a supervised engine a blocking producer can park on
+  /// a dead worker's ring; the coordinating thread must keep calling
+  /// SupervisePoll() to recover it (query()/stop() do so while waiting).
+  class Producer {
+   public:
+    Producer(Producer&& other) noexcept
+        : engine_(std::exchange(other.engine_, nullptr)),
+          staging_(std::move(other.staging_)),
+          next_(other.next_) {}
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
+    Producer& operator=(Producer&&) = delete;
+
+    ~Producer() {
+      if (engine_ != nullptr) flush();
+    }
+
+    void push(value_type v)
+      requires(!kEventTime)
+    {
+      std::vector<slot_type>& stage = staging_[next_];
+      stage.push_back(std::move(v));
+      if (stage.size() >= engine_->BatchSize()) FlushShard(next_);
+      Advance();
+    }
+
+    /// Event-time mode: one tuple observed at event time `ts`, any order.
+    void push(uint64_t ts, value_type v)
+      requires kEventTime
+    {
+      engine_->RouteMaxTs(ts);
+      std::vector<slot_type>& stage = staging_[next_];
+      stage.push_back(slot_type{ts, std::move(v)});
+      if (stage.size() >= engine_->BatchSize()) FlushShard(next_);
+      Advance();
+    }
+
+    /// Admits every staged element (blocking/shedding per policy).
+    void flush() {
+      for (std::size_t i = 0; i < staging_.size(); ++i) FlushShard(i);
+    }
+
+   private:
+    friend class ParallelShardedEngine;
+
+    explicit Producer(ParallelShardedEngine* e) : engine_(e) {
+      staging_.resize(e->workers_.size());
+      for (auto& s : staging_) s.reserve(e->BatchSize());
+    }
+
+    void Advance() {
+      next_ = next_ + 1 == staging_.size() ? 0 : next_ + 1;
+    }
+
+    void FlushShard(std::size_t i) {
+      std::vector<slot_type>& stage = staging_[i];
+      if (stage.empty()) return;
+      engine_->DirectFlushShard(i, stage.data(), stage.size());
+      stage.clear();
+    }
+
+    ParallelShardedEngine* engine_;
+    std::vector<std::vector<slot_type>> staging_;
+    std::size_t next_ = 0;
+  };
+
+  /// Hands out a concurrent producer handle; see Producer. Requires MPMC
+  /// shard rings — an SPSC-ring engine admits exactly one pushing thread,
+  /// which the plain push()/flush() API already is.
+  Producer MakeProducer()
+    requires kMultiProducer
+  {
+    SLICK_CHECK(!stopped_, "MakeProducer after stop()");
+    return Producer(this);
+  }
+
+  /// One supervisor poll from the coordinating thread: recovers
+  /// fail-stopped workers so parked producers can make progress. Call this
+  /// in a loop while direct producers run against a supervised engine (the
+  /// engine's own query()/stop() paths poll it automatically). Router
+  /// thread only — not safe to call concurrently with push()/flush().
+  void SupervisePoll() { Supervise(); }
+
   /// True once every shard's window is full — the warm-up gate for query().
   /// Event-time mode has no warm-up: the window is always defined (empty
   /// time ranges answer ⊕'s identity), so ready() is always true.
@@ -266,7 +378,7 @@ class ParallelShardedEngine {
     if constexpr (kEventTime) return true;
     const uint64_t shard_window = global_window_ / workers_.size();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      if (pushed_[i] + StagedCount(i) < shard_window) return false;
+      if (Pushed(i) + StagedCount(i) < shard_window) return false;
     }
     return true;
   }
@@ -286,7 +398,7 @@ class ParallelShardedEngine {
     // gate against what the rings actually admitted.
     const uint64_t shard_window = global_window_ / workers_.size();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      SLICK_CHECK(pushed_[i] >= shard_window,
+      SLICK_CHECK(Pushed(i) >= shard_window,
                   "query before the global window is warm "
                   "(backpressure shed the warm-up tuples)");
     }
@@ -329,7 +441,8 @@ class ParallelShardedEngine {
   uint64_t max_ts_routed() const
     requires kEventTime
   {
-    return max_ts_routed_;
+    // relaxed: monotonic gauge (CAS-max writes); exact at quiescence.
+    return max_ts_routed_.load(std::memory_order_relaxed);
   }
 
   /// The shard's aggregator — safe only at a quiescent point (after
@@ -353,8 +466,8 @@ class ParallelShardedEngine {
   Stats stats() const {
     Stats s;
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      s.admitted += pushed_[i];
-      s.dropped += dropped_[i];
+      s.admitted += Pushed(i);
+      s.dropped += Dropped(i);
       s.processed += workers_[i]->processed();
       s.restarts += workers_[i]->counters().restarts.Get();
     }
@@ -375,6 +488,9 @@ class ParallelShardedEngine {
     r.backpressure = BackpressureName(options_.backpressure);
     r.checkpoint_interval = options_.checkpoint_interval;
     const uint64_t now = util::MonotonicNanos();
+    // relaxed: monotonic gauge; exact at quiescence (see max_ts_routed()).
+    const uint64_t max_routed =
+        max_ts_routed_.load(std::memory_order_relaxed);
     r.shards.reserve(workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       const telemetry::ShardCounters& c = workers_[i]->counters();
@@ -383,6 +499,7 @@ class ParallelShardedEngine {
       s.tuples_out = c.tuples_out.Get();
       s.dropped = c.dropped.Get();
       s.batches = c.batches.Get();
+      s.idle_polls = c.idle_polls.Get();
       s.in_flight = workers_[i]->ring().unconsumed();
       s.unreleased = workers_[i]->ring().unreleased();
       s.staged = staging_[i].size();
@@ -396,7 +513,7 @@ class ParallelShardedEngine {
         // watermark trails the newest timestamp the router admitted.
         s.watermark = c.watermark.Get();
         s.watermark_lag =
-            max_ts_routed_ > s.watermark ? max_ts_routed_ - s.watermark : 0;
+            max_routed > s.watermark ? max_routed - s.watermark : 0;
       }
       s.combines = c.combines.Get();
       s.inverses = c.inverses.Get();
@@ -462,7 +579,7 @@ class ParallelShardedEngine {
       // A shard that never received data holds no entries and cannot hold
       // the watermark back; one that received data long ago legitimately
       // does (RUNBOOK.md stuck-watermark triage).
-      if (pushed_[i] == 0) continue;
+      if (Pushed(i) == 0) continue;
       wm = std::min(wm, workers_[i]->counters().watermark.Get());
       any = true;
     }
@@ -482,7 +599,7 @@ class ParallelShardedEngine {
     if (!Supervised()) return;
     const uint64_t now = util::MonotonicNanos();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      ShardWorker<Agg>& w = *workers_[i];
+      Worker& w = *workers_[i];
       if (w.state() == WorkerState::kKilled) {
         w.RecoverAndRestart();
         stall_latched_[i] = 0;
@@ -507,7 +624,7 @@ class ParallelShardedEngine {
   /// Admits stage[from..) into the ring without ever parking: polls
   /// try_push_n, supervising between attempts, until done or (deadline_ns
   /// != 0) the deadline passes. Returns the count admitted.
-  std::size_t PollPush(SpscRing<slot_type>& ring, const slot_type* src,
+  std::size_t PollPush(Ring<slot_type>& ring, const slot_type* src,
                        std::size_t n, uint64_t deadline_ns) {
     const uint64_t t0 = deadline_ns != 0 ? util::MonotonicNanos() : 0;
     std::size_t done = 0;
@@ -526,7 +643,7 @@ class ParallelShardedEngine {
   void FlushShard(std::size_t i) {
     std::vector<slot_type>& stage = staging_[i];
     if (stage.empty()) return;
-    SpscRing<slot_type>& ring = workers_[i]->ring();
+    Ring<slot_type>& ring = workers_[i]->ring();
     telemetry::ShardCounters& tel = workers_[i]->counters();
     std::size_t accepted = 0;
     switch (options_.backpressure) {
@@ -577,11 +694,63 @@ class ParallelShardedEngine {
                     "shedding/blocking policy)");
         break;
     }
-    pushed_[i] += accepted;
-    dropped_[i] += stage.size() - accepted;
-    tel.tuples_in.Add(accepted);
-    if (accepted < stage.size()) tel.dropped.Add(stage.size() - accepted);
+    AccountAdmission(i, accepted, stage.size() - accepted);
     stage.clear();
+  }
+
+  /// Thread-safe admission of a producer batch into shard `i`'s ring —
+  /// the Producer-handle analogue of FlushShard. Runs the same five
+  /// backpressure policies but never supervises: recovery stays owned by
+  /// the coordinating thread (SupervisePoll), so a producer parked on a
+  /// dead worker's ring waits until that thread's next poll revives it.
+  /// All counter updates are relaxed atomics; any number of producers (and
+  /// the router) compose.
+  void DirectFlushShard(std::size_t i, const slot_type* data, std::size_t n) {
+    Ring<slot_type>& ring = workers_[i]->ring();
+    telemetry::ShardCounters& tel = workers_[i]->counters();
+    std::size_t accepted = 0;
+    switch (options_.backpressure) {
+      case Backpressure::kBlock:
+        accepted = ring.push_n(data, n);
+        SLICK_CHECK(accepted == n, "ring closed during producer push");
+        break;
+      case Backpressure::kDropNewest:
+        accepted = ring.try_push_n(data, n);
+        break;
+      case Backpressure::kBlockWithDeadline: {
+        const uint64_t t0 = util::MonotonicNanos();
+        while (accepted < n) {
+          accepted += ring.try_push_n(data + accepted, n - accepted);
+          if (accepted == n) break;
+          if (util::MonotonicNanos() - t0 >= options_.deadline_ns) break;
+          std::this_thread::yield();
+        }
+        if (accepted < n) tel.deadline_expiries.Add(1);
+        break;
+      }
+      case Backpressure::kShedOldest: {
+        std::size_t from = 0;
+        while (from + accepted < n) {
+          const std::size_t got =
+              ring.try_push_n(data + from + accepted, n - from - accepted);
+          accepted += got;
+          if (from + accepted == n) break;
+          if (got == 0) {
+            ++from;  // shed the oldest unadmitted element, keep the freshest
+            std::this_thread::yield();
+          }
+        }
+        break;
+      }
+      case Backpressure::kError:
+        accepted = ring.try_push_n(data, n);
+        SLICK_CHECK(accepted == n,
+                    "shard ring full under Backpressure::kError "
+                    "(size the ring for the peak burst, or pick a "
+                    "shedding/blocking policy)");
+        break;
+    }
+    AccountAdmission(i, accepted, n - accepted);
   }
 
   /// Blocks until every worker has processed exactly what was routed to it,
@@ -590,22 +759,69 @@ class ParallelShardedEngine {
   /// cut the combine reads from.
   void AwaitEpoch() {
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      while (workers_[i]->processed() < pushed_[i]) {
+      while (workers_[i]->processed() < Pushed(i)) {
         Supervise();
         std::this_thread::yield();
       }
     }
   }
 
+  /// Per-shard admission tallies. Atomic (relaxed) so Producer handles and
+  /// the router compose; cache-line padded so concurrent producers landing
+  /// on different shards never false-share. Exactness of the quiescent
+  /// reads (ready()/query()/AwaitEpoch) comes from the caller's quiesce
+  /// contract: every producer is flushed and synchronized-with (joined)
+  /// before the read, which orders its relaxed adds.
+  struct alignas(64) AdmitCounters {
+    // Shares the padded line with `dropped` by design: both are written by
+    // whichever thread admits to this shard, and a snapshot reads them
+    // together. slick-lint: allow(atomic-alignas)
+    std::atomic<uint64_t> pushed{0};
+    // slick-lint: allow(atomic-alignas)
+    std::atomic<uint64_t> dropped{0};
+  };
+
+  uint64_t Pushed(std::size_t i) const {
+    // relaxed: see AdmitCounters — quiescence supplies the ordering.
+    return admit_[i].pushed.load(std::memory_order_relaxed);
+  }
+  uint64_t Dropped(std::size_t i) const {
+    // relaxed: see AdmitCounters.
+    return admit_[i].dropped.load(std::memory_order_relaxed);
+  }
+
+  void AccountAdmission(std::size_t i, std::size_t accepted,
+                        std::size_t dropped) {
+    telemetry::ShardCounters& tel = workers_[i]->counters();
+    // relaxed: flow tallies; see AdmitCounters.
+    admit_[i].pushed.fetch_add(accepted, std::memory_order_relaxed);
+    if (dropped > 0) {
+      admit_[i].dropped.fetch_add(dropped, std::memory_order_relaxed);
+      tel.dropped.Add(dropped);
+    }
+    tel.tuples_in.Add(accepted);
+  }
+
+  /// CAS-max on the newest-admitted event timestamp (multi-producer safe).
+  void RouteMaxTs(uint64_t ts) {
+    // relaxed: monotonic gauge — watermark math reads it at quiescence,
+    // and a transiently stale value only under-reports the lag.
+    uint64_t cur = max_ts_routed_.load(std::memory_order_relaxed);
+    while (ts > cur && !max_ts_routed_.compare_exchange_weak(
+                           cur, ts, std::memory_order_relaxed,
+                           std::memory_order_relaxed)) {
+    }
+  }
+
   const std::size_t global_window_;
   const Options options_;
-  std::vector<std::unique_ptr<ShardWorker<Agg>>> workers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::vector<slot_type>> staging_;  // router-side batches
-  std::vector<uint64_t> pushed_;   // admitted per shard (router-owned)
-  std::vector<uint64_t> dropped_;  // shed per shard (router-owned)
+  std::unique_ptr<AdmitCounters[]> admit_;  // per-shard admit/drop tallies
   std::vector<uint8_t> stall_latched_;  // per-shard stall episode latch
   std::size_t next_ = 0;           // round-robin cursor
-  uint64_t max_ts_routed_ = 0;     // event mode: newest admitted event ts
+  // Event mode: newest admitted event ts (CAS-max; router + producers).
+  alignas(64) std::atomic<uint64_t> max_ts_routed_{0};
   bool stopped_ = false;
 };
 

@@ -83,7 +83,15 @@ enum class KillPoint : uint32_t {
 /// it; recovery resets the gauge to the restored tree's newest entry, and
 /// the replay re-raises it — so the published watermark never runs ahead
 /// of the durable state.
-template <typename Agg>
+///
+/// Ring selection: the second template parameter picks the shard's inbound
+/// channel — SpscRing (default; the single router thread feeds the shard)
+/// or MpmcRing (N producer threads / the ingest server's event loops feed
+/// it directly, no router hop). The worker code is ring-agnostic: both
+/// rings share the claim/release/ResetClaims consumer API (pinned by
+/// tests/ring_conformance_test.cc), so zero-copy drains and supervised
+/// recovery replay are identical either way.
+template <typename Agg, template <typename> class Ring = SpscRing>
   requires window::FixedWindowAggregator<Agg> ||
            window::OutOfOrderAggregator<Agg>
 class ShardWorker {
@@ -142,7 +150,7 @@ class ShardWorker {
     if (thread_.joinable()) thread_.join();
   }
 
-  SpscRing<slot_type>& ring() { return ring_; }
+  Ring<slot_type>& ring() { return ring_; }
 
   /// Cumulative number of elements slid into the aggregator
   /// (release-published per batch; pair with an acquire load via this call).
@@ -318,10 +326,17 @@ class ShardWorker {
         }
       }
       // Zero-copy drain: claim a contiguous ring span and feed it straight
-      // into the aggregator's batch entry point — no bounce buffer.
+      // into the aggregator's batch entry point — no bounce buffer. An
+      // empty poll is counted as an idle poll instead of polluting the
+      // batch-size distribution with zero-length entries (ingest benches
+      // spend most polls idle at low producer counts).
       std::size_t n = 0;
-      slot_type* span = ring_.ClaimPop(batch_, &n);
-      if (span == nullptr) break;  // closed and fully drained
+      slot_type* span = ring_.TryClaimPop(batch_, &n);
+      if (span == nullptr) {
+        counters_.idle_polls.Add(1);
+        span = ring_.ClaimPop(batch_, &n);
+        if (span == nullptr) break;  // closed and fully drained
+      }
       ++batches_drained_;
       if (ShouldDie(kill_before_, batches_drained_,
                     fault::Point::kWorkerKillBeforeSlide)) {
@@ -470,7 +485,7 @@ class ShardWorker {
   static constexpr uint32_t kCheckpointTag =
       util::MakeTag('S', 'C', 'K', 'P');
 
-  SpscRing<slot_type> ring_;
+  Ring<slot_type> ring_;
   const std::size_t batch_;
   const std::size_t checkpoint_interval_;  // tuples per checkpoint; 0 = off
   const std::size_t shard_index_;          // fault-injection lane

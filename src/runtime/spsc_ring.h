@@ -50,6 +50,10 @@ namespace slick::runtime {
 template <typename T>
 class SpscRing {
  public:
+  /// Trait the engine keys producer-handle support on (MpmcRing is true):
+  /// this ring admits exactly one producer thread at a time.
+  static constexpr bool kMultiProducer = false;
+
   /// Capacity is rounded up to a power of two (shift/mask addressing).
   explicit SpscRing(std::size_t min_capacity)
       : mask_((std::size_t{1} << util::CeilLog2(
@@ -148,6 +152,20 @@ class SpscRing {
     // orders the cursor store before the bump the waiter snapshots.
     tail_event_.fetch_add(1, std::memory_order_release);
     tail_event_.notify_one();
+  }
+
+  /// Span-addressed publish — the shared producer API with MpmcRing (where
+  /// concurrent claims make the span pointer the claim's only name). For
+  /// the SPSC ring the count alone suffices; the span is only sanity-checked.
+  void PublishPush([[maybe_unused]] T* span, std::size_t count) {
+    // relaxed: tail_ is this thread's own cursor (single producer).
+    SLICK_DCHECK(
+        span == slots_.get() +
+                    (static_cast<std::size_t>(
+                         tail_.load(std::memory_order_relaxed)) &
+                     mask_),
+        "span-addressed publish must start at the claim cursor");
+    PublishPush(count);
   }
 
   /// Copies up to `n` elements from `src` into the ring without blocking.

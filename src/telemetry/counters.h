@@ -63,6 +63,9 @@ struct ShardCounters {
   Counter tuples_out;  ///< slid into the shard aggregator (worker)
   Counter dropped;     ///< shed by a backpressure policy (router)
   Counter batches;     ///< worker drain batches (worker)
+  Counter idle_polls;  ///< zero-length drain polls — ring empty when the
+                       ///< worker looked; kept out of the batch-size
+                       ///< histogram so it reflects real batches (worker)
   Counter combines;    ///< ⊕ applications attributed to this shard
   Counter inverses;    ///< ⊖ applications attributed to this shard
   // Fault-tolerance metrics (DESIGN.md §12; see RUNBOOK.md for how to

@@ -57,6 +57,7 @@ std::string ToJson(const ShardSnapshot& s) {
   AppendU64(out, "tuples_out", s.tuples_out, true);
   AppendU64(out, "dropped", s.dropped, true);
   AppendU64(out, "batches", s.batches, true);
+  AppendU64(out, "idle_polls", s.idle_polls, true);
   AppendU64(out, "in_flight", s.in_flight, true);
   AppendU64(out, "unreleased", s.unreleased, true);
   AppendU64(out, "staged", s.staged, true);
@@ -72,6 +73,41 @@ std::string ToJson(const ShardSnapshot& s) {
   AppendU64(out, "stall_detections", s.stall_detections, true);
   AppendU64(out, "heartbeat_age_ns", s.heartbeat_age_ns, true);
   AppendU64(out, "watermark", s.watermark, false);
+  out += "}";
+  return out;
+}
+
+std::string ToJson(const ConnectionSnapshot& c) {
+  std::string out = "{";
+  AppendU64(out, "id", c.id, true);
+  AppendF(out, "\"open\":%s,", c.open ? "true" : "false");
+  AppendU64(out, "frames", c.frames, true);
+  AppendU64(out, "frame_errors", c.frame_errors, true);
+  AppendU64(out, "tuples_accepted", c.tuples_accepted, true);
+  AppendU64(out, "tuples_dropped", c.tuples_dropped, true);
+  AppendU64(out, "deadline_expiries", c.deadline_expiries, false);
+  out += "}";
+  return out;
+}
+
+std::string ToJson(const IngestSnapshot& s) {
+  std::string out = "{";
+  AppendU64(out, "connections_opened", s.connections_opened, true);
+  AppendU64(out, "connections_open", s.connections_open, true);
+  AppendU64(out, "connections_closed_on_error", s.connections_closed_on_error,
+            true);
+  AppendU64(out, "frames", s.frames, true);
+  AppendU64(out, "frame_errors", s.frame_errors, true);
+  AppendU64(out, "tuples_accepted", s.tuples_accepted, true);
+  AppendU64(out, "tuples_dropped", s.tuples_dropped, true);
+  AppendU64(out, "deadline_expiries", s.deadline_expiries, true);
+  out += "\"connections\":[";
+  for (std::size_t i = 0; i < s.connections.size(); ++i) {
+    if (i != 0) out += ",";
+    out += ToJson(s.connections[i]);
+  }
+  out += "],\"ingest_latency_ns\":";
+  out += ToJson(s.ingest_latency_ns);
   out += "}";
   return out;
 }
@@ -96,6 +132,10 @@ std::string ToJson(const RuntimeSnapshot& r) {
   out += ToJson(r.batch_latency_ns);
   out += ",\"batch_sizes\":";
   out += ToJson(r.batch_sizes);
+  if (r.has_ingest) {
+    out += ",\"ingest\":";
+    out += ToJson(r.ingest);
+  }
   out += "}";
   return out;
 }

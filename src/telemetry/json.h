@@ -17,6 +17,8 @@ namespace slick::telemetry {
 /// to re-derive any quantile offline.
 std::string ToJson(const LatencyHistogram::Snapshot& h);
 std::string ToJson(const ShardSnapshot& s);
+std::string ToJson(const ConnectionSnapshot& c);
+std::string ToJson(const IngestSnapshot& s);
 std::string ToJson(const RuntimeSnapshot& r);
 std::string ToJson(const EngineCounters& c);
 

@@ -21,6 +21,7 @@ struct ShardSnapshot {
   uint64_t tuples_out = 0;      ///< slid into the shard aggregator
   uint64_t dropped = 0;         ///< shed by backpressure (never admitted)
   uint64_t batches = 0;         ///< worker drain batches
+  uint64_t idle_polls = 0;      ///< zero-length drain polls (ring empty)
   uint64_t in_flight = 0;       ///< published, not yet claimed by the worker
   uint64_t unreleased = 0;      ///< claimed replay log, pre-checkpoint
   uint64_t staged = 0;          ///< router-side staging, not yet admitted
@@ -43,6 +44,35 @@ struct ShardSnapshot {
   uint64_t watermark = 0;
 };
 
+/// Point-in-time view of one ingest-server connection (net::IngestServer).
+/// Counters are cumulative since accept; closed connections are retained
+/// so a post-mortem snapshot still accounts for every frame.
+struct ConnectionSnapshot {
+  uint64_t id = 0;                 ///< accept-order connection id
+  bool open = false;               ///< still connected when sampled
+  uint64_t frames = 0;             ///< well-formed frames decoded
+  uint64_t frame_errors = 0;       ///< typed FrameErrors (connection fatal)
+  uint64_t tuples_accepted = 0;    ///< handed to the sink
+  uint64_t tuples_dropped = 0;     ///< shed by the backpressure policy
+  uint64_t deadline_expiries = 0;  ///< kBlockWithDeadline timeouts
+};
+
+/// Point-in-time view of the TCP front door: totals plus per-connection
+/// counters and the merged ingest-latency histogram (frame decode start to
+/// sink handoff, nanoseconds).
+struct IngestSnapshot {
+  uint64_t connections_opened = 0;
+  uint64_t connections_open = 0;
+  uint64_t connections_closed_on_error = 0;  ///< protocol-error closes
+  uint64_t frames = 0;
+  uint64_t frame_errors = 0;
+  uint64_t tuples_accepted = 0;
+  uint64_t tuples_dropped = 0;
+  uint64_t deadline_expiries = 0;
+  LatencyHistogram::Snapshot ingest_latency_ns;
+  std::vector<ConnectionSnapshot> connections;
+};
+
 /// Point-in-time view of the whole parallel runtime: per-shard flow
 /// counters plus the merged per-batch drain-latency histogram.
 struct RuntimeSnapshot {
@@ -51,6 +81,10 @@ struct RuntimeSnapshot {
   LatencyHistogram::Snapshot batch_sizes;       ///< drained elements/batch
   const char* backpressure = "block";  ///< engine ring-full policy name
   uint64_t checkpoint_interval = 0;    ///< tuples per checkpoint; 0 = off
+  /// Front-door view, attached by the caller when an IngestServer fronts
+  /// this runtime (rs.ingest = server.snapshot(); rs.has_ingest = true).
+  IngestSnapshot ingest;
+  bool has_ingest = false;
 
   uint64_t total_in() const { return Sum(&ShardSnapshot::tuples_in); }
   uint64_t total_out() const { return Sum(&ShardSnapshot::tuples_out); }

@@ -1,0 +1,749 @@
+// Deterministic model-checking of MpmcRing (tests/model/, DESIGN.md §14):
+// exhaustive bounded-preemption exploration of producer×producer×consumer
+// claim/publish/wrap/close interleavings against a per-producer-order
+// oracle. Claim (the tail_ CAS) and publish (the per-slot seq store) are
+// SEPARATE scheduler-visible steps — the whole point of the MPMC protocol
+// is that another producer's claim or publish, a consumer claim, or a
+// close() can land between them, and the step machines below expose every
+// such window. Parking replays the exact snapshot/recheck/wait protocol of
+// WaitForData/WaitForSpace via the ring's *_event_word() and
+// pop_ready_or_settled()/push_space_or_closed() introspection hooks.
+//
+// Checked on EVERY explored schedule:
+//   * exactly-once + per-producer FIFO: producer p's values appear in the
+//     popped sequence exactly once, in publish order (claims are handed to
+//     the one consumer in position order, so the merged sequence preserves
+//     each producer's subsequence);
+//   * conservation: popped + unconsumed == reserved at every step, and at
+//     termination everything reserved was published, claimed and released
+//     (no lost slot, no double-handout, settle-before-shutdown);
+//   * no lost wakeup: a consumer parked across close-with-in-flight
+//     reservations must be woken by the publisher's event bump — a missed
+//     bump surfaces as a deadlock (no enabled thread with work remaining).
+//
+// Budget knobs (PR gate defaults in brackets; the nightly job raises
+// them): SLICK_MODEL_MPMC_OPS [2] elements per producer,
+// SLICK_MODEL_CAPACITY [2] min ring capacity, SLICK_MODEL_PREEMPTIONS [4]
+// bound (-1 = unbounded), SLICK_MODEL_MAX_SCHEDULES [2M] runaway cap.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/virtual_scheduler.h"
+#include "runtime/mpmc_ring.h"
+
+namespace slick::model {
+namespace {
+
+using runtime::MpmcRing;
+
+/// Value encoding: producer p's i-th element is p * 1000 + i, so the
+/// oracles can recover (producer, index) from any popped value.
+constexpr int kProducerStride = 1000;
+
+struct MpmcWorld {
+  MpmcWorld(std::size_t min_capacity, std::size_t producers)
+      : ring(min_capacity), accepted_per(producers, 0) {}
+
+  MpmcRing<int> ring;
+  std::vector<int> popped;  ///< committed consume order (oracle input)
+  std::vector<int> accepted_per;  ///< per-producer published counts
+  uint64_t reserved = 0;    ///< slots claimed by producers (tail_ advance)
+  uint64_t published = 0;   ///< slots whose seq store has landed
+  int done_producers = 0;
+  bool crash_dead = false;  ///< crash scenario: consumer fail-stopped
+  bool reset_done = false;  ///< crash scenario: ResetClaims has run
+};
+
+/// Producer: claims spans of up to `claim_max` slots (one scheduler step —
+/// the tail_ CAS), writes them, then publishes ONE slot per step (the
+/// per-slot seq store), exposing every reserved-but-unpublished window to
+/// the other threads. Optionally closes when done. The wait path mirrors
+/// push_n + WaitForSpace.
+class MpmcProducerThread : public VirtualThread {
+ public:
+  MpmcProducerThread(MpmcWorld* w, int id, int n, std::size_t claim_max,
+                     bool close_when_done)
+      : w_(w), id_(id), n_(n), claim_max_(claim_max),
+        close_when_done_(close_when_done) {}
+
+  void Step() override {
+    switch (state_) {
+      case State::kClaim: {
+        const std::size_t want =
+            std::min(claim_max_, static_cast<std::size_t>(n_ - next_));
+        std::size_t k = 0;
+        int* span = w_->ring.TryClaimPush(want, &k);
+        if (span != nullptr) {
+          for (std::size_t i = 0; i < k; ++i) {
+            span[i] = id_ * kProducerStride + next_ + static_cast<int>(i);
+          }
+          w_->reserved += k;
+          span_ = span;
+          claimed_ = k;
+          pub_off_ = 0;
+          state_ = State::kPublish;
+        } else {
+          state_ = State::kCheckClosed;
+        }
+        return;
+      }
+      case State::kPublish:
+        // One slot per step: a split publish is legal (suffix pieces), and
+        // each piece's position is recovered from its own span pointer.
+        w_->ring.PublishPush(span_ + pub_off_, 1);
+        ++w_->published;
+        ++w_->accepted_per[static_cast<std::size_t>(id_)];
+        ++pub_off_;
+        if (pub_off_ == claimed_) {
+          next_ += static_cast<int>(claimed_);
+          if (next_ == n_) {
+            state_ = close_when_done_ ? State::kClose : State::kDone;
+            if (state_ == State::kDone) ++w_->done_producers;
+          } else {
+            state_ = State::kClaim;
+          }
+        }
+        return;
+      case State::kCheckClosed:
+        // push_n gives up on a closed ring (remaining elements rejected).
+        if (w_->ring.closed()) {
+          state_ = State::kDone;
+          ++w_->done_producers;
+        } else {
+          state_ = State::kSnapshotEvent;
+        }
+        return;
+      case State::kSnapshotEvent:
+        event_snapshot_ = w_->ring.head_event_word();
+        state_ = State::kRecheck;
+        return;
+      case State::kRecheck:
+        // WaitForSpace: recheck the wake predicate before parking.
+        state_ = w_->ring.push_space_or_closed() ? State::kClaim
+                                                 : State::kParked;
+        return;
+      case State::kParked:
+        state_ = State::kClaim;  // scheduled ⇒ the wake predicate held
+        return;
+      case State::kClose:
+        w_->ring.close();
+        state_ = State::kDone;
+        ++w_->done_producers;
+        return;
+      case State::kDone:
+        return;
+    }
+  }
+  bool Done() const override { return state_ == State::kDone; }
+  bool Parked() const override {
+    return state_ == State::kParked &&
+           w_->ring.head_event_word() == event_snapshot_;
+  }
+
+ private:
+  enum class State {
+    kClaim,
+    kPublish,
+    kCheckClosed,
+    kSnapshotEvent,
+    kRecheck,
+    kParked,
+    kClose,
+    kDone,
+  };
+  MpmcWorld* w_;
+  const int id_;
+  const int n_;
+  const std::size_t claim_max_;
+  const bool close_when_done_;
+  State state_ = State::kClaim;
+  int next_ = 0;
+  int* span_ = nullptr;
+  std::size_t claimed_ = 0;
+  std::size_t pub_off_ = 0;
+  uint32_t event_snapshot_ = 0;
+};
+
+/// Consumer: mirrors the ShardWorker drain loop over pop_n/ClaimPop —
+/// including the settle logic: after observing closed, a failed pop with
+/// reservations still in flight (unconsumed() > 0) goes back to PARK on
+/// tail_event_, because the in-flight publisher's event bump is the only
+/// wake — precisely the close-race window the scenarios below exhaust.
+class MpmcConsumerThread : public VirtualThread {
+ public:
+  MpmcConsumerThread(MpmcWorld* w, std::size_t batch, bool await_reset)
+      : w_(w), batch_(batch) {
+    if (await_reset) state_ = State::kAwaitReset;
+  }
+
+  void Step() override {
+    std::vector<int> buf(batch_);
+    switch (state_) {
+      case State::kAwaitReset:
+        state_ = State::kTryPop;  // scheduled ⇒ reset_done flipped
+        return;
+      case State::kTryPop: {
+        const std::size_t k = w_->ring.try_pop_n(buf.data(), batch_);
+        if (k > 0) {
+          w_->popped.insert(w_->popped.end(), buf.begin(),
+                            buf.begin() + static_cast<std::ptrdiff_t>(k));
+        } else {
+          state_ = State::kCheckClosed;
+        }
+        return;
+      }
+      case State::kCheckClosed:
+        state_ = w_->ring.closed() ? State::kFinalPop : State::kSnapshotEvent;
+        return;
+      case State::kFinalPop: {
+        // ClaimPop's post-close sequence: re-poll, then settle-check.
+        const std::size_t k = w_->ring.try_pop_n(buf.data(), batch_);
+        if (k > 0) {
+          w_->popped.insert(w_->popped.end(), buf.begin(),
+                            buf.begin() + static_cast<std::ptrdiff_t>(k));
+          state_ = State::kTryPop;
+        } else if (w_->ring.unconsumed() == 0) {
+          state_ = State::kDone;  // closed AND settled: shutdown signal
+        } else {
+          // Reserved-but-unpublished slots remain: park until the
+          // in-flight publish bumps tail_event_.
+          state_ = State::kSnapshotEvent;
+        }
+        return;
+      }
+      case State::kSnapshotEvent:
+        event_snapshot_ = w_->ring.tail_event_word();
+        state_ = State::kRecheck;
+        return;
+      case State::kRecheck:
+        state_ = w_->ring.pop_ready_or_settled() ? State::kTryPop
+                                                 : State::kParked;
+        return;
+      case State::kParked:
+        state_ = State::kTryPop;
+        return;
+      case State::kDone:
+        return;
+    }
+  }
+  bool Done() const override { return state_ == State::kDone; }
+  bool Parked() const override {
+    if (state_ == State::kAwaitReset) return !w_->reset_done;
+    return state_ == State::kParked &&
+           w_->ring.tail_event_word() == event_snapshot_;
+  }
+
+ private:
+  enum class State {
+    kAwaitReset,  // crash scenario's replay consumer: gated on ResetClaims
+    kTryPop,
+    kCheckClosed,
+    kFinalPop,
+    kSnapshotEvent,
+    kRecheck,
+    kParked,
+    kDone,
+  };
+  MpmcWorld* w_;
+  const std::size_t batch_;
+  State state_ = State::kTryPop;
+  uint32_t event_snapshot_ = 0;
+};
+
+/// Consumer draining via TryClaimPop with deferred batched releases (the
+/// supervised ShardWorker shape): claims outlive batches, so close() can
+/// land while a claimed span is held — the PR 5 regression, now under
+/// concurrent producers.
+class ClaimingMpmcConsumerThread : public VirtualThread {
+ public:
+  ClaimingMpmcConsumerThread(MpmcWorld* w, std::size_t batch,
+                             std::size_t release_threshold)
+      : w_(w), batch_(batch), release_threshold_(release_threshold) {}
+
+  void Step() override {
+    switch (state_) {
+      case State::kClaim:
+      case State::kFinalClaim: {
+        const bool final_pass = state_ == State::kFinalClaim;
+        std::size_t n = 0;
+        int* span = w_->ring.TryClaimPop(batch_, &n);
+        if (span != nullptr) {
+          // Observing the span IS the consume for the oracle: a
+          // double-handout shows up as an exactly-once failure.
+          w_->popped.insert(w_->popped.end(), span, span + n);
+          pending_ += n;
+          state_ = State::kMaybeRelease;
+        } else if (!final_pass) {
+          state_ = State::kCheckClosed;
+        } else if (w_->ring.unconsumed() == 0) {
+          state_ = State::kFinalRelease;  // closed AND settled
+        } else {
+          state_ = State::kSnapshotEvent;  // in-flight publish: park
+        }
+        return;
+      }
+      case State::kMaybeRelease:
+        if (pending_ >= release_threshold_) {
+          w_->ring.ReleasePop(pending_);
+          pending_ = 0;
+        }
+        state_ = State::kClaim;
+        return;
+      case State::kCheckClosed:
+        state_ =
+            w_->ring.closed() ? State::kFinalClaim : State::kSnapshotEvent;
+        return;
+      case State::kSnapshotEvent:
+        event_snapshot_ = w_->ring.tail_event_word();
+        state_ = State::kRecheck;
+        return;
+      case State::kRecheck:
+        state_ = w_->ring.pop_ready_or_settled() ? State::kClaim
+                                                 : State::kParked;
+        return;
+      case State::kParked:
+        state_ = State::kClaim;
+        return;
+      case State::kFinalRelease:
+        if (pending_ > 0) {
+          w_->ring.ReleasePop(pending_);
+          pending_ = 0;
+        }
+        state_ = State::kDone;
+        return;
+      case State::kDone:
+        return;
+    }
+  }
+  bool Done() const override { return state_ == State::kDone; }
+  bool Parked() const override {
+    return state_ == State::kParked &&
+           w_->ring.tail_event_word() == event_snapshot_;
+  }
+
+ private:
+  enum class State {
+    kClaim,
+    kMaybeRelease,
+    kCheckClosed,
+    kSnapshotEvent,
+    kRecheck,
+    kParked,
+    kFinalClaim,
+    kFinalRelease,
+    kDone,
+  };
+  MpmcWorld* w_;
+  const std::size_t batch_;
+  const std::size_t release_threshold_;
+  State state_ = State::kClaim;
+  std::size_t pending_ = 0;
+  uint32_t event_snapshot_ = 0;
+};
+
+/// Crash-scenario consumer: claims one element per step, COMMITS (records
+/// to the oracle) only what it releases, and fail-stops after
+/// `die_after` claims — holding an unreleased claimed span, exactly the
+/// state a killed supervised worker leaves behind. Its unreleased claims
+/// are deliberately NOT recorded: recovery must replay them exactly once.
+class CrashingConsumerThread : public VirtualThread {
+ public:
+  CrashingConsumerThread(MpmcWorld* w, std::size_t release_threshold,
+                         std::size_t die_after)
+      : w_(w), release_threshold_(release_threshold), die_after_(die_after) {}
+
+  void Step() override {
+    switch (state_) {
+      case State::kClaim: {
+        std::size_t n = 0;
+        int* span = w_->ring.TryClaimPop(1, &n);
+        if (span != nullptr) {
+          pending_.push_back(*span);
+          ++claimed_;
+          if (claimed_ == die_after_) {
+            // Fail-stop mid-hold: uncommitted claims die with the worker.
+            state_ = State::kDead;
+            w_->crash_dead = true;
+          } else {
+            state_ = State::kMaybeRelease;
+          }
+        } else {
+          state_ = State::kSnapshotEvent;
+        }
+        return;
+      }
+      case State::kMaybeRelease:
+        if (pending_.size() >= release_threshold_) {
+          w_->ring.ReleasePop(pending_.size());
+          // Release == commit: only now do the values count as consumed.
+          w_->popped.insert(w_->popped.end(), pending_.begin(),
+                            pending_.end());
+          pending_.clear();
+        }
+        state_ = State::kClaim;
+        return;
+      case State::kSnapshotEvent:
+        event_snapshot_ = w_->ring.tail_event_word();
+        state_ = State::kRecheck;
+        return;
+      case State::kRecheck:
+        state_ = w_->ring.pop_ready_or_settled() ? State::kClaim
+                                                 : State::kParked;
+        return;
+      case State::kParked:
+        state_ = State::kClaim;
+        return;
+      case State::kDead:
+        return;
+    }
+  }
+  bool Done() const override { return state_ == State::kDead; }
+  bool Parked() const override {
+    return state_ == State::kParked &&
+           w_->ring.tail_event_word() == event_snapshot_;
+  }
+
+ private:
+  enum class State {
+    kClaim,
+    kMaybeRelease,
+    kSnapshotEvent,
+    kRecheck,
+    kParked,
+    kDead,
+  };
+  MpmcWorld* w_;
+  const std::size_t release_threshold_;
+  const std::size_t die_after_;
+  State state_ = State::kClaim;
+  std::size_t claimed_ = 0;
+  std::vector<int> pending_;
+  uint32_t event_snapshot_ = 0;
+};
+
+/// Supervisor: waits (parked) for the consumer's fail-stop, then rewinds
+/// the claim cursor at quiescence — the RecoverAndRestart step, minus the
+/// aggregator restore. Gating on crash_dead models "after join".
+class SupervisorThread : public VirtualThread {
+ public:
+  explicit SupervisorThread(MpmcWorld* w) : w_(w) {}
+  void Step() override {
+    w_->ring.ResetClaims();
+    w_->reset_done = true;
+    done_ = true;
+  }
+  bool Done() const override { return done_; }
+  bool Parked() const override { return !w_->crash_dead; }
+
+ private:
+  MpmcWorld* w_;
+  bool done_ = false;
+};
+
+/// Closer, optionally gated on every producer finishing (the engine's
+/// shutdown order); ungated it races the producers at every point.
+class MpmcCloserThread : public VirtualThread {
+ public:
+  MpmcCloserThread(MpmcWorld* w, int await_producers)
+      : w_(w), await_producers_(await_producers) {}
+  void Step() override {
+    w_->ring.close();
+    done_ = true;
+  }
+  bool Done() const override { return done_; }
+  bool Parked() const override {
+    return w_->done_producers < await_producers_;
+  }
+
+ private:
+  MpmcWorld* w_;
+  const int await_producers_;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+struct OwnedWorld {
+  std::unique_ptr<MpmcWorld> state;
+  std::vector<std::unique_ptr<VirtualThread>> threads;
+  World world;
+};
+
+/// Exactly-once + per-producer order: decode (producer, index) from each
+/// popped value and require every producer's subsequence to read 0,1,2,...
+/// A duplicate, a skip, a reorder or a phantom value all fail here.
+std::string CheckPerProducerOrder(const MpmcWorld& s) {
+  std::vector<int> next(s.accepted_per.size(), 0);
+  for (const int v : s.popped) {
+    const int p = v / kProducerStride;
+    const int i = v % kProducerStride;
+    if (p < 0 || static_cast<std::size_t>(p) >= next.size()) {
+      return "phantom value " + std::to_string(v);
+    }
+    if (i != next[static_cast<std::size_t>(p)]) {
+      return "producer " + std::to_string(p) + " subsequence broken: got " +
+             std::to_string(i) + ", expected " +
+             std::to_string(next[static_cast<std::size_t>(p)]);
+    }
+    ++next[static_cast<std::size_t>(p)];
+  }
+  return "";
+}
+
+/// `conservation`: popped + unconsumed == reserved must hold after every
+/// step (true whenever the oracle records at claim time — the crash
+/// scenario records at release time and skips it). Final checks are shared:
+/// everything reserved was published, consumed exactly once, and released.
+void WireMpmcOracles(OwnedWorld* ow, bool conservation) {
+  MpmcWorld* s = ow->state.get();
+  ow->world.check_step = [s, conservation](const auto& fail) {
+    if (s->popped.size() > s->published) {
+      fail("consumed a slot nobody published: popped=" +
+           std::to_string(s->popped.size()) + " published=" +
+           std::to_string(s->published));
+      return;
+    }
+    const std::string order = CheckPerProducerOrder(*s);
+    if (!order.empty()) {
+      fail("exactly-once/order violation: " + order);
+      return;
+    }
+    if (conservation &&
+        s->popped.size() + s->ring.unconsumed() != s->reserved) {
+      fail("conservation violated mid-run: reserved=" +
+           std::to_string(s->reserved) + " popped=" +
+           std::to_string(s->popped.size()) + " unconsumed=" +
+           std::to_string(s->ring.unconsumed()));
+    }
+  };
+  ow->world.check_final = [s](const auto& fail) {
+    uint64_t accepted = 0;
+    for (const int a : s->accepted_per) {
+      accepted += static_cast<uint64_t>(a);
+    }
+    if (s->published != s->reserved) {
+      fail("reserved slot never published: reserved=" +
+           std::to_string(s->reserved) + " published=" +
+           std::to_string(s->published));
+      return;
+    }
+    if (s->popped.size() != s->published || accepted != s->published) {
+      fail("lost or duplicated slots at termination: published=" +
+           std::to_string(s->published) + " popped=" +
+           std::to_string(s->popped.size()));
+      return;
+    }
+    if (s->ring.unconsumed() != 0 || s->ring.unreleased() != 0 ||
+        !s->ring.empty()) {
+      fail("ring not settled at termination: unconsumed=" +
+           std::to_string(s->ring.unconsumed()) + " unreleased=" +
+           std::to_string(s->ring.unreleased()));
+      return;
+    }
+    const std::string order = CheckPerProducerOrder(*s);
+    if (!order.empty()) fail("final order violation: " + order);
+  };
+  for (auto& t : ow->threads) ow->world.threads.push_back(t.get());
+}
+
+struct ModelConfig {
+  int ops;
+  std::size_t capacity;
+  std::size_t batch;
+  ExploreOptions explore;
+};
+
+ModelConfig ConfigFromEnv() {
+  ModelConfig cfg;
+  // Two scheduler steps per element (claim, publish) and two producers
+  // double the depth per op vs. the SPSC model — hence the smaller default.
+  cfg.ops = static_cast<int>(EnvKnob("SLICK_MODEL_MPMC_OPS", 2));
+  cfg.capacity =
+      static_cast<std::size_t>(EnvKnob("SLICK_MODEL_CAPACITY", 2));
+  cfg.batch = 2;
+  cfg.explore.preemption_bound =
+      static_cast<int>(EnvKnob("SLICK_MODEL_PREEMPTIONS", 4));
+  cfg.explore.max_schedules = static_cast<uint64_t>(
+      EnvKnob("SLICK_MODEL_MAX_SCHEDULES", 2'000'000));
+  return cfg;
+}
+
+void ReportAndExpectExhausted(const ExploreResult& r, const char* what) {
+  EXPECT_FALSE(r.failed) << what << ": " << r.failure;
+  EXPECT_TRUE(r.exhausted)
+      << what << ": bounded schedule space not exhausted within "
+      << r.schedules << " schedules — raise SLICK_MODEL_MAX_SCHEDULES";
+  EXPECT_GT(r.schedules, 0u);
+  std::printf("[model] %-32s schedules=%llu steps=%llu max_depth=%llu\n",
+              what, static_cast<unsigned long long>(r.schedules),
+              static_cast<unsigned long long>(r.steps),
+              static_cast<unsigned long long>(r.max_depth));
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// Steady state → shutdown: two producers racing claims and publishes into
+/// one ring, the consumer draining concurrently, close() after both finish
+/// (the engine's quiesce-then-stop order). Swept over capacities so the
+/// wrap boundary (capacity 2 wraps every other claim) is exhausted too.
+TEST(MpmcRingModel, TwoProducersDrainToClose) {
+  const ModelConfig cfg = ConfigFromEnv();
+  for (std::size_t cap : {std::size_t{2}, std::size_t{4}}) {
+    ScheduleExplorer explorer(cfg.explore);
+    const ExploreResult r = explorer.Explore([&] {
+      auto ow = std::make_unique<OwnedWorld>();
+      ow->state = std::make_unique<MpmcWorld>(cap, /*producers=*/2);
+      ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+          ow->state.get(), /*id=*/0, cfg.ops, /*claim_max=*/1,
+          /*close_when_done=*/false));
+      ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+          ow->state.get(), /*id=*/1, cfg.ops, /*claim_max=*/1,
+          /*close_when_done=*/false));
+      ow->threads.push_back(std::make_unique<MpmcConsumerThread>(
+          ow->state.get(), cfg.batch, /*await_reset=*/false));
+      ow->threads.push_back(std::make_unique<MpmcCloserThread>(
+          ow->state.get(), /*await_producers=*/2));
+      WireMpmcOracles(ow.get(), /*conservation=*/true);
+      return ow;
+    });
+    ReportAndExpectExhausted(
+        r, ("TwoProducersDrainToClose/cap" + std::to_string(cap)).c_str());
+  }
+}
+
+/// Multi-slot claims published piecewise: producer 0 claims spans of up to
+/// two slots and publishes them one per step, so a claim's tail is still
+/// unpublished while its head is live — the published-prefix walk in
+/// TryClaimPop must stop at the gap, and the gap's eventual publish must
+/// wake a parked consumer.
+TEST(MpmcRingModel, PiecewisePublishKeepsPrefixContiguous) {
+  const ModelConfig cfg = ConfigFromEnv();
+  ScheduleExplorer explorer(cfg.explore);
+  const ExploreResult r = explorer.Explore([&] {
+    auto ow = std::make_unique<OwnedWorld>();
+    ow->state = std::make_unique<MpmcWorld>(/*capacity=*/4, /*producers=*/2);
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/0, cfg.ops, /*claim_max=*/2,
+        /*close_when_done=*/false));
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/1, cfg.ops, /*claim_max=*/1,
+        /*close_when_done=*/false));
+    ow->threads.push_back(std::make_unique<MpmcConsumerThread>(
+        ow->state.get(), cfg.batch, /*await_reset=*/false));
+    ow->threads.push_back(std::make_unique<MpmcCloserThread>(
+        ow->state.get(), /*await_producers=*/2));
+    WireMpmcOracles(ow.get(), /*conservation=*/true);
+    return ow;
+  });
+  ReportAndExpectExhausted(r, "PiecewisePublishKeepsPrefixContiguous");
+}
+
+/// An UNGATED closer races both producers at every point — including
+/// inside a claim/publish window. A producer cut off mid-stream must have
+/// its already-reserved slots drain (reservations settle, ClaimPop waits
+/// for the in-flight publish rather than stranding it) and its
+/// never-claimed elements rejected, with nothing lost or duplicated.
+TEST(MpmcRingModel, CloseRaceTwoProducers) {
+  ModelConfig cfg = ConfigFromEnv();
+  // An ungated closer is runnable at every decision point, which multiplies
+  // the schedule count by the depth; the race windows it exists to exhaust
+  // (close before a claim, inside a claim/publish window, after a publish)
+  // are all per-element, so one element fewer per producer keeps every
+  // window while staying under the schedule cap at the PR-gate defaults.
+  cfg.ops = std::max(1, cfg.ops - 1);
+  ScheduleExplorer explorer(cfg.explore);
+  const ExploreResult r = explorer.Explore([&] {
+    auto ow = std::make_unique<OwnedWorld>();
+    ow->state =
+        std::make_unique<MpmcWorld>(cfg.capacity, /*producers=*/2);
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/0, cfg.ops, /*claim_max=*/1,
+        /*close_when_done=*/false));
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/1, cfg.ops, /*claim_max=*/1,
+        /*close_when_done=*/false));
+    ow->threads.push_back(std::make_unique<MpmcConsumerThread>(
+        ow->state.get(), cfg.batch, /*await_reset=*/false));
+    ow->threads.push_back(
+        std::make_unique<MpmcCloserThread>(ow->state.get(),
+                                           /*await_producers=*/0));
+    WireMpmcOracles(ow.get(), /*conservation=*/true);
+    return ow;
+  });
+  ReportAndExpectExhausted(r, "CloseRaceTwoProducers");
+}
+
+/// Supervised-worker drain shape under concurrent producers: claims with
+/// deferred batched releases, close landing while a claimed span is held.
+/// The held span must never be re-handed out, and the remainder must drain
+/// exactly once (the PR 5 claim-cursor regression, on the MPMC ring).
+TEST(MpmcRingModel, HeldClaimCloseDrainsOnce) {
+  const ModelConfig cfg = ConfigFromEnv();
+  ScheduleExplorer explorer(cfg.explore);
+  const ExploreResult r = explorer.Explore([&] {
+    auto ow = std::make_unique<OwnedWorld>();
+    ow->state = std::make_unique<MpmcWorld>(/*capacity=*/4, /*producers=*/2);
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/0, cfg.ops, /*claim_max=*/1,
+        /*close_when_done=*/false));
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/1, cfg.ops, /*claim_max=*/1,
+        /*close_when_done=*/false));
+    ow->threads.push_back(std::make_unique<ClaimingMpmcConsumerThread>(
+        ow->state.get(), /*batch=*/2, /*release_threshold=*/3));
+    ow->threads.push_back(std::make_unique<MpmcCloserThread>(
+        ow->state.get(), /*await_producers=*/2));
+    WireMpmcOracles(ow.get(), /*conservation=*/true);
+    return ow;
+  });
+  ReportAndExpectExhausted(r, "HeldClaimCloseDrainsOnce");
+}
+
+/// Crash → ResetClaims → replay, under concurrent producers: the consumer
+/// fail-stops holding an unreleased claimed span; the supervisor rewinds
+/// the claim cursor at quiescence; a replay consumer re-drains. Everything
+/// the dead consumer released stays consumed exactly once, everything it
+/// held is replayed exactly once — bit-identical recovery's ring half.
+/// Works precisely because releases never reset seq words (the replayed
+/// span is still marked published).
+TEST(MpmcRingModel, CrashResetClaimsReplaysExactlyOnce) {
+  const ModelConfig cfg = ConfigFromEnv();
+  ScheduleExplorer explorer(cfg.explore);
+  const ExploreResult r = explorer.Explore([&] {
+    auto ow = std::make_unique<OwnedWorld>();
+    ow->state = std::make_unique<MpmcWorld>(/*capacity=*/4, /*producers=*/2);
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/0, cfg.ops, /*claim_max=*/1,
+        /*close_when_done=*/false));
+    ow->threads.push_back(std::make_unique<MpmcProducerThread>(
+        ow->state.get(), /*id=*/1, cfg.ops, /*claim_max=*/1,
+        /*close_when_done=*/false));
+    // Commits (releases) two, then dies holding the third claim.
+    ow->threads.push_back(std::make_unique<CrashingConsumerThread>(
+        ow->state.get(), /*release_threshold=*/2, /*die_after=*/3));
+    ow->threads.push_back(std::make_unique<SupervisorThread>(ow->state.get()));
+    ow->threads.push_back(std::make_unique<MpmcConsumerThread>(
+        ow->state.get(), cfg.batch, /*await_reset=*/true));
+    ow->threads.push_back(std::make_unique<MpmcCloserThread>(
+        ow->state.get(), /*await_producers=*/2));
+    // Release-time recording: mid-run conservation does not apply.
+    WireMpmcOracles(ow.get(), /*conservation=*/false);
+    return ow;
+  });
+  ReportAndExpectExhausted(r, "CrashResetClaimsReplaysExactlyOnce");
+}
+
+}  // namespace
+}  // namespace slick::model

@@ -1,0 +1,226 @@
+// Ring conformance suite: the shared contract that lets ShardWorker and
+// the supervised-recovery replay run unchanged over either ring type
+// (DESIGN.md §14.1), pinned as a type-parameterized suite over SpscRing
+// and MpmcRing. Covers the producer/consumer API shape, close semantics
+// (drain-then-signal, wakeups), and the PR 5 claim-cursor regressions
+// (disjoint sequential claims, close with a held unreleased claim,
+// ResetClaims replay) — any future ring must pass this suite verbatim to
+// be selectable in ParallelShardedEngine.
+
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/mpmc_ring.h"
+#include "runtime/spsc_ring.h"
+
+namespace slick {
+namespace {
+
+template <typename Ring>
+class RingConformanceTest : public ::testing::Test {};
+
+using RingTypes =
+    ::testing::Types<runtime::SpscRing<int>, runtime::MpmcRing<int>>;
+
+class RingTypeNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return T::kMultiProducer ? "Mpmc" : "Spsc";
+  }
+};
+
+TYPED_TEST_SUITE(RingConformanceTest, RingTypes, RingTypeNames);
+
+TYPED_TEST(RingConformanceTest, MultiProducerTraitIsDeclared) {
+  // The engine keys Producer-handle support on this trait; both values
+  // must be well-defined compile-time constants.
+  constexpr bool mp = TypeParam::kMultiProducer;
+  EXPECT_TRUE(mp == true || mp == false);
+}
+
+TYPED_TEST(RingConformanceTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TypeParam(100).capacity(), 128u);
+  EXPECT_EQ(TypeParam(64).capacity(), 64u);
+  EXPECT_EQ(TypeParam(1).capacity(), 2u);
+}
+
+TYPED_TEST(RingConformanceTest, FifoOrderAcrossWraps) {
+  TypeParam ring(8);
+  int out[4];
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_push(next_in));
+      ++next_in;
+    }
+    std::size_t n = ring.try_pop_n(out, 3);
+    ASSERT_EQ(n, 3u);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], next_out++);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TYPED_TEST(RingConformanceTest, BoundedAndPartialBatches) {
+  TypeParam ring(8);
+  std::vector<int> src(12);
+  std::iota(src.begin(), src.end(), 0);
+  EXPECT_EQ(ring.try_push_n(src.data(), 5), 5u);
+  EXPECT_EQ(ring.try_push_n(src.data() + 5, 7), 3u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_FALSE(ring.try_push(99));
+  int out[16];
+  EXPECT_EQ(ring.try_pop_n(out, 16), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.try_pop_n(out, 16), 0u);
+}
+
+TYPED_TEST(RingConformanceTest, ClaimPushPublishRoundTrip) {
+  TypeParam ring(8);
+  std::size_t n = 0;
+  int* span = ring.TryClaimPush(3, &n);
+  ASSERT_NE(span, nullptr);
+  ASSERT_EQ(n, 3u);
+  std::iota(span, span + 3, 10);
+  // Nothing is visible until the publish (both rings defer visibility —
+  // the SPSC ring via its tail store, the MPMC ring via per-slot seqs).
+  int out[4];
+  EXPECT_EQ(ring.try_pop_n(out, 4), 0u);
+  ring.PublishPush(span, 3);
+  EXPECT_EQ(ring.try_pop_n(out, 4), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], 10 + i);
+}
+
+TYPED_TEST(RingConformanceTest, CloseDrainsThenSignalsShutdown) {
+  TypeParam ring(8);
+  ASSERT_TRUE(ring.try_push(1));
+  ASSERT_TRUE(ring.try_push(2));
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  EXPECT_FALSE(ring.try_push(3));  // producer rejected after close
+  int out[4];
+  EXPECT_EQ(ring.pop_n(out, 4), 2u);  // pre-close elements still drain
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(ring.pop_n(out, 4), 0u);  // then the shutdown signal
+}
+
+// PR 5 regression: sequential claims without an intervening release must
+// return disjoint spans (the claim cursor, not the release cursor, drives
+// handout) — a consumer deferring releases must never aggregate twice.
+TYPED_TEST(RingConformanceTest, SequentialClaimsAreDisjoint) {
+  TypeParam ring(16);
+  std::vector<int> src(8);
+  std::iota(src.begin(), src.end(), 0);
+  ASSERT_EQ(ring.try_push_n(src.data(), src.size()), src.size());
+  std::size_t n1 = 0, n2 = 0;
+  int* a = ring.TryClaimPop(4, &n1);
+  int* b = ring.TryClaimPop(4, &n2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(n1, 4u);
+  ASSERT_EQ(n2, 4u);
+  EXPECT_EQ(b, a + 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 4 + i);
+  }
+  EXPECT_EQ(ring.unconsumed(), 0u);
+  EXPECT_EQ(ring.unreleased(), 8u);
+  ring.ReleasePop(8);
+  EXPECT_EQ(ring.unreleased(), 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+// PR 5 regression: a held unreleased claim across close() — the post-close
+// drain hands out only the remaining elements, exactly once.
+TYPED_TEST(RingConformanceTest, CloseWithUnreleasedClaimDrainsExactlyOnce) {
+  TypeParam ring(16);
+  std::vector<int> src(10);
+  std::iota(src.begin(), src.end(), 0);
+  ASSERT_EQ(ring.try_push_n(src.data(), src.size()), src.size());
+
+  std::size_t n1 = 0;
+  int* held = ring.TryClaimPop(6, &n1);
+  ASSERT_NE(held, nullptr);
+  ASSERT_EQ(n1, 6u);
+
+  ring.close();
+
+  std::size_t n2 = 0;
+  int* rest = ring.ClaimPop(16, &n2);
+  ASSERT_NE(rest, nullptr);
+  ASSERT_EQ(n2, 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rest[i], 6 + i);
+
+  ring.ReleasePop(n1 + n2);
+  std::size_t n3 = ~std::size_t{0};
+  EXPECT_EQ(ring.ClaimPop(16, &n3), nullptr);
+  EXPECT_EQ(n3, 0u);
+}
+
+// The crash-recovery replay primitive: ResetClaims rewinds the claim
+// cursor so the whole unreleased span is claimable again, in order, with
+// its original values, followed by the never-claimed suffix.
+TYPED_TEST(RingConformanceTest, ResetClaimsReplaysUnreleasedSpan) {
+  TypeParam ring(16);
+  std::vector<int> src(12);
+  std::iota(src.begin(), src.end(), 0);
+  ASSERT_EQ(ring.try_push_n(src.data(), src.size()), src.size());
+
+  std::size_t n = 0;
+  ASSERT_NE(ring.TryClaimPop(4, &n), nullptr);
+  ASSERT_EQ(n, 4u);
+  ring.ReleasePop(4);
+  ASSERT_NE(ring.TryClaimPop(4, &n), nullptr);
+  ASSERT_EQ(n, 4u);
+  EXPECT_EQ(ring.unreleased(), 4u);
+  EXPECT_EQ(ring.unconsumed(), 4u);
+
+  ring.ResetClaims();  // "crash": abandon the claimed batch
+
+  EXPECT_EQ(ring.unreleased(), 0u);
+  EXPECT_EQ(ring.unconsumed(), 8u);
+  int out[16];
+  EXPECT_EQ(ring.try_pop_n(out, 16), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], 4 + i);
+  EXPECT_TRUE(ring.empty());
+}
+
+// close() must wake a consumer parked on an empty ring.
+TYPED_TEST(RingConformanceTest, CloseWakesParkedConsumer) {
+  TypeParam ring(16);
+  std::thread consumer([&ring] {
+    int out[4];
+    EXPECT_EQ(ring.pop_n(out, 4), 0u);  // parks until close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  consumer.join();
+}
+
+// A producer parked on a full ring must be released by the consumer
+// draining (backpressure) — the blocking-push park/wake handshake.
+TYPED_TEST(RingConformanceTest, ConsumerReleasesBlockedProducer) {
+  TypeParam ring(8);
+  std::vector<int> src(32);
+  std::iota(src.begin(), src.end(), 0);
+  std::thread producer([&ring, &src] {
+    EXPECT_EQ(ring.push_n(src.data(), src.size()), src.size());
+  });
+  int expected = 0;
+  int out[8];
+  while (expected < 32) {
+    const std::size_t n = ring.pop_n(out, 8);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], expected++);
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace slick

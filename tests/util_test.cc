@@ -1,11 +1,16 @@
 #include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/frame.h"
 #include "util/math.h"
 #include "util/memory.h"
 #include "util/rng.h"
+#include "util/serde.h"
 #include "util/stats.h"
 
 namespace slick::util {
@@ -160,6 +165,256 @@ TEST(StatsTest, RecorderRoundTrip) {
   EXPECT_EQ(s.count, 3u);
   EXPECT_DOUBLE_EQ(s.min_ns, 2.0);
   EXPECT_TRUE(rec.samples().empty());
+}
+
+// ---------------------------------------------------------------------
+// Adversarial frame decoding (DESIGN.md §14.2). The contract under test:
+// every malformed input yields a typed util::FrameError — never a crash,
+// never a partial tuple — and an incomplete-but-consistent prefix is
+// kNeedMore, not an error. Covers both the stream-level ReadFramed used
+// by checkpoints and the incremental net::FrameDecoder used by the TCP
+// front door (same frame layout, same taxonomy).
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::vector<net::WireTuple> TestTuples(std::size_t n) {
+  std::vector<net::WireTuple> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = {i + 1, static_cast<double>(i) * 0.5};
+  }
+  return v;
+}
+
+std::string GoldenFrame(std::size_t n) {
+  const std::vector<net::WireTuple> tuples = TestTuples(n);
+  std::string out;
+  net::EncodeBatch(tuples.data(), tuples.size(), &out);
+  return out;
+}
+
+/// Wraps an arbitrary payload in a correctly-CRC'd frame, so payload-level
+/// corruption can be tested without tripping the CRC check first.
+std::string FrameOver(const std::string& payload) {
+  std::ostringstream os;
+  WriteFramed(os, payload);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(SerdeFrameTest, ReadFramedRoundTrip) {
+  std::ostringstream os;
+  WriteFramed(os, "hello checkpoint");
+  std::istringstream is(os.str());
+  std::string payload;
+  EXPECT_EQ(ReadFramed(is, &payload), FrameError::kOk);
+  EXPECT_EQ(payload, "hello checkpoint");
+}
+
+TEST(SerdeFrameTest, ReadFramedTruncatedAtEveryPrefix) {
+  std::ostringstream os;
+  WriteFramed(os, "some payload bytes");
+  const std::string full = os.str();
+  // Every strict prefix of a valid frame is a torn write: always the
+  // typed kTruncated, never a crash or a bogus payload.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream is(full.substr(0, cut));
+    std::string payload;
+    EXPECT_EQ(ReadFramed(is, &payload), FrameError::kTruncated)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(SerdeFrameTest, ReadFramedClassifiesHeaderCorruption) {
+  std::ostringstream os;
+  WriteFramed(os, "payload");
+  const std::string full = os.str();
+
+  std::string bad_magic = full;
+  bad_magic[0] ^= 0x01;
+  std::istringstream is1(bad_magic);
+  std::string p;
+  EXPECT_EQ(ReadFramed(is1, &p), FrameError::kBadMagic);
+
+  std::string bad_version = full;
+  bad_version[4] ^= 0x01;
+  std::istringstream is2(bad_version);
+  EXPECT_EQ(ReadFramed(is2, &p), FrameError::kBadVersion);
+
+  std::string bad_crc = full;
+  bad_crc[net::kFrameHeaderBytes] ^= 0x01;  // first payload byte
+  std::istringstream is3(bad_crc);
+  EXPECT_EQ(ReadFramed(is3, &p), FrameError::kCrcMismatch);
+}
+
+TEST(FrameDecoderTest, SplitAtEveryBoundaryIsNeedMoreThenFrame) {
+  const std::string frame = GoldenFrame(3);
+  const std::vector<net::WireTuple> want = TestTuples(3);
+  // Feed the frame in two chunks, cut at every byte boundary: the prefix
+  // must always be kNeedMore (it is consistent with a frame in flight),
+  // and the remainder must complete it to exactly the encoded batch.
+  for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
+    net::FrameDecoder dec;
+    std::vector<net::WireTuple> out;
+    dec.Feed(frame.data(), cut);
+    if (cut < frame.size()) {
+      ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kNeedMore)
+          << "cut " << cut;
+      dec.Feed(frame.data() + cut, frame.size() - cut);
+    }
+    ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kFrame)
+        << "cut " << cut;
+    ASSERT_EQ(out.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(out[i].ts, want[i].ts);
+      EXPECT_DOUBLE_EQ(out[i].v, want[i].v);
+    }
+    EXPECT_EQ(dec.error(), FrameError::kOk);
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+}
+
+TEST(FrameDecoderTest, ByteAtATimeFeedReassemblesManyFrames) {
+  std::string stream = GoldenFrame(2);
+  stream += GoldenFrame(5);
+  stream += GoldenFrame(0);  // an empty batch is a legal frame
+  net::FrameDecoder dec;
+  std::vector<std::size_t> batch_sizes;
+  std::vector<net::WireTuple> out;
+  for (char c : stream) {
+    dec.Feed(&c, 1);
+    while (dec.Next(&out) == net::FrameDecoder::Status::kFrame) {
+      batch_sizes.push_back(out.size());
+    }
+    ASSERT_EQ(dec.error(), FrameError::kOk);
+  }
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{2, 5, 0}));
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, BadMagicMidStreamPoisonsAfterTheGoodFrame) {
+  std::string stream = GoldenFrame(2);
+  stream += "XXXXGARBAGE-NOT-A-FRAME-HEADER";  // > header size, wrong magic
+  net::FrameDecoder dec;
+  dec.Feed(stream.data(), stream.size());
+  std::vector<net::WireTuple> out;
+  // The complete frame ahead of the garbage still decodes...
+  ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.size(), 2u);
+  // ...then the stream poisons with the typed error, and stays poisoned
+  // even if well-formed bytes arrive afterwards (no resync markers).
+  ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kError);
+  EXPECT_EQ(dec.error(), FrameError::kBadMagic);
+  const std::string good = GoldenFrame(1);
+  dec.Feed(good.data(), good.size());
+  EXPECT_EQ(dec.Next(&out), net::FrameDecoder::Status::kError);
+  EXPECT_EQ(dec.error(), FrameError::kBadMagic);
+}
+
+TEST(FrameDecoderTest, UnknownFrameVersionIsTyped) {
+  std::string frame = GoldenFrame(1);
+  frame[4] ^= 0x02;  // version word
+  net::FrameDecoder dec;
+  dec.Feed(frame.data(), frame.size());
+  std::vector<net::WireTuple> out;
+  EXPECT_EQ(dec.Next(&out), net::FrameDecoder::Status::kError);
+  EXPECT_EQ(dec.error(), FrameError::kBadVersion);
+}
+
+TEST(FrameDecoderTest, OversizeDeclaredPayloadRejectedBeforeBuffering) {
+  // A hostile length field must fail from the header alone — the decoder
+  // must not wait for (or try to allocate) the declared 2^40 bytes.
+  std::string header;
+  header.append(reinterpret_cast<const char*>(&kFrameMagic), 4);
+  header.append(reinterpret_cast<const char*>(&kFrameVersion), 4);
+  const uint64_t absurd = uint64_t{1} << 40;
+  header.append(reinterpret_cast<const char*>(&absurd), 8);
+  const uint32_t crc = 0;
+  header.append(reinterpret_cast<const char*>(&crc), 4);
+  net::FrameDecoder dec(/*max_frame_bytes=*/1 << 16);
+  dec.Feed(header.data(), header.size());
+  std::vector<net::WireTuple> out;
+  EXPECT_EQ(dec.Next(&out), net::FrameDecoder::Status::kError);
+  EXPECT_EQ(dec.error(), FrameError::kTruncated);
+}
+
+TEST(FrameDecoderTest, CrcCorruptionFuzzNeverYieldsTuples) {
+  // Flip one random payload bit per round: the CRC must catch every one,
+  // and no round may surface tuples from the corrupt frame.
+  SplitMix64 rng(0x5eedu);
+  const std::string golden = GoldenFrame(8);
+  const std::size_t payload_len = golden.size() - net::kFrameHeaderBytes;
+  for (int round = 0; round < 200; ++round) {
+    std::string frame = golden;
+    const std::size_t byte =
+        net::kFrameHeaderBytes + rng.NextBounded(payload_len);
+    frame[byte] ^= static_cast<char>(1u << rng.NextBounded(8));
+    net::FrameDecoder dec;
+    dec.Feed(frame.data(), frame.size());
+    std::vector<net::WireTuple> out;
+    ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kError)
+        << "round " << round << " byte " << byte;
+    ASSERT_EQ(dec.error(), FrameError::kCrcMismatch);
+  }
+}
+
+TEST(FrameDecoderTest, MalformedBatchPayloadIsBadPayload) {
+  // CRC-valid frames whose batch payload is malformed: wrong inner tag,
+  // wrong batch version, count disagreeing with the byte length (both
+  // directions), and a payload shorter than the batch header. All must
+  // classify as kBadPayload — a verified CRC is not a verified batch.
+  const std::vector<net::WireTuple> tuples = TestTuples(2);
+  std::string base;
+  base.append(reinterpret_cast<const char*>(&net::kIngestBatchTag), 4);
+  base.append(reinterpret_cast<const char*>(&net::kIngestBatchVersion), 4);
+  const uint64_t count = tuples.size();
+  base.append(reinterpret_cast<const char*>(&count), 8);
+  base.append(reinterpret_cast<const char*>(tuples.data()),
+              tuples.size() * sizeof(net::WireTuple));
+
+  std::string wrong_tag = base;
+  wrong_tag[0] ^= 0x01;
+  std::string wrong_version = base;
+  wrong_version[4] ^= 0x01;
+  std::string trailing_garbage = base + "extra";
+  std::string short_data = base.substr(0, base.size() - 1);
+  std::string tiny = base.substr(0, net::kBatchHeaderBytes - 1);
+
+  for (const std::string& payload :
+       {wrong_tag, wrong_version, trailing_garbage, short_data, tiny}) {
+    const std::string frame = FrameOver(payload);
+    net::FrameDecoder dec;
+    dec.Feed(frame.data(), frame.size());
+    std::vector<net::WireTuple> out;
+    ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kError);
+    EXPECT_EQ(dec.error(), FrameError::kBadPayload);
+  }
+
+  // Sanity: the uncorrupted base payload decodes.
+  const std::string frame = FrameOver(base);
+  net::FrameDecoder dec;
+  dec.Feed(frame.data(), frame.size());
+  std::vector<net::WireTuple> out;
+  ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(FrameDecoderTest, BufferedAccountsForTheUnconsumedTail) {
+  const std::string first = GoldenFrame(3);
+  const std::string second = GoldenFrame(1);
+  net::FrameDecoder dec;
+  dec.Feed(first.data(), first.size());
+  dec.Feed(second.data(), second.size() / 2);  // half of the next frame
+  std::vector<net::WireTuple> out;
+  ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(dec.buffered(), second.size() / 2);
+  ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kNeedMore);
+  dec.Feed(second.data() + second.size() / 2,
+           second.size() - second.size() / 2);
+  ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(dec.buffered(), 0u);
 }
 
 TEST(MemoryTest, RssReadable) {

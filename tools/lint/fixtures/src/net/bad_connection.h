@@ -1,0 +1,34 @@
+#pragma once
+// Fixture: src/net/ is a cross-thread dir (PR 7) — the atomic-alignas and
+// relaxed-justified rules must fire here exactly as they do in
+// src/runtime/. Never compiled; slick_lint_test.py pins the findings.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Connection {
+  std::atomic<uint64_t> frames{0};          // atomic-alignas violation
+  alignas(64) std::atomic<bool> open{true};  // padded: no finding
+  // slick-lint: allow(atomic-alignas)
+  std::atomic<uint64_t> waived{0};          // explicitly waived: no finding
+};
+
+class Telemetry {
+ public:
+  uint64_t Total() const {
+    // No ordering-argument comment anywhere in the window ........ filler
+    return frames_.load(std::memory_order_relaxed);  // finding expected
+  }
+
+  uint64_t TotalJustified() const {
+    // relaxed: single-writer counter, snapshot tolerates staleness.
+    return frames_.load(std::memory_order_relaxed);  // justified: no finding
+  }
+
+ private:
+  alignas(64) std::atomic<uint64_t> frames_{0};
+};
+
+}  // namespace fixture

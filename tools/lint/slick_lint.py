@@ -8,11 +8,12 @@ line or the line directly above the finding):
                         call names an explicit std::memory_order argument.
                         Scope: every scanned file.
   atomic-alignas        A std::atomic data member in the cross-thread dirs
-                        (src/runtime/, src/telemetry/) is cache-line padded:
+                        (src/runtime/, src/telemetry/, src/net/) is cache-line
+                        padded:
                         alignas(...) on the member itself or on the
                         enclosing struct/class declaration.
-  relaxed-justified     Every memory_order_relaxed use in src/runtime/ and
-                        src/telemetry/ carries an ordering argument: a
+  relaxed-justified     Every memory_order_relaxed use in the cross-thread
+                        dirs carries an ordering argument: a
                         comment containing the word "relaxed" on the same
                         line or within the preceding 10 lines. Forces the
                         "why is relaxed enough here" proof to live next to
@@ -67,7 +68,7 @@ BANNED = [
      "std::endl is banned in src/ — write '\\n' (no gratuitous flushes)"),
 ]
 
-CROSS_THREAD_DIRS = ("src/runtime/", "src/telemetry/")
+CROSS_THREAD_DIRS = ("src/runtime/", "src/telemetry/", "src/net/")
 DEFAULT_ROOTS = ("src", "bench", "tests", "tools", "examples")
 EXCLUDE_PARTS = ("tools/lint/fixtures",)
 RELAXED_COMMENT_WINDOW = 10

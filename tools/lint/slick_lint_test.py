@@ -20,6 +20,8 @@ EXPECTED_FIXTURE_FINDINGS = [
     ("src/banned_calls.cc", 14, "banned-call"),
     ("src/banned_calls.cc", 18, "banned-call"),
     ("src/guarded_header.h", 1, "pragma-once"),
+    ("src/net/bad_connection.h", 12, "atomic-alignas"),
+    ("src/net/bad_connection.h", 22, "relaxed-justified"),
     ("src/runtime/bad_atomics.h", 12, "atomic-alignas"),
     ("src/runtime/bad_atomics.h", 26, "atomic-memory-order"),
     ("src/runtime/bad_atomics.h", 27, "atomic-memory-order"),
@@ -49,7 +51,7 @@ class FixtureCorpus(unittest.TestCase):
         proc = run_lint("--root", str(FIXTURES))
         self.assertEqual(proc.returncode, 1, proc.stderr)
         self.assertEqual(parse(proc.stdout), EXPECTED_FIXTURE_FINDINGS)
-        self.assertIn("9 finding(s)", proc.stderr)
+        self.assertIn("11 finding(s)", proc.stderr)
 
     def test_clean_file_exits_zero(self):
         proc = run_lint("--root", str(FIXTURES),
