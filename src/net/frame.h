@@ -167,8 +167,13 @@ class FrameDecoder {
     const uint64_t count = detail::LoadPod<uint64_t>(p + 8);
     // The declared count must match the payload byte length EXACTLY —
     // trailing garbage and short tuple data are both malformed, so a
-    // decoded batch can never contain a partial tuple.
-    if (payload.size() - kBatchHeaderBytes != count * sizeof(WireTuple)) {
+    // decoded batch can never contain a partial tuple. Compare by
+    // division, never `count * sizeof(WireTuple)`: that multiply wraps
+    // mod 2^64, so a crafted count (e.g. 2^60 with a 0-tuple body) would
+    // pass the equality and turn the resize below into a length_error
+    // thrown on the event-loop thread.
+    const std::size_t body = payload.size() - kBatchHeaderBytes;
+    if (body % sizeof(WireTuple) != 0 || body / sizeof(WireTuple) != count) {
       return false;
     }
     out->resize(static_cast<std::size_t>(count));

@@ -136,13 +136,7 @@ void IngestServer::RunLoop(std::size_t index) {
   for (auto& c : loop.conns) {
     if (c->fd < 0) continue;
     if (!c->pending.empty()) TryDrainPending(loop, *c);
-    if (!c->pending.empty()) {
-      // relaxed: single-writer telemetry tally (see Connection).
-      c->tuples_dropped.fetch_add(c->pending.size() - c->pending_off,
-                                  std::memory_order_relaxed);
-      c->pending.clear();
-      c->pending_off = 0;
-    }
+    // CloseConnection tallies whatever is still pending as dropped.
     CloseConnection(loop, *c, /*on_error=*/false);
   }
   ::close(loop.epoll_fd);
@@ -340,6 +334,21 @@ void IngestServer::CloseConnection(Loop& loop, Connection& c, bool on_error) {
   c.paused = false;
   ::close(c.fd);  // the kernel drops the epoll registration with the fd
   c.fd = -1;
+  // Tally undelivered pending tuples before freeing the buffer — nothing
+  // can admit them once the fd is gone.
+  if (c.pending.size() > c.pending_off) {
+    // relaxed: telemetry tally; see Connection.
+    c.tuples_dropped.fetch_add(c.pending.size() - c.pending_off,
+                               std::memory_order_relaxed);
+  }
+  // The retained post-mortem entry only needs the atomic counters; drop
+  // the heavy buffers, or connection churn pins up to ~max_frame_bytes of
+  // capacity per closed socket (decoder buffer + scratch + pending) for
+  // the life of the server.
+  c.decoder = FrameDecoder(options_.max_frame_bytes);
+  c.scratch = {};
+  c.pending = {};
+  c.pending_off = 0;
   // relaxed: lifecycle flag for snapshots; no data is published through it.
   c.open.store(false, std::memory_order_relaxed);
   if (on_error) {

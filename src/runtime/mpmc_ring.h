@@ -84,8 +84,13 @@ class MpmcRing {
   /// released. Exact only at quiescence — with concurrent producers any
   /// instantaneous read is advisory.
   std::size_t size() const {
-    const uint64_t t = tail_.load(std::memory_order_acquire);
+    // Consumer cursor FIRST (the acquire orders the pair): head_ can only
+    // lag its true value by the time tail_ is read, so the difference can
+    // only over-count. Reading tail_ first lets a concurrent ReleasePop
+    // advance head_ past the stale tail_ and wrap the unsigned
+    // subtraction to ~2^64.
     const uint64_t h = head_.load(std::memory_order_acquire);
+    const uint64_t t = tail_.load(std::memory_order_acquire);
     return static_cast<std::size_t>(t - h);
   }
   bool empty() const { return size() == 0; }
@@ -360,20 +365,24 @@ class MpmcRing {
   /// — an upper bound on the backlog still to aggregate; exact once every
   /// producer has published.
   std::size_t unconsumed() const {
+    // Consumer cursor FIRST, same as size(): the acquire keeps tail_'s
+    // load from being hoisted above it, so a stale claim_ only makes the
+    // backlog read high — tail_-first can wrap the subtraction to ~2^64
+    // when ClaimPop advances claim_ between the loads.
+    const uint64_t c = claim_.load(std::memory_order_acquire);
     const uint64_t t = tail_.load(std::memory_order_acquire);
-    // relaxed: claim_ carries no payload; pairing with tail_'s acquire
-    // above only ever *under*-counts the backlog by a stale claim.
-    const uint64_t c = claim_.load(std::memory_order_relaxed);
     return static_cast<std::size_t>(t - c);
   }
 
   /// Elements claimed (aggregated or in flight) but not yet released — the
   /// replay span a recovery would re-drain.
   std::size_t unreleased() const {
-    // relaxed: telemetry view; both cursors are monotonic and the
-    // difference is only read for reporting, never to index slots.
-    const uint64_t c = claim_.load(std::memory_order_relaxed);
-    const uint64_t h = head_.load(std::memory_order_relaxed);
+    // Trailing cursor (head_) FIRST, like size()/unconsumed(): a release
+    // landing between the loads then only inflates the span instead of
+    // wrapping claim_ - head_ to ~2^64. Telemetry view only; never used
+    // to index slots.
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    const uint64_t c = claim_.load(std::memory_order_acquire);
     return static_cast<std::size_t>(c - h);
   }
 

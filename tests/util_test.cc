@@ -400,6 +400,34 @@ TEST(FrameDecoderTest, MalformedBatchPayloadIsBadPayload) {
   EXPECT_EQ(out.size(), 2u);
 }
 
+TEST(FrameDecoderTest, OverflowingDeclaredCountIsBadPayloadNotLengthError) {
+  // A count field chosen so `count * sizeof(WireTuple)` wraps mod 2^64 to
+  // the actual body length: the length-match check must be computed
+  // without the multiply, or the CRC-valid frame passes validation and
+  // the resize throws std::length_error through the event loop. count =
+  // 2^60 wraps to 0 (empty body); 2^60 + k wraps to k tuples of body.
+  const std::vector<net::WireTuple> tuples = TestTuples(2);
+  for (const uint64_t wrapping_count :
+       {uint64_t{1} << 60, (uint64_t{1} << 60) + 2, (uint64_t{1} << 62) + 2}) {
+    std::string payload;
+    payload.append(reinterpret_cast<const char*>(&net::kIngestBatchTag), 4);
+    payload.append(reinterpret_cast<const char*>(&net::kIngestBatchVersion),
+                   4);
+    payload.append(reinterpret_cast<const char*>(&wrapping_count), 8);
+    const std::size_t body =
+        static_cast<std::size_t>(wrapping_count * sizeof(net::WireTuple));
+    payload.append(reinterpret_cast<const char*>(tuples.data()), body);
+    const std::string frame = FrameOver(payload);
+    net::FrameDecoder dec;
+    dec.Feed(frame.data(), frame.size());
+    std::vector<net::WireTuple> out;
+    ASSERT_EQ(dec.Next(&out), net::FrameDecoder::Status::kError)
+        << "count " << wrapping_count;
+    EXPECT_EQ(dec.error(), FrameError::kBadPayload);
+    EXPECT_TRUE(out.empty());
+  }
+}
+
 TEST(FrameDecoderTest, BufferedAccountsForTheUnconsumedTail) {
   const std::string first = GoldenFrame(3);
   const std::string second = GoldenFrame(1);
