@@ -7,6 +7,7 @@
 
 #include "ops/kernels.h"
 #include "ops/traits.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -55,7 +56,7 @@ class SlickDequeInv {
 
   /// Stores the newest partial and refreshes every registered answer:
   /// ans = (ans ⊕ new) ⊖ expiring.
-  void slide(value_type v) {
+  SLICK_REALTIME void slide(value_type v) {
     for (Answer& a : answers_) {
       const std::size_t start =
           pos_ >= a.range ? pos_ - a.range : pos_ + window_ - a.range;
@@ -71,7 +72,7 @@ class SlickDequeInv {
   /// through ops::FoldValues so invertible ops with registered kernels
   /// (Sum, SumInt, ...) vectorize. Exact for integer group ops; floating
   /// point may differ from the sequential path by reassociation only.
-  void BulkSlide(const value_type* src, std::size_t n) {
+  SLICK_REALTIME void BulkSlide(const value_type* src, std::size_t n) {
     if (n == 0) return;
     if (n >= window_) {
       // Every pre-batch partial expires: recompute each answer directly
@@ -109,7 +110,7 @@ class SlickDequeInv {
   /// in-window update capability. Every registered answer whose range
   /// still covers that partial is patched with one ⊖ (remove the stale
   /// value) and one ⊕ (apply the correction). O(registered ranges).
-  void UpdateAt(std::size_t age, value_type v) {
+  SLICK_REALTIME void UpdateAt(std::size_t age, value_type v) {
     SLICK_CHECK(age < window_, "update age out of window");
     const std::size_t idx =
         pos_ >= age + 1 ? pos_ - age - 1 : pos_ + window_ - age - 1;
@@ -122,10 +123,10 @@ class SlickDequeInv {
   }
 
   /// Answer for the full window (must be a registered range).
-  result_type query() const { return query(window_); }
+  SLICK_REALTIME result_type query() const { return query(window_); }
 
   /// Answer for a registered range — a lookup, no aggregate operations.
-  result_type query(std::size_t range) const {
+  SLICK_REALTIME result_type query(std::size_t range) const {
     const Answer* a = Find(range);
     SLICK_CHECK(a != nullptr, "queried range was not registered");
     return Op::lower(a->value);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ops/traits.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/serde.h"
 #include "window/chunked_array_queue.h"
@@ -53,7 +54,7 @@ class SlickDequeNonInv {
 
   /// Admits the newest partial: expire the head, evict dominated tail
   /// nodes, append.
-  void slide(value_type v) {
+  SLICK_REALTIME void slide(value_type v) {
     if (!deque_.empty() && deque_.front().pos == pos_) deque_.pop_front();
     while (!deque_.empty() && ops::Absorbs<Op>(v, deque_.back().val)) {
       deque_.pop_back();
@@ -74,7 +75,7 @@ class SlickDequeNonInv {
   ///  * other selective ops: the exact per-element stack loop, with only
   ///    the expiry test hoisted out of the loop.
   /// Both leave the deque identical to n sequential slide() calls.
-  void BulkSlide(const value_type* src, std::size_t n) {
+  SLICK_REALTIME void BulkSlide(const value_type* src, std::size_t n) {
     if (n == 0) return;
     if (n >= window_) {
       // Only the trailing window_ elements can survive: restart empty.
@@ -96,14 +97,14 @@ class SlickDequeNonInv {
 
   /// Aggregate of the whole window: the head node's value. O(1), zero
   /// aggregate operations.
-  result_type query() const {
+  SLICK_REALTIME result_type query() const {
     SLICK_CHECK(!deque_.empty(), "query before the first slide");
     return Op::lower(deque_.front().val);
   }
 
   /// Aggregate of the newest `range` partials: first in-range node from the
   /// head.
-  result_type query(std::size_t range) const {
+  SLICK_REALTIME result_type query(std::size_t range) const {
     uint64_t walk = deque_.front_seq();
     return QueryFrom(&walk, range);
   }
@@ -115,7 +116,7 @@ class SlickDequeNonInv {
   /// A node of age a (0 = newest partial) answers exactly the ranges r with
   /// r > a down to the age of the next-older node, so the walk loads each
   /// deque node once and every answer costs one comparison plus a copy.
-  void query_multi(const std::vector<std::size_t>& ranges_desc,
+  SLICK_REALTIME void query_multi(const std::vector<std::size_t>& ranges_desc,
                    std::vector<result_type>& out) const {
     SLICK_CHECK(!deque_.empty(), "query before the first slide");
     uint64_t walk = deque_.front_seq();

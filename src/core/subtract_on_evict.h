@@ -5,6 +5,7 @@
 
 #include "ops/kernels.h"
 #include "ops/traits.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/serde.h"
 #include "window/chunked_array_queue.h"
@@ -26,12 +27,12 @@ class SubtractOnEvict {
   explicit SubtractOnEvict(std::size_t chunk_capacity = 64)
       : values_(chunk_capacity) {}
 
-  void insert(value_type v) {
+  SLICK_REALTIME void insert(value_type v) {
     running_ = Op::combine(running_, v);
     values_.push_back(std::move(v));
   }
 
-  void evict() {
+  SLICK_REALTIME void evict() {
     SLICK_CHECK(!values_.empty(), "evict from empty window");
     running_ = Op::inverse(running_, values_.front());
     values_.pop_front();
@@ -41,7 +42,7 @@ class SubtractOnEvict {
   /// single ⊕ into the running aggregate. Exact for integer group ops;
   /// floating point may differ from per-element insertion by
   /// reassociation only.
-  void BulkInsert(const value_type* src, std::size_t n) {
+  SLICK_REALTIME void BulkInsert(const value_type* src, std::size_t n) {
     if (n == 0) return;
     running_ = Op::combine(running_, ops::FoldValues<Op>(src, n));
     for (std::size_t i = 0; i < n; ++i) values_.push_back(src[i]);
@@ -49,7 +50,7 @@ class SubtractOnEvict {
 
   /// Batch evict (DESIGN.md §11): folds the n expiring values and applies
   /// one ⊖ instead of n.
-  void BulkEvict(std::size_t n) {
+  SLICK_REALTIME void BulkEvict(std::size_t n) {
     SLICK_CHECK(n <= values_.size(), "bulk evict larger than window");
     if (n == 0) return;
     value_type expiring = Op::identity();
@@ -60,7 +61,7 @@ class SubtractOnEvict {
     running_ = Op::inverse(running_, expiring);
   }
 
-  result_type query() const { return Op::lower(running_); }
+  SLICK_REALTIME result_type query() const { return Op::lower(running_); }
 
   std::size_t size() const { return values_.size(); }
 

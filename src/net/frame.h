@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/serde.h"
 
 namespace slick::net {
@@ -112,10 +113,17 @@ class FrameDecoder {
       : max_frame_bytes_(max_frame_bytes) {}
 
   /// Appends raw received bytes. Cheap; all parsing happens in Next().
+  SLICK_REALTIME_ALLOW(
+      "bounded buffering: append is capped by the frame-size admission "
+      "check (max_frame_bytes), and steady-state appends reuse the "
+      "buffer capacity Next() compacts")
   void Feed(const char* data, std::size_t len) { buf_.append(data, len); }
 
   /// Tries to decode one frame into *out (overwriting it). Compacts the
   /// internal buffer as frames are consumed.
+  SLICK_NODISCARD SLICK_REALTIME_ALLOW(
+      "steady-state decode reuses the caller's vector capacity; growth "
+      "is bounded by max_frame_bytes / sizeof(WireTuple)")
   Status Next(std::vector<WireTuple>* out) {
     if (error_ != util::FrameError::kOk) return Status::kError;
     if (buf_.size() < kFrameHeaderBytes) return Status::kNeedMore;
@@ -147,13 +155,13 @@ class FrameDecoder {
   }
 
   /// The typed error that poisoned the decoder; kOk while healthy.
-  util::FrameError error() const { return error_; }
+  SLICK_NODISCARD util::FrameError error() const { return error_; }
 
   /// Bytes buffered but not yet consumed by a completed frame.
   std::size_t buffered() const { return buf_.size(); }
 
  private:
-  Status Poison(util::FrameError e) {
+  SLICK_NODISCARD Status Poison(util::FrameError e) {
     error_ = e;
     return Status::kError;
   }

@@ -135,7 +135,9 @@ void IngestServer::RunLoop(std::size_t index) {
   // lossless shutdown is the caller's quiesce protocol (see header).
   for (auto& c : loop.conns) {
     if (c->fd < 0) continue;
-    if (!c->pending.empty()) TryDrainPending(loop, *c);
+    // Deliberate discard: a partial drain leaves the remainder in
+    // `pending`, and CloseConnection below tallies it as dropped.
+    if (!c->pending.empty()) (void)TryDrainPending(loop, *c);
     // CloseConnection tallies whatever is still pending as dropped.
     CloseConnection(loop, *c, /*on_error=*/false);
   }

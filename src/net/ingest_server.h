@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "util/annotations.h"
 #include "runtime/parallel_engine.h"
 #include "telemetry/histogram.h"
 #include "telemetry/snapshot.h"
@@ -142,7 +143,7 @@ class IngestServer {
   void ReadAndPump(Loop& loop, Connection& c);
   void Pump(Loop& loop, Connection& c);
   void HandleBatch(Loop& loop, Connection& c);
-  bool TryDrainPending(Loop& loop, Connection& c);
+  SLICK_NODISCARD bool TryDrainPending(Loop& loop, Connection& c);
   void RetryBlocked(Loop& loop);
   void PauseReading(Loop& loop, Connection& c);
   void ResumeReading(Loop& loop, Connection& c);

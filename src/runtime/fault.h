@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 
+#include "util/annotations.h"
+
 namespace slick::runtime::fault {
 
 /// Deterministic fault injection for the parallel runtime (DESIGN.md §12).
@@ -129,6 +131,10 @@ inline uint64_t FiredCount(Point point) {
 
 /// The kPublishDelay payload: yield a few quanta so a racing consumer (or
 /// supervisor heartbeat check) observes the stall window.
+SLICK_REALTIME_ALLOW(
+    "fault-injection chaos hook: deliberately stalls the publish to "
+    "widen race windows under test; compiled to a no-op unless "
+    "SLICK_FAULT_INJECTION")
 inline void InjectDelay() {
   for (int i = 0; i < 32; ++i) std::this_thread::yield();
 }

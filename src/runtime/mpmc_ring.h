@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "runtime/fault.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -114,7 +115,8 @@ class MpmcRing {
   /// is visible to consumers until PublishPush(span, count). May spuriously
   /// report full under a stale cursor race with concurrent producers —
   /// callers already retry (try-semantics) or wait (push_n).
-  T* TryClaimPush(std::size_t max, std::size_t* count) {
+  SLICK_NODISCARD SLICK_REALTIME T* TryClaimPush(std::size_t max,
+                                                 std::size_t* count) {
     *count = 0;
     // relaxed: closed_ is a monotonic go/no-go flag here — a stale `false`
     // only admits one more element a consumer still drains after close()
@@ -168,7 +170,7 @@ class MpmcRing {
   /// concurrent producers the pointer is what names the claim. Partial
   /// publication is allowed only as a split (every reserved slot must be
   /// published exactly once, in any per-piece order).
-  void PublishPush(T* span, std::size_t count) {
+  SLICK_REALTIME void PublishPush(T* span, std::size_t count) {
     if (count == 0) return;
     // Chaos hook (no-op unless SLICK_FAULT_INJECTION): stall the publish
     // to widen the claim-reserved-but-unpublished window.
@@ -208,7 +210,8 @@ class MpmcRing {
   /// Copies up to `n` elements from `src` into the ring without blocking.
   /// Returns the number accepted (0 when full or closed). Built on the
   /// claim/publish primitives — at most two segments when the span wraps.
-  std::size_t try_push_n(const T* src, std::size_t n) {
+  SLICK_NODISCARD SLICK_REALTIME std::size_t try_push_n(const T* src,
+                                                        std::size_t n) {
     std::size_t done = 0;
     while (done < n) {
       std::size_t k = 0;
@@ -224,7 +227,9 @@ class MpmcRing {
     return done;
   }
 
-  bool try_push(const T& v) { return try_push_n(&v, 1) == 1; }
+  SLICK_NODISCARD SLICK_REALTIME bool try_push(const T& v) {
+    return try_push_n(&v, 1) == 1;
+  }
 
   /// Blocking push: copies all `n` elements, parking when the ring is full
   /// (the runtime's backpressure). Returns the number accepted, which is
@@ -297,7 +302,8 @@ class MpmcRing {
   /// nullptr with *count == 0 when no unclaimed published element is ready.
   /// Sequential claims return disjoint spans; producers cannot overwrite a
   /// span until ReleasePop hands its slots back.
-  T* TryClaimPop(std::size_t max, std::size_t* count) {
+  SLICK_NODISCARD SLICK_REALTIME T* TryClaimPop(std::size_t max,
+                                                std::size_t* count) {
     *count = 0;
     // relaxed: the CAS below re-validates claim_; a stale first guess
     // costs one rescan. Data visibility rides on the seq_ acquires.
@@ -332,7 +338,7 @@ class MpmcRing {
   /// may lag claims (head_ <= claim_) and may batch several claimed spans
   /// into one call. Single releaser, in claim order — the shard worker's
   /// contract, identical to the SPSC ring.
-  void ReleasePop(std::size_t count) {
+  SLICK_REALTIME void ReleasePop(std::size_t count) {
     // relaxed: head_ is the releaser's own cursor (single releaser).
     const uint64_t head = head_.load(std::memory_order_relaxed);
     // relaxed: DCHECK only — never release past the claim.
@@ -392,7 +398,7 @@ class MpmcRing {
   /// shutdown signal. A reservation in flight at close() is waited for,
   /// never stranded: its publisher is inside try_push_n and will publish
   /// and bump the event momentarily.
-  T* ClaimPop(std::size_t max, std::size_t* count) {
+  SLICK_NODISCARD T* ClaimPop(std::size_t max, std::size_t* count) {
     while (true) {
       T* span = TryClaimPop(max, count);
       if (span != nullptr) return span;
@@ -413,7 +419,8 @@ class MpmcRing {
   /// Moves up to `max` elements into `dst` without blocking. Returns the
   /// number popped (0 when nothing is ready). Built on the claim/release
   /// primitives — at most two segments when the span wraps.
-  std::size_t try_pop_n(T* dst, std::size_t max) {
+  SLICK_NODISCARD SLICK_REALTIME std::size_t try_pop_n(T* dst,
+                                                       std::size_t max) {
     std::size_t done = 0;
     while (done < max) {
       std::size_t k = 0;
@@ -472,6 +479,9 @@ class MpmcRing {
   // Briefly spin/yield, then park on the eventcount. The snapshot/recheck
   // ordering makes the park race-free: if a producer publishes after our
   // recheck, its event bump differs from `e` and wait() returns at once.
+  SLICK_REALTIME_ALLOW(
+      "idle-only parking: spin-then-eventcount wait, entered only when the "
+      "ring has nothing claimable — never on the per-tuple path")
   void WaitForData() {
     for (int i = 0; i < kSpinYields; ++i) {
       if (PopReadyOrSettled()) return;
@@ -482,6 +492,9 @@ class MpmcRing {
     tail_event_.wait(e, std::memory_order_acquire);
   }
 
+  SLICK_REALTIME_ALLOW(
+      "idle-only parking: spin-then-eventcount wait, entered only when the "
+      "ring is full — backpressure by design, never on the per-tuple path")
   void WaitForSpace() {
     for (int i = 0; i < kSpinYields; ++i) {
       if (PushSpaceOrClosed()) return;

@@ -14,6 +14,7 @@
 #include "runtime/spsc_ring.h"
 #include "telemetry/counters.h"
 #include "telemetry/snapshot.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/clock.h"
 #include "window/aggregator.h"
@@ -624,8 +625,10 @@ class ParallelShardedEngine {
   /// Admits stage[from..) into the ring without ever parking: polls
   /// try_push_n, supervising between attempts, until done or (deadline_ns
   /// != 0) the deadline passes. Returns the count admitted.
-  std::size_t PollPush(Ring<slot_type>& ring, const slot_type* src,
-                       std::size_t n, uint64_t deadline_ns) {
+  SLICK_NODISCARD std::size_t PollPush(Ring<slot_type>& ring,
+                                       const slot_type* src,
+                                       std::size_t n,
+                                       uint64_t deadline_ns) {
     const uint64_t t0 = deadline_ns != 0 ? util::MonotonicNanos() : 0;
     std::size_t done = 0;
     while (done < n) {

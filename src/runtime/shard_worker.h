@@ -15,6 +15,7 @@
 #include "runtime/spsc_ring.h"
 #include "telemetry/counters.h"
 #include "telemetry/histogram.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/clock.h"
 #include "util/serde.h"
@@ -303,7 +304,7 @@ class ShardWorker {
     return fault::Fire(point, shard_index_);
   }
 
-  void Run() {
+  SLICK_REALTIME void Run() {
     uint64_t done = resume_processed_;
     std::size_t pending_release = 0;
     uint64_t seen_combines = 0, seen_inverses = 0;
@@ -425,6 +426,10 @@ class ShardWorker {
   /// false (counting a failure, releasing nothing) when serialization or
   /// validation fails — including the injected alloc-fail and corruption
   /// faults, which land exactly like real torn writes.
+  SLICK_REALTIME_ALLOW(
+      "checkpoint cadence: serializes aggregator state into a CRC-"
+      "framed buffer once per checkpoint_interval_ batches — amortized "
+      "far off the per-tuple path, and only in supervised mode")
   bool TakeCheckpoint(uint64_t done) {
     if constexpr (kCheckpointable) {
       if (fault::Fire(fault::Point::kCheckpointAllocFail, shard_index_)) {

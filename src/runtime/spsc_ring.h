@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "runtime/fault.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -93,7 +94,8 @@ class SpscRing {
   /// calls). Returns nullptr with *count == 0 when the ring is full or
   /// closed. Nothing is visible to the consumer until PublishPush(count) —
   /// one acquire refresh at most per claim, zero per element.
-  T* TryClaimPush(std::size_t max, std::size_t* count) {
+  SLICK_NODISCARD SLICK_REALTIME T* TryClaimPush(std::size_t max,
+                                                 std::size_t* count) {
     *count = 0;
     // relaxed: closed_ is a monotonic go/no-go flag here — no data is read
     // on the strength of this load, and a stale `false` only means one more
@@ -126,7 +128,7 @@ class SpscRing {
   /// Publishes `count` slots previously claimed with TryClaimPush (count
   /// may be less than the claim; unpublished slots are simply re-claimed
   /// next time). One cursor store and one event bump per batch.
-  void PublishPush(std::size_t count) {
+  SLICK_REALTIME void PublishPush(std::size_t count) {
     // Chaos hook (no-op unless SLICK_FAULT_INJECTION): stall the publish to
     // widen the window where the consumer sees a stale tail.
     if (fault::Fire(fault::Point::kPublishDelay, fault_lane_)) {
@@ -157,7 +159,8 @@ class SpscRing {
   /// Span-addressed publish — the shared producer API with MpmcRing (where
   /// concurrent claims make the span pointer the claim's only name). For
   /// the SPSC ring the count alone suffices; the span is only sanity-checked.
-  void PublishPush([[maybe_unused]] T* span, std::size_t count) {
+  SLICK_REALTIME void PublishPush([[maybe_unused]] T* span,
+                                  std::size_t count) {
     // relaxed: tail_ is this thread's own cursor (single producer).
     SLICK_DCHECK(
         span == slots_.get() +
@@ -171,7 +174,8 @@ class SpscRing {
   /// Copies up to `n` elements from `src` into the ring without blocking.
   /// Returns the number accepted (0 when full or closed). Built on the
   /// claim/publish primitives — at most two segments when the span wraps.
-  std::size_t try_push_n(const T* src, std::size_t n) {
+  SLICK_NODISCARD SLICK_REALTIME std::size_t try_push_n(const T* src,
+                                                        std::size_t n) {
     std::size_t done = 0;
     while (done < n) {
       std::size_t k = 0;
@@ -187,7 +191,9 @@ class SpscRing {
     return done;
   }
 
-  bool try_push(const T& v) { return try_push_n(&v, 1) == 1; }
+  SLICK_NODISCARD SLICK_REALTIME bool try_push(const T& v) {
+    return try_push_n(&v, 1) == 1;
+  }
 
   /// Blocking push: copies all `n` elements, parking when the ring is full
   /// (the runtime's backpressure). Returns the number accepted, which is
@@ -249,7 +255,8 @@ class SpscRing {
   /// disjoint spans (the claim cursor advances immediately); the producer
   /// cannot overwrite a span until ReleasePop hands its slots back — one
   /// acquire refresh at most per claim, zero per element.
-  T* TryClaimPop(std::size_t max, std::size_t* count) {
+  SLICK_NODISCARD SLICK_REALTIME T* TryClaimPop(std::size_t max,
+                                                std::size_t* count) {
     *count = 0;
     // relaxed: claim_ is this thread's own cursor (single consumer); other
     // threads only read it for telemetry/recovery at quiescent points.
@@ -276,7 +283,7 @@ class SpscRing {
   /// Returns `count` claimed slots to the producer, oldest first. Releases
   /// may lag claims (head_ <= claim_) and may batch several claimed spans
   /// into one call. One cursor store and one event bump per batch.
-  void ReleasePop(std::size_t count) {
+  SLICK_REALTIME void ReleasePop(std::size_t count) {
     // relaxed: head_ is this thread's own cursor (single consumer).
     const uint64_t head = head_.load(std::memory_order_relaxed);
     // relaxed: own cursor, DCHECK only — never release past the claim.
@@ -331,7 +338,7 @@ class SpscRing {
   /// unless the ring is closed *and* drained, in which case it returns
   /// nullptr — the consumer's shutdown signal. Callers process the span in
   /// place and then ReleasePop(*count).
-  T* ClaimPop(std::size_t max, std::size_t* count) {
+  SLICK_NODISCARD T* ClaimPop(std::size_t max, std::size_t* count) {
     while (true) {
       T* span = TryClaimPop(max, count);
       if (span != nullptr) return span;
@@ -346,7 +353,8 @@ class SpscRing {
   /// Moves up to `max` elements into `dst` without blocking. Returns the
   /// number popped (0 when the ring is currently empty). Built on the
   /// claim/release primitives — at most two segments when the span wraps.
-  std::size_t try_pop_n(T* dst, std::size_t max) {
+  SLICK_NODISCARD SLICK_REALTIME std::size_t try_pop_n(T* dst,
+                                                       std::size_t max) {
     std::size_t done = 0;
     while (done < max) {
       std::size_t k = 0;
@@ -381,11 +389,15 @@ class SpscRing {
   // relaxed loads below are always of the calling thread's OWN cursor
   // (head_ for the consumer here, tail_ for the producer in WaitForSpace);
   // the peer's cursor and closed_ are acquire so slot writes are visible.
+  SLICK_REALTIME_ALLOW(
+      "idle-only parking: spin-then-eventcount wait, entered only when the "
+      "ring has nothing claimable — never on the per-tuple path")
   void WaitForData() {
     // The wake condition is "unclaimed data exists" (tail_ != claim_), not
     // tail_ != head_: with releases deferred past a claim, head_ can lag
     // while everything published is already claimed — waiting on head_
     // would spin forever without a single claimable element.
+    // relaxed: claim_ is the consumer's own cursor (see note above).
     for (int i = 0; i < kSpinYields; ++i) {
       if (tail_.load(std::memory_order_acquire) !=
               claim_.load(std::memory_order_relaxed) ||
@@ -404,6 +416,9 @@ class SpscRing {
     tail_event_.wait(e, std::memory_order_acquire);
   }
 
+  SLICK_REALTIME_ALLOW(
+      "idle-only parking: spin-then-eventcount wait, entered only when the "
+      "ring is full — backpressure by design, never on the per-tuple path")
   void WaitForSpace() {
     for (int i = 0; i < kSpinYields; ++i) {
       // relaxed: tail_ is the producer's own cursor (see WaitForData note).

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace slick::stream {
@@ -61,7 +62,7 @@ class ReorderBuffer {
   /// buffered (kLate / kDuplicate elements are dropped, matching the
   /// documented "NOT buffered" contract).
   template <typename Emit>
-  Admission Offer(uint64_t seq, T value, Emit&& emit) {
+  SLICK_NODISCARD Admission Offer(uint64_t seq, T value, Emit&& emit) {
     if (seq < next_) {
       // The slot was already passed. If it was actually emitted (and is
       // still inside the dedup window) this is a re-send; otherwise the

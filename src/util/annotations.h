@@ -1,0 +1,37 @@
+#pragma once
+
+// Hot-path annotations for the semantic analyzer (tools/analyze/
+// slick_analyzer.py, DESIGN.md §15).
+//
+// SLICK_REALTIME marks a function as a worst-case-O(1) hot path: the
+// analyzer reports any allocation, lock, blocking wait, or throw reachable
+// from it through the per-TU call graph. SLICK_REALTIME_ALLOW(reason)
+// marks a function whose impurities are a documented, bounded exception
+// (amortized chunk growth, idle-only parking, checkpoint cadence, ...);
+// the purity walk stops there and the reason is the reviewable proof.
+// Every ALLOW must carry a non-empty reason string — the analyzer rejects
+// bare ones.
+//
+// The macros expand to clang annotate attributes only when BOTH __clang__
+// and SLICK_ANALYZE are defined — i.e. only inside the analyzer's own
+// libclang parse. Production builds (gcc or clang, SLICK_ANALYZE off) see
+// empty token sequences: zero code, zero layout, zero overhead, pinned by
+// tests/annotations_test.cc. The token-level fallback frontend reads the
+// macro names straight from the source, so annotations stay visible to the
+// analyzer even where libclang is unavailable.
+#if defined(__clang__) && defined(SLICK_ANALYZE)
+#define SLICK_REALTIME [[clang::annotate("slick::realtime")]]
+#define SLICK_REALTIME_ALLOW(reason) \
+  [[clang::annotate("slick::realtime_allow:" reason)]]
+#else
+#define SLICK_REALTIME
+#define SLICK_REALTIME_ALLOW(reason)
+#endif
+
+// Must-use results: Try*/Poll*/Offer verdicts and typed error codes
+// (util::FrameError, stream::Admission) silently dropped on the floor are
+// the wedge/loss bug class the analyzer's ignored-result check hunts.
+// Spelled as a macro (not bare [[nodiscard]]) so the analyzer can sweep
+// for declarations that *should* carry it, and so a future toolchain
+// without the attribute degrades in one place.
+#define SLICK_NODISCARD [[nodiscard]]

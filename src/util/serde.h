@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <cstring>
 #include <istream>
+
+#include "util/annotations.h"
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -243,7 +245,8 @@ inline void WriteFramed(std::ostream& os, std::string_view payload) {
 }
 
 /// Reads one frame, placing the verified payload bytes in *payload.
-inline FrameError ReadFramed(std::istream& is, std::string* payload) {
+SLICK_NODISCARD inline FrameError ReadFramed(std::istream& is,
+                                             std::string* payload) {
   uint32_t magic = 0;
   if (!ReadPod(is, &magic)) return FrameError::kTruncated;
   if (magic != kFrameMagic) return FrameError::kBadMagic;
@@ -285,7 +288,7 @@ void SaveStateFramed(const T& obj, std::ostream& os) {
 /// unframed PR 1 stream (detected by the missing magic; the stream is
 /// rewound and handed to LoadState verbatim).
 template <Checkpointable T>
-FrameError LoadStateFramed(T* obj, std::istream& is) {
+SLICK_NODISCARD FrameError LoadStateFramed(T* obj, std::istream& is) {
   uint32_t magic = 0;
   if (!ReadPod(is, &magic)) return FrameError::kTruncated;
   if (magic != kFrameMagic) {

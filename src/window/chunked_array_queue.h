@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/math.h"
 #include "util/serde.h"
@@ -72,6 +73,10 @@ class ChunkedArrayQueue {
   const T& front() const { return const_cast<ChunkedArrayQueue*>(this)->front(); }
   const T& back() const { return const_cast<ChunkedArrayQueue*>(this)->back(); }
 
+  SLICK_REALTIME_ALLOW(
+      "amortized: one chunk allocation per chunk_capacity pushes, and "
+      "the spare-chunk recycler makes steady-state pushes allocation-"
+      "free (DESIGN.md §6)")
   void push_back(T v) {
     const uint64_t offset = tail_ - base_;
     if ((offset & mask_) == 0 &&
@@ -83,13 +88,13 @@ class ChunkedArrayQueue {
     ++tail_;
   }
 
-  void pop_front() {
+  SLICK_REALTIME void pop_front() {
     SLICK_CHECK(!empty(), "pop_front on empty queue");
     ++head_;
     if (head_ - base_ >= chunk_capacity()) RetireFrontChunk();
   }
 
-  void pop_back() {
+  SLICK_REALTIME void pop_back() {
     SLICK_CHECK(!empty(), "pop_back on empty queue");
     --tail_;
     const uint64_t offset = tail_ - base_;

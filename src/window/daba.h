@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ops/traits.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/serde.h"
 #include "window/chunked_array_queue.h"
@@ -52,13 +53,13 @@ class Daba {
 
   explicit Daba(std::size_t chunk_capacity = 64) : q_(chunk_capacity) {}
 
-  void insert(value_type v) {
+  SLICK_REALTIME void insert(value_type v) {
     value_type agg = BackEmpty() ? v : Op::combine(q_.back().agg, v);
     q_.push_back(Entry{std::move(v), std::move(agg)});
     Step();
   }
 
-  void evict() {
+  SLICK_REALTIME void evict() {
     SLICK_CHECK(!q_.empty(), "evict from empty DABA window");
     q_.pop_front();
     Step();
@@ -70,16 +71,16 @@ class Daba {
   /// loops over insert()/evict(); the saving is call/dispatch overhead
   /// only, which is exactly what Table 1's worst-case-O(1) design trades
   /// throughput for.
-  void BulkInsert(const value_type* src, std::size_t n) {
+  SLICK_REALTIME void BulkInsert(const value_type* src, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) insert(src[i]);
   }
 
-  void BulkEvict(std::size_t n) {
+  SLICK_REALTIME void BulkEvict(std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) evict();
   }
 
   /// Aggregate of the entire window, in stream order. O(1) worst case.
-  result_type query() const {
+  SLICK_REALTIME result_type query() const {
     if (q_.empty()) return Op::lower(Op::identity());
     if (FrontEmpty()) return Op::lower(q_.back().agg);
     if (BackEmpty()) return Op::lower(q_.front().agg);

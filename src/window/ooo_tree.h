@@ -12,6 +12,7 @@
 
 #include "ops/kernels.h"
 #include "ops/traits.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/serde.h"
 
@@ -160,6 +161,11 @@ class OooTree {
   /// in-order runs append leaf-at-a-time through the right finger with one
   /// ops::FoldValues pass per touched leaf; anything out of order falls
   /// back to the single-element path.
+  SLICK_REALTIME_ALLOW(
+      "out-of-order B-tree trades strict O(1) for ordering tolerance by "
+      "design: node splits allocate (make_unique), amortized O(1/B) per "
+      "insert — see DESIGN.md §12; strict hot paths use the deque "
+      "aggregators instead")
   void BulkInsert(const timed_type* src, std::size_t n) {
     std::size_t i = 0;
     while (i < n) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/traits.h"
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace slick::window {
@@ -33,7 +34,7 @@ class TwoStacksRing {
     SLICK_CHECK(capacity >= 1, "capacity must be positive");
   }
 
-  void insert(value_type v) {
+  SLICK_REALTIME void insert(value_type v) {
     SLICK_CHECK(f_size_ + b_size_ < cap_, "ring capacity exceeded");
     const std::size_t idx = Wrap(f_lo_ + f_size_ + b_size_);
     value_type agg =
@@ -42,7 +43,7 @@ class TwoStacksRing {
     ++b_size_;
   }
 
-  void evict() {
+  SLICK_REALTIME void evict() {
     if (f_size_ == 0) Flip();
     SLICK_CHECK(f_size_ > 0, "evict from empty window");
     f_lo_ = Wrap(f_lo_ + 1);
@@ -51,7 +52,7 @@ class TwoStacksRing {
 
   /// Aggregate of the entire window, in stream order (front before back,
   /// so non-commutative operations stay correct).
-  result_type query() const {
+  SLICK_REALTIME result_type query() const {
     if (f_size_ == 0 && b_size_ == 0) return Op::lower(Op::identity());
     if (f_size_ == 0) {
       return Op::lower(buf_[Wrap(f_lo_ + b_size_ - 1)].agg);

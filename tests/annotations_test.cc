@@ -1,0 +1,92 @@
+// Pins src/util/annotations.h's core contract: in production builds the
+// analyzer macros are pure markers — no codegen, no layout change, no
+// semantic difference. (The attribute-emitting branch only engages under
+// __clang__ + SLICK_ANALYZE, i.e. inside the analyzer's own parse; these
+// tests build in the normal configuration where the macros must vanish.)
+
+#include "util/annotations.h"
+
+#include <cstdint>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// An annotated function must be declarable, definable, and callable
+// exactly like its plain twin.
+SLICK_REALTIME inline uint64_t AnnotatedAdd(uint64_t a, uint64_t b) {
+  return a + b;
+}
+inline uint64_t PlainAdd(uint64_t a, uint64_t b) { return a + b; }
+
+SLICK_REALTIME_ALLOW("test fixture: reason text is analyzer-only")
+inline uint64_t AnnotatedAllowAdd(uint64_t a, uint64_t b) { return a + b; }
+
+SLICK_NODISCARD inline bool TryHalve(uint64_t v, uint64_t* out) {
+  if (v % 2 != 0) return false;
+  *out = v / 2;
+  return true;
+}
+
+// Macros must compose with member functions, templates, and constexpr.
+struct Annotated {
+  SLICK_REALTIME uint64_t get() const { return v; }
+  SLICK_NODISCARD bool try_set(uint64_t nv) {
+    v = nv;
+    return true;
+  }
+  uint64_t v = 0;
+};
+struct Plain {
+  uint64_t get() const { return v; }
+  bool try_set(uint64_t nv) {
+    v = nv;
+    return true;
+  }
+  uint64_t v = 0;
+};
+
+template <typename T>
+SLICK_REALTIME constexpr T Twice(T x) {
+  return x + x;
+}
+
+// Layout parity: the annotations contribute no members, padding, or vtable.
+static_assert(sizeof(Annotated) == sizeof(Plain));
+static_assert(alignof(Annotated) == alignof(Plain));
+static_assert(std::is_trivially_copyable_v<Annotated> ==
+              std::is_trivially_copyable_v<Plain>);
+
+// constexpr survives annotation: evaluable at compile time.
+static_assert(Twice(21u) == 42u);
+
+TEST(AnnotationsTest, AnnotatedFunctionsBehaveLikePlainOnes) {
+  EXPECT_EQ(AnnotatedAdd(40, 2), PlainAdd(40, 2));
+  EXPECT_EQ(AnnotatedAllowAdd(40, 2), 42u);
+  Annotated a;
+  ASSERT_TRUE(a.try_set(7));
+  EXPECT_EQ(a.get(), 7u);
+}
+
+TEST(AnnotationsTest, NodiscardIsTheRealAttribute) {
+  // SLICK_NODISCARD must expand to [[nodiscard]] in every configuration —
+  // discarding is flagged at compile time (with -Werror, a build break),
+  // and consuming the value compiles cleanly:
+  uint64_t half = 0;
+  EXPECT_TRUE(TryHalve(84, &half));
+  EXPECT_EQ(half, 42u);
+  EXPECT_FALSE(TryHalve(7, &half));
+  (void)TryHalve(6, &half);  // the sanctioned discard spelling
+}
+
+TEST(AnnotationsTest, FunctionTypesAreUnchanged) {
+  // The expansion must not alter the function's type (calling convention,
+  // noexcept-ness, signature) — pointers to annotated and plain functions
+  // are the same type and interchangeable.
+  static_assert(std::is_same_v<decltype(&AnnotatedAdd), decltype(&PlainAdd)>);
+  uint64_t (*fp)(uint64_t, uint64_t) = &AnnotatedAdd;
+  EXPECT_EQ(fp(1, 2), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,33 @@
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Positive fixture: atomic-order findings, including the two regex-lint
+// blind spots (calls split across lines, calls through a pointer with ->).
+namespace fixture {
+
+struct Cursor {
+  std::atomic<uint64_t> seq{0};
+
+  uint64_t Peek() const {
+    return seq.load();  // finding: defaulted seq_cst
+  }
+
+  uint64_t PeekSplit() const {
+    return seq.load(          // finding: call split across lines —
+    );                        // invisible to a line-based regex
+  }
+
+  void BumpVia(std::atomic<uint64_t>* p) {
+    p->fetch_add(1);  // finding: pointer-to-atomic through ->
+  }
+
+  void Exchange(std::atomic<uint64_t>& other) {
+    other.exchange(
+        seq.load(std::memory_order_acquire));  // finding: outer exchange
+  }
+};
+
+}  // namespace fixture

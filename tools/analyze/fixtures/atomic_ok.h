@@ -1,0 +1,35 @@
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Negative fixture: explicit orders everywhere, order-free notifies, and a
+// deliberate seq_cst default carrying a suppression comment.
+namespace fixture {
+
+struct Cursor {
+  std::atomic<uint64_t> seq{0};
+
+  uint64_t Peek() const { return seq.load(std::memory_order_acquire); }
+
+  uint64_t PeekSplit() const {
+    return seq.load(               // split across lines, but ordered
+        std::memory_order_relaxed);
+  }
+
+  void BumpVia(std::atomic<uint64_t>* p) {
+    p->fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void Wake() {
+    seq.notify_one();  // notify_* takes no order by spec
+  }
+
+  uint64_t DebugPeek() const {
+    // slick-analyze: allow(atomic-order)
+    return seq.load();  // deliberate: debug-only, seq_cst is fine
+  }
+};
+
+}  // namespace fixture

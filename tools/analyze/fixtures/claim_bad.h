@@ -1,0 +1,37 @@
+#pragma once
+#include <cstddef>
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Positive fixture: claim-publish findings — claimed slots that neither
+// publish/release nor escape the function.
+namespace fixture {
+
+struct LeakyRing {
+  SLICK_NODISCARD uint64_t* TryClaimPush(std::size_t max, std::size_t* got);
+  SLICK_NODISCARD const uint64_t* ClaimPop(std::size_t max,
+                                           std::size_t* got);
+  void PublishPush(std::size_t n);
+  void ReleasePop(std::size_t n);
+
+  // Claims a write span, fills it, forgets PublishPush: consumer wedges.
+  bool PushOne(uint64_t v) {
+    std::size_t got = 0;
+    uint64_t* span = TryClaimPush(1, &got);  // finding: claim-publish
+    if (span == nullptr) return false;
+    span[0] = v;
+    return true;
+  }
+
+  // Claims a read span, sums it, forgets ReleasePop: producer starves.
+  uint64_t DrainOnce() {
+    std::size_t got = 0;
+    const uint64_t* span = ClaimPop(8, &got);  // finding: claim-publish
+    uint64_t acc = 0;
+    for (std::size_t i = 0; i < got; ++i) acc += span[i];
+    return acc;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+#pragma once
+#include <cstddef>
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Negative fixture: every claim either reaches its publish/release or
+// escapes the function (returned or handed to a helper).
+namespace fixture {
+
+struct SoundRing {
+  SLICK_NODISCARD uint64_t* TryClaimPush(std::size_t max, std::size_t* got);
+  SLICK_NODISCARD const uint64_t* ClaimPop(std::size_t max,
+                                           std::size_t* got);
+  void PublishPush(std::size_t n);
+  void ReleasePop(std::size_t n);
+
+  // Paired claim/publish in one function: fine.
+  bool PushOne(uint64_t v) {
+    std::size_t got = 0;
+    uint64_t* span = TryClaimPush(1, &got);
+    if (span == nullptr) return false;
+    span[0] = v;
+    PublishPush(1);
+    return true;
+  }
+
+  // The handle escapes by return: the caller owns the publish obligation.
+  uint64_t* BeginPush(std::size_t* got) { return TryClaimPush(4, got); }
+
+  // The handle escapes into a helper that completes the protocol.
+  uint64_t DrainVia(uint64_t (*reduce)(const uint64_t*, std::size_t)) {
+    std::size_t got = 0;
+    const uint64_t* span = ClaimPop(8, &got);
+    uint64_t acc = reduce(span, got);
+    ReleasePop(got);
+    return acc;
+  }
+};
+
+}  // namespace fixture

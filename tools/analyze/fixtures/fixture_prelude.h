@@ -1,0 +1,14 @@
+#pragma once
+
+// Minimal stand-in for src/util/annotations.h so fixtures parse (and, under
+// the clang frontend, compile) standalone.  The token frontend matches the
+// macro names textually; the clang frontend needs the attribute expansion.
+#if defined(__clang__) && defined(SLICK_ANALYZE)
+#define SLICK_REALTIME [[clang::annotate("slick::realtime")]]
+#define SLICK_REALTIME_ALLOW(reason) \
+  [[clang::annotate("slick::realtime_allow:" reason)]]
+#else
+#define SLICK_REALTIME
+#define SLICK_REALTIME_ALLOW(reason)
+#endif
+#define SLICK_NODISCARD [[nodiscard]]

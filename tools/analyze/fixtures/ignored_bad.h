@@ -1,0 +1,25 @@
+#pragma once
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Positive fixture: ignored-result findings — must-use verdicts dropped on
+// the floor in statement position.
+namespace fixture {
+
+enum class Admission : uint8_t { kAccepted, kShed };
+
+struct Gate {
+  SLICK_NODISCARD bool TryEnter(uint64_t id);
+  SLICK_NODISCARD Admission Offer(uint64_t id, uint64_t t);
+  void Close();
+};
+
+inline void Pump(Gate& g, uint64_t id) {
+  g.TryEnter(id);  // finding: ignored-result (Try* verdict dropped)
+  g.Offer(id, 0);  // finding: ignored-result (Admission dropped)
+  if (id != 0) g.TryEnter(id);  // finding: discarded in a braceless if
+  g.Close();  // fine: not must-use
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+#pragma once
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Negative fixture: must-use results that are consumed, branched on, or
+// deliberately discarded with (void).
+namespace fixture {
+
+enum class Admission : uint8_t { kAccepted, kShed };
+
+struct Gate {
+  SLICK_NODISCARD bool TryEnter(uint64_t id);
+  SLICK_NODISCARD Admission Offer(uint64_t id, uint64_t t);
+};
+
+inline uint64_t Pump(Gate& g, uint64_t id) {
+  uint64_t admitted = 0;
+  if (g.TryEnter(id)) ++admitted;            // branched on: fine
+  const Admission a = g.Offer(id, 0);        // assigned: fine
+  if (a == Admission::kAccepted) ++admitted;
+  (void)g.TryEnter(id + 1);                  // deliberate discard: fine
+  const bool ok =
+      g.TryEnter(id + 2);                    // split across lines: fine
+  return admitted + (ok ? 1 : 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+#pragma once
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Positive fixture: nodiscard-missing — must-use names and must-use return
+// types without SLICK_NODISCARD, both on declarations and on definitions.
+namespace fixture {
+
+enum class FrameError : uint8_t { kOk, kTruncated };
+
+struct Decoder {
+  bool TryDecode(const uint8_t* p, uint64_t n);  // finding: Try* name
+  FrameError ReadHeader(const uint8_t* p);       // finding: FrameError type
+
+  // finding: definition with a must-use name, no SLICK_NODISCARD
+  bool try_advance(uint64_t n) {
+    cursor_ = cursor_ + n;
+    return cursor_ < limit_;
+  }
+
+  uint64_t cursor_ = 0;
+  uint64_t limit_ = 0;
+};
+
+}  // namespace fixture

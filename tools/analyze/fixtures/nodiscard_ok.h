@@ -1,0 +1,34 @@
+#pragma once
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+// Negative fixture: must-use functions correctly carrying SLICK_NODISCARD
+// (or the raw attribute), plus look-alikes that are not must-use.  The
+// class is named differently from nodiscard_bad.h's Decoder so that its
+// annotated members cannot exempt the bad fixture's same-named members
+// (check_nodiscard treats an annotated same-class sibling as the decl
+// that covers an out-of-class definition).
+namespace fixture {
+
+enum class FrameError : uint8_t { kOk, kTruncated };
+
+struct CheckedDecoder {
+  SLICK_NODISCARD bool TryDecode(const uint8_t* p, uint64_t n);
+  [[nodiscard]] FrameError ReadHeader(const uint8_t* p);
+
+  SLICK_NODISCARD bool try_advance(uint64_t n) {
+    cursor_ = cursor_ + n;
+    return cursor_ < limit_;
+  }
+
+  // Not must-use: `Trace` does not match Try[A-Z], returns nothing typed.
+  void Trace(uint64_t n);
+  // Not must-use: using-alias with a Try prefix is a type, not a function.
+  using TryPolicy = uint64_t;
+
+  uint64_t cursor_ = 0;
+  uint64_t limit_ = 0;
+};
+
+}  // namespace fixture

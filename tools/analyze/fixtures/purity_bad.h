@@ -1,0 +1,34 @@
+#pragma once
+#include <cstdint>
+#include <vector>
+
+#include "fixture_prelude.h"
+
+// Positive fixture: realtime-purity + allow-without-reason findings.
+namespace fixture {
+
+class HotPath {
+ public:
+  // Direct allocation on an annotated hot path.
+  SLICK_REALTIME void Publish(uint64_t v) {
+    log_.push_back(v);  // finding: heap allocation via push_back
+  }
+
+  // Transitive: Drain -> Refill -> `new` two hops down the call graph.
+  SLICK_REALTIME uint64_t Drain() {
+    Refill();
+    return log_.size();
+  }
+
+  // A bare ALLOW must carry a reason: finding allow-without-reason.
+  SLICK_REALTIME_ALLOW("") void Checkpoint() { scratch_ = new uint64_t[8]; }
+
+ private:
+  void Refill() { Grow(); }
+  void Grow() { scratch_ = new uint64_t[16]; }  // finding via Drain
+
+  std::vector<uint64_t> log_;
+  uint64_t* scratch_ = nullptr;
+};
+
+}  // namespace fixture

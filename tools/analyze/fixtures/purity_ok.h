@@ -1,0 +1,38 @@
+#pragma once
+#include <cstdint>
+#include <vector>
+
+#include "fixture_prelude.h"
+
+// Negative fixture: annotated functions that stay pure, and a documented
+// ALLOW whose impure subtree must NOT be reported.
+namespace fixture {
+
+class ColdBuffer {
+ public:
+  ColdBuffer(uint64_t cap) : cap_(cap) { ring_.resize(cap); }  // ctor: cold
+
+  // Pure O(1) hot path: index math plus a store into preallocated memory.
+  SLICK_REALTIME void Push(uint64_t v) {
+    ring_[head_ & (cap_ - 1)] = v;
+    head_ = head_ + 1;
+  }
+
+  // Documented exception: the walk stops here; Doubling() is never
+  // reported.  (Named distinctly from purity_bad.h's helpers: the token
+  // frontend resolves calls by name across the whole scanned set.)
+  SLICK_REALTIME_ALLOW("amortized doubling, one realloc per 2^k pushes")
+  void PushSlow(uint64_t v) {
+    if (head_ == cap_) Doubling();
+    Push(v);
+  }
+
+ private:
+  void Doubling() { ring_.resize(cap_ * 2); }
+
+  std::vector<uint64_t> ring_;
+  uint64_t head_ = 0;
+  uint64_t cap_;
+};
+
+}  // namespace fixture

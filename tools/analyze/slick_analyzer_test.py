@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Tests for slick_analyzer.py: exact findings + exit codes over the seeded
+fixture corpus (one positive and one negative fixture per check family),
+plus a clean run over the real src/ tree. Run from anywhere:
+
+    python3 tools/analyze/slick_analyzer_test.py   # or via ctest
+
+The fixture assertions run the token frontend, which has no dependencies.
+When python3-clang/libclang is present (CI), the clang-frontend class also
+runs and must agree with the token frontend on the fixture corpus.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+ANALYZER = HERE / "slick_analyzer.py"
+FIXTURES = HERE / "fixtures"
+
+sys.path.insert(0, str(HERE))
+import slick_analyzer  # noqa: E402
+
+# One positive fixture per check family; the *_ok.h negatives must stay
+# silent.  (path, line, rule) — exact, order is the analyzer's sort.
+EXPECTED_FIXTURE_FINDINGS = [
+    ("tools/analyze/fixtures/atomic_bad.h", 15, "atomic-order"),
+    ("tools/analyze/fixtures/atomic_bad.h", 19, "atomic-order"),
+    ("tools/analyze/fixtures/atomic_bad.h", 24, "atomic-order"),
+    ("tools/analyze/fixtures/atomic_bad.h", 28, "atomic-order"),
+    ("tools/analyze/fixtures/claim_bad.h", 21, "claim-publish"),
+    ("tools/analyze/fixtures/claim_bad.h", 30, "claim-publish"),
+    ("tools/analyze/fixtures/ignored_bad.h", 19, "ignored-result"),
+    ("tools/analyze/fixtures/ignored_bad.h", 20, "ignored-result"),
+    ("tools/analyze/fixtures/ignored_bad.h", 21, "ignored-result"),
+    ("tools/analyze/fixtures/nodiscard_bad.h", 13, "nodiscard-missing"),
+    ("tools/analyze/fixtures/nodiscard_bad.h", 14, "nodiscard-missing"),
+    ("tools/analyze/fixtures/nodiscard_bad.h", 17, "nodiscard-missing"),
+    ("tools/analyze/fixtures/purity_bad.h", 14, "realtime-purity"),
+    ("tools/analyze/fixtures/purity_bad.h", 24, "allow-without-reason"),
+    ("tools/analyze/fixtures/purity_bad.h", 28, "realtime-purity"),
+]
+
+NEGATIVE_FIXTURES = ["atomic_ok.h", "claim_ok.h", "ignored_ok.h",
+                     "nodiscard_ok.h", "purity_ok.h"]
+
+
+def run_analyzer(*args):
+    return subprocess.run(
+        [sys.executable, str(ANALYZER), *args],
+        capture_output=True, text=True, check=False)
+
+
+def parse(stdout):
+    out = []
+    for line in stdout.splitlines():
+        if line.startswith("::"):
+            continue  # GitHub annotation mirror lines
+        loc, rest = line.split(": [", 1)
+        path, lineno = loc.rsplit(":", 1)
+        rule = rest.split("]", 1)[0]
+        out.append((path.replace("\\", "/"), int(lineno), rule))
+    return out
+
+
+class FixtureCorpus(unittest.TestCase):
+    """Each of the four check families (purity incl. allow-without-reason,
+    claim-publish, ignored-result + nodiscard-missing, atomic-order) is
+    pinned by at least one failing fixture here."""
+
+    def test_exact_findings_and_exit_code(self):
+        proc = run_analyzer("--root", str(REPO), "--frontend", "tokens",
+                            "tools/analyze/fixtures")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertEqual(parse(proc.stdout), EXPECTED_FIXTURE_FINDINGS)
+        self.assertIn("15 finding(s)", proc.stderr)
+
+    def test_every_check_family_has_a_failing_fixture(self):
+        rules = {r for (_p, _l, r) in EXPECTED_FIXTURE_FINDINGS}
+        self.assertEqual(rules, {"realtime-purity", "allow-without-reason",
+                                 "claim-publish", "ignored-result",
+                                 "nodiscard-missing", "atomic-order"})
+
+    def test_negative_fixtures_are_clean(self):
+        for name in NEGATIVE_FIXTURES:
+            with self.subTest(fixture=name):
+                proc = run_analyzer(
+                    "--root", str(REPO), "--frontend", "tokens",
+                    f"tools/analyze/fixtures/{name}")
+                self.assertEqual(proc.returncode, 0,
+                                 f"{name}:\n{proc.stdout}{proc.stderr}")
+                self.assertEqual(proc.stdout, "")
+
+    def test_single_violating_file(self):
+        proc = run_analyzer("--root", str(REPO), "--frontend", "tokens",
+                            "tools/analyze/fixtures/claim_bad.h")
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(
+            [r for (_p, _l, r) in parse(proc.stdout)],
+            ["claim-publish", "claim-publish"])
+
+    def test_suppression_comment_is_honored(self):
+        # atomic_ok.h's DebugPeek carries slick-analyze: allow(atomic-order)
+        # one line above a defaulted load — covered by the negative-fixture
+        # test; here pin that removing the allow would fire, by scanning the
+        # same construct in atomic_bad.h (line 15 has no allow and fires).
+        proc = run_analyzer("--root", str(REPO), "--frontend", "tokens",
+                            "tools/analyze/fixtures/atomic_ok.h")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_analyzer("--root", str(REPO),
+                            "tools/analyze/fixtures/does_not_exist.h")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no such path", proc.stderr)
+
+    def test_github_annotations(self):
+        proc = run_analyzer("--root", str(REPO), "--frontend", "tokens",
+                            "--github", "tools/analyze/fixtures/atomic_bad.h")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("::error file=", proc.stdout)
+        self.assertIn("atomic-order", proc.stdout)
+
+    def test_list_checks(self):
+        proc = run_analyzer("--list-checks")
+        self.assertEqual(proc.returncode, 0)
+        self.assertEqual(proc.stdout.split(),
+                         list(slick_analyzer.CHECK_IDS))
+
+
+class TokenFrontendUnits(unittest.TestCase):
+    def _model(self, text, path="t.h"):
+        model = slick_analyzer.Model()
+        slick_analyzer.TokenFileParser(path, text, model).run()
+        return model
+
+    def test_multiline_atomic_call_is_seen(self):
+        m = self._model("struct S { std::atomic<int> a;\n"
+                        "int f() { return a.load(\n); } };")
+        f = m.by_name["f"][0]
+        self.assertEqual([(a.op, a.has_order) for a in f.atomics],
+                         [("load", False)])
+
+    def test_pointer_arrow_atomic_is_seen(self):
+        m = self._model("inline void g(std::atomic<int>* p) {"
+                        " p->store(1); }")
+        g = m.by_name["g"][0]
+        self.assertEqual([(a.op, a.has_order) for a in g.atomics],
+                         [("store", False)])
+
+    def test_nested_order_does_not_satisfy_outer(self):
+        m = self._model(
+            "inline void h(std::atomic<int>& x, std::atomic<int>& y) {"
+            " x.store(y.load(std::memory_order_relaxed)); }")
+        h = m.by_name["h"][0]
+        ops = {a.op: a.has_order for a in h.atomics}
+        self.assertFalse(ops["store"])
+        self.assertTrue(ops["load"])
+
+    def test_ctor_init_list_with_brace_init(self):
+        # Brace-init inside a ctor-init list must not truncate parsing.
+        m = self._model("struct R { int a_; int b_;\n"
+                        "R(int a) : a_{a}, b_{0} { Touch(); }\n"
+                        "void Touch(); };")
+        self.assertIn("R", m.by_name)
+        self.assertEqual([c.name for c in m.by_name["R"][0].calls],
+                         ["Touch"])
+
+    def test_preprocessor_and_raw_strings_ignored(self):
+        m = self._model('#define LOAD(x) (x).load()\n'
+                        'inline int f() { const char* s = R"(a.load())";\n'
+                        'return s != nullptr; }')
+        f = m.by_name["f"][0]
+        self.assertEqual(f.atomics, [])
+
+    def test_template_function_and_operator(self):
+        m = self._model("template <typename T> struct Q {\n"
+                        "T& operator[](unsigned long i) { return d_[i]; }\n"
+                        "T* d_; };")
+        self.assertIn("operator[]", m.by_name)
+
+
+class RealTree(unittest.TestCase):
+    def test_src_is_clean(self):
+        """The acceptance gate: src/ analyzes clean (token frontend)."""
+        proc = run_analyzer("--root", str(REPO), "--frontend", "tokens",
+                            "src")
+        self.assertEqual(proc.returncode, 0,
+                         "src/ must analyze clean:\n" + proc.stdout)
+
+    def test_fixture_corpus_excluded_from_directory_scan(self):
+        proc = run_analyzer("--root", str(REPO), "--frontend", "tokens",
+                            "tools")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_hot_paths_are_annotated(self):
+        """The annotation sweep is real: the ring claim/publish surface and
+        the worker drain loop carry SLICK_REALTIME."""
+        proc = run_analyzer("--root", str(REPO), "--frontend", "tokens",
+                            "--list-realtime", "src/runtime")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        names = set(proc.stdout.split())
+        for expected in ("slick::SpscRing::TryClaimPush",
+                         "slick::SpscRing::PublishPush",
+                         "slick::MpmcRing::TryClaimPush",
+                         "slick::MpmcRing::ReleasePop",
+                         "slick::ShardWorker::Run"):
+            self.assertIn(expected, names, proc.stdout)
+
+
+@unittest.skipUnless(slick_analyzer.clang_available(),
+                     "python3-clang/libclang not installed")
+class ClangFrontend(unittest.TestCase):
+    """When libclang is available (CI), the clang frontend must agree with
+    the token frontend on the fixture corpus at the (file, rule) level."""
+
+    def test_fixtures_match_token_frontend(self):
+        with tempfile.TemporaryDirectory() as td:
+            main = pathlib.Path(td) / "fixture_tu.cc"
+            includes = "\n".join(
+                f'#include "{p.name}"'
+                for p in sorted(FIXTURES.glob("*_bad.h")) +
+                sorted(FIXTURES.glob("*_ok.h")))
+            main.write_text(includes + "\n")
+            db = [{
+                "directory": td,
+                "command": f"clang++ -std=c++20 -DSLICK_ANALYZE "
+                           f"-I {FIXTURES} -c {main}",
+                "file": str(main),
+            }]
+            dbp = pathlib.Path(td) / "compile_commands.json"
+            dbp.write_text(json.dumps(db))
+            files = sorted(str(p) for p in FIXTURES.glob("*_*.h"))
+            findings, _model, used = slick_analyzer.analyze(
+                files, frontend="clang", compile_db=str(dbp), root=td)
+            self.assertEqual(used, "clang")
+            got = sorted((pathlib.Path(f.path).name, f.rule)
+                         for f in findings)
+            want = sorted((pathlib.Path(p).name, r)
+                          for (p, _l, r) in EXPECTED_FIXTURE_FINDINGS)
+            self.assertEqual(got, want)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

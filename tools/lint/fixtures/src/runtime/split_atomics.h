@@ -1,0 +1,41 @@
+#pragma once
+#include <atomic>
+
+// Seeded violations: atomic calls the original single-line `\.` regex
+// missed — pointer-to-atomic access (`->`) and calls whose argument list
+// or opening paren lands on the next line.
+namespace fixture {
+
+struct SplitAtomics {
+  // Violation (atomic-memory-order): pointer-to-atomic, defaulted order.
+  static unsigned bump(std::atomic<unsigned>* p) {
+    return p->fetch_add(1);
+  }
+
+  // Violation (atomic-memory-order): args split across lines, no order.
+  unsigned peek_split() const {
+    return ctr_.load(
+    );
+  }
+
+  // Violation (atomic-memory-order): paren itself on the next line.
+  unsigned peek_next_line() const {
+    return ctr_.load
+        ();
+  }
+
+  // Clean: split call that does name an order.
+  unsigned peek_ordered() const {
+    return ctr_.load(
+        std::memory_order_acquire);
+  }
+
+  // Clean: pointer-to-atomic with an explicit order.
+  static void reset(std::atomic<unsigned>* p) {
+    p->store(0u, std::memory_order_release);
+  }
+
+  alignas(64) std::atomic<unsigned> ctr_{0};
+};
+
+}  // namespace fixture

@@ -26,10 +26,21 @@ line or the line directly above the finding):
 
 Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
+Division of labor vs tools/analyze/slick_analyzer.py (DESIGN.md §15): this
+file is the fast line-oriented lint — style-adjacent, zero-setup invariants
+where a regex over one file is enough (padding, comments, banned tokens,
+pragma once). The analyzer owns everything that needs name resolution or a
+call graph: hot-path purity (SLICK_REALTIME), claim/publish pairing,
+[[nodiscard]] coverage, and AST-accurate atomic-order checking. The one
+rule both cover is atomic memory order, deliberately: the lint catches it
+in any editor with no model to build, the analyzer re-checks it with
+type/typedef awareness the regex cannot have.
+
 Usage: slick_lint.py [--root DIR] [paths...]
   With no paths: scans the default roots (src bench tests tools examples)
   relative to --root (default: repo root = two levels above this file),
-  skipping tools/lint/fixtures (the seeded-violation corpus).
+  skipping tools/lint/fixtures and tools/analyze/fixtures (the
+  seeded-violation corpora).
 """
 
 from __future__ import annotations
@@ -48,10 +59,13 @@ ALLOW_RE = re.compile(r"slick-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 # Atomic member functions that accept a std::memory_order argument. `.wait`
 # is included (std::atomic::wait takes an order); a non-atomic `.wait()`
 # needs an allow comment, which has not yet been necessary in this repo.
+# Matches both value access (`x.load`) and pointer-to-atomic (`p->load`);
+# the opening paren is located separately so calls split across lines
+# (`x.load\n  (...)`) are still seen.
 ATOMIC_CALL_RE = re.compile(
-    r"\.(load|store|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor"
-    r"|exchange|compare_exchange_weak|compare_exchange_strong"
-    r"|test_and_set|wait)\s*\("
+    r"(?:\.|->)\s*(load|store|fetch_add|fetch_sub|fetch_and|fetch_or"
+    r"|fetch_xor|exchange|compare_exchange_weak|compare_exchange_strong"
+    r"|test_and_set|wait)\b"
 )
 
 RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
@@ -70,7 +84,7 @@ BANNED = [
 
 CROSS_THREAD_DIRS = ("src/runtime/", "src/telemetry/", "src/net/")
 DEFAULT_ROOTS = ("src", "bench", "tests", "tools", "examples")
-EXCLUDE_PARTS = ("tools/lint/fixtures",)
+EXCLUDE_PARTS = ("tools/lint/fixtures", "tools/analyze/fixtures")
 RELAXED_COMMENT_WINDOW = 10
 
 
@@ -129,11 +143,29 @@ def balanced_call_args(lines: list[str], lineno: int, col: int,
 # Rules
 # ---------------------------------------------------------------------------
 
+def find_call_paren(lines: list[str], lineno: int, col: int,
+                    max_lines: int = 3):
+    """(line, col) of the first non-whitespace char at/after (lineno, col)
+    if it is '(' — both 0-based — else None.  Spans line breaks so
+    `x.load\\n  (...)` is recognized as a call."""
+    for i in range(lineno, min(lineno + max_lines, len(lines))):
+        segment = code_text(lines[i])
+        start = col if i == lineno else 0
+        for j in range(start, len(segment)):
+            if segment[j].isspace():
+                continue
+            return (i, j) if segment[j] == "(" else None
+    return None
+
+
 def check_atomic_memory_order(rel: str, lines: list[str]) -> list[Finding]:
     findings = []
     for i, line in enumerate(lines):
         for m in ATOMIC_CALL_RE.finditer(code_text(line)):
-            args = balanced_call_args(lines, i, m.end() - 1)
+            paren = find_call_paren(lines, i, m.end())
+            if paren is None:
+                continue  # member pointer / name mention, not a call
+            args = balanced_call_args(lines, paren[0], paren[1])
             if "memory_order" in args:
                 continue
             if allowed(lines, i + 1, "atomic-memory-order"):

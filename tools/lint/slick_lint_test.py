@@ -27,6 +27,12 @@ EXPECTED_FIXTURE_FINDINGS = [
     ("src/runtime/bad_atomics.h", 27, "atomic-memory-order"),
     ("src/runtime/bad_atomics.h", 28, "atomic-memory-order"),
     ("src/runtime/bad_atomics.h", 32, "relaxed-justified"),
+    # split_atomics.h regression-pins the regex fixes: `->` on a
+    # pointer-to-atomic and calls whose paren/args continue on the next
+    # line were false negatives of the original single-line `\.` pattern.
+    ("src/runtime/split_atomics.h", 12, "atomic-memory-order"),
+    ("src/runtime/split_atomics.h", 17, "atomic-memory-order"),
+    ("src/runtime/split_atomics.h", 23, "atomic-memory-order"),
 ]
 
 
@@ -51,7 +57,7 @@ class FixtureCorpus(unittest.TestCase):
         proc = run_lint("--root", str(FIXTURES))
         self.assertEqual(proc.returncode, 1, proc.stderr)
         self.assertEqual(parse(proc.stdout), EXPECTED_FIXTURE_FINDINGS)
-        self.assertIn("11 finding(s)", proc.stderr)
+        self.assertIn("14 finding(s)", proc.stderr)
 
     def test_clean_file_exits_zero(self):
         proc = run_lint("--root", str(FIXTURES),
