@@ -9,8 +9,15 @@
 // quadratically, FlatFAT/B-Int as n·log(n). TwoStacks and DABA are absent —
 // they do not support multi-query execution (§2.2).
 //
+// A second sweep fixes the window and varies the registered query COUNT
+// (ranges evenly spaced over 1..window): the SlideSide-style fused
+// query_multi answer walk vs one query() probe per range, plus the fused
+// walk pinned to scalar kernels — the paired rows gate the vectorized
+// PrefixCountGreater walk against its scalar twin (DESIGN.md §16).
+//
 // Flags: --max-exp=N (default 12)  --budget-ms=M (default 200)
 //        --max-slides=T (default 262144)  --op=sum|max|both  --seed=S
+//        --qc-window=W (default 4096; 0 skips the query-count sweep)
 
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +29,7 @@
 #include "core/slick_deque_inv.h"
 #include "core/slick_deque_noninv.h"
 #include "ops/arith.h"
+#include "ops/kernels.h"
 #include "ops/minmax.h"
 #include "window/b_int.h"
 #include "window/daba.h"
@@ -38,6 +46,7 @@ struct Config {
   uint64_t budget_ns = 200'000'000;
   uint64_t max_slides = 1 << 18;
   uint64_t seed = 42;
+  std::size_t qc_window = 4096;
 };
 
 // Per-algorithm "answer all ranges" strategies, each the idiomatic path.
@@ -170,6 +179,97 @@ void RunSweep(const char* title, const char* opname, const Config& cfg,
   cs.Report();
 }
 
+// ------------------------- query-count sweep ------------------------------
+
+/// One (query-count, answer-strategy) point: SlickDeque (Non-Inv) at a
+/// fixed window answering `nq` evenly spaced ranges after every slide,
+/// either through the fused query_multi walk or through one query() probe
+/// per range. Returns answers per second.
+template <typename Op>
+double RunQueryCountPoint(std::size_t window, std::size_t nq, bool fused,
+                          const std::vector<double>& data, const Config& cfg,
+                          Checksum& cs) {
+  core::SlickDequeNonInv<Op> agg(window);
+  std::size_t di = 0;
+  auto next = [&] {
+    const double v = data[di];
+    di = di + 1 == data.size() ? 0 : di + 1;
+    return v;
+  };
+  for (std::size_t i = 0; i < window; ++i) {
+    agg.slide(Op::lift(static_cast<typename Op::input_type>(next())));
+  }
+
+  // nq ranges evenly spaced over [1, window], descending, r[0] = window.
+  std::vector<std::size_t> ranges_desc(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    ranges_desc[i] = window - (i * window) / nq;
+  }
+  std::vector<typename Op::result_type> out;
+  out.reserve(nq);
+
+  const uint64_t t0 = NowNs();
+  uint64_t slides = 0;
+  double sink = 0.0;
+  while (slides < cfg.max_slides) {
+    for (uint64_t b = 0; b < 512 && slides < cfg.max_slides; ++b) {
+      agg.slide(Op::lift(static_cast<typename Op::input_type>(next())));
+      if (fused) {
+        out.clear();
+        agg.query_multi(ranges_desc, out);
+        for (const auto& r : out) sink += static_cast<double>(r);
+      } else {
+        for (const std::size_t r : ranges_desc) {
+          sink += static_cast<double>(agg.query(r));
+        }
+      }
+      ++slides;
+    }
+    if (NowNs() - t0 >= cfg.budget_ns) break;
+  }
+  const uint64_t elapsed = NowNs() - t0;
+  cs.Add(sink);
+  return static_cast<double>(slides * nq) * 1e9 /
+         static_cast<double>(elapsed);
+}
+
+template <typename Op>
+void RunQueryCountSweep(const char* opname, const Config& cfg,
+                        const std::vector<double>& data, JsonReport& report) {
+  const std::size_t window = cfg.qc_window;
+  std::printf(
+      "\nExp2(c) %s: Manswers/s vs registered query count, window %zu\n"
+      "%8s %14s %14s %14s\n",
+      opname, window, "# nq", "multi", "multi-scalar", "per-query");
+  Checksum cs;
+  for (std::size_t nq = 1; nq <= window; nq *= 4) {
+    std::printf("%8zu", nq);
+    const auto point = [&](const char* algo, double aps) {
+      std::printf(" %14.2f", aps / 1e6);
+      report.Row({{"algo", algo},
+                  {"op", opname},
+                  {"mode", "qcount"},
+                  {"window", JsonReport::Num(window)},
+                  {"queries", JsonReport::Num(nq)}},
+                 aps);
+    };
+    point("slick-noninv-multi",
+          RunQueryCountPoint<Op>(window, nq, true, data, cfg, cs));
+    {
+      const auto prev =
+          ops::kernels::SetSimdLevel(ops::kernels::SimdLevel::kScalar);
+      point("slick-noninv-multi-scalar",
+            RunQueryCountPoint<Op>(window, nq, true, data, cfg, cs));
+      ops::kernels::SetSimdLevel(prev);
+    }
+    point("slick-noninv-single",
+          RunQueryCountPoint<Op>(window, nq, false, data, cfg, cs));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  cs.Report();
+}
+
 }  // namespace
 }  // namespace slick::bench
 
@@ -181,6 +281,7 @@ int main(int argc, char** argv) {
   cfg.budget_ns = flags.GetU64("budget-ms", 200) * 1'000'000;
   cfg.max_slides = flags.GetU64("max-slides", 1 << 18);
   cfg.seed = flags.GetU64("seed", 42);
+  cfg.qc_window = flags.GetU64("qc-window", 4096);
   const std::string op = flags.GetString("op", "both");
 
   std::printf("Exp 2: max-multi-query throughput (paper Figs 12, 13)\n");
@@ -203,6 +304,10 @@ int main(int argc, char** argv) {
              slick::core::SlickDequeNonInv<slick::ops::Max>>(
         "Exp2(b) Max over all ranges 1..window, slide 1 (Fig 13)", "max", cfg,
         data, report);
+  }
+  if (cfg.qc_window > 0 && (op == "max" || op == "both")) {
+    RunQueryCountSweep<slick::ops::Max>("max", cfg, data, report);
+    RunQueryCountSweep<slick::ops::MaxInt>("max_int", cfg, data, report);
   }
   report.Write();
   return 0;

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -27,6 +28,7 @@
 #include "core/subtract_on_evict.h"
 #include "core/windowed.h"
 #include "ops/arith.h"
+#include "ops/kernels.h"
 #include "ops/minmax.h"
 #include "runtime/parallel_engine.h"
 #include "window/aggregator.h"
@@ -35,6 +37,7 @@
 #include "window/flat_fit.h"
 #include "window/naive.h"
 #include "window/two_stacks.h"
+#include "window/two_stacks_ring.h"
 
 namespace slick::bench {
 namespace {
@@ -53,16 +56,21 @@ struct Config {
 template <typename Op>
 std::vector<typename Op::value_type> Lift(const std::vector<double>& data) {
   std::vector<typename Op::value_type> lifted(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) lifted[i] = Op::lift(data[i]);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    lifted[i] = Op::lift(static_cast<typename Op::input_type>(data[i]));
+  }
   return lifted;
 }
 
 /// One aggregator across the batch sweep, single-threaded. batch == 1 is
 /// the per-tuple slide loop; batch > 1 goes through window::BulkSlide with
 /// contiguous spans (shortened only at the data ring's wrap point).
-template <typename Agg>
+/// Extra ctor_args are forwarded after the window (TwoStacksRing's fixed
+/// capacity rides through Windowed this way).
+template <typename Agg, typename... CtorArgs>
 void SweepSingle(const char* algo, const char* opname, const Config& cfg,
-                 const std::vector<double>& data, JsonReport& report) {
+                 const std::vector<double>& data, JsonReport& report,
+                 CtorArgs... ctor_args) {
   using Op = typename Agg::op_type;
   const auto lifted = Lift<Op>(data);
   std::printf("\n== %s (%s), window %zu, single-thread ==\n", algo, opname,
@@ -72,7 +80,7 @@ void SweepSingle(const char* algo, const char* opname, const Config& cfg,
   double base = 0.0;
   for (std::size_t batch : kBatches) {
     if (batch > cfg.max_batch) break;
-    Agg agg(cfg.window);
+    Agg agg(cfg.window, ctor_args...);
     std::size_t di = 0;
     for (std::size_t i = 0; i < cfg.window; ++i) {
       agg.slide(lifted[di]);
@@ -112,6 +120,23 @@ void SweepSingle(const char* algo, const char* opname, const Config& cfg,
                best);
   }
   sink.Report();
+}
+
+/// SweepSingle twice: once at the detected SIMD level and once pinned to
+/// the scalar kernels, the latter reported as "<algo>-scalar". The paired
+/// rows let CI gate "vectorized never slower than scalar" as a same-run
+/// cost ratio (tools/bench_summary.py --best-pair), robust to runner
+/// speed, and let the committed snapshot record the SIMD win itself.
+template <typename Agg, typename... CtorArgs>
+void SweepSingleVsScalar(const char* algo, const char* opname,
+                         const Config& cfg, const std::vector<double>& data,
+                         JsonReport& report, CtorArgs... ctor_args) {
+  SweepSingle<Agg>(algo, opname, cfg, data, report, ctor_args...);
+  const auto prev =
+      ops::kernels::SetSimdLevel(ops::kernels::SimdLevel::kScalar);
+  const std::string twin = std::string(algo) + "-scalar";
+  SweepSingle<Agg>(twin.c_str(), opname, cfg, data, report, ctor_args...);
+  ops::kernels::SetSimdLevel(prev);
 }
 
 /// The parallel sharded runtime across the batch sweep: Options.batch is
@@ -214,6 +239,38 @@ int main(int argc, char** argv) {
       "daba", "max", cfg, data, report);
   SweepSingle<slick::window::FlatFat<Max>>("flatfat", "max", cfg, data,
                                            report);
+
+  // Flip-heavy int64 rows for the vectorized structural kernels, each
+  // paired with its scalar twin (DESIGN.md §16). TwoStacks/TwoStacksRing
+  // exercise the carry-scan flip + prefix-scan BulkInsert (window ≫ batch
+  // keeps the amortized flip span at ~window elements), slick-noninv
+  // exercises the survivor-mask staircase AppendBatch, and the Sum ring
+  // row covers the double-add scan. CI gates vectorized ≥ scalar on
+  // these pairs; EXPERIMENTS.md Exp 8 records the measured speedups.
+  {
+    using slick::ops::MaxInt;
+    using slick::ops::MinInt;
+    using slick::window::TwoStacksRing;
+    using RingMaxI = slick::core::Windowed<TwoStacksRing<MaxInt>>;
+    using RingMinI = slick::core::Windowed<TwoStacksRing<MinInt>>;
+    using RingSum = slick::core::Windowed<TwoStacksRing<Sum>>;
+    using StacksMaxI = slick::core::Windowed<slick::window::TwoStacks<MaxInt>>;
+    using StacksMinI = slick::core::Windowed<slick::window::TwoStacks<MinInt>>;
+    SweepSingleVsScalar<RingMaxI>("twostacks-ring", "max_int", cfg, data,
+                                  report, cfg.window);
+    SweepSingleVsScalar<RingMinI>("twostacks-ring", "min_int", cfg, data,
+                                  report, cfg.window);
+    SweepSingleVsScalar<RingSum>("twostacks-ring", "sum", cfg, data, report,
+                                 cfg.window);
+    SweepSingleVsScalar<StacksMaxI>("twostacks", "max_int", cfg, data,
+                                    report);
+    SweepSingleVsScalar<StacksMinI>("twostacks", "min_int", cfg, data,
+                                    report);
+    SweepSingleVsScalar<slick::core::SlickDequeNonInv<MaxInt>>(
+        "slick-noninv", "max_int", cfg, data, report);
+    SweepSingleVsScalar<slick::core::SlickDequeNonInv<MinInt>>(
+        "slick-noninv", "min_int", cfg, data, report);
+  }
 
   // Sharded runtime: the two headline SlickDeque variants.
   SweepSharded<slick::core::SlickDequeInv<Sum>>("slick-inv", "sum", cfg, data,

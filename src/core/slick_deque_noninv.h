@@ -1,10 +1,14 @@
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "ops/scan_kernels.h"
 #include "ops/traits.h"
 #include "util/annotations.h"
 #include "util/check.h"
@@ -116,20 +120,46 @@ class SlickDequeNonInv {
   /// A node of age a (0 = newest partial) answers exactly the ranges r with
   /// r > a down to the age of the next-older node, so the walk loads each
   /// deque node once and every answer costs one comparison plus a copy.
-  SLICK_REALTIME void query_multi(const std::vector<std::size_t>& ranges_desc,
+  /// SlideSide-style shared walk: at each node, the block of still-open
+  /// ranges the node answers is the leading run of `ranges_desc[i..)` with
+  /// r > age — found by the vectorized PrefixCountGreater kernel — and the
+  /// whole run is answered with one lower() and a fill. Each node is
+  /// loaded once and its age computed once, however many ranges it serves.
+  SLICK_REALTIME_ALLOW(
+      "out.resize appends into the caller's buffer — callers reuse one "
+      "answer vector across slides, so growth amortizes to a steady-state "
+      "no-op; the walk itself allocates nothing")
+  void query_multi(const std::vector<std::size_t>& ranges_desc,
                    std::vector<result_type>& out) const {
     SLICK_CHECK(!deque_.empty(), "query before the first slide");
+    const std::size_t n = ranges_desc.size();
+    if (n == 0) return;
+#if !defined(NDEBUG)
+    for (std::size_t i = 0; i < n; ++i) {
+      SLICK_DCHECK(ranges_desc[i] >= 1 && ranges_desc[i] <= window_,
+                   "query range out of bounds");
+      SLICK_DCHECK(i == 0 || ranges_desc[i] <= ranges_desc[i - 1],
+                   "ranges must be sorted descending");
+    }
+#endif
+    const std::size_t base = out.size();
+    out.resize(base + n);
     uint64_t walk = deque_.front_seq();
-    Node node = deque_[walk];
-    std::size_t age = AgeOf(node.pos);
-    for (std::size_t r : ranges_desc) {
-      SLICK_DCHECK(r >= 1 && r <= window_, "query range out of bounds");
-      while (age >= r) {
-        ++walk;
-        node = deque_[walk];
-        age = AgeOf(node.pos);
+    std::size_t i = 0;
+    for (;;) {
+      const Node& node = deque_[walk];
+      const std::size_t age = AgeOf(node.pos);
+      const std::size_t run =
+          ops::kernels::PrefixCountGreater(ranges_desc.data() + i, n - i, age);
+      if (run > 0) {
+        std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(base + i), run,
+                    Op::lower(node.val));
+        i += run;
+        // The newest node (age 0) answers every remaining range (r >= 1),
+        // so the walk always terminates here at the latest.
+        if (i == n) return;
       }
-      out.push_back(Op::lower(node.val));
+      ++walk;
     }
   }
 
@@ -140,7 +170,8 @@ class SlickDequeNonInv {
 
   std::size_t memory_bytes() const {
     return sizeof(*this) + deque_.memory_bytes() +
-           stair_.capacity() * sizeof(std::size_t);
+           stair_.capacity() * sizeof(std::size_t) +
+           mask_.capacity() * sizeof(uint64_t);
   }
 
   /// Checkpoints the deque (DSMS fault tolerance). Trivially copyable
@@ -247,9 +278,38 @@ class SlickDequeNonInv {
   /// Admits `m` batch elements whose circular positions start at
   /// `start_pos`, pruning dominated nodes. Precondition: every head node
   /// the batch expires is already gone.
+  SLICK_REALTIME_ALLOW(
+      "mask_.assign reuses the survivor-bitmap capacity after the first "
+      "batch at each high-water size — amortized O(1) per element, no "
+      "steady-state allocation")
   void AppendBatch(const value_type* src, std::size_t m,
                    std::size_t start_pos) {
-    if constexpr (ops::TotalOrderSelectiveOp<Op>) {
+    if constexpr (ops::TotalOrderSelectiveOp<Op> &&
+                  ops::HasSurvivorKernel<Op>) {
+      // Vectorized staircase: one right-to-left pass of the survivor-mask
+      // kernel finds every batch element no later element absorbs (strict
+      // dominance over the running suffix aggregate) and the whole-batch
+      // aggregate in the same sweep.
+      mask_.assign((m + 63) / 64, 0);
+      const value_type total = ops::SurvivorKernel<Op>::Mask(src, m,
+                                                             mask_.data());
+      // The newest element always survives; the kernel's strict test can
+      // miss it only when src[m-1] equals ⊕'s identity, so force its bit.
+      mask_[(m - 1) >> 6] |= uint64_t{1} << ((m - 1) & 63);
+      while (!deque_.empty() &&
+             ops::Absorbs<Op>(total, deque_.back().val)) {
+        deque_.pop_back();
+      }
+      for (std::size_t w = 0; w < mask_.size(); ++w) {
+        uint64_t bits = mask_[w];
+        while (bits != 0) {
+          const std::size_t k =
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          deque_.push_back(Node{(start_pos + k) % window_, src[k]});
+        }
+      }
+    } else if constexpr (ops::TotalOrderSelectiveOp<Op>) {
       // Right-to-left suffix scan: element k survives the batch iff no
       // later batch element absorbs it, which for an order-induced absorbs
       // is one test against the aggregate of src[k+1..m).
@@ -298,6 +358,7 @@ class SlickDequeNonInv {
   std::size_t window_;
   window::ChunkedArrayQueue<Node> deque_;
   std::vector<std::size_t> stair_;  // BulkSlide scratch: surviving indices
+  std::vector<uint64_t> mask_;      // BulkSlide scratch: survivor bitmask
   std::size_t pos_ = 0;  // write position of the next partial
   std::size_t cur_ = 0;  // position of the newest partial
 };

@@ -9,6 +9,7 @@
 #include "engine/acq_engine.h"
 #include "ops/algebraic.h"
 #include "ops/minmax.h"
+#include "ops/scan_kernels.h"
 #include "plan/query_spec.h"
 #include "util/check.h"
 
@@ -92,32 +93,53 @@ class SharedMinMaxFamilyEngine {
                            plan::Pat pat)
       : queries_(std::move(queries)),
         max_engine_(Specs(queries_), pat),
-        min_engine_(Specs(queries_), pat) {}
+        min_engine_(Specs(queries_), pat) {
+    for (const MinMaxFamilyQuery& q : queries_) {
+      if (q.kind == MinMaxFamilyKind::kRange) has_range_ = true;
+    }
+  }
 
   template <typename Sink>
   void Push(double x, Sink&& sink) {
     // Drive both shared deques; pair up the per-query answers. Both
-    // engines run the same plan, so answers arrive in the same order.
-    max_due_.clear();
-    min_due_.clear();
-    max_engine_.Push(
-        x, [&](uint32_t q, double a) { max_due_.emplace_back(q, a); });
-    min_engine_.Push(
-        x, [&](uint32_t q, double a) { min_due_.emplace_back(q, a); });
-    SLICK_DCHECK(max_due_.size() == min_due_.size(),
+    // engines run the same plan, so answers arrive in the same order —
+    // collected into parallel arrays (query ids once, one value column
+    // per deque) so the Range projection runs as one vectorized
+    // max - min pass over the due block instead of per-answer scalar
+    // subtractions.
+    due_q_.clear();
+    max_vals_.clear();
+    min_vals_.clear();
+    max_engine_.Push(x, [&](uint32_t q, double a) {
+      due_q_.push_back(q);
+      max_vals_.push_back(a);
+    });
+    min_engine_.Push(x, [&]([[maybe_unused]] uint32_t q, double a) {
+      SLICK_DCHECK(min_vals_.size() < due_q_.size() &&
+                       q == due_q_[min_vals_.size()],
+                   "shared plans diverged");
+      min_vals_.push_back(a);
+    });
+    SLICK_DCHECK(max_vals_.size() == min_vals_.size(),
                  "shared plans diverged");
-    for (std::size_t i = 0; i < max_due_.size(); ++i) {
-      const uint32_t q = max_due_[i].first;
-      SLICK_DCHECK(q == min_due_[i].first, "shared plans diverged");
+    const std::size_t n = due_q_.size();
+    if (n == 0) return;
+    if (has_range_) {
+      range_vals_.resize(n);
+      ops::kernels::SubtractArrays(max_vals_.data(), min_vals_.data(),
+                                   range_vals_.data(), n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const uint32_t q = due_q_[i];
       switch (queries_[q].kind) {
         case MinMaxFamilyKind::kMax:
-          sink(q, max_due_[i].second);
+          sink(q, max_vals_[i]);
           break;
         case MinMaxFamilyKind::kMin:
-          sink(q, min_due_[i].second);
+          sink(q, min_vals_[i]);
           break;
         case MinMaxFamilyKind::kRange:
-          sink(q, max_due_[i].second - min_due_[i].second);
+          sink(q, range_vals_[i]);
           break;
       }
     }
@@ -140,8 +162,13 @@ class SharedMinMaxFamilyEngine {
   std::vector<MinMaxFamilyQuery> queries_;
   AcqEngine<core::SlickDequeNonInv<ops::Max>> max_engine_;
   AcqEngine<core::SlickDequeNonInv<ops::Min>> min_engine_;
-  std::vector<std::pair<uint32_t, double>> max_due_;
-  std::vector<std::pair<uint32_t, double>> min_due_;
+  bool has_range_ = false;
+  // Per-Push due-answer block, SoA: query ids + one value column per deque
+  // (+ the projected ranges when any Range query is registered).
+  std::vector<uint32_t> due_q_;
+  std::vector<double> max_vals_;
+  std::vector<double> min_vals_;
+  std::vector<double> range_vals_;
 };
 
 }  // namespace slick::engine

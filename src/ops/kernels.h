@@ -4,9 +4,10 @@
 //
 // Each kernel computes an identity-seeded fold of a contiguous value array
 // under one ⊕, written as a restrict-qualified loop the compiler can
-// auto-vectorize; behind SLICK_SIMD an AVX2 variant is also compiled and
-// selected at runtime (__builtin_cpu_supports), so one binary runs
-// everywhere and uses the wide path where the host has it.
+// auto-vectorize; behind SLICK_SIMD, AVX2 + AVX-512F variants (x86-64) or
+// a NEON variant (aarch64) are also compiled and selected through the
+// cached runtime dispatch in ops/simd_dispatch.h, so one binary runs
+// everywhere and uses the widest path the host has.
 //
 // Exactness contract: the integer kernels (FoldAdd/FoldMax/FoldMin over
 // int64) and the min/max kernels are bit-identical to the sequential
@@ -20,26 +21,17 @@
 // BulkKernel<Op> (declared in ops/traits.h) maps ops onto kernels; the
 // generic FoldValues<Op> falls back to a plain combine loop for everything
 // without a registered kernel, so counting wrappers and holistic ops keep
-// their exact per-combine semantics.
+// their exact per-combine semantics. The structural scan kernels (flip,
+// staircase, multi-query walk) live in ops/scan_kernels.h.
 
 #include <cstddef>
 #include <cstdint>
 
 #include "ops/arith.h"
 #include "ops/minmax.h"
+#include "ops/simd_dispatch.h"
 #include "ops/traits.h"
-
-#if defined(__GNUC__) || defined(__clang__)
-#define SLICK_RESTRICT __restrict__
-#else
-#define SLICK_RESTRICT
-#endif
-
-#if defined(SLICK_SIMD) && defined(__x86_64__) && \
-    (defined(__GNUC__) || defined(__clang__))
-#define SLICK_SIMD_X86 1
-#include <immintrin.h>
-#endif
+#include "util/annotations.h"
 
 namespace slick::ops {
 namespace kernels {
@@ -47,22 +39,25 @@ namespace kernels {
 // ------------------------------------------------------------------
 // Scalar kernels. SLICK_RESTRICT promises the input does not alias any
 // store the caller makes, which is what lets -O2 unroll and vectorize
-// these loops even without the explicit AVX2 variants below.
+// these loops even without the explicit wide variants below.
 // ------------------------------------------------------------------
 
-inline int64_t FoldAddScalar(const int64_t* SLICK_RESTRICT v, std::size_t n) {
+SLICK_REALTIME inline int64_t FoldAddScalar(const int64_t* SLICK_RESTRICT v,
+                                            std::size_t n) {
   int64_t acc = 0;
   for (std::size_t i = 0; i < n; ++i) acc += v[i];
   return acc;
 }
 
-inline double FoldAddScalar(const double* SLICK_RESTRICT v, std::size_t n) {
+SLICK_REALTIME inline double FoldAddScalar(const double* SLICK_RESTRICT v,
+                                           std::size_t n) {
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) acc += v[i];
   return acc;
 }
 
-inline int64_t FoldMaxScalar(const int64_t* SLICK_RESTRICT v, std::size_t n) {
+SLICK_REALTIME inline int64_t FoldMaxScalar(const int64_t* SLICK_RESTRICT v,
+                                            std::size_t n) {
   int64_t acc = MaxInt::identity();
   for (std::size_t i = 0; i < n; ++i) acc = acc < v[i] ? v[i] : acc;
   return acc;
@@ -70,14 +65,23 @@ inline int64_t FoldMaxScalar(const int64_t* SLICK_RESTRICT v, std::size_t n) {
 
 // The comparison shape matches Max::combine(acc, v) exactly, including its
 // NaN behaviour (a NaN element never replaces the accumulator).
-inline double FoldMaxScalar(const double* SLICK_RESTRICT v, std::size_t n) {
+SLICK_REALTIME inline double FoldMaxScalar(const double* SLICK_RESTRICT v,
+                                           std::size_t n) {
   double acc = Max::identity();
   for (std::size_t i = 0; i < n; ++i) acc = acc < v[i] ? v[i] : acc;
   return acc;
 }
 
-inline double FoldMinScalar(const double* SLICK_RESTRICT v, std::size_t n) {
+SLICK_REALTIME inline double FoldMinScalar(const double* SLICK_RESTRICT v,
+                                           std::size_t n) {
   double acc = Min::identity();
+  for (std::size_t i = 0; i < n; ++i) acc = v[i] < acc ? v[i] : acc;
+  return acc;
+}
+
+SLICK_REALTIME inline int64_t FoldMinScalar(const int64_t* SLICK_RESTRICT v,
+                                            std::size_t n) {
+  int64_t acc = MinInt::identity();
   for (std::size_t i = 0; i < n; ++i) acc = v[i] < acc ? v[i] : acc;
   return acc;
 }
@@ -86,18 +90,8 @@ inline double FoldMinScalar(const double* SLICK_RESTRICT v, std::size_t n) {
 
 // ------------------------------------------------------------------
 // AVX2 kernels, compiled with a per-function target attribute so the rest
-// of the binary keeps the baseline ISA. Dispatch is one cached CPUID test.
+// of the binary keeps the baseline ISA.
 // ------------------------------------------------------------------
-
-/// True when the host supports AVX2 (resolved once, then a plain load).
-inline bool CpuHasAvx2() {
-  static const bool has = __builtin_cpu_supports("avx2") != 0;
-  return has;
-}
-
-/// Batches below this length are not worth the dispatch + horizontal
-/// reduction; the scalar loop wins.
-inline constexpr std::size_t kSimdThreshold = 16;
 
 __attribute__((target("avx2"))) inline double FoldAddAvx2(
     const double* SLICK_RESTRICT v, std::size_t n) {
@@ -163,7 +157,7 @@ __attribute__((target("avx2"))) inline double FoldMinAvx2(
   return r;
 }
 
-// AVX2 has no packed 64-bit max (that is AVX-512), so compare + blend.
+// AVX2 has no packed 64-bit max/min (that is AVX-512), so compare + blend.
 __attribute__((target("avx2"))) inline int64_t FoldMaxAvx2(
     const int64_t* SLICK_RESTRICT v, std::size_t n) {
   __m256i acc = _mm256_set1_epi64x(MaxInt::identity());
@@ -181,47 +175,274 @@ __attribute__((target("avx2"))) inline int64_t FoldMaxAvx2(
   return r;
 }
 
+__attribute__((target("avx2"))) inline int64_t FoldMinAvx2(
+    const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  __m256i acc = _mm256_set1_epi64x(MinInt::identity());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    acc = _mm256_blendv_epi8(acc, x, _mm256_cmpgt_epi64(acc, x));
+  }
+  int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t r = MinInt::identity();
+  for (int k = 0; k < 4; ++k) r = lanes[k] < r ? lanes[k] : r;
+  for (; i < n; ++i) r = v[i] < r ? v[i] : r;
+  return r;
+}
+
+// ------------------------------------------------------------------
+// AVX-512F kernels: 8 lanes and native 64-bit integer min/max. GCC's
+// _mm512_* intrinsics built on _mm512_undefined_*() trip a
+// -Wmaybe-uninitialized false positive when inlined (GCC PR105593), so
+// the section scopes a suppression.
+// ------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+__attribute__((target("avx512f"))) inline double FoldAddAvx512(
+    const double* SLICK_RESTRICT v, std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_pd(acc, _mm512_loadu_pd(v + i));
+  }
+  double r = _mm512_reduce_add_pd(acc);
+  for (; i < n; ++i) r += v[i];
+  return r;
+}
+
+__attribute__((target("avx512f"))) inline int64_t FoldAddAvx512(
+    const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_loadu_si512(v + i));
+  }
+  int64_t r = _mm512_reduce_add_epi64(acc);
+  for (; i < n; ++i) r += v[i];
+  return r;
+}
+
+__attribute__((target("avx512f"))) inline double FoldMaxAvx512(
+    const double* SLICK_RESTRICT v, std::size_t n) {
+  __m512d acc = _mm512_set1_pd(Max::identity());
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_max_pd(_mm512_loadu_pd(v + i), acc);
+  }
+  double lanes[8];
+  _mm512_storeu_pd(lanes, acc);
+  double r = Max::identity();
+  for (int k = 0; k < 8; ++k) r = r < lanes[k] ? lanes[k] : r;
+  for (; i < n; ++i) r = r < v[i] ? v[i] : r;
+  return r;
+}
+
+__attribute__((target("avx512f"))) inline double FoldMinAvx512(
+    const double* SLICK_RESTRICT v, std::size_t n) {
+  __m512d acc = _mm512_set1_pd(Min::identity());
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_min_pd(_mm512_loadu_pd(v + i), acc);
+  }
+  double lanes[8];
+  _mm512_storeu_pd(lanes, acc);
+  double r = Min::identity();
+  for (int k = 0; k < 8; ++k) r = lanes[k] < r ? lanes[k] : r;
+  for (; i < n; ++i) r = v[i] < r ? v[i] : r;
+  return r;
+}
+
+__attribute__((target("avx512f"))) inline int64_t FoldMaxAvx512(
+    const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  __m512i acc = _mm512_set1_epi64(MaxInt::identity());
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_max_epi64(acc, _mm512_loadu_si512(v + i));
+  }
+  int64_t r = _mm512_reduce_max_epi64(acc);
+  for (; i < n; ++i) r = r < v[i] ? v[i] : r;
+  return r;
+}
+
+__attribute__((target("avx512f"))) inline int64_t FoldMinAvx512(
+    const int64_t* SLICK_RESTRICT v, std::size_t n) {
+  __m512i acc = _mm512_set1_epi64(MinInt::identity());
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_min_epi64(acc, _mm512_loadu_si512(v + i));
+  }
+  int64_t r = _mm512_reduce_min_epi64(acc);
+  for (; i < n; ++i) r = v[i] < r ? v[i] : r;
+  return r;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 #endif  // SLICK_SIMD_X86
 
+#if defined(SLICK_SIMD_NEON)
+
 // ------------------------------------------------------------------
-// Public dispatching kernels: AVX2 when compiled in, runtime-supported,
-// and the batch is long enough to amortize the reduction; scalar otherwise.
+// NEON kernels (aarch64, 2 × 64-bit lanes). No vmaxq_s64/vminq_s64, and
+// vmaxq_f64/vminq_f64 have the wrong NaN behaviour for our combine
+// shape, so min/max are compare + select, same semantics as the scalar
+// comparison.
 // ------------------------------------------------------------------
 
-inline double FoldAdd(const double* SLICK_RESTRICT v, std::size_t n) {
-#if defined(SLICK_SIMD_X86)
-  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldAddAvx2(v, n);
-#endif
-  return FoldAddScalar(v, n);
+SLICK_REALTIME inline double FoldAddNeon(const double* SLICK_RESTRICT v,
+                                         std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) acc = vaddq_f64(acc, vld1q_f64(v + i));
+  double r = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; i < n; ++i) r += v[i];
+  return r;
 }
 
-inline int64_t FoldAdd(const int64_t* SLICK_RESTRICT v, std::size_t n) {
-#if defined(SLICK_SIMD_X86)
-  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldAddAvx2(v, n);
-#endif
-  return FoldAddScalar(v, n);
+SLICK_REALTIME inline int64_t FoldAddNeon(const int64_t* SLICK_RESTRICT v,
+                                          std::size_t n) {
+  int64x2_t acc = vdupq_n_s64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) acc = vaddq_s64(acc, vld1q_s64(v + i));
+  int64_t r = vgetq_lane_s64(acc, 0) + vgetq_lane_s64(acc, 1);
+  for (; i < n; ++i) r += v[i];
+  return r;
 }
 
-inline double FoldMax(const double* SLICK_RESTRICT v, std::size_t n) {
-#if defined(SLICK_SIMD_X86)
-  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldMaxAvx2(v, n);
-#endif
-  return FoldMaxScalar(v, n);
+SLICK_REALTIME inline double FoldMaxNeon(const double* SLICK_RESTRICT v,
+                                         std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(Max::identity());
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t x = vld1q_f64(v + i);
+    acc = vbslq_f64(vcltq_f64(acc, x), x, acc);
+  }
+  double r = Max::identity();
+  for (int k = 0; k < 2; ++k) {
+    const double lane = k == 0 ? vgetq_lane_f64(acc, 0) : vgetq_lane_f64(acc, 1);
+    r = r < lane ? lane : r;
+  }
+  for (; i < n; ++i) r = r < v[i] ? v[i] : r;
+  return r;
 }
 
-inline int64_t FoldMax(const int64_t* SLICK_RESTRICT v, std::size_t n) {
-#if defined(SLICK_SIMD_X86)
-  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldMaxAvx2(v, n);
-#endif
-  return FoldMaxScalar(v, n);
+SLICK_REALTIME inline double FoldMinNeon(const double* SLICK_RESTRICT v,
+                                         std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(Min::identity());
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t x = vld1q_f64(v + i);
+    acc = vbslq_f64(vcltq_f64(x, acc), x, acc);
+  }
+  double r = Min::identity();
+  for (int k = 0; k < 2; ++k) {
+    const double lane = k == 0 ? vgetq_lane_f64(acc, 0) : vgetq_lane_f64(acc, 1);
+    r = lane < r ? lane : r;
+  }
+  for (; i < n; ++i) r = v[i] < r ? v[i] : r;
+  return r;
 }
 
-inline double FoldMin(const double* SLICK_RESTRICT v, std::size_t n) {
-#if defined(SLICK_SIMD_X86)
-  if (n >= kSimdThreshold && CpuHasAvx2()) return FoldMinAvx2(v, n);
-#endif
-  return FoldMinScalar(v, n);
+SLICK_REALTIME inline int64_t FoldMaxNeon(const int64_t* SLICK_RESTRICT v,
+                                          std::size_t n) {
+  int64x2_t acc = vdupq_n_s64(MaxInt::identity());
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t x = vld1q_s64(v + i);
+    acc = vbslq_s64(vcltq_s64(acc, x), x, acc);
+  }
+  int64_t r = MaxInt::identity();
+  for (int k = 0; k < 2; ++k) {
+    const int64_t lane = k == 0 ? vgetq_lane_s64(acc, 0) : vgetq_lane_s64(acc, 1);
+    r = r < lane ? lane : r;
+  }
+  for (; i < n; ++i) r = r < v[i] ? v[i] : r;
+  return r;
 }
+
+SLICK_REALTIME inline int64_t FoldMinNeon(const int64_t* SLICK_RESTRICT v,
+                                          std::size_t n) {
+  int64x2_t acc = vdupq_n_s64(MinInt::identity());
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t x = vld1q_s64(v + i);
+    acc = vbslq_s64(vcltq_s64(x, acc), x, acc);
+  }
+  int64_t r = MinInt::identity();
+  for (int k = 0; k < 2; ++k) {
+    const int64_t lane = k == 0 ? vgetq_lane_s64(acc, 0) : vgetq_lane_s64(acc, 1);
+    r = lane < r ? lane : r;
+  }
+  for (; i < n; ++i) r = v[i] < r ? v[i] : r;
+  return r;
+}
+
+#endif  // SLICK_SIMD_NEON
+
+// ------------------------------------------------------------------
+// Public dispatching kernels: the widest compiled variant the active
+// level (ops/simd_dispatch.h) allows when the batch is long enough to
+// amortize the reduction; scalar otherwise.
+// ------------------------------------------------------------------
+
+#if defined(SLICK_SIMD_X86)
+#define SLICK_FOLD_DISPATCH_BODY(NAME, ARGS)                                \
+  if (n >= kSimdThreshold) {                                                \
+    const SimdLevel level = ActiveSimdLevel();                              \
+    if (level >= SimdLevel::kAvx512) return NAME##Avx512 ARGS;              \
+    if (level >= SimdLevel::kAvx2) return NAME##Avx2 ARGS;                  \
+  }                                                                         \
+  return NAME##Scalar ARGS;
+#elif defined(SLICK_SIMD_NEON)
+#define SLICK_FOLD_DISPATCH_BODY(NAME, ARGS)                                \
+  if (n >= kSimdThreshold && ActiveSimdLevel() >= SimdLevel::kNeon) {       \
+    return NAME##Neon ARGS;                                                 \
+  }                                                                         \
+  return NAME##Scalar ARGS;
+#else
+#define SLICK_FOLD_DISPATCH_BODY(NAME, ARGS) return NAME##Scalar ARGS;
+#endif
+
+SLICK_REALTIME inline double FoldAdd(const double* SLICK_RESTRICT v,
+                                     std::size_t n) {
+  SLICK_FOLD_DISPATCH_BODY(FoldAdd, (v, n))
+}
+
+SLICK_REALTIME inline int64_t FoldAdd(const int64_t* SLICK_RESTRICT v,
+                                      std::size_t n) {
+  SLICK_FOLD_DISPATCH_BODY(FoldAdd, (v, n))
+}
+
+SLICK_REALTIME inline double FoldMax(const double* SLICK_RESTRICT v,
+                                     std::size_t n) {
+  SLICK_FOLD_DISPATCH_BODY(FoldMax, (v, n))
+}
+
+SLICK_REALTIME inline int64_t FoldMax(const int64_t* SLICK_RESTRICT v,
+                                      std::size_t n) {
+  SLICK_FOLD_DISPATCH_BODY(FoldMax, (v, n))
+}
+
+SLICK_REALTIME inline double FoldMin(const double* SLICK_RESTRICT v,
+                                     std::size_t n) {
+  SLICK_FOLD_DISPATCH_BODY(FoldMin, (v, n))
+}
+
+SLICK_REALTIME inline int64_t FoldMin(const int64_t* SLICK_RESTRICT v,
+                                      std::size_t n) {
+  SLICK_FOLD_DISPATCH_BODY(FoldMin, (v, n))
+}
+
+#undef SLICK_FOLD_DISPATCH_BODY
 
 }  // namespace kernels
 
@@ -278,6 +499,13 @@ struct BulkKernel<MaxInt> {
 template <>
 struct BulkKernel<Min> {
   static double Fold(const double* v, std::size_t n) {
+    return kernels::FoldMin(v, n);
+  }
+};
+
+template <>
+struct BulkKernel<MinInt> {
+  static int64_t Fold(const int64_t* v, std::size_t n) {
     return kernels::FoldMin(v, n);
   }
 };

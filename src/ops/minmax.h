@@ -85,6 +85,31 @@ struct MaxInt {
   static result_type lower(value_type a) { return a; }
 };
 
+/// Exact integer Min (pairs with MaxInt for oracle-driven tests and the
+/// int64 bench rows).
+struct MinInt {
+  using input_type = int64_t;
+  using value_type = int64_t;
+  using result_type = int64_t;
+
+  static constexpr const char* kName = "min_int";
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr bool kSelective = true;
+
+  static constexpr bool kAbsorbsTotal = true;
+
+  static value_type identity() { return std::numeric_limits<int64_t>::max(); }
+  static value_type lift(input_type x) { return x; }
+  static value_type combine(value_type a, value_type b) {
+    return b < a ? b : a;
+  }
+  static bool absorbs(value_type newer, value_type older) {
+    return newer <= older;
+  }
+  static result_type lower(value_type a) { return a; }
+};
+
 /// A keyed sample for ArgMax/ArgMin: key decides the order, id identifies
 /// the winning element (e.g., a stock symbol index or a tuple timestamp).
 struct ArgSample {

@@ -2,6 +2,7 @@
 
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 namespace slick::ops {
@@ -109,6 +110,53 @@ concept HasBulkKernel =
 
 template <typename Op>
 inline constexpr bool has_bulk_kernel = HasBulkKernel<Op>;
+
+/// Customization point for structural scan kernels (ops/scan_kernels.h):
+/// specializations provide
+///   Suffix(v, out, n, carry):  out[i] = v[i] ⊕ out[i+1],
+///                              out[n-1] = v[n-1] ⊕ carry
+///   Prefix(v, out, n, carry):  out[i] = out[i-1] ⊕ v[i],
+///                              out[0] = carry ⊕ v[0]
+/// as vectorized passes equal (bit-identical for integer and min/max ⊕,
+/// ULP-bounded for floating-point sum) to the sequential recurrence.
+/// `out` must be disjoint from `v` or exactly equal to it; partial
+/// overlap is not allowed. The flip paths of window/two_stacks*.h and
+/// the bulk-insert prefix chains resolve through this.
+template <typename Op>
+struct ScanKernel {};
+
+template <typename Op>
+concept HasScanKernel =
+    AggregateOp<Op> &&
+    requires(const typename Op::value_type* v, typename Op::value_type* out,
+             std::size_t n, typename Op::value_type carry) {
+      { ScanKernel<Op>::Suffix(v, out, n, carry) } -> std::same_as<void>;
+      { ScanKernel<Op>::Prefix(v, out, n, carry) } -> std::same_as<void>;
+    };
+
+template <typename Op>
+inline constexpr bool has_scan_kernel = HasScanKernel<Op>;
+
+/// Customization point for the staircase survivor masks
+/// (ops/scan_kernels.h): for a TotalOrderSelectiveOp,
+/// `Mask(v, n, mask)` sets bit k (in caller-zeroed words) iff
+/// !Absorbs(fold(v[k+1..n)), v[k]) — element k survives the batch — and
+/// returns the whole-batch aggregate. SlickDeque (Non-Inv)'s bulk insert
+/// resolves its one-pass pop-boundary search through this.
+template <typename Op>
+struct SurvivorKernel {};
+
+template <typename Op>
+concept HasSurvivorKernel =
+    SelectiveOp<Op> &&
+    requires(const typename Op::value_type* v, std::size_t n,
+             uint64_t* mask) {
+      { SurvivorKernel<Op>::Mask(v, n, mask) } ->
+          std::same_as<typename Op::value_type>;
+    };
+
+template <typename Op>
+inline constexpr bool has_survivor_kernel = HasSurvivorKernel<Op>;
 
 }  // namespace slick::ops
 

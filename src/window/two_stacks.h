@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "ops/scan_kernels.h"
 #include "ops/traits.h"
 #include "util/annotations.h"
 #include "util/check.h"
@@ -20,9 +23,17 @@ namespace slick::window {
 /// all of F (its top entry) with the aggregate of all of B (its top entry),
 /// front before back, so non-commutative operations stay correct.
 ///
+/// Each stack is a pair of parallel value/aggregate vectors (SoA) so the
+/// flip is one contiguous suffix scan over the back values — the shape
+/// ops/scan_kernels.h vectorizes — followed by a reversal into the front
+/// stack's pop order. The combine chain is identical to the per-entry
+/// flip, so non-commutative ops (Concat) and floating-point sums produce
+/// the same sequence of ⊕ applications as before; only vectorizable ops
+/// take the wide path.
+///
 /// Complexity (Table 1): amortized 3 operations per slide, worst case n.
-/// Space: 2n (two fields per stored partial). Single-query only, as in the
-/// paper.
+/// Space: 2n live values (two fields per stored partial). Single-query
+/// only, as in the paper.
 template <ops::AggregateOp Op>
 class TwoStacks {
  public:
@@ -31,29 +42,35 @@ class TwoStacks {
   using result_type = typename Op::result_type;
 
   SLICK_REALTIME void insert(value_type v) {
-    const value_type agg =
-        back_.empty() ? v : Op::combine(back_.back().agg, v);
-    back_.push_back(Entry{std::move(v), agg});
+    if (b_vals_.empty()) {
+      b_aggs_.push_back(v);
+    } else {
+      b_aggs_.push_back(Op::combine(b_aggs_.back(), v));
+    }
+    b_vals_.push_back(std::move(v));
   }
 
   SLICK_REALTIME void evict() {
-    if (front_.empty()) Flip();
-    SLICK_CHECK(!front_.empty(), "evict from empty TwoStacks window");
-    front_.pop_back();
+    if (f_vals_.empty()) Flip();
+    SLICK_CHECK(!f_vals_.empty(), "evict from empty TwoStacks window");
+    f_vals_.pop_back();
+    f_aggs_.pop_back();
   }
 
   /// Batch insert (DESIGN.md §11): the same prefix-aggregate chain as n
-  /// insert() calls, built in one reserved tight loop.
+  /// insert() calls, built by one (vectorized where the op allows)
+  /// prefix scan seeded with the current back top.
   SLICK_REALTIME_ALLOW(
-      "reserve grows the back stack once per bulk batch — amortized "
+      "resize grows the back stack once per bulk batch — amortized "
       "O(1) per element, and a no-op at steady-state capacity")
   void BulkInsert(const value_type* src, std::size_t n) {
-    back_.reserve(back_.size() + n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const value_type agg =
-          back_.empty() ? src[i] : Op::combine(back_.back().agg, src[i]);
-      back_.push_back(Entry{src[i], agg});
-    }
+    if (n == 0) return;
+    const std::size_t m0 = b_vals_.size();
+    value_type carry = m0 == 0 ? Op::identity() : b_aggs_[m0 - 1];
+    b_vals_.resize(m0 + n);
+    b_aggs_.resize(m0 + n);
+    std::copy(src, src + n, b_vals_.begin() + static_cast<std::ptrdiff_t>(m0));
+    ops::PrefixScanValues<Op>(src, b_aggs_.data() + m0, n, std::move(carry));
   }
 
   /// Batch evict (DESIGN.md §11): pops min(n, |F|) front entries for free;
@@ -64,83 +81,129 @@ class TwoStacks {
   /// combine chains Flip() would have built (agg[i] = Σ val[i..end)), so
   /// the state matches sequential eviction.
   SLICK_REALTIME_ALLOW(
-      "resize only shrinks and reserve never exceeds the window's "
+      "resize only shrinks and the flip target never exceeds the window's "
       "high-water capacity — no new allocation at steady state; the flip "
       "rebuild is the same amortized-O(1) cost as per-element eviction")
   void BulkEvict(std::size_t n) {
     SLICK_CHECK(n <= size(), "bulk evict larger than window");
-    const std::size_t from_front = n < front_.size() ? n : front_.size();
-    front_.resize(front_.size() - from_front);
+    const std::size_t from_front = n < f_vals_.size() ? n : f_vals_.size();
+    f_vals_.resize(f_vals_.size() - from_front);
+    f_aggs_.resize(f_aggs_.size() - from_front);
     n -= from_front;
     if (n == 0) return;
-    // front_ is now empty; flip back_[n..) directly onto it.
-    front_.reserve(back_.size() - n);
-    for (std::size_t i = back_.size(); i-- > n;) {
-      const value_type agg =
-          front_.empty() ? back_[i].val
-                         : Op::combine(back_[i].val, front_.back().agg);
-      front_.push_back(Entry{std::move(back_[i].val), agg});
-    }
-    back_.clear();
+    // f is now empty; flip back_[n..) directly onto it.
+    FlipFrom(n);
   }
 
   /// Aggregate of the entire window, in stream order.
   SLICK_REALTIME result_type query() const {
-    if (front_.empty() && back_.empty()) return Op::lower(Op::identity());
-    if (front_.empty()) return Op::lower(back_.back().agg);
-    if (back_.empty()) return Op::lower(front_.back().agg);
-    return Op::lower(Op::combine(front_.back().agg, back_.back().agg));
+    if (f_aggs_.empty() && b_aggs_.empty()) return Op::lower(Op::identity());
+    if (f_aggs_.empty()) return Op::lower(b_aggs_.back());
+    if (b_aggs_.empty()) return Op::lower(f_aggs_.back());
+    return Op::lower(Op::combine(f_aggs_.back(), b_aggs_.back()));
   }
 
-  std::size_t size() const { return front_.size() + back_.size(); }
+  std::size_t size() const { return f_vals_.size() + b_vals_.size(); }
 
-  /// Checkpoints the window (DSMS fault tolerance).
+  /// Checkpoints the window (DSMS fault tolerance). Tag v2: the SoA
+  /// layout serializes four pod vectors (front values/aggregates, back
+  /// values/aggregates) instead of two interleaved entry vectors.
   void SaveState(std::ostream& os) const
     requires std::is_trivially_copyable_v<value_type>
   {
-    util::WriteTag(os, util::MakeTag('T', 'W', 'S', '1'), 1);
-    util::WritePodVec(os, front_);
-    util::WritePodVec(os, back_);
+    util::WriteTag(os, util::MakeTag('T', 'W', 'S', '2'), 1);
+    util::WritePodVec(os, f_vals_);
+    util::WritePodVec(os, f_aggs_);
+    util::WritePodVec(os, b_vals_);
+    util::WritePodVec(os, b_aggs_);
   }
 
   /// Restores a checkpoint, replacing the current state.
   bool LoadState(std::istream& is)
     requires std::is_trivially_copyable_v<value_type>
   {
-    if (!util::ExpectTag(is, util::MakeTag('T', 'W', 'S', '1'), 1)) {
+    if (!util::ExpectTag(is, util::MakeTag('T', 'W', 'S', '2'), 1)) {
       return false;
     }
-    return util::ReadPodVec(is, &front_) && util::ReadPodVec(is, &back_);
+    if (!(util::ReadPodVec(is, &f_vals_) && util::ReadPodVec(is, &f_aggs_) &&
+          util::ReadPodVec(is, &b_vals_) && util::ReadPodVec(is, &b_aggs_))) {
+      return false;
+    }
+    // A value vector and its aggregate vector describe the same entries.
+    return f_vals_.size() == f_aggs_.size() &&
+           b_vals_.size() == b_aggs_.size();
   }
 
   std::size_t memory_bytes() const {
     return sizeof(*this) +
-           (front_.capacity() + back_.capacity()) * sizeof(Entry);
+           (f_vals_.capacity() + f_aggs_.capacity() + b_vals_.capacity() +
+            b_aggs_.capacity()) *
+               sizeof(value_type);
   }
 
  private:
-  struct Entry {
-    value_type val;
-    value_type agg;
-  };
-
   /// Moves every entry of B onto F, rebuilding running aggregates so that
   /// F's top covers all of F in stream order. Costs |B| combines.
-  void Flip() {
-    while (!back_.empty()) {
-      Entry e = std::move(back_.back());
-      back_.pop_back();
-      const value_type agg =
-          front_.empty() ? e.val : Op::combine(e.val, front_.back().agg);
-      front_.push_back(Entry{std::move(e.val), agg});
+  void Flip() { FlipFrom(0); }
+
+  /// Flips back_[skip..) onto the (empty) front stack: one suffix scan
+  /// over the surviving back values in stream order, then a reversal into
+  /// pop order (front top = .back() = oldest element, carrying the
+  /// aggregate of the whole flipped region).
+  SLICK_REALTIME_ALLOW(
+      "front-stack resize never exceeds the window's high-water capacity — "
+      "a no-op at steady state; the flip itself is the structure's "
+      "amortized-O(1) cost, identical to the per-element variant")
+  void FlipFrom(std::size_t skip) {
+    SLICK_DCHECK(f_vals_.empty(), "flip with non-empty front");
+    const std::size_t m = b_vals_.size() - skip;
+    f_vals_.resize(m);
+    f_aggs_.resize(m);
+    if (m > 0) {
+      ops::SuffixScanValues<Op>(b_vals_.data() + skip, f_aggs_.data(), m,
+                                Op::identity());
+      std::reverse(f_aggs_.begin(), f_aggs_.end());
+      if constexpr (std::is_trivially_copyable_v<value_type>) {
+        std::reverse_copy(b_vals_.begin() +
+                              static_cast<std::ptrdiff_t>(skip),
+                          b_vals_.end(), f_vals_.begin());
+      } else {
+        for (std::size_t i = 0; i < m; ++i) {
+          f_vals_[i] = std::move(b_vals_[skip + m - 1 - i]);
+        }
+      }
+    }
+    b_vals_.clear();
+    b_aggs_.clear();
+
+    // Post-conditions (always-on, O(1)): the front top carries the
+    // aggregate of the whole flipped region's chain head, and the bottom
+    // entry is the newest element's own value. Exact for integer and
+    // selective ops; floating-point sums reassociate under the wide scan,
+    // and NaN payloads (x == x filters them) are incomparable.
+    if constexpr (std::is_integral_v<value_type> || Op::kSelective) {
+      if (m > 0) {
+        const value_type expect_new =
+            Op::combine(f_vals_[0], Op::identity());
+        SLICK_CHECK(!(expect_new == expect_new) || f_aggs_[0] == expect_new,
+                    "flip postcondition: newest suffix aggregate");
+        if (m > 1) {
+          const value_type expect_top =
+              Op::combine(f_vals_[m - 1], f_aggs_[m - 2]);
+          SLICK_CHECK(
+              !(expect_top == expect_top) || f_aggs_[m - 1] == expect_top,
+              "flip postcondition: top suffix chain");
+        }
+      }
     }
   }
 
-  // Stack tops are at .back(). front_'s top is the oldest window element;
-  // back_'s top is the newest.
-  std::vector<Entry> front_;
-  std::vector<Entry> back_;
+  // Stack tops are at .back(). front's top is the oldest window element;
+  // back's top is the newest. vals/aggs are parallel (same length).
+  std::vector<value_type> f_vals_;
+  std::vector<value_type> f_aggs_;
+  std::vector<value_type> b_vals_;
+  std::vector<value_type> b_aggs_;
 };
 
 }  // namespace slick::window
-

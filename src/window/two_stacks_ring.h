@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "ops/scan_kernels.h"
 #include "ops/traits.h"
 #include "util/annotations.h"
 #include "util/check.h"
@@ -18,6 +21,15 @@ namespace slick::window {
 /// aggregates into suffix aggregates *in place* (no copying, no second
 /// allocation). Space is exactly capacity·(val+agg) = 2n values.
 ///
+/// Storage is split into parallel value/aggregate arrays (SoA) rather than
+/// an array of {val, agg} pairs, so the flip and the bulk-insert prefix
+/// chain are contiguous scans over one array each — the shape
+/// ops/scan_kernels.h vectorizes (HammerSlide's observation that the flip
+/// is a suffix scan the CPU's vector unit can run as a carry-propagating
+/// blocked pass). The ring region may wrap; the flip then runs as two
+/// contiguous scans with the aggregate of the newer segment carried into
+/// the older one.
+///
 /// Same complexity profile as TwoStacks (amortized 3 ops/slide, worst-case
 /// n at the flip); capacity must be chosen up front, which is natural for
 /// fixed windows (core::Windowed passes the window size through).
@@ -30,16 +42,20 @@ class TwoStacksRing {
 
   /// `capacity` is the maximum number of live window elements.
   explicit TwoStacksRing(std::size_t capacity)
-      : buf_(capacity), cap_(capacity) {
+      : vals_(capacity), aggs_(capacity), cap_(capacity) {
     SLICK_CHECK(capacity >= 1, "capacity must be positive");
   }
 
   SLICK_REALTIME void insert(value_type v) {
     SLICK_CHECK(f_size_ + b_size_ < cap_, "ring capacity exceeded");
     const std::size_t idx = Wrap(f_lo_ + f_size_ + b_size_);
-    value_type agg =
-        b_size_ == 0 ? v : Op::combine(buf_[Wrap(f_lo_ + f_size_ + b_size_ - 1)].agg, v);
-    buf_[idx] = Entry{std::move(v), std::move(agg)};
+    if (b_size_ == 0) {
+      aggs_[idx] = v;
+    } else {
+      aggs_[idx] =
+          Op::combine(aggs_[Wrap(f_lo_ + f_size_ + b_size_ - 1)], v);
+    }
+    vals_[idx] = std::move(v);
     ++b_size_;
   }
 
@@ -51,48 +67,135 @@ class TwoStacksRing {
   }
 
   /// Aggregate of the entire window, in stream order (front before back,
-  /// so non-commutative operations stay correct).
+  /// so non-commutative operations stay correct). The newest element's
+  /// index is shared by the back-only and mixed paths, so the wrap math is
+  /// hoisted and computed once.
   SLICK_REALTIME result_type query() const {
-    if (f_size_ == 0 && b_size_ == 0) return Op::lower(Op::identity());
-    if (f_size_ == 0) {
-      return Op::lower(buf_[Wrap(f_lo_ + b_size_ - 1)].agg);
+    const std::size_t total = f_size_ + b_size_;
+    if (total == 0) return Op::lower(Op::identity());
+    if (b_size_ == 0) return Op::lower(aggs_[f_lo_]);
+    const std::size_t top = Wrap(f_lo_ + total - 1);  // newest element
+    if (f_size_ == 0) return Op::lower(aggs_[top]);
+    return Op::lower(Op::combine(aggs_[f_lo_], aggs_[top]));
+  }
+
+  /// Appends `m` contiguous partials in stream order: the values land in
+  /// at most two contiguous ring segments and their running prefix
+  /// aggregates are produced by the vectorized prefix scan, seeded with
+  /// the current back top so the chain continues exactly as m insert()
+  /// calls would.
+  void BulkInsert(const value_type* src, std::size_t m) {
+    SLICK_CHECK(f_size_ + b_size_ + m <= cap_, "ring capacity exceeded");
+    if (m == 0) return;
+    value_type carry = b_size_ == 0
+                           ? Op::identity()
+                           : aggs_[Wrap(f_lo_ + f_size_ + b_size_ - 1)];
+    const std::size_t start = Wrap(f_lo_ + f_size_ + b_size_);
+    const std::size_t first = std::min(m, cap_ - start);
+    std::copy(src, src + first, vals_.data() + start);
+    ops::PrefixScanValues<Op>(src, aggs_.data() + start, first,
+                              std::move(carry));
+    if (first < m) {
+      carry = aggs_[start + first - 1];
+      std::copy(src + first, src + m, vals_.data());
+      ops::PrefixScanValues<Op>(src + first, aggs_.data(), m - first,
+                                std::move(carry));
     }
-    if (b_size_ == 0) return Op::lower(buf_[f_lo_].agg);
-    return Op::lower(Op::combine(
-        buf_[f_lo_].agg, buf_[Wrap(f_lo_ + f_size_ + b_size_ - 1)].agg));
+    b_size_ += m;
+  }
+
+  /// Removes the `n` oldest elements. The front region pops in O(1) per
+  /// element (just index math); if the eviction crosses into the back
+  /// region, the surviving back elements' prefix aggregates no longer
+  /// describe the shrunken region, so the survivors are flipped — the same
+  /// suffix rebuild a sequence of evict() calls would have performed at
+  /// the boundary, batched into one vectorized pass.
+  void BulkEvict(std::size_t n) {
+    SLICK_CHECK(n <= f_size_ + b_size_, "evicting more than the window");
+    const std::size_t from_front = std::min(n, f_size_);
+    f_lo_ = Wrap(f_lo_ + from_front);
+    f_size_ -= from_front;
+    n -= from_front;
+    if (n > 0) {
+      f_lo_ = Wrap(f_lo_ + n);
+      b_size_ -= n;
+      if (b_size_ > 0) Flip();
+    }
   }
 
   std::size_t size() const { return f_size_ + b_size_; }
   std::size_t capacity() const { return cap_; }
 
   std::size_t memory_bytes() const {
-    return sizeof(*this) + buf_.capacity() * sizeof(Entry);
+    return sizeof(*this) +
+           (vals_.capacity() + aggs_.capacity()) * sizeof(value_type);
   }
 
  private:
-  struct Entry {
-    value_type val;
-    value_type agg;
-  };
-
   std::size_t Wrap(std::size_t i) const { return i >= cap_ ? i - cap_ : i; }
 
+  // Exact ops re-derive the sequential recurrence bit-for-bit from the
+  // vectorized scan; floating-point sums only match up to reassociation,
+  // so the combine-equality postconditions are restricted to these.
+  static constexpr bool kExactScan =
+      std::is_integral_v<value_type> || Op::kSelective;
+
   /// Converts the back region's prefix aggregates to suffix aggregates in
-  /// place and adopts it as the new front region. Costs b_size_-1 combines.
+  /// place and adopts it as the new front region. The back region starts
+  /// at f_lo_ (the front must be empty) and may wrap; the wrapped tail
+  /// [0, L2) holds the *newer* elements, so it is scanned first and its
+  /// aggregate is carried into the older segment [f_lo_, f_lo_ + L1).
   void Flip() {
-    for (std::size_t k = b_size_; k-- > 0;) {
-      const std::size_t i = Wrap(f_lo_ + k);
-      if (k + 1 == b_size_) {
-        buf_[i].agg = buf_[i].val;
-      } else {
-        buf_[i].agg = Op::combine(buf_[i].val, buf_[Wrap(i + 1)].agg);
-      }
+    SLICK_DCHECK(f_size_ == 0, "flip with non-empty front");
+    const std::size_t m = b_size_;
+    const std::size_t first = std::min(m, cap_ - f_lo_);
+    value_type carry = Op::identity();
+    if (first < m) {
+      ops::SuffixScanValues<Op>(vals_.data(), aggs_.data(), m - first,
+                                std::move(carry));
+      carry = aggs_[0];
     }
-    f_size_ = b_size_;
+    ops::SuffixScanValues<Op>(vals_.data() + f_lo_, aggs_.data() + f_lo_,
+                              first, std::move(carry));
+    f_size_ = m;
     b_size_ = 0;
+
+    // Post-conditions (always-on, O(1)): the newest element's suffix
+    // aggregate is its own value, and the oldest element's aggregate
+    // continues the chain from its successor. Restricted to exact ops and
+    // guarded against NaN payloads (x == x filters them), since a NaN
+    // value is incomparable without being wrong.
+    if constexpr (kExactScan) {
+      if (m > 0) {
+        const std::size_t newest = Wrap(f_lo_ + m - 1);
+        const value_type expect_new =
+            Op::combine(vals_[newest], Op::identity());
+        SLICK_CHECK(!(expect_new == expect_new) ||
+                        aggs_[newest] == expect_new,
+                    "flip postcondition: newest suffix aggregate");
+        if (m > 1) {
+          const value_type expect_head =
+              Op::combine(vals_[f_lo_], aggs_[Wrap(f_lo_ + 1)]);
+          SLICK_CHECK(!(expect_head == expect_head) ||
+                          aggs_[f_lo_] == expect_head,
+                      "flip postcondition: head suffix chain");
+        }
+      }
+#if !defined(NDEBUG)
+      // Debug builds verify the whole suffix chain.
+      for (std::size_t k = 0; k + 1 < m; ++k) {
+        const std::size_t i = Wrap(f_lo_ + k);
+        const value_type expect =
+            Op::combine(vals_[i], aggs_[Wrap(i + 1)]);
+        SLICK_CHECK(!(expect == expect) || aggs_[i] == expect,
+                    "flip postcondition: suffix chain");
+      }
+#endif
+    }
   }
 
-  std::vector<Entry> buf_;
+  std::vector<value_type> vals_;
+  std::vector<value_type> aggs_;
   std::size_t cap_;
   std::size_t f_lo_ = 0;    // oldest front element
   std::size_t f_size_ = 0;  // front region length (starts at f_lo_)
@@ -100,4 +203,3 @@ class TwoStacksRing {
 };
 
 }  // namespace slick::window
-

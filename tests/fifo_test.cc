@@ -13,6 +13,7 @@
 #include "core/monotonic_deque.h"
 #include "core/sliding_aggregator.h"
 #include "core/subtract_on_evict.h"
+#include "ops/kernels.h"
 #include "ops/ops.h"
 #include "util/rng.h"
 #include "window/daba.h"
@@ -96,6 +97,41 @@ void RunRandomInterleaving(uint64_t seed, std::size_t events = 4000) {
   }
 }
 
+/// Randomized bulk batches: BulkInsert/BulkEvict of random sizes against
+/// the per-element reference, checked after every batch. Exercises the
+/// vectorized flip (partial and full) and the bulk prefix chain at every
+/// batch/stack-size remainder, at both the scalar and the widest compiled
+/// kernel dispatch level.
+template <typename Agg>
+void RunBulkBatches(uint64_t seed, std::size_t max_batch = 97) {
+  using Op = typename Agg::op_type;
+  for (const auto level :
+       {ops::kernels::SimdLevel::kScalar, ops::kernels::DetectSimdLevel()}) {
+    ops::kernels::SetSimdLevel(level);
+    Agg agg;
+    ReferenceAggregator<Op> ref;
+    util::SplitMix64 rng(seed);
+    std::vector<typename Op::value_type> batch;
+    for (std::size_t step = 0; step < 300; ++step) {
+      batch.clear();
+      const std::size_t m = rng.NextBounded(max_batch + 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        batch.push_back(
+            MakeValue<Op>(static_cast<int64_t>(rng.NextBounded(2001)) - 1000));
+        ref.insert(batch.back());
+      }
+      agg.BulkInsert(batch.data(), m);
+      ASSERT_EQ(agg.query(), ref.query()) << "step=" << step << " m=" << m;
+      const std::size_t e = rng.NextBounded(ref.size() + 1);
+      agg.BulkEvict(e);
+      for (std::size_t i = 0; i < e; ++i) ref.evict();
+      ASSERT_EQ(agg.query(), ref.query()) << "step=" << step << " e=" << e;
+      ASSERT_EQ(agg.size(), ref.size());
+    }
+  }
+  ops::kernels::SetSimdLevel(ops::kernels::DetectSimdLevel());
+}
+
 /// Drain to empty repeatedly — stresses flip/reset edge cases.
 template <typename Agg>
 void RunDrainCycles(uint64_t seed) {
@@ -150,6 +186,13 @@ TEST(TwoStacksTest, RandomInterleaving) {
   RunRandomInterleaving<TwoStacks<ops::Concat>>(12);
 }
 TEST(TwoStacksTest, DrainCycles) { RunDrainCycles<TwoStacks<ops::SumInt>>(13); }
+TEST(TwoStacksTest, BulkBatchesMatchReference) {
+  RunBulkBatches<TwoStacks<ops::SumInt>>(14);
+  RunBulkBatches<TwoStacks<ops::MaxInt>>(15);
+  RunBulkBatches<TwoStacks<ops::MinInt>>(16);
+  RunBulkBatches<TwoStacks<ops::Sum>>(17);
+  RunBulkBatches<TwoStacks<ops::Concat>>(18);  // generic (non-kernel) scans
+}
 
 // --------------------------- DABA ------------------------------------------
 

@@ -4,6 +4,7 @@
 // a window size × input-shape grid and compares every answer — full window
 // and, where supported, every sub-range — against a brute-force model.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <numeric>
@@ -249,6 +250,41 @@ TEST_P(WindowSweep, SlickDequeNonInvQueryMultiMatchesSingles) {
   }
 }
 
+TEST_P(WindowSweep, SlickDequeNonInvQueryMultiRandomSubsets) {
+  // The shared walk against N independent query(r) calls, on random sparse
+  // descending range sets (with duplicates), interleaved with bulk slides
+  // so the walk runs over survivor-mask-built deques too.
+  using Agg = SlickDequeNonInv<ops::MaxInt>;
+  Agg agg(window());
+  Agg single(window());
+  util::SplitMix64 rng(0xdef + window());
+  std::vector<int64_t> batch;
+  std::vector<std::size_t> ranges_desc;
+  std::vector<int64_t> out;
+  for (std::size_t step = 0; step < 40; ++step) {
+    batch.clear();
+    const std::size_t b = 1 + rng.NextBounded(window() + 3);
+    for (std::size_t i = 0; i < b; ++i) {
+      batch.push_back(GenInt(shape(), step * 131 + i, rng));
+    }
+    agg.BulkSlide(batch.data(), batch.size());
+    for (int64_t v : batch) single.slide(v);
+    ranges_desc.clear();
+    const std::size_t q = 1 + rng.NextBounded(2 * window());
+    for (std::size_t i = 0; i < q; ++i) {
+      ranges_desc.push_back(1 + rng.NextBounded(window()));
+    }
+    std::sort(ranges_desc.rbegin(), ranges_desc.rend());
+    out.clear();
+    agg.query_multi(ranges_desc, out);
+    ASSERT_EQ(out.size(), ranges_desc.size());
+    for (std::size_t i = 0; i < ranges_desc.size(); ++i) {
+      ASSERT_EQ(out[i], single.query(ranges_desc[i]))
+          << "range=" << ranges_desc[i] << " step=" << step;
+    }
+  }
+}
+
 // --------------------------- Windowed adapters ---------------------------
 
 TEST_P(WindowSweep, WindowedTwoStacksSum) {
@@ -282,6 +318,29 @@ TEST_P(WindowSweep, RangeAggregatorMatchesMaxMinusMin) {
     ASSERT_EQ(agg.query(), max_model.query(window()) - min_model.query(window()));
     const std::size_t r = 1 + rng.NextBounded(window());
     ASSERT_EQ(agg.query(r), max_model.query(r) - min_model.query(r));
+  }
+}
+
+TEST_P(WindowSweep, RangeAggregatorQueryMultiMatchesSingles) {
+  core::RangeAggregator agg(window());
+  util::SplitMix64 rng(0x8888 + window());
+  std::vector<std::size_t> ranges_desc;
+  std::vector<double> out;
+  for (std::size_t step = 0; step < 2 * window() + 20; ++step) {
+    agg.slide(static_cast<double>(GenInt(shape(), step, rng)));
+    ranges_desc.clear();
+    const std::size_t q = 1 + rng.NextBounded(window());
+    for (std::size_t i = 0; i < q; ++i) {
+      ranges_desc.push_back(1 + rng.NextBounded(window()));
+    }
+    std::sort(ranges_desc.rbegin(), ranges_desc.rend());
+    out.clear();
+    agg.query_multi(ranges_desc, out);
+    ASSERT_EQ(out.size(), ranges_desc.size());
+    for (std::size_t i = 0; i < ranges_desc.size(); ++i) {
+      ASSERT_EQ(out[i], agg.query(ranges_desc[i]))
+          << "range=" << ranges_desc[i] << " step=" << step;
+    }
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +14,7 @@
 #include "core/windowed.h"
 #include "engine/sharded.h"
 #include "ops/arith.h"
+#include "ops/kernels.h"
 #include "ops/minmax.h"
 #include "ops/string_ops.h"
 #include "util/rng.h"
@@ -153,6 +156,71 @@ TEST_P(RingSweep, MaxMatchesOracle) {
 }
 TEST_P(RingSweep, ConcatKeepsStreamOrder) {
   RunRingOracle<ops::Concat>(GetParam(), 5);
+}
+
+// Bulk-path oracle: random BulkInsert batches (bounded by remaining
+// capacity) interleaved with random BulkEvicts, driven once with the
+// scalar kernels and once with the best detected SIMD level so the
+// vectorized carry-scans — including flips whose front region spans the
+// ring's wrap seam — are checked against the exact reference.
+template <typename Op>
+void RunRingBulkOracle(std::size_t window, uint64_t seed) {
+  for (const auto level :
+       {ops::kernels::SimdLevel::kScalar, ops::kernels::DetectSimdLevel()}) {
+    ops::kernels::SetSimdLevel(level);
+    window::TwoStacksRing<Op> ring(window);
+    window::ReferenceAggregator<Op> ref;
+    util::SplitMix64 rng(seed);
+    std::vector<typename Op::value_type> batch;
+    for (std::size_t step = 0; step < 400; ++step) {
+      batch.clear();
+      const std::size_t room = window - ring.size();
+      const std::size_t m = rng.NextBounded(room + 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        typename Op::value_type v;
+        if constexpr (std::is_same_v<typename Op::input_type, std::string>) {
+          v = Op::lift(
+              std::string(1, static_cast<char>('a' + rng.NextBounded(26))));
+        } else {
+          v = Op::lift(static_cast<typename Op::input_type>(
+              static_cast<int64_t>(rng.NextBounded(2001)) - 1000));
+        }
+        batch.push_back(v);
+        ref.insert(v);
+      }
+      ring.BulkInsert(batch.data(), m);
+      ASSERT_EQ(ring.size(), ref.size());
+      if (ring.size() > 0) {
+        ASSERT_EQ(ring.query(), ref.query())
+            << "window=" << window << " step=" << step << " m=" << m;
+      }
+      const std::size_t e = rng.NextBounded(ref.size() + 1);
+      ring.BulkEvict(e);
+      for (std::size_t i = 0; i < e; ++i) ref.evict();
+      ASSERT_EQ(ring.size(), ref.size());
+      if (ring.size() > 0) {
+        ASSERT_EQ(ring.query(), ref.query())
+            << "window=" << window << " step=" << step << " e=" << e;
+      }
+    }
+  }
+  ops::kernels::SetSimdLevel(ops::kernels::DetectSimdLevel());
+}
+
+TEST_P(RingSweep, BulkSumMatchesOracle) {
+  RunRingBulkOracle<ops::SumInt>(GetParam(), 7);
+}
+TEST_P(RingSweep, BulkMaxMatchesOracle) {
+  RunRingBulkOracle<ops::MaxInt>(GetParam(), 8);
+}
+TEST_P(RingSweep, BulkMinMatchesOracle) {
+  RunRingBulkOracle<ops::MinInt>(GetParam(), 9);
+}
+TEST_P(RingSweep, BulkSumDoubleMatchesOracle) {
+  RunRingBulkOracle<ops::Sum>(GetParam(), 10);
+}
+TEST_P(RingSweep, BulkConcatKeepsStreamOrder) {
+  RunRingBulkOracle<ops::Concat>(GetParam(), 11);
 }
 
 TEST(TwoStacksRingTest, MemoryIsExactlyCapacity) {
