@@ -7,8 +7,23 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
 
 namespace slick::net {
+namespace {
+
+/// min(initial << attempt, cap), saturating: attempt counts from 0.
+uint64_t BackoffNs(uint64_t initial, uint64_t cap, int attempt) {
+  if (initial == 0) return 0;
+  uint64_t b = initial;
+  for (int i = 0; i < attempt && b < cap; ++i) b <<= 1;
+  return b < cap ? b : cap;
+}
+
+}  // namespace
 
 bool IngestClient::Connect(const std::string& host, uint16_t port) {
   Close();
@@ -28,10 +43,57 @@ bool IngestClient::Connect(const std::string& host, uint16_t port) {
   return true;
 }
 
+IngestClient::RetryResult IngestClient::ConnectWithRetry(
+    const std::string& host, uint16_t port, const RetryOptions& opts,
+    int* attempts_out) {
+  util::SplitMix64 rng(opts.jitter_seed);
+  int attempts = 0;
+  for (int k = 0; k < opts.max_attempts; ++k) {
+    if (k > 0) {
+      const uint64_t base =
+          BackoffNs(opts.initial_backoff_ns, opts.max_backoff_ns, k - 1);
+      const uint64_t jitter = base > 0 ? rng.NextBounded(base / 2 + 1) : 0;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(base + jitter));
+    }
+    ++attempts;
+    if (Connect(host, port)) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      return RetryResult::kOk;
+    }
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return RetryResult::kRetriesExhausted;
+}
+
 bool IngestClient::SendBatch(const WireTuple* tuples, std::size_t n) {
   frame_.clear();
   EncodeBatch(tuples, n, &frame_);
   return SendRaw(frame_.data(), frame_.size());
+}
+
+IngestClient::RetryResult IngestClient::SendBatchWithRetry(
+    const WireTuple* tuples, std::size_t n, const std::string& host,
+    uint16_t port, const RetryOptions& opts, int* attempts_out) {
+  util::SplitMix64 rng(opts.jitter_seed ^ 0x9E3779B97F4A7C15ull);
+  int attempts = 0;
+  for (int k = 0; k < opts.max_attempts; ++k) {
+    if (k > 0) {
+      const uint64_t base =
+          BackoffNs(opts.initial_backoff_ns, opts.max_backoff_ns, k - 1);
+      const uint64_t jitter = base > 0 ? rng.NextBounded(base / 2 + 1) : 0;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(base + jitter));
+    }
+    ++attempts;
+    // Reconnect-and-resend: a half-written frame from a previous attempt
+    // is dead with its connection; the fresh socket gets a fresh frame.
+    if (!connected() && !Connect(host, port)) continue;
+    if (SendBatch(tuples, n)) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      return RetryResult::kOk;
+    }
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return RetryResult::kRetriesExhausted;
 }
 
 bool IngestClient::SendRaw(const char* data, std::size_t len) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "net/frame.h"
+#include "util/annotations.h"
 
 namespace slick::net {
 
@@ -15,6 +16,26 @@ namespace slick::net {
 /// one-way.
 class IngestClient {
  public:
+  /// Typed outcome of the retrying entry points.
+  enum class RetryResult {
+    kOk,
+    /// Every attempt failed; the budget in RetryOptions::max_attempts is
+    /// spent. The client is disconnected — callers decide whether to
+    /// escalate or re-enter with a fresh budget.
+    kRetriesExhausted,
+  };
+
+  /// Capped exponential backoff with decorrelating jitter: attempt k
+  /// sleeps min(initial_backoff_ns << k, max_backoff_ns) plus a uniform
+  /// jitter of up to half that, so a fleet of producers restarted by the
+  /// same event does not reconnect in lockstep.
+  struct RetryOptions {
+    int max_attempts = 5;
+    uint64_t initial_backoff_ns = 1'000'000;  ///< 1ms before attempt #2
+    uint64_t max_backoff_ns = 200'000'000;    ///< cap per sleep (200ms)
+    uint64_t jitter_seed = 0x5EED5EED;        ///< deterministic in tests
+  };
+
   IngestClient() = default;
   ~IngestClient() { Close(); }
 
@@ -24,9 +45,27 @@ class IngestClient {
   /// Opens a blocking TCP connection. False on refusal/failure.
   bool Connect(const std::string& host, uint16_t port);
 
+  /// Connect with retries: for producers racing a server that is still
+  /// binding (process restart, orchestrated bring-up). Sleeps the backoff
+  /// schedule between attempts; `attempts_out` (optional) reports how
+  /// many connect() calls were made.
+  SLICK_NODISCARD RetryResult ConnectWithRetry(
+      const std::string& host, uint16_t port, const RetryOptions& opts,
+      int* attempts_out = nullptr);
+
   /// Frames and sends `n` tuples as one batch. Blocks until the kernel has
   /// taken every byte; false on a broken connection.
   bool SendBatch(const WireTuple* tuples, std::size_t n);
+
+  /// SendBatch with reconnect-and-resend retries. Each failed attempt
+  /// (send error, or not connected) reconnects and resends the WHOLE
+  /// batch, so delivery is at-least-once: a send that failed after the
+  /// kernel took part of the frame leaves the server a truncated stream
+  /// it rejects, and the resend is a fresh frame on a fresh connection.
+  SLICK_NODISCARD RetryResult SendBatchWithRetry(
+      const WireTuple* tuples, std::size_t n, const std::string& host,
+      uint16_t port, const RetryOptions& opts,
+      int* attempts_out = nullptr);
 
   /// Sends raw bytes verbatim — the adversarial tests' tool for split,
   /// corrupted and truncated frames.

@@ -129,6 +129,7 @@ void IngestServer::RunLoop(std::size_t index) {
       }
     }
     if (loop.blocked > 0) RetryBlocked(loop);
+    if (options_.idle_ns > 0) CloseIdleConnections(loop);
   }
   // Best-effort final drain: one admission pass per blocked connection,
   // then close everything. Anything still pending is counted as dropped —
@@ -153,6 +154,7 @@ void IngestServer::AcceptReady(Loop& loop) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->last_bytes_ns = util::MonotonicNanos();
     // relaxed: pure id allocation — uniqueness comes from the atomic RMW,
     // no other memory is published through it.
     conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
@@ -178,6 +180,7 @@ void IngestServer::ReadAndPump(Loop& loop, Connection& c) {
     const ssize_t r = ::read(c.fd, buf, sizeof(buf));
     if (r > 0) {
       c.decoder.Feed(buf, static_cast<std::size_t>(r));
+      c.last_bytes_ns = util::MonotonicNanos();
       continue;
     }
     if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -310,6 +313,25 @@ void IngestServer::RetryBlocked(Loop& loop) {
   }
 }
 
+void IngestServer::CloseIdleConnections(Loop& loop) {
+  const uint64_t now = util::MonotonicNanos();
+  // Throttle the O(connections) sweep to a quarter of the timeout — the
+  // close latency bound stays idle_ns + idle_ns/4 while busy loops (woken
+  // per event, far faster than the epoll timeout) skip the scan.
+  if (now - loop.last_idle_scan_ns < options_.idle_ns / 4) return;
+  loop.last_idle_scan_ns = now;
+  for (auto& c : loop.conns) {
+    if (c->fd < 0 || c->eof) continue;
+    // A sink-blocked connection is paused by OUR backpressure — its
+    // silence proves nothing about the client.
+    if (c->paused || !c->pending.empty()) continue;
+    if (now - c->last_bytes_ns < options_.idle_ns) continue;
+    CloseConnection(loop, *c, /*on_error=*/false);
+    // relaxed: telemetry tally; see Connection.
+    idle_closes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void IngestServer::PauseReading(Loop& loop, Connection& c) {
   if (c.paused || c.fd < 0) return;
   epoll_event ev{};
@@ -328,6 +350,9 @@ void IngestServer::ResumeReading(Loop& loop, Connection& c) {
   ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
   c.paused = false;
   --loop.blocked;
+  // The pause was our backpressure, not client silence: restart the idle
+  // clock so the client gets a full window to speak again.
+  c.last_bytes_ns = util::MonotonicNanos();
 }
 
 void IngestServer::CloseConnection(Loop& loop, Connection& c, bool on_error) {
@@ -366,6 +391,7 @@ telemetry::IngestSnapshot IngestServer::snapshot() const {
   s.connections_opened = next_conn_id_.load(std::memory_order_relaxed);
   s.connections_closed_on_error =
       closed_on_error_.load(std::memory_order_relaxed);
+  s.idle_closes = idle_closes_.load(std::memory_order_relaxed);
   for (const auto& loop : loops_) {
     std::lock_guard<std::mutex> lock(loop->mu);
     for (const auto& c : loop->conns) {

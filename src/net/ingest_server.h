@@ -63,6 +63,13 @@ class IngestServer {
     runtime::Backpressure backpressure = runtime::Backpressure::kBlock;
     /// kBlockWithDeadline: max age of a connection's pending buffer.
     uint64_t deadline_ns = 5'000'000;
+    /// Idle-connection timeout: a connection that has delivered no bytes
+    /// for this long is closed and counted in snapshot().idle_closes
+    /// (0 = disabled, the default). Granularity is the event-loop wake
+    /// cadence (~20ms), so treat it as a floor, not a deadline. A
+    /// sink-blocked connection is exempt — its silence is the server's
+    /// own backpressure (the fd is paused), not a dead client.
+    uint64_t idle_ns = 0;
     /// Largest DECLARED frame payload accepted before the connection is
     /// closed as malformed (memory-safety bound per connection).
     std::size_t max_frame_bytes = std::size_t{1} << 20;
@@ -109,6 +116,7 @@ class IngestServer {
     uint64_t pending_since_ns = 0;    ///< when the buffer started waiting
     bool paused = false;              ///< EPOLLIN removed while blocked
     bool eof = false;                 ///< peer closed / read error seen
+    uint64_t last_bytes_ns = 0;       ///< when the peer last delivered bytes
     // Telemetry counters: single-writer (the owning loop thread), read
     // concurrently by snapshot() with relaxed loads. Deliberately dense —
     // per-connection cache-line padding would cost 7 lines per socket for
@@ -135,7 +143,8 @@ class IngestServer {
     /// in snapshot); the counters inside are atomics and need no lock.
     mutable std::mutex mu;
     std::vector<std::unique_ptr<Connection>> conns;
-    std::size_t blocked = 0;  ///< connections with a pending buffer
+    std::size_t blocked = 0;        ///< connections with a pending buffer
+    uint64_t last_idle_scan_ns = 0;  ///< throttles CloseIdleConnections
   };
 
   void RunLoop(std::size_t index);
@@ -145,6 +154,7 @@ class IngestServer {
   void HandleBatch(Loop& loop, Connection& c);
   SLICK_NODISCARD bool TryDrainPending(Loop& loop, Connection& c);
   void RetryBlocked(Loop& loop);
+  void CloseIdleConnections(Loop& loop);
   void PauseReading(Loop& loop, Connection& c);
   void ResumeReading(Loop& loop, Connection& c);
   void CloseConnection(Loop& loop, Connection& c, bool on_error);
@@ -160,6 +170,7 @@ class IngestServer {
   /// Accept-order connection ids; doubles as connections_opened.
   alignas(64) std::atomic<uint64_t> next_conn_id_{0};
   alignas(64) std::atomic<uint64_t> closed_on_error_{0};
+  alignas(64) std::atomic<uint64_t> idle_closes_{0};
   telemetry::LatencyHistogram ingest_latency_;
 };
 

@@ -1,6 +1,10 @@
 #pragma once
 
+#include <csignal>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -31,9 +35,20 @@ enum class Point : uint32_t {
   kRingSpuriousFull,           ///< a ring claim spuriously reports "full"
   kCheckpointAllocFail,        ///< checkpoint serialization reports ENOMEM
   kCheckpointCorrupt,          ///< one checkpoint byte flips before validate
+  // Process-lane triggers for the shm ingestion path (DESIGN.md §17): a
+  // lease-holding producer PROCESS dies (SIGKILL to itself, no cleanup) or
+  // degrades at a seeded point, and the consumer-side reaper must fence
+  // the lease and repair the ring. Hit counters advance per claim attempt
+  // (die-before-claim / die-before-publish) or per published slot
+  // (die-mid-span), so an armed ordinal names one exact ring position.
+  kShmDieBeforeClaim,    ///< producer dies before its tail CAS (clean loss)
+  kShmDieMidSpan,        ///< producer dies after publishing part of a span
+  kShmDieBeforePublish,  ///< producer dies owning a fully unpublished span
+  kShmStallHeartbeat,    ///< producer stops refreshing its lease heartbeat
+  kShmZombieResume,      ///< producer stalls past the lease, then publishes
 };
 
-inline constexpr std::size_t kPointCount = 6;
+inline constexpr std::size_t kPointCount = 11;
 inline constexpr std::size_t kMaxLanes = 16;
 
 #ifdef SLICK_FAULT_INJECTION
@@ -139,6 +154,17 @@ inline void InjectDelay() {
   for (int i = 0; i < 32; ++i) std::this_thread::yield();
 }
 
+/// The kShmZombieResume payload: stall far past any test-sized lease
+/// period, so the reaper provably completes fence + repair before the
+/// producer's publish resumes — the deterministic "zombie" schedule.
+SLICK_REALTIME_ALLOW(
+    "fault-injection chaos hook: deliberate long stall forcing the "
+    "zombie-resume schedule; compiled to a no-op unless "
+    "SLICK_FAULT_INJECTION")
+inline void InjectLongStall() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
 /// The kCheckpointCorrupt payload: deterministically flip one bit of the
 /// serialized checkpoint, position seeded by the bytes' own CRC-free hash.
 inline void CorruptOneBit(std::string* bytes) {
@@ -162,8 +188,20 @@ inline constexpr void Arm(Point /*point*/, std::size_t /*lane*/,
 inline constexpr void DisarmAll() {}
 inline constexpr uint64_t FiredCount(Point /*point*/) { return 0; }
 inline constexpr void InjectDelay() {}
+inline constexpr void InjectLongStall() {}
 inline constexpr void CorruptOneBit(std::string* /*bytes*/) {}
 
 #endif  // SLICK_FAULT_INJECTION
+
+/// The kShmDie* payload: a real fail-stop of THIS PROCESS — SIGKILL to
+/// self, so no destructor, atexit handler, or unwinder runs, exactly like
+/// an OOM kill or operator `kill -9`. The lease record and any claimed
+/// ring span are abandoned mid-protocol for the reaper to repair. Defined
+/// unconditionally (call sites are compiled out when Fire() is constant
+/// false); never returns.
+[[noreturn]] inline void DieHard() {
+  ::kill(::getpid(), SIGKILL);
+  for (;;) ::pause();  // unreachable: SIGKILL cannot be blocked
+}
 
 }  // namespace slick::runtime::fault

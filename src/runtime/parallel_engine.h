@@ -158,6 +158,12 @@ class ParallelShardedEngine {
     /// Supervisor stall detector: a live worker whose heartbeat is older
     /// than this while backlog waits is counted as stalled.
     uint64_t stall_ns = 500'000'000;
+    /// Shm producer lease TTL (DESIGN.md §17): a lease whose holder pid is
+    /// gone, or whose heartbeat is older than this, is fenced and its
+    /// abandoned claim repaired by the supervisor-polled reaper. 0
+    /// disables reaping. Meaningful only when the ring type is shm-backed
+    /// (exposes ReapExpiredLeases); ignored otherwise.
+    uint64_t lease_ns = 500'000'000;
   };
 
   struct Stats {
@@ -450,6 +456,15 @@ class ParallelShardedEngine {
   /// query()/stop(), before further push()).
   const Agg& shard(std::size_t i) const { return workers_[i]->aggregator(); }
 
+  /// Direct access to shard `i`'s ingress ring — the attachment point for
+  /// external producers (ShmRing::AttachProducer from fork()ed or named-
+  /// segment processes; also what tests and benches feed directly). The
+  /// ring's producer side is safe concurrent with the router.
+  Ring<slot_type>& shard_ring(std::size_t i) {
+    SLICK_CHECK(i < workers_.size(), "ring access on a nonexistent shard");
+    return workers_[i]->ring();
+  }
+
   /// Chaos/test hook: arms a deterministic fail-stop of shard `i`'s worker
   /// at its `nth_batch`-th drained batch (cumulative across restarts); see
   /// ShardWorker::KillWorker. The supervisor recovers it on its next poll —
@@ -524,6 +539,12 @@ class ParallelShardedEngine {
       s.replayed = c.replayed.Get();
       s.deadline_expiries = c.deadline_expiries.Get();
       s.stall_detections = c.stall_detections.Get();
+      if constexpr (requires { workers_[i]->ring().lease_stats(); }) {
+        const auto lease = workers_[i]->ring().lease_stats();
+        s.leases_reclaimed = lease.leases_reclaimed;
+        s.slots_tombstoned = lease.slots_tombstoned;
+        s.zombie_fences = lease.zombie_fences;
+      }
       const uint64_t beat = workers_[i]->heartbeat_ns();
       s.heartbeat_age_ns = (beat != 0 && now > beat) ? now - beat : 0;
       r.shards.push_back(s);
@@ -593,10 +614,32 @@ class ParallelShardedEngine {
 
   std::size_t StagedCount(std::size_t i) const { return staging_[i].size(); }
 
-  /// One supervisor poll (router thread only): recover fail-stopped
-  /// workers; latch-count heartbeat stalls on live ones. No-op when
-  /// supervision is off.
+  /// Reaps dead/expired producer leases on every shard ring. Compiles to
+  /// nothing for in-process ring types (no ReapExpiredLeases); for shm
+  /// rings it is throttled to lease_ns/4 so the per-lease pid probes stay
+  /// off the per-poll cost. Router thread only (last_reap_ns_ is
+  /// router-owned).
+  void ReapShmLeases() {
+    if constexpr (requires(Ring<slot_type>& r) {
+                    r.ReapExpiredLeases(uint64_t{}, uint64_t{});
+                  }) {
+      if (options_.lease_ns == 0) return;
+      const uint64_t now = util::MonotonicNanos();
+      if (now - last_reap_ns_ < options_.lease_ns / 4) return;
+      last_reap_ns_ = now;
+      for (auto& w : workers_) {
+        (void)w->ring().ReapExpiredLeases(now, options_.lease_ns);
+      }
+    }
+  }
+
+  /// One supervisor poll (router thread only): reap dead shm producer
+  /// leases; recover fail-stopped workers; latch-count heartbeat stalls on
+  /// live ones. Lease reaping runs even when checkpoint supervision is off
+  /// — a dead external producer must not wedge an unsupervised engine
+  /// either — so it sits before the Supervised() gate.
   void Supervise() {
+    ReapShmLeases();
     if (!Supervised()) return;
     const uint64_t now = util::MonotonicNanos();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -822,6 +865,7 @@ class ParallelShardedEngine {
   std::vector<std::vector<slot_type>> staging_;  // router-side batches
   std::unique_ptr<AdmitCounters[]> admit_;  // per-shard admit/drop tallies
   std::vector<uint8_t> stall_latched_;  // per-shard stall episode latch
+  uint64_t last_reap_ns_ = 0;  // router-owned lease-reap throttle clock
   std::size_t next_ = 0;           // round-robin cursor
   // Event mode: newest admitted event ts (CAS-max; router + producers).
   alignas(64) std::atomic<uint64_t> max_ts_routed_{0};

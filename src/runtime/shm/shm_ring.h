@@ -1,0 +1,1469 @@
+#pragma once
+
+#include <linux/futex.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <new>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/fault.h"
+#include "util/annotations.h"
+#include "util/check.h"
+#include "util/clock.h"
+#include "util/math.h"
+#include "util/serde.h"
+#include "util/shm.h"
+
+namespace slick::runtime {
+
+/// Cross-process eventcount primitives (DESIGN.md §17). libstdc++'s
+/// std::atomic::wait/notify lowers to FUTEX_PRIVATE_FLAG operations, which
+/// the kernel scopes to one mm — a producer process would never wake a
+/// consumer parked in another process. The shm ring therefore parks on raw
+/// *shared* futexes over its eventcount words. Every wait is bounded (50ms)
+/// so a wake lost to a crashed peer self-heals into a recheck instead of a
+/// hang — parking is an idle-path optimization here, never a correctness
+/// dependency.
+namespace shm_futex {
+
+inline constexpr long kWaitBoundNs = 50'000'000;  // self-healing recheck
+
+SLICK_REALTIME_ALLOW(
+    "idle-only parking: bounded shared-futex wait, entered only when the "
+    "ring has no work for this side — never on the per-tuple path")
+inline void WaitBounded(std::atomic<uint32_t>* word, uint32_t expected,
+                        std::atomic<uint32_t>* waiters) {
+  timespec ts{};
+  ts.tv_sec = 0;
+  ts.tv_nsec = kWaitBoundNs;
+  // Advertise BEFORE sleeping, seq_cst: pairs with WakeAll's seq_cst
+  // load. Either the waker's event bump precedes the kernel's
+  // word==expected check (we don't sleep), or our increment precedes the
+  // waker's waiters load (it issues the wake). A waiter that dies here
+  // leaves the count stuck high — that only costs the fast-path skip,
+  // never a hang, and the ring this counter serves is the one built to
+  // survive exactly such deaths.
+  waiters->fetch_add(1, std::memory_order_seq_cst);
+  // FUTEX_WAIT without FUTEX_PRIVATE_FLAG: shared across processes.
+  ::syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAIT,
+            expected, &ts, nullptr, 0);
+  // relaxed: the decrement publishes nothing — a waker that misses it
+  // merely issues one spurious FUTEX_WAKE on an empty queue.
+  waiters->fetch_sub(1, std::memory_order_relaxed);
+}
+
+SLICK_REALTIME_ALLOW(
+    "eventcount wake: the common nobody-parked case is one shared load; "
+    "the futex syscall fires only for real sleepers — cheaper than the "
+    "in-process ring's notify_all, which is the same shape")
+inline void WakeAll(std::atomic<uint32_t>* word,
+                    std::atomic<uint32_t>* waiters) {
+  // The fence orders the caller's event-word bump (a release RMW)
+  // before the waiters load — the StoreLoad edge the C++ model does not
+  // grant release-then-seq_cst on its own. With it: either the bump
+  // precedes the kernel's word==expected check (the waiter won't sleep),
+  // or the waiter's advertise precedes this load (we issue the wake).
+  // Even a lost race costs at most one kWaitBoundNs recheck, by design.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // relaxed: the fence above supplies the ordering; the load itself only
+  // needs the value, and a stale nonzero just falls through to the wake.
+  if (waiters->load(std::memory_order_relaxed) == 0) return;
+  ::syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAKE,
+            INT_MAX, nullptr, nullptr, 0);
+}
+
+}  // namespace shm_futex
+
+/// In-flight claim state a lease record advertises (DESIGN.md §17 lease
+/// state machine). The distinction carries *crash attribution*: kOwned
+/// means the producer's tail CAS landed, so the recorded span is certainly
+/// and exclusively its property and the reaper may repair it immediately;
+/// kIntent means the producer recorded the span it was *about* to CAS for
+/// — the CAS may have lost (the span could belong to someone else) or
+/// never executed, so the reaper grants a grace period and skips positions
+/// claimed by other live leases before repairing.
+enum class LeaseSpan : uint64_t {
+  kIdle = 0,    ///< no claim in flight
+  kIntent = 1,  ///< span recorded, tail CAS outcome unknown
+  kOwned = 2,   ///< tail CAS landed: span is exclusively this lease's
+};
+
+/// One producer's lease record, resident in the shared segment. pid == 0
+/// means the row is free. The epoch counter is the fence: a producer
+/// caches it at attach and re-validates before every publish CAS; the
+/// reaper bumps it before repairing, so a zombie resuming after a reap
+/// observes the mismatch and stands down (and its per-slot publish CASes
+/// lose to the reaper's tombstone sequencing even inside the re-validation
+/// window). Heartbeats are CLOCK_MONOTONIC nanoseconds — comparable
+/// system-wide across processes, immune to wall-clock steps.
+struct alignas(64) ShmLease {
+  std::atomic<uint64_t> pid;           ///< 0 = free row
+  std::atomic<uint64_t> epoch;         ///< fence counter; bumped at reap
+  std::atomic<uint64_t> heartbeat_ns;  ///< last refresh (monotonic ns)
+  std::atomic<uint64_t> span_begin;    ///< in-flight claim [begin, end)
+  std::atomic<uint64_t> span_end;
+  std::atomic<uint64_t> span_state;    ///< LeaseSpan
+  std::atomic<uint64_t> fenced_at_ns;  ///< 0 = not fenced; set by reaper
+};
+static_assert(sizeof(ShmLease) == 64, "one lease per cache line");
+
+/// The segment's shared cursor/eventcount block. Same roles as MpmcRing's
+/// members; hoisted into a POD so both processes address the one copy.
+struct ShmControl {
+  /// Release cursor (slots at [0, head) are reusable by producers).
+  alignas(64) std::atomic<uint64_t> head;
+  /// Shared reservation cursor — the producers' CAS target.
+  alignas(64) std::atomic<uint64_t> tail;
+  /// Consumer claim cursor, with head <= claim <= tail.
+  alignas(64) std::atomic<uint64_t> claim;
+  /// Eventcounts for parking (bumped per batch, by close(), by the
+  /// reaper), each sharing its cache line with the count of sleepers on
+  /// it: the waker reads both together, and the nobody-parked fast path
+  /// (the steady state) skips the futex syscall entirely.
+  alignas(64) std::atomic<uint32_t> tail_event;
+  std::atomic<uint32_t> tail_waiters;  // slick-lint: allow(atomic-alignas)
+  alignas(64) std::atomic<uint32_t> head_event;
+  std::atomic<uint32_t> head_waiters;  // slick-lint: allow(atomic-alignas)
+  /// Written once at shutdown but polled by all sides.
+  alignas(64) std::atomic<uint32_t> closed;
+  /// Occupancy high-water (telemetry; CAS-max, publishes race).
+  alignas(64) std::atomic<uint64_t> highwater;
+  /// Reaper telemetry trio — reaper-written, snapshot-read; they share one
+  /// padded line because only the (rare) reap path writes them.
+  alignas(64) std::atomic<uint64_t> leases_reclaimed;
+  std::atomic<uint64_t> slots_tombstoned;  // slick-lint: allow(atomic-alignas)
+  std::atomic<uint64_t> zombie_fences;     // slick-lint: allow(atomic-alignas)
+};
+
+/// Versioned, CRC'd segment header. layout_hash folds in every quantity
+/// the compiled-in ring geometry depends on (slot size/alignment, struct
+/// sizes, counts), so an attacher built against a different slot type or
+/// struct revision is rejected instead of silently reinterpreting memory.
+struct ShmHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t layout_hash;
+  uint64_t capacity;
+  uint64_t max_producers;
+  uint64_t slot_size;
+  uint64_t slot_align;
+  uint64_t total_bytes;
+  uint32_t header_crc;  ///< CRC-32 over the fields above, in order
+  /// 0 while the creator initializes; 1 (release) once every cursor, seq
+  /// word and lease row is constructed. Attachers acquire-spin on it.
+  std::atomic<uint32_t> ready;  // slick-lint: allow(atomic-alignas)
+};
+
+inline constexpr uint32_t kShmMagic = 0x4D485353u;  // "SSHM"
+inline constexpr uint32_t kShmVersion = 1;
+
+/// Byte offsets of the segment's regions. Header, control and lease
+/// offsets are independent of the slot type, which is what lets the
+/// non-template InspectShmSegment() read cursors and leases from any
+/// slick segment without knowing T.
+struct ShmLayout {
+  std::size_t control_off;
+  std::size_t lease_off;
+  std::size_t seq_off;
+  std::size_t tomb_off;
+  std::size_t slot_off;
+  std::size_t total_bytes;
+};
+
+inline constexpr std::size_t ShmAlignUp(std::size_t x, std::size_t a) {
+  return (x + a - 1) & ~(a - 1);
+}
+
+inline constexpr ShmLayout ComputeShmLayout(std::size_t capacity,
+                                            std::size_t max_producers,
+                                            std::size_t slot_size,
+                                            std::size_t slot_align) {
+  ShmLayout l{};
+  l.control_off = ShmAlignUp(sizeof(ShmHeader), 64);
+  l.lease_off = ShmAlignUp(l.control_off + sizeof(ShmControl), 64);
+  l.seq_off =
+      ShmAlignUp(l.lease_off + max_producers * sizeof(ShmLease), 64);
+  l.tomb_off =
+      ShmAlignUp(l.seq_off + capacity * sizeof(std::atomic<uint64_t>), 64);
+  l.slot_off = ShmAlignUp(
+      l.tomb_off + capacity * sizeof(std::atomic<uint64_t>),
+      slot_align > 64 ? slot_align : 64);
+  l.total_bytes = ShmAlignUp(l.slot_off + capacity * slot_size, 4096);
+  return l;
+}
+
+/// FNV-style fold of the geometry quantities into the header's layout
+/// hash. Not cryptographic — it only needs to make accidental mismatches
+/// (different T, different struct revision) collide with ~zero odds.
+inline constexpr uint64_t ShmLayoutHash(std::size_t capacity,
+                                        std::size_t max_producers,
+                                        std::size_t slot_size,
+                                        std::size_t slot_align) {
+  uint64_t h = 0xCBF29CE484222325ull ^ (uint64_t{kShmVersion} << 32);
+  const uint64_t parts[] = {capacity,  max_producers,      slot_size,
+                            slot_align, sizeof(ShmControl), sizeof(ShmLease)};
+  for (const uint64_t v : parts) {
+    h ^= v;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// CRC of the header's plain fields, computed over a packed serialization
+/// so it never depends on struct padding (and needs no offsetof on a type
+/// holding an atomic).
+inline uint32_t ShmHeaderCrc(const ShmHeader& h) {
+  char buf[2 * sizeof(uint32_t) + 6 * sizeof(uint64_t)];
+  char* p = buf;
+  auto put = [&p](const auto& v) {
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
+  };
+  put(h.magic);
+  put(h.version);
+  put(h.layout_hash);
+  put(h.capacity);
+  put(h.max_producers);
+  put(h.slot_size);
+  put(h.slot_align);
+  put(h.total_bytes);
+  return util::Crc32(std::string_view(buf, sizeof(buf)));
+}
+
+/// Per-reap-pass repair counts (also accumulated into the segment's
+/// telemetry words); what Supervise() folds into RuntimeSnapshot.
+struct ShmReapStats {
+  uint64_t leases_reclaimed = 0;
+  uint64_t slots_tombstoned = 0;
+  uint64_t zombie_fences = 0;
+};
+
+/// Lifetime telemetry counters read from the segment.
+struct ShmLeaseStats {
+  uint64_t leases_reclaimed = 0;
+  uint64_t slots_tombstoned = 0;
+  uint64_t zombie_fences = 0;
+};
+
+/// Crash-robust shared-memory MPMC ring (DESIGN.md §17): the MpmcRing
+/// reserve/publish protocol relocated into a POSIX shm segment, plus the
+/// machinery that makes "a producer is a separate process that can be
+/// SIGKILL'd mid-claim" survivable instead of a consumer wedge:
+///
+///  * **Publish is a CAS, not a store.** A slot's seq word moves from its
+///    previous-lap value (pos + 1 - capacity, or 0 on the first lap) to
+///    pos + 1 by compare-exchange, from exactly one of two writers: the
+///    owning producer, or the reaper tombstoning an abandoned claim.
+///    Whichever CAS lands first wins the slot; the loser's CAS fails
+///    harmlessly. A lap-late zombie can never regress a seq word.
+///  * **Tombstones.** tomb[idx] == pos + 1 marks position pos as
+///    reaper-repaired; like seq words, tombstone marks are lap-unique and
+///    never need clearing. A slot is dead iff published AND tombstoned
+///    (the reaper stores tomb *before* its seq CAS, so a tombstone is
+///    visible by the time the sequencing publishes it). The consumer
+///    skips dead slots — claim advances past them, release accounting
+///    folds them into head — instead of wedging on a hole.
+///  * **Leases + reaper** (ShmLease above, ReapExpiredLeases below) give
+///    the consumer side the authority to decide a producer is gone and
+///    repair its in-flight span.
+///
+/// API parity with MpmcRing is deliberate and pinned by the conformance
+/// suite: ShardWorker drains, supervised-recovery ResetClaims replay, and
+/// lease-less in-process producer threads all run unchanged over this
+/// ring. The consumer side stays single-logical-consumer (the shard
+/// worker), same as MpmcRing.
+template <typename T>
+class ShmRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shm slots cross process boundaries as raw bytes");
+
+ public:
+  /// Trait the engine keys producer-handle support on.
+  static constexpr bool kMultiProducer = true;
+  /// Trait marking cross-process residency (conformance suite naming,
+  /// engine reaper detection).
+  static constexpr bool kShared = true;
+
+  static constexpr std::size_t kDefaultMaxProducers = 16;
+
+  /// Engine-owned ring: a fresh anonymous segment (unlinked at birth, see
+  /// util::ShmMapping::CreateAnonymous) sized for `min_capacity` slots
+  /// rounded up to a power of two. fork() children inherit the mapping,
+  /// which is how the chaos suite's producer processes reach it.
+  explicit ShmRing(std::size_t min_capacity,
+                   std::size_t max_producers = kDefaultMaxProducers)
+      : ShmRing(util::ShmMapping::CreateAnonymous(BytesFor(
+                    min_capacity, max_producers)),
+                min_capacity, max_producers) {}
+
+  /// Named ring: linked in /dev/shm until this (owning) ring is destroyed,
+  /// so unrelated processes can attach by name.
+  ShmRing(const std::string& name, std::size_t min_capacity,
+          std::size_t max_producers = kDefaultMaxProducers)
+      : ShmRing(util::ShmMapping::CreateNamed(
+                    name, BytesFor(min_capacity, max_producers)),
+                min_capacity, max_producers) {}
+
+  /// Attaches to an existing named segment created by another process.
+  /// Validates magic, version, CRC and the layout hash against THIS
+  /// compiled slot type before touching anything else.
+  explicit ShmRing(const std::string& name)
+      : map_(util::ShmMapping::OpenNamed(name, /*read_only=*/false)) {
+    SLICK_CHECK(map_.valid(), "shm attach failed");
+    auto* hdr = static_cast<ShmHeader*>(map_.data());
+    SLICK_CHECK(map_.size() >= sizeof(ShmHeader), "shm segment truncated");
+    // Bounded acquire-spin on the creator's ready flag: pairs with the
+    // release store at the end of Init(), after which every field below
+    // is immutable (header) or a constructed atomic.
+    for (int spin = 0;
+         hdr->ready.load(std::memory_order_acquire) == 0; ++spin) {
+      SLICK_CHECK(spin < 100000, "shm segment never became ready");
+      std::this_thread::yield();
+    }
+    SLICK_CHECK(hdr->magic == kShmMagic, "shm segment: bad magic");
+    SLICK_CHECK(hdr->version == kShmVersion, "shm segment: bad version");
+    SLICK_CHECK(hdr->header_crc == ShmHeaderCrc(*hdr),
+                "shm segment: header CRC mismatch");
+    SLICK_CHECK(hdr->layout_hash ==
+                    ShmLayoutHash(static_cast<std::size_t>(hdr->capacity),
+                                  static_cast<std::size_t>(hdr->max_producers),
+                                  sizeof(T), alignof(T)),
+                "shm segment: layout hash mismatch (different slot type "
+                "or struct revision)");
+    SLICK_CHECK(hdr->total_bytes <= map_.size(), "shm segment truncated");
+    mask_ = static_cast<std::size_t>(hdr->capacity) - 1;
+    BindPointers();
+  }
+
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  ShmRing(ShmRing&& other) noexcept
+      : map_(std::move(other.map_)),
+        mask_(other.mask_),
+        hdr_(std::exchange(other.hdr_, nullptr)),
+        ctl_(std::exchange(other.ctl_, nullptr)),
+        leases_(std::exchange(other.leases_, nullptr)),
+        seq_(std::exchange(other.seq_, nullptr)),
+        tomb_(std::exchange(other.tomb_, nullptr)),
+        slots_(std::exchange(other.slots_, nullptr)),
+        fault_lane_(other.fault_lane_),
+        pending_(std::move(other.pending_)) {}
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::size_t max_producers() const {
+    return static_cast<std::size_t>(hdr_->max_producers);
+  }
+  /// The /dev/shm name for named segments; empty for anonymous ones.
+  const std::string& name() const { return map_.name(); }
+
+  /// Approximate occupancy — reserved minus released; includes tombstoned
+  /// slots until the consumer skips them. Advisory outside quiescence.
+  std::size_t size() const {
+    // Consumer cursor FIRST (see MpmcRing::size): a stale head can only
+    // over-count; tail-first can wrap the unsigned subtraction.
+    const uint64_t h = ctl_->head.load(std::memory_order_acquire);
+    const uint64_t t = ctl_->tail.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Highest occupancy observed at any publish point (upper bound).
+  std::size_t occupancy_highwater() const {
+    // relaxed: monotonic telemetry gauge, no data published through it.
+    return static_cast<std::size_t>(
+        ctl_->highwater.load(std::memory_order_relaxed));
+  }
+
+  /// Lifetime reaper telemetry (leases reclaimed, slots tombstoned,
+  /// zombie fences) accumulated in the segment.
+  ShmLeaseStats lease_stats() const {
+    // relaxed: reporting counters, read at sampling points.
+    return ShmLeaseStats{
+        ctl_->leases_reclaimed.load(std::memory_order_relaxed),
+        ctl_->slots_tombstoned.load(std::memory_order_relaxed),
+        ctl_->zombie_fences.load(std::memory_order_relaxed)};
+  }
+
+  // ------------------------------------------------------------------
+  // Producer side — lease-less (in-process threads: the router, the
+  // conformance suite). Cross-process producers layer a lease on top via
+  // AttachProducer()/LeaseProducer below, which reuse these primitives.
+  // ------------------------------------------------------------------
+
+  /// Reserves a contiguous span of up to `max` free slots for in-place
+  /// writing; same contract as MpmcRing::TryClaimPush (nullptr when full
+  /// or closed, span capped at the array wrap, bounded by head+capacity).
+  SLICK_NODISCARD SLICK_REALTIME T* TryClaimPush(std::size_t max,
+                                                 std::size_t* count) {
+    *count = 0;
+    // relaxed: closed is a monotonic go/no-go flag; promptness only.
+    if (ctl_->closed.load(std::memory_order_relaxed) != 0) return nullptr;
+    if (fault::Fire(fault::Point::kRingSpuriousFull, fault_lane_)) {
+      return nullptr;
+    }
+    uint64_t tail = ctl_->tail.load(std::memory_order_relaxed);
+    for (;;) {
+      // acquire: pairs with ReleasePop's head release store — released
+      // slots are safe to overwrite (the claim bound, as in MpmcRing).
+      const uint64_t head = ctl_->head.load(std::memory_order_acquire);
+      const uint64_t used = tail - head;
+      if (used >= capacity()) {
+        // relaxed: the CAS re-validates; a stale tail costs one retry.
+        const uint64_t fresh = ctl_->tail.load(std::memory_order_relaxed);
+        if (fresh == tail) return nullptr;
+        tail = fresh;
+        continue;
+      }
+      const std::size_t free = capacity() - static_cast<std::size_t>(used);
+      const std::size_t idx = static_cast<std::size_t>(tail) & mask_;
+      std::size_t n = max < free ? max : free;
+      const std::size_t to_wrap = capacity() - idx;
+      if (n > to_wrap) n = to_wrap;
+      // relaxed: the reservation carries no payload; publication is the
+      // per-slot seq CAS in PublishPush.
+      if (ctl_->tail.compare_exchange_weak(tail, tail + n,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
+        *count = n;
+        return slots_ + idx;
+      }
+    }
+  }
+
+  /// Publishes slots previously reserved with TryClaimPush (same span /
+  /// piecewise rules as MpmcRing::PublishPush). Publication is per-slot
+  /// CAS from the previous-lap seq value — see the class comment; for a
+  /// lease-less producer the CAS can only lose to a reaper repairing a
+  /// kIntent lease whose recorded span overlapped this claim (a blind
+  /// spot DESIGN.md §17 documents; the grace period makes it require a
+  /// claim held unpublished for a full lease period).
+  SLICK_REALTIME void PublishPush(T* span, std::size_t count) {
+    if (count == 0) return;
+    if (fault::Fire(fault::Point::kPublishDelay, fault_lane_)) {
+      fault::InjectDelay();
+    }
+    const auto idx = static_cast<std::size_t>(span - slots_);
+    SLICK_DCHECK(idx <= mask_, "publish span outside the slot array");
+    // Recover the free-running position from the slot index (unique in
+    // [head, head + capacity) — see MpmcRing::PublishPush).
+    // relaxed: any head value between claim time and now yields the same
+    // answer; no data rides on it.
+    const uint64_t head = ctl_->head.load(std::memory_order_relaxed);
+    const uint64_t pos = head + ((static_cast<uint64_t>(idx) - head) & mask_);
+    UpdateHighwater(pos + count - head);
+    for (std::size_t i = 0; i < count; ++i) {
+      PublishSlot(pos + i);
+    }
+    // release: orders the seq CASes before the bump a waiter snapshots.
+    ctl_->tail_event.fetch_add(1, std::memory_order_release);
+    shm_futex::WakeAll(&ctl_->tail_event, &ctl_->tail_waiters);
+  }
+
+  /// Copies up to `n` elements into the ring without blocking; returns the
+  /// number accepted (0 when full or closed).
+  SLICK_NODISCARD SLICK_REALTIME std::size_t try_push_n(const T* src,
+                                                        std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      std::size_t k = 0;
+      T* span = TryClaimPush(n - done, &k);
+      if (span == nullptr) break;
+      for (std::size_t i = 0; i < k; ++i) span[i] = src[done + i];
+      PublishPush(span, k);
+      done += k;
+      // A claim is capped at the array wrap; continue only when this one
+      // ended exactly there.
+      if (span + k != slots_ + capacity()) break;
+    }
+    return done;
+  }
+
+  SLICK_NODISCARD SLICK_REALTIME bool try_push(const T& v) {
+    return try_push_n(&v, 1) == 1;
+  }
+
+  /// Blocking push (backpressure): parks on the head eventcount when
+  /// full. Returns the number accepted — `n` unless closed mid-wait.
+  std::size_t push_n(const T* src, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      const std::size_t k = try_push_n(src + done, n - done);
+      done += k;
+      if (done == n) break;
+      if (k == 0) {
+        // relaxed: WaitForSpace rechecks closed with acquire before
+        // parking, and close() bumps head_event — a stale false costs
+        // one loop, never a missed shutdown.
+        if (ctl_->closed.load(std::memory_order_relaxed) != 0) break;
+        WaitForSpace();
+      }
+    }
+    return done;
+  }
+
+  /// Producers are done: wakes everyone; consumers settle, drain, then
+  /// see ClaimPop return nullptr. Idempotent, any side.
+  void close() {
+    ctl_->closed.store(1, std::memory_order_release);
+    ctl_->tail_event.fetch_add(1, std::memory_order_release);
+    ctl_->head_event.fetch_add(1, std::memory_order_release);
+    shm_futex::WakeAll(&ctl_->tail_event, &ctl_->tail_waiters);
+    shm_futex::WakeAll(&ctl_->head_event, &ctl_->head_waiters);
+  }
+
+  bool closed() const {
+    return ctl_->closed.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Names this ring's lane for the fault-injection schedule (the owning
+  /// shard index). Set before threads start.
+  void set_fault_lane(std::size_t lane) { fault_lane_ = lane; }
+
+  /// Eventcount introspection for the deterministic model checker — same
+  /// contract as MpmcRing.
+  uint32_t tail_event_word() const {
+    return ctl_->tail_event.load(std::memory_order_acquire);
+  }
+  uint32_t head_event_word() const {
+    return ctl_->head_event.load(std::memory_order_acquire);
+  }
+  bool pop_ready_or_settled() const { return PopReadyOrSettled(); }
+  bool push_space_or_closed() const { return PushSpaceOrClosed(); }
+
+  // ------------------------------------------------------------------
+  // Consumer side (one logical consumer: the shard worker).
+  // ------------------------------------------------------------------
+
+  /// Claims a contiguous span of up to `max` published *live* elements.
+  /// Differs from MpmcRing only in tombstone handling: a leading run of
+  /// dead slots (published + tombstoned) is skipped — claim advances past
+  /// it and the skip is folded into release accounting — and a tombstone
+  /// inside the window ends the returned span (the next claim skips it).
+  SLICK_NODISCARD SLICK_REALTIME T* TryClaimPop(std::size_t max,
+                                                std::size_t* count) {
+    *count = 0;
+    for (;;) {
+      // relaxed: effectively the consumer's own cursor; data visibility
+      // rides on the per-slot seq acquires.
+      uint64_t claim = ctl_->claim.load(std::memory_order_relaxed);
+      // Skip the leading dead run, if any.
+      std::size_t skip = 0;
+      while (skip < capacity()) {
+        const uint64_t pos = claim + skip;
+        const std::size_t idx = static_cast<std::size_t>(pos) & mask_;
+        // acquire: pairs with the publish/tombstone CAS release stores.
+        if (seq_[idx].load(std::memory_order_acquire) != pos + 1) break;
+        if (tomb_[idx].load(std::memory_order_acquire) != pos + 1) break;
+        ++skip;
+      }
+      if (skip > 0) {
+        // relaxed: cursor handout only, same as the live-claim CAS below.
+        if (!ctl_->claim.compare_exchange_strong(claim, claim + skip,
+                                                 std::memory_order_relaxed,
+                                                 std::memory_order_relaxed)) {
+          continue;  // another claimer moved the cursor — rescan
+        }
+        AccountTombstones(skip);
+        claim += skip;
+      }
+      const std::size_t idx = static_cast<std::size_t>(claim) & mask_;
+      std::size_t limit = max;
+      const std::size_t to_wrap = capacity() - idx;
+      if (limit > to_wrap) limit = to_wrap;
+      std::size_t n = 0;
+      while (n < limit) {
+        const uint64_t pos = claim + n;
+        // acquire: pairs with PublishSlot's seq CAS release — the slot's
+        // contents are visible before we hand it out.
+        if (seq_[idx + n].load(std::memory_order_acquire) != pos + 1) break;
+        if (tomb_[idx + n].load(std::memory_order_acquire) == pos + 1) break;
+        ++n;
+      }
+      if (n == 0) {
+        if (skip > 0) continue;  // progressed past a dead run — rescan
+        return nullptr;
+      }
+      uint64_t expect = claim;
+      // relaxed: the cursor advance transfers no payload (the seq
+      // acquires above did).
+      if (ctl_->claim.compare_exchange_strong(expect, claim + n,
+                                              std::memory_order_relaxed,
+                                              std::memory_order_relaxed)) {
+        pending_.push_back(Pending{0, n});
+        *count = n;
+        return slots_ + idx;
+      }
+    }
+  }
+
+  /// Returns `count` claimed *live* slots, oldest first; may batch spans.
+  /// Tombstoned positions the claim cursor skipped are folded in here —
+  /// the head advance covers them the moment every live slot claimed
+  /// before them is released, preserving MpmcRing's releases-lag-claims
+  /// replay contract over a ring with holes. Single releaser, in claim
+  /// order (the shard worker).
+  SLICK_REALTIME void ReleasePop(std::size_t count) {
+    uint64_t advance = 0;
+    std::size_t remaining = count;
+    while (!pending_.empty()) {
+      Pending& front = pending_.front();
+      if (front.live == 0) {  // dead run: absorb into the head advance
+        advance += front.dead;
+        pending_.pop_front();
+        continue;
+      }
+      if (remaining == 0) break;
+      const std::size_t take =
+          remaining < front.live ? remaining : front.live;
+      front.live -= take;
+      remaining -= take;
+      advance += take;
+      if (front.live != 0) break;
+      pending_.pop_front();  // loop absorbs a trailing dead run, if any
+    }
+    SLICK_DCHECK(remaining == 0, "ReleasePop past the claimed span");
+    advance += remaining;  // defensive: keep cursors consistent anyway
+    if (advance == 0) return;
+    // relaxed: head is the releaser's own cursor (single releaser).
+    const uint64_t head = ctl_->head.load(std::memory_order_relaxed);
+    // release: hands slots back; pairs with TryClaimPush's head acquire.
+    ctl_->head.store(head + advance, std::memory_order_release);
+    ctl_->head_event.fetch_add(1, std::memory_order_release);
+    shm_futex::WakeAll(&ctl_->head_event, &ctl_->head_waiters);
+  }
+
+  /// Rewinds the claim cursor to the release cursor — the recovery
+  /// primitive (see MpmcRing::ResetClaims; unchanged rationale: seq and
+  /// tomb words survive releases, so the replayed span re-reads published
+  /// slots and re-skips tombstones). MUST only run with no consumer
+  /// thread live; the pending skip accounting resets with the cursor.
+  void ResetClaims() {
+    pending_.clear();
+    // relaxed: thread-lifecycle contract — join/spawn order the cursors.
+    ctl_->claim.store(ctl_->head.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+
+  /// Elements reserved but not yet claimed (upper bound; includes
+  /// tombstoned positions not yet skipped).
+  std::size_t unconsumed() const {
+    const uint64_t c = ctl_->claim.load(std::memory_order_acquire);
+    const uint64_t t = ctl_->tail.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - c);
+  }
+
+  /// Elements claimed but not yet released — the replay span. Upper
+  /// bound: includes tombstoned positions queued in the skip accounting.
+  std::size_t unreleased() const {
+    const uint64_t h = ctl_->head.load(std::memory_order_acquire);
+    const uint64_t c = ctl_->claim.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(c - h);
+  }
+
+  /// Blocking claim; nullptr only once closed AND settled (every reserved
+  /// slot published-or-tombstoned and claimed). An abandoned reservation
+  /// parks the consumer here until the reaper repairs it and bumps the
+  /// tail eventcount — the exact wedge this ring exists to break.
+  SLICK_NODISCARD T* ClaimPop(std::size_t max, std::size_t* count) {
+    while (true) {
+      T* span = TryClaimPop(max, count);
+      if (span != nullptr) return span;
+      if (closed()) {
+        span = TryClaimPop(max, count);
+        if (span != nullptr) return span;
+        const uint64_t t = ctl_->tail.load(std::memory_order_acquire);
+        // relaxed: own cursor (single logical consumer).
+        if (t == ctl_->claim.load(std::memory_order_relaxed)) return nullptr;
+      }
+      WaitForData();
+    }
+  }
+
+  /// Non-blocking bulk move; returns the number popped.
+  SLICK_NODISCARD SLICK_REALTIME std::size_t try_pop_n(T* dst,
+                                                       std::size_t max) {
+    std::size_t done = 0;
+    while (done < max) {
+      std::size_t k = 0;
+      T* span = TryClaimPop(max - done, &k);
+      if (span == nullptr) break;
+      for (std::size_t i = 0; i < k; ++i) dst[done + i] = span[i];
+      ReleasePop(k);
+      done += k;
+      if (span + k != slots_ + capacity()) break;
+    }
+    return done;
+  }
+
+  /// Blocking pop; 0 only once closed and settled.
+  std::size_t pop_n(T* dst, std::size_t max) {
+    std::size_t k = 0;
+    T* span = ClaimPop(max, &k);
+    if (span == nullptr) return 0;
+    for (std::size_t i = 0; i < k; ++i) dst[i] = span[i];
+    ReleasePop(k);
+    return k;
+  }
+
+  // ------------------------------------------------------------------
+  // Lease layer — cross-process producers. A LeaseProducer wraps the
+  // claim/publish primitives with the lease protocol: record intent,
+  // CAS, mark owned, heartbeat, epoch-gate every publish. Its fault
+  // hooks are where the chaos suite SIGKILLs the producer process.
+  // ------------------------------------------------------------------
+
+  class LeaseProducer {
+   public:
+    enum class Result : uint8_t { kOk, kFull, kFenced, kClosed };
+
+    LeaseProducer() = default;
+    LeaseProducer(const LeaseProducer&) = delete;
+    LeaseProducer& operator=(const LeaseProducer&) = delete;
+    LeaseProducer(LeaseProducer&& other) noexcept
+        : ring_(std::exchange(other.ring_, nullptr)),
+          lease_(std::exchange(other.lease_, nullptr)),
+          my_pid_(other.my_pid_),
+          epoch_at_attach_(other.epoch_at_attach_),
+          claim_pos_(other.claim_pos_),
+          claim_len_(other.claim_len_),
+          stalled_(other.stalled_) {}
+    ~LeaseProducer() { Detach(); }
+
+    bool valid() const { return ring_ != nullptr; }
+
+    /// Whether the reaper has fenced this lease (or handed the row to a
+    /// new holder). A fenced producer must stop publishing and re-attach.
+    bool Fenced() const {
+      // acquire: pairs with the reaper's epoch fetch_add — a bumped
+      // epoch means repair may already be underway.
+      return lease_->epoch.load(std::memory_order_acquire) !=
+                 epoch_at_attach_ ||
+             lease_->pid.load(std::memory_order_acquire) != my_pid_;
+    }
+
+    /// Reserves up to `max` slots, recording the claim in the lease
+    /// BEFORE the tail CAS so a crash at any instruction is attributable:
+    /// kIntent while the CAS outcome is unknown, kOwned once it landed.
+    SLICK_NODISCARD Result TryBeginClaim(std::size_t max,
+                                         std::size_t* claimed) {
+      *claimed = 0;
+      SLICK_DCHECK(claim_len_ == 0, "previous claim not yet published");
+      if (Fenced()) return Result::kFenced;
+      ShmControl* ctl = ring_->ctl_;
+      // relaxed: monotonic go/no-go, promptness only (as TryClaimPush).
+      if (ctl->closed.load(std::memory_order_relaxed) != 0) {
+        return Result::kClosed;
+      }
+      uint64_t tail = ctl->tail.load(std::memory_order_relaxed);
+      bool first_attempt = true;
+      for (;;) {
+        // acquire: the claim bound (pairs with head release stores).
+        const uint64_t head = ctl->head.load(std::memory_order_acquire);
+        const uint64_t used = tail - head;
+        if (used >= ring_->capacity()) {
+          // relaxed: tail is only a CAS seed — staleness costs one retry.
+          const uint64_t fresh = ctl->tail.load(std::memory_order_relaxed);
+          if (fresh == tail) return Result::kFull;
+          tail = fresh;
+          continue;
+        }
+        const std::size_t free =
+            ring_->capacity() - static_cast<std::size_t>(used);
+        const std::size_t idx = static_cast<std::size_t>(tail) & ring_->mask_;
+        std::size_t n = max < free ? max : free;
+        const std::size_t to_wrap = ring_->capacity() - idx;
+        if (n > to_wrap) n = to_wrap;
+        // Record intent before the CAS. relaxed stores sequenced before
+        // the span_state release: the reaper reads state first (acquire)
+        // and only then trusts the span bounds.
+        lease_->span_begin.store(tail, std::memory_order_relaxed);
+        lease_->span_end.store(tail + n, std::memory_order_relaxed);
+        lease_->span_state.store(
+            static_cast<uint64_t>(LeaseSpan::kIntent),
+            std::memory_order_release);
+        if (first_attempt) {
+          first_attempt = false;
+          // Crash with intent recorded but the CAS outcome unknown — the
+          // reaper must take the grace-wait branch for this lease. Fired
+          // once per claim attempt so chaos kill ordinals stay stable
+          // across CAS retries.
+          if (fault::Fire(fault::Point::kShmDieBeforeClaim,
+                          ring_->fault_lane_)) {
+            fault::DieHard();
+          }
+        }
+        // relaxed CAS: the reservation carries no payload (see
+        // TryClaimPush); the lease stores above are what must be visible
+        // first, and their release covers that.
+        if (ctl->tail.compare_exchange_weak(tail, tail + n,
+                                            std::memory_order_relaxed,
+                                            std::memory_order_relaxed)) {
+          // The span is now certainly ours: upgrade the attribution. No
+          // heartbeat here: attach seeded one and every publish refreshes
+          // it, so claim-time staleness is already bounded by the last
+          // publish — and clock_gettime is a third of the whole lease
+          // overhead at batch 64. A holder that claims and then stalls
+          // past lease_ns is fenced either way; only the measuring point
+          // moves, by at most one claim-to-publish gap.
+          lease_->span_state.store(
+              static_cast<uint64_t>(LeaseSpan::kOwned),
+              std::memory_order_release);
+          claim_pos_ = tail;
+          claim_len_ = n;
+          *claimed = n;
+          return Result::kOk;
+        }
+      }
+    }
+
+    T* claim_data() const {
+      return ring_->slots_ +
+             (static_cast<std::size_t>(claim_pos_) & ring_->mask_);
+    }
+    std::size_t claim_len() const { return claim_len_; }
+
+    /// Publishes the slots of the current claim, epoch-gated: a fenced
+    /// producer publishes nothing (and a fence landing mid-span stops the
+    /// remainder — each slot's CAS independently loses to the reaper's
+    /// tombstone sequencing anyway). Returns the number of slots that
+    /// actually landed; clears the claim either way.
+    std::size_t PublishClaimed() {
+      if (claim_len_ == 0) return 0;
+      if (fault::Fire(fault::Point::kShmZombieResume, ring_->fault_lane_)) {
+        // Stall far past the (test-sized) lease period, then fall through
+        // and try to publish — the zombie-resume schedule. The reaper
+        // must have fenced us by the time we wake; the gates below and
+        // the per-slot CAS protocol are what make the zombie lose.
+        fault::InjectLongStall();
+      }
+      if (fault::Fire(fault::Point::kShmDieBeforePublish,
+                      ring_->fault_lane_)) {
+        fault::DieHard();
+      }
+      const uint64_t pos0 = claim_pos_;
+      const std::size_t n = claim_len_;
+      std::size_t landed = 0;
+      // One fence check gates the whole walk: each slot's CAS arbitrates
+      // exactly (a reaper that fenced mid-walk wins per slot regardless),
+      // so the per-slot check would buy nothing but two loads per slot on
+      // the hot path. A failed CAS is itself the interference signal —
+      // re-check the fence then, and stop instead of burning the rest of
+      // the span on CASes that will keep losing.
+      if (!Fenced()) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (fault::Fire(fault::Point::kShmDieMidSpan,
+                          ring_->fault_lane_)) {
+            fault::DieHard();
+          }
+          if (ring_->PublishSlot(pos0 + i)) {
+            ++landed;
+          } else if (Fenced()) {
+            break;
+          }
+        }
+      }
+      if (landed > 0) {
+        // relaxed: highwater is advisory telemetry; a stale head only
+        // under-reports occupancy for one sample.
+        ring_->UpdateHighwater(
+            pos0 + n - ring_->ctl_->head.load(std::memory_order_relaxed));
+      }
+      if (!Fenced()) {
+        // Still ours (the reaper bumps the epoch before ever freeing or
+        // reusing the row, so not-fenced implies the row is still this
+        // producer's): retire the span and refresh the heartbeat.
+        lease_->span_state.store(static_cast<uint64_t>(LeaseSpan::kIdle),
+                                 std::memory_order_release);
+        Heartbeat();
+      }
+      claim_len_ = 0;
+      // Wake the consumer even when landed < n: the reaper's tombstones
+      // cover the rest, and an extra bump is harmless.
+      ring_->ctl_->tail_event.fetch_add(1, std::memory_order_release);
+      shm_futex::WakeAll(&ring_->ctl_->tail_event,
+                         &ring_->ctl_->tail_waiters);
+      return landed;
+    }
+
+    /// Claim + copy + publish in one call. *pushed counts slots that
+    /// landed; kOk only when all `n` did.
+    SLICK_NODISCARD Result TryPush(const T* src, std::size_t n,
+                                   std::size_t* pushed) {
+      *pushed = 0;
+      while (*pushed < n) {
+        std::size_t k = 0;
+        const Result r = TryBeginClaim(n - *pushed, &k);
+        if (r != Result::kOk) return *pushed == n ? Result::kOk : r;
+        T* span = claim_data();
+        for (std::size_t i = 0; i < k; ++i) span[i] = src[*pushed + i];
+        const std::size_t landed = PublishClaimed();
+        *pushed += landed;
+        if (landed < k) return Result::kFenced;
+      }
+      return Result::kOk;
+    }
+
+    /// Timer-path heartbeat refresh (the publish path refreshes
+    /// implicitly). Once the stalled-heartbeat fault fires, refreshes
+    /// stop permanently — simulating a producer wedged outside the
+    /// publish path.
+    void RefreshLease() {
+      if (stalled_) return;
+      if (fault::Fire(fault::Point::kShmStallHeartbeat,
+                      ring_->fault_lane_)) {
+        stalled_ = true;
+        return;
+      }
+      if (!Fenced()) Heartbeat();
+    }
+
+    /// Graceful detach: frees the lease row (never touches a row the
+    /// reaper already fenced away from us).
+    void Detach() {
+      if (ring_ == nullptr) return;
+      if (!Fenced()) {
+        lease_->span_state.store(static_cast<uint64_t>(LeaseSpan::kIdle),
+                                 std::memory_order_release);
+        lease_->heartbeat_ns.store(0, std::memory_order_release);
+        uint64_t expect = my_pid_;
+        // CAS, not store: the reaper may have freed (and a new producer
+        // re-taken) the row between the Fenced() check and here. relaxed
+        // failure order: on loss we touch nothing and read nothing back.
+        lease_->pid.compare_exchange_strong(expect, 0,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed);
+      }
+      ring_ = nullptr;
+      lease_ = nullptr;
+    }
+
+   private:
+    friend class ShmRing;
+    LeaseProducer(ShmRing* ring, ShmLease* lease, uint64_t pid,
+                  uint64_t epoch)
+        : ring_(ring), lease_(lease), my_pid_(pid), epoch_at_attach_(epoch) {}
+
+    void Heartbeat() {
+      // release: a reaper that reads a fresh heartbeat also sees the
+      // span/state stores that preceded it.
+      lease_->heartbeat_ns.store(util::MonotonicNanos(),
+                                 std::memory_order_release);
+    }
+
+    ShmRing* ring_ = nullptr;
+    ShmLease* lease_ = nullptr;
+    uint64_t my_pid_ = 0;
+    uint64_t epoch_at_attach_ = 0;
+    uint64_t claim_pos_ = 0;
+    std::size_t claim_len_ = 0;
+    bool stalled_ = false;
+  };
+
+  /// Attaches the calling process as a lease-holding producer: claims a
+  /// free lease row (pid CAS), stamps the first heartbeat, caches the
+  /// fence epoch. CHECK-fails when the table is full — table sizing is a
+  /// deployment decision, not a runtime condition to retry.
+  SLICK_NODISCARD LeaseProducer AttachProducer() {
+    const auto me = static_cast<uint64_t>(::getpid());
+    for (std::size_t i = 0; i < max_producers(); ++i) {
+      ShmLease& lease = leases_[i];
+      uint64_t expect = 0;
+      // acq_rel: acquire the row's final state from its previous holder
+      // (or the reaper's free), release our ownership claim. relaxed
+      // failure order: an occupied row is just skipped, nothing is read.
+      if (!lease.pid.compare_exchange_strong(expect, me,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        continue;
+      }
+      // Row is exclusively ours; relaxed scrub stores suffice because the
+      // heartbeat's release below publishes them to the reaper as a unit.
+      lease.span_begin.store(0, std::memory_order_relaxed);
+      lease.span_end.store(0, std::memory_order_relaxed);
+      lease.span_state.store(static_cast<uint64_t>(LeaseSpan::kIdle),
+                             std::memory_order_relaxed);
+      lease.fenced_at_ns.store(0, std::memory_order_relaxed);
+      lease.heartbeat_ns.store(util::MonotonicNanos(),
+                               std::memory_order_release);
+      const uint64_t epoch = lease.epoch.load(std::memory_order_acquire);
+      return LeaseProducer(this, &lease, me, epoch);
+    }
+    SLICK_CHECK(false, "shm lease table full");
+    return LeaseProducer();
+  }
+
+  /// The consumer-side reaper (DESIGN.md §17): fences and repairs leases
+  /// whose holder is dead (pid gone) or expired (heartbeat stale past
+  /// `lease_ns`). Single caller at a time (the engine's Supervise path,
+  /// or a test thread); safe against concurrent producers and consumer.
+  ///
+  /// Per expired lease, in order:
+  ///  1. FENCE (once): bump the epoch, stamp fenced_at. From here the
+  ///     holder's Fenced() gate trips, and every slot the repair
+  ///     sequences is CAS-protected against the holder's late publishes.
+  ///     A fence applied to a still-running process is a zombie fence.
+  ///  2. REPAIR: tombstone the unpublished positions of the recorded
+  ///     span. kOwned spans repair immediately (ownership is certain);
+  ///     kIntent spans wait one further lease period after the fence
+  ///     (the recorded CAS may have lost or never run) and skip
+  ///     positions beyond tail or covered by another live lease's span.
+  ///  3. RECLAIM: free the row (pid CAS to 0) and count it.
+  ShmReapStats ReapExpiredLeases(uint64_t now_ns, uint64_t lease_ns) {
+    ShmReapStats out;
+    for (std::size_t li = 0; li < max_producers(); ++li) {
+      ShmLease& lease = leases_[li];
+      // acquire: everything we read about this row below was published
+      // by heartbeat/attach release stores.
+      const uint64_t pid = lease.pid.load(std::memory_order_acquire);
+      if (pid == 0) continue;
+      const bool dead =
+          ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+      const uint64_t beat =
+          lease.heartbeat_ns.load(std::memory_order_acquire);
+      const bool stale =
+          beat != 0 && now_ns > beat && now_ns - beat > lease_ns;
+      if (!dead && !stale) continue;
+
+      // 1. Fence (idempotent across reap passes via fenced_at).
+      if (lease.fenced_at_ns.load(std::memory_order_acquire) == 0) {
+        // acq_rel: the bump both observes the holder's last stores and
+        // publishes the fence to its next Fenced() check.
+        lease.epoch.fetch_add(1, std::memory_order_acq_rel);
+        lease.fenced_at_ns.store(now_ns == 0 ? 1 : now_ns,
+                                 std::memory_order_release);
+        if (!dead) {
+          ++out.zombie_fences;
+          // relaxed: monotonic telemetry counter; readers tolerate skew.
+          ctl_->zombie_fences.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+
+      // 2. Repair the recorded span, if attribution allows it yet.
+      const auto state = static_cast<LeaseSpan>(
+          lease.span_state.load(std::memory_order_acquire));
+      if (state != LeaseSpan::kIdle) {
+        // relaxed: fenced_at was stored by THIS reaper (single-threaded),
+        // and the span words are ordered by the span_state acquire above
+        // (they precede the holder's kIntent release store).
+        const uint64_t fenced_at =
+            lease.fenced_at_ns.load(std::memory_order_relaxed);
+        if (state == LeaseSpan::kIntent &&
+            now_ns - fenced_at < lease_ns) {
+          continue;  // grace period: revisit on a later reap pass
+        }
+        // relaxed span words: ordered by the span_state acquire above.
+        const uint64_t begin =
+            lease.span_begin.load(std::memory_order_relaxed);
+        const uint64_t end = lease.span_end.load(std::memory_order_relaxed);
+        if (begin < end && end - begin <= capacity()) {
+          const uint64_t tail = ctl_->tail.load(std::memory_order_acquire);
+          for (uint64_t pos = begin; pos < end; ++pos) {
+            if (pos >= tail) continue;  // never claimed by anyone
+            if (state == LeaseSpan::kIntent &&
+                CoveredByOtherLease(li, pos)) {
+              continue;  // the CAS lost; the span belongs to someone live
+            }
+            const std::size_t idx = static_cast<std::size_t>(pos) & mask_;
+            // acquire: pairs with the producer's publish CAS — published
+            // slots hold real data and stay consumable.
+            if (seq_[idx].load(std::memory_order_acquire) == pos + 1) {
+              continue;
+            }
+            // Tombstone BEFORE sequencing: whichever CAS wins below, the
+            // mark is already visible, so the consumer can never read
+            // the slot as live garbage.
+            tomb_[idx].store(pos + 1, std::memory_order_release);
+            if (PublishSlot(pos)) {
+              ++out.slots_tombstoned;
+            }
+            // CAS lost => the holder's publish squeaked in after our
+            // fence: the slot is now published AND tombstoned — dead
+            // either way, and the consumer skips it.
+          }
+        }
+      }
+
+      // 3. Reclaim the row. Scrub, then CAS pid — the CAS (not a store)
+      // keeps a racing graceful Detach from double-counting. relaxed span
+      // scrubs ride the pid CAS's release; relaxed failure order because
+      // a lost CAS (graceful Detach won) reads nothing back; the
+      // reclaimed counter is monotonic telemetry tolerant of skew.
+      lease.span_state.store(static_cast<uint64_t>(LeaseSpan::kIdle),
+                             std::memory_order_release);
+      lease.span_begin.store(0, std::memory_order_relaxed);
+      lease.span_end.store(0, std::memory_order_relaxed);
+      lease.heartbeat_ns.store(0, std::memory_order_release);
+      lease.fenced_at_ns.store(0, std::memory_order_release);
+      uint64_t expect = pid;
+      // relaxed failure order: a lost CAS (graceful Detach won) reads
+      // nothing back; the counter is relaxed monotonic telemetry.
+      if (lease.pid.compare_exchange_strong(expect, 0,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        ++out.leases_reclaimed;
+        ctl_->leases_reclaimed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (out.slots_tombstoned != 0) {
+      // relaxed: monotonic telemetry counter; readers tolerate skew.
+      ctl_->slots_tombstoned.fetch_add(out.slots_tombstoned,
+                                       std::memory_order_relaxed);
+    }
+    if (out.slots_tombstoned != 0 || out.leases_reclaimed != 0) {
+      // The consumer may be parked on a hole we just repaired: bump the
+      // eventcount so it rescans (and skips) the tombstoned run.
+      ctl_->tail_event.fetch_add(1, std::memory_order_release);
+      shm_futex::WakeAll(&ctl_->tail_event, &ctl_->tail_waiters);
+    }
+    return out;
+  }
+
+ private:
+  /// White-box access for tests (tests/shm_chaos_test.cc): the kIntent
+  /// grace path is reachable only through a crash between the intent
+  /// store and the tail CAS, which a single tier-1 process cannot produce
+  /// organically — the test forges the lease row instead.
+  friend struct ShmRingTestPeer;
+
+  /// Whether `pos` lies inside the in-flight span of any live lease other
+  /// than `self` — the kIntent repair guard. Racy by nature (advisory
+  /// reads of other rows); a false positive just defers the position to
+  /// that lease's own eventual publish or reap.
+  bool CoveredByOtherLease(std::size_t self, uint64_t pos) const {
+    for (std::size_t i = 0; i < max_producers(); ++i) {
+      if (i == self) continue;
+      const ShmLease& lease = leases_[i];
+      if (lease.pid.load(std::memory_order_acquire) == 0) continue;
+      if (lease.span_state.load(std::memory_order_acquire) ==
+          static_cast<uint64_t>(LeaseSpan::kIdle)) {
+        continue;
+      }
+      // relaxed: ordered by the span_state acquire above; a torn view at
+      // worst defers this row's repair to the next reap pass.
+      const uint64_t b = lease.span_begin.load(std::memory_order_relaxed);
+      const uint64_t e = lease.span_end.load(std::memory_order_relaxed);
+      if (b <= pos && pos < e) return true;
+    }
+    return false;
+  }
+  /// Claim-order skip accounting (consumer-thread private): each entry is
+  /// either a run of live claimed slots awaiting release ({0, n}) or a
+  /// run of tombstoned slots the claim cursor skipped ({n, 0}). Invariant:
+  /// a dead run is queued only while a live run precedes it unreleased
+  /// (otherwise the head advances immediately in AccountTombstones), so
+  /// draining releases always retires every queued entry.
+  struct Pending {
+    std::size_t dead;
+    std::size_t live;
+  };
+
+  static std::size_t BytesFor(std::size_t min_capacity,
+                              std::size_t max_producers) {
+    const std::size_t cap =
+        std::size_t{1} << util::CeilLog2(min_capacity < 2 ? 2 : min_capacity);
+    return ComputeShmLayout(cap, max_producers, sizeof(T), alignof(T))
+        .total_bytes;
+  }
+
+  /// Create-path delegate: takes the freshly created mapping, constructs
+  /// every shared object in place, then flips the header's ready flag.
+  ShmRing(util::ShmMapping map, std::size_t min_capacity,
+          std::size_t max_producers)
+      : map_(std::move(map)),
+        mask_((std::size_t{1} << util::CeilLog2(
+                   min_capacity < 2 ? 2 : min_capacity)) -
+              1) {
+    SLICK_CHECK(map_.valid(), "shm segment creation failed");
+    SLICK_CHECK(max_producers >= 1, "shm ring needs at least one lease row");
+    const ShmLayout l =
+        ComputeShmLayout(capacity(), max_producers, sizeof(T), alignof(T));
+    SLICK_CHECK(map_.size() >= l.total_bytes, "shm segment undersized");
+    auto* base = static_cast<char*>(map_.data());
+    auto* hdr = new (base) ShmHeader{};
+    new (base + l.control_off) ShmControl{};
+    for (std::size_t i = 0; i < max_producers; ++i) {
+      new (base + l.lease_off + i * sizeof(ShmLease)) ShmLease{};
+    }
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      // Zero-valued seq words are correct as-is: the published test is
+      // the exact equality seq == pos + 1 (same for tombstones). The
+      // per-slot words are deliberately dense — padding each to a cache
+      // line would multiply the segment footprint 8x; neighbouring-slot
+      // sharing is the same trade MpmcRing makes.
+      new (base + l.seq_off + i * sizeof(std::atomic<uint64_t>))
+          std::atomic<uint64_t>(0);  // slick-lint: allow(atomic-alignas)
+      new (base + l.tomb_off + i * sizeof(std::atomic<uint64_t>))
+          std::atomic<uint64_t>(0);  // slick-lint: allow(atomic-alignas)
+    }
+    hdr->magic = kShmMagic;
+    hdr->version = kShmVersion;
+    hdr->capacity = capacity();
+    hdr->max_producers = max_producers;
+    hdr->slot_size = sizeof(T);
+    hdr->slot_align = alignof(T);
+    hdr->total_bytes = l.total_bytes;
+    hdr->layout_hash =
+        ShmLayoutHash(capacity(), max_producers, sizeof(T), alignof(T));
+    hdr->header_crc = ShmHeaderCrc(*hdr);
+    BindPointers();
+    // release: publishes every in-place construction above to attachers
+    // acquire-spinning on ready.
+    hdr->ready.store(1, std::memory_order_release);
+  }
+
+  void BindPointers() {
+    auto* base = static_cast<char*>(map_.data());
+    hdr_ = reinterpret_cast<ShmHeader*>(base);
+    const ShmLayout l = ComputeShmLayout(
+        capacity(), static_cast<std::size_t>(hdr_->max_producers), sizeof(T),
+        alignof(T));
+    ctl_ = reinterpret_cast<ShmControl*>(base + l.control_off);
+    leases_ = reinterpret_cast<ShmLease*>(base + l.lease_off);
+    seq_ = reinterpret_cast<std::atomic<uint64_t>*>(base + l.seq_off);
+    tomb_ = reinterpret_cast<std::atomic<uint64_t>*>(base + l.tomb_off);
+    slots_ = reinterpret_cast<T*>(base + l.slot_off);
+  }
+
+  /// The one slot-publication primitive (class comment): CAS the seq word
+  /// from its previous-lap value to pos + 1. Exactly one of {producer,
+  /// reaper} wins each slot; returns whether WE did.
+  SLICK_REALTIME bool PublishSlot(uint64_t pos) {
+    const std::size_t idx = static_cast<std::size_t>(pos) & mask_;
+    uint64_t expected = pos >= capacity() ? pos + 1 - capacity() : 0;
+    // release on success: publishes the slot's contents; pairs with the
+    // consumer's seq acquire. acquire on failure: see who beat us.
+    return seq_[idx].compare_exchange_strong(expected, pos + 1,
+                                             std::memory_order_release,
+                                             std::memory_order_acquire);
+  }
+
+  SLICK_REALTIME void UpdateHighwater(uint64_t occupancy) {
+    // relaxed CAS-max: monotonic gauge, reporting only.
+    uint64_t hw = ctl_->highwater.load(std::memory_order_relaxed);
+    while (occupancy > hw &&
+           !ctl_->highwater.compare_exchange_weak(hw, occupancy,
+                                                  std::memory_order_relaxed,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Claim cursor moved past `skip` tombstoned slots: either advance head
+  /// immediately (nothing live awaits release — the common case when the
+  /// consumer is caught up) or queue the skip behind the unreleased live
+  /// runs so the eventual release folds it in, in claim order.
+  SLICK_REALTIME void AccountTombstones(std::size_t skip) {
+    if (pending_.empty()) {
+      // relaxed/release: same roles as ReleasePop's head advance.
+      const uint64_t head = ctl_->head.load(std::memory_order_relaxed);
+      ctl_->head.store(head + skip, std::memory_order_release);
+      ctl_->head_event.fetch_add(1, std::memory_order_release);
+      shm_futex::WakeAll(&ctl_->head_event, &ctl_->head_waiters);
+    } else if (pending_.back().live == 0) {
+      pending_.back().dead += skip;
+    } else {
+      pending_.push_back(Pending{skip, 0});
+    }
+  }
+
+  /// Consumer wake condition: the next slot is published (live OR
+  /// tombstoned — either way TryClaimPop makes progress), or shutdown has
+  /// settled. Mirrors MpmcRing::PopReadyOrSettled.
+  bool PopReadyOrSettled() const {
+    // relaxed: effectively the consumer's own cursor.
+    const uint64_t claim = ctl_->claim.load(std::memory_order_relaxed);
+    // acquire: pairs with the publish/tombstone seq CAS release.
+    if (seq_[static_cast<std::size_t>(claim) & mask_].load(
+            std::memory_order_acquire) == claim + 1) {
+      return true;
+    }
+    if (ctl_->closed.load(std::memory_order_acquire) == 0) return false;
+    return ctl_->tail.load(std::memory_order_acquire) == claim;
+  }
+
+  bool PushSpaceOrClosed() const {
+    // relaxed tail: only gates a retry; the claim CAS re-validates.
+    return static_cast<std::size_t>(
+               ctl_->tail.load(std::memory_order_relaxed) -
+               ctl_->head.load(std::memory_order_acquire)) < capacity() ||
+           ctl_->closed.load(std::memory_order_acquire) != 0;
+  }
+
+  SLICK_REALTIME_ALLOW(
+      "idle-only parking: spin-then-bounded-futex wait, entered only when "
+      "the ring has nothing claimable — never on the per-tuple path")
+  void WaitForData() {
+    for (int i = 0; i < kSpinYields; ++i) {
+      if (PopReadyOrSettled()) return;
+      std::this_thread::yield();
+    }
+    const uint32_t e = ctl_->tail_event.load(std::memory_order_acquire);
+    if (PopReadyOrSettled()) return;
+    shm_futex::WaitBounded(&ctl_->tail_event, e, &ctl_->tail_waiters);
+  }
+
+  SLICK_REALTIME_ALLOW(
+      "idle-only parking: spin-then-bounded-futex wait, entered only when "
+      "the ring is full — backpressure by design, never on the per-tuple "
+      "path")
+  void WaitForSpace() {
+    for (int i = 0; i < kSpinYields; ++i) {
+      if (PushSpaceOrClosed()) return;
+      std::this_thread::yield();
+    }
+    const uint32_t e = ctl_->head_event.load(std::memory_order_acquire);
+    if (PushSpaceOrClosed()) return;
+    shm_futex::WaitBounded(&ctl_->head_event, e, &ctl_->head_waiters);
+  }
+
+  static constexpr int kSpinYields = 4;
+
+  util::ShmMapping map_;
+  std::size_t mask_ = 0;
+  ShmHeader* hdr_ = nullptr;
+  ShmControl* ctl_ = nullptr;
+  ShmLease* leases_ = nullptr;
+  // Shared-segment atomics are placement-constructed at their layout
+  // offsets; these are plain pointers into the mapping, not owners.
+  std::atomic<uint64_t>* seq_ = nullptr;   // slick-lint: allow(atomic-alignas)
+  std::atomic<uint64_t>* tomb_ = nullptr;  // slick-lint: allow(atomic-alignas)
+  T* slots_ = nullptr;
+  // Fault-injection lane id (shard index); written once before threads
+  // start, read only inside fault::Fire hooks.
+  std::size_t fault_lane_ = 0;
+  // Consumer-thread-private skip accounting (see Pending). Lives in THIS
+  // process, not the segment: only the consumer process pops.
+  std::deque<Pending> pending_;
+};
+
+/// One lease row as read by the inspector.
+struct ShmLeaseInfo {
+  std::size_t row = 0;
+  uint64_t pid = 0;
+  uint64_t epoch = 0;
+  uint64_t heartbeat_ns = 0;
+  uint64_t span_begin = 0;
+  uint64_t span_end = 0;
+  uint64_t span_state = 0;
+  uint64_t fenced_at_ns = 0;
+};
+
+/// Read-only snapshot of a live segment's cursors, telemetry and lease
+/// table, taken without knowing the slot type (the header/control/lease
+/// offsets are T-independent by layout construction). Maps PROT_READ, so
+/// inspection can never corrupt a live ring. The layout hash is NOT
+/// checked (the inspector has no T to check against) — magic, version and
+/// header CRC are.
+struct ShmSegmentInfo {
+  bool ok = false;
+  std::string error;
+  uint64_t capacity = 0;
+  uint64_t max_producers = 0;
+  uint64_t slot_size = 0;
+  uint64_t head = 0;
+  uint64_t tail = 0;
+  uint64_t claim = 0;
+  bool closed = false;
+  uint64_t highwater = 0;
+  uint64_t leases_reclaimed = 0;
+  uint64_t slots_tombstoned = 0;
+  uint64_t zombie_fences = 0;
+  std::vector<ShmLeaseInfo> leases;
+};
+
+inline ShmSegmentInfo InspectShmSegment(const std::string& name) {
+  ShmSegmentInfo info;
+  util::ShmMapping map = util::ShmMapping::OpenNamed(name, /*read_only=*/true);
+  if (!map.valid()) {
+    info.error = std::string("cannot open shm segment: ") +
+                 std::strerror(map.error());
+    return info;
+  }
+  if (map.size() < sizeof(ShmHeader)) {
+    info.error = "segment smaller than a slick header";
+    return info;
+  }
+  const auto* base = static_cast<const char*>(map.data());
+  const auto* hdr = reinterpret_cast<const ShmHeader*>(base);
+  if (hdr->ready.load(std::memory_order_acquire) == 0) {
+    info.error = "segment exists but is not initialized";
+    return info;
+  }
+  if (hdr->magic != kShmMagic) {
+    info.error = "bad magic: not a slick shm ring";
+    return info;
+  }
+  if (hdr->version != kShmVersion) {
+    info.error = "unsupported segment version";
+    return info;
+  }
+  if (hdr->header_crc != ShmHeaderCrc(*hdr)) {
+    info.error = "header CRC mismatch: segment corrupt";
+    return info;
+  }
+  const std::size_t control_off = ShmAlignUp(sizeof(ShmHeader), 64);
+  const std::size_t lease_off =
+      ShmAlignUp(control_off + sizeof(ShmControl), 64);
+  const std::size_t lease_end =
+      lease_off + static_cast<std::size_t>(hdr->max_producers) *
+                      sizeof(ShmLease);
+  if (lease_end > map.size()) {
+    info.error = "segment truncated: lease table out of bounds";
+    return info;
+  }
+  const auto* ctl = reinterpret_cast<const ShmControl*>(base + control_off);
+  const auto* leases = reinterpret_cast<const ShmLease*>(base + lease_off);
+  info.capacity = hdr->capacity;
+  info.max_producers = hdr->max_producers;
+  info.slot_size = hdr->slot_size;
+  // acquire on the cursors so the point-in-time view is internally
+  // consistent enough for triage (it is still a racing sample).
+  info.head = ctl->head.load(std::memory_order_acquire);
+  info.tail = ctl->tail.load(std::memory_order_acquire);
+  info.claim = ctl->claim.load(std::memory_order_acquire);
+  info.closed = ctl->closed.load(std::memory_order_acquire) != 0;
+  // relaxed: read-only diagnostic snapshot of live counters — every value
+  // is a racing sample by design, staleness is expected and harmless.
+  info.highwater = ctl->highwater.load(std::memory_order_relaxed);
+  info.leases_reclaimed =
+      ctl->leases_reclaimed.load(std::memory_order_relaxed);
+  info.slots_tombstoned =
+      ctl->slots_tombstoned.load(std::memory_order_relaxed);
+  info.zombie_fences = ctl->zombie_fences.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < hdr->max_producers; ++i) {
+    const ShmLease& lease = leases[i];
+    ShmLeaseInfo li;
+    li.row = i;
+    li.pid = lease.pid.load(std::memory_order_acquire);
+    // relaxed: same racing-sample contract as the counters above — the
+    // printer labels rows best-effort; only pid gets acquire so a freed
+    // row's residue is not misattributed to a live holder.
+    li.epoch = lease.epoch.load(std::memory_order_relaxed);
+    li.heartbeat_ns = lease.heartbeat_ns.load(std::memory_order_relaxed);
+    li.span_begin = lease.span_begin.load(std::memory_order_relaxed);
+    li.span_end = lease.span_end.load(std::memory_order_relaxed);
+    li.span_state = lease.span_state.load(std::memory_order_relaxed);
+    li.fenced_at_ns = lease.fenced_at_ns.load(std::memory_order_relaxed);
+    info.leases.push_back(li);
+  }
+  info.ok = true;
+  return info;
+}
+
+}  // namespace slick::runtime

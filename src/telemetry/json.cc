@@ -72,6 +72,9 @@ std::string ToJson(const ShardSnapshot& s) {
   AppendU64(out, "deadline_expiries", s.deadline_expiries, true);
   AppendU64(out, "stall_detections", s.stall_detections, true);
   AppendU64(out, "heartbeat_age_ns", s.heartbeat_age_ns, true);
+  AppendU64(out, "leases_reclaimed", s.leases_reclaimed, true);
+  AppendU64(out, "slots_tombstoned", s.slots_tombstoned, true);
+  AppendU64(out, "zombie_fences", s.zombie_fences, true);
   AppendU64(out, "watermark", s.watermark, false);
   out += "}";
   return out;
@@ -101,6 +104,7 @@ std::string ToJson(const IngestSnapshot& s) {
   AppendU64(out, "tuples_accepted", s.tuples_accepted, true);
   AppendU64(out, "tuples_dropped", s.tuples_dropped, true);
   AppendU64(out, "deadline_expiries", s.deadline_expiries, true);
+  AppendU64(out, "idle_closes", s.idle_closes, true);
   out += "\"connections\":[";
   for (std::size_t i = 0; i < s.connections.size(); ++i) {
     if (i != 0) out += ",";

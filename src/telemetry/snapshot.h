@@ -37,6 +37,10 @@ struct ShardSnapshot {
   uint64_t deadline_expiries = 0;    ///< kBlockWithDeadline timeouts
   uint64_t stall_detections = 0;     ///< heartbeat-stall transitions
   uint64_t heartbeat_age_ns = 0;     ///< now - last worker loop iteration
+  // Shm lease reaper view (DESIGN.md §17). Zero for in-process rings.
+  uint64_t leases_reclaimed = 0;  ///< dead/expired producer leases freed
+  uint64_t slots_tombstoned = 0;  ///< abandoned claim slots repaired
+  uint64_t zombie_fences = 0;     ///< fences applied to still-live pids
   /// Event-time mode (DESIGN.md §13): max event ts drained by this shard.
   /// Zero in count-based mode. In event mode `watermark_lag` above is
   /// re-expressed in EVENT TIME (max ts routed to the shard − watermark),
@@ -69,6 +73,7 @@ struct IngestSnapshot {
   uint64_t tuples_accepted = 0;
   uint64_t tuples_dropped = 0;
   uint64_t deadline_expiries = 0;
+  uint64_t idle_closes = 0;  ///< half-open connections closed by idle_ns
   LatencyHistogram::Snapshot ingest_latency_ns;
   std::vector<ConnectionSnapshot> connections;
 };

@@ -1,0 +1,191 @@
+#pragma once
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "util/annotations.h"
+#include "util/check.h"
+#include "util/clock.h"
+
+namespace slick::util {
+
+/// RAII POSIX shared-memory mapping (DESIGN.md §17) — the substrate the
+/// cross-process ingestion ring (runtime/shm/shm_ring.h) places its slots,
+/// cursors and lease table in.
+///
+/// Three acquisition modes:
+///  * CreateAnonymous — a fresh segment under a generated name, unlinked
+///    the moment it is mapped: the mapping is then reachable only through
+///    this process and anything it fork()s (MAP_SHARED survives fork), so
+///    a crash can never leak a name into /dev/shm. This is what an
+///    engine-owned ring uses by default.
+///  * CreateNamed — a fresh segment under a caller-chosen name that stays
+///    linked until the owning mapping is destroyed, so other processes
+///    (producers, tools/telemetry_dump --shm=...) can attach by name.
+///  * OpenNamed — attach to an existing segment, read-write for producers
+///    or read-only for inspection tooling.
+///
+/// Failures surface through valid()/error() rather than aborting: whether
+/// a missing or undersized segment is fatal is the caller's call (a
+/// telemetry tool should print a message, a ring constructor CHECKs).
+class ShmMapping {
+ public:
+  ShmMapping() = default;
+
+  ShmMapping(ShmMapping&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        name_(std::exchange(other.name_, std::string())),
+        unlink_on_destroy_(std::exchange(other.unlink_on_destroy_, false)),
+        error_(other.error_) {}
+
+  ShmMapping& operator=(ShmMapping&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      name_ = std::exchange(other.name_, std::string());
+      unlink_on_destroy_ = std::exchange(other.unlink_on_destroy_, false);
+      error_ = other.error_;
+    }
+    return *this;
+  }
+
+  ShmMapping(const ShmMapping&) = delete;
+  ShmMapping& operator=(const ShmMapping&) = delete;
+
+  ~ShmMapping() { Reset(); }
+
+  /// A fresh zero-filled segment under a collision-proof generated name,
+  /// unlinked immediately after mapping (see class comment). The returned
+  /// mapping is shared with any later fork() children.
+  static ShmMapping CreateAnonymous(std::size_t bytes) {
+    // pid + a process-local counter + the monotonic clock: unique against
+    // concurrent creators, and O_EXCL retries close any residual race.
+    static std::atomic<uint64_t> counter{0};
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      char name[96];
+      std::snprintf(name, sizeof(name), "/slick.%ld.%llu.%llu",
+                    static_cast<long>(::getpid()),
+                    static_cast<unsigned long long>(
+                        counter.fetch_add(1, std::memory_order_relaxed)),
+                    static_cast<unsigned long long>(MonotonicNanos()));
+      ShmMapping m = CreateExclusive(name, bytes);
+      if (m.valid()) {
+        ::shm_unlink(name);
+        m.unlink_on_destroy_ = false;
+        return m;
+      }
+      if (m.error_ != EEXIST) return m;
+    }
+    ShmMapping failed;
+    failed.error_ = EEXIST;
+    return failed;
+  }
+
+  /// A fresh zero-filled segment under `name` (leading '/' per shm_open),
+  /// left linked so other processes can OpenNamed() it; unlinked when this
+  /// owning mapping is destroyed. Fails with EEXIST if the name is taken.
+  static ShmMapping CreateNamed(const std::string& name, std::size_t bytes) {
+    ShmMapping m = CreateExclusive(name.c_str(), bytes);
+    if (m.valid()) m.unlink_on_destroy_ = true;
+    return m;
+  }
+
+  /// Attaches to an existing segment, mapping its full current size.
+  /// `read_only` maps PROT_READ — the inspection mode tools use so a
+  /// telemetry dump can never corrupt a live ring.
+  static ShmMapping OpenNamed(const std::string& name, bool read_only) {
+    ShmMapping m;
+    const int fd = ::shm_open(name.c_str(), read_only ? O_RDONLY : O_RDWR, 0);
+    if (fd < 0) {
+      m.error_ = errno;
+      return m;
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+      m.error_ = errno != 0 ? errno : EINVAL;
+      ::close(fd);
+      return m;
+    }
+    const auto bytes = static_cast<std::size_t>(st.st_size);
+    void* p = ::mmap(nullptr, bytes, read_only ? PROT_READ
+                                               : PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping keeps the segment alive; the fd is done
+    if (p == MAP_FAILED) {
+      m.error_ = errno;
+      return m;
+    }
+    m.data_ = p;
+    m.size_ = bytes;
+    m.name_ = name;
+    return m;
+  }
+
+  SLICK_NODISCARD bool valid() const { return data_ != nullptr; }
+  void* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  /// The shm name this mapping is (or was) linked under; empty for
+  /// anonymous segments after their immediate unlink.
+  const std::string& name() const { return name_; }
+  /// errno of the failed acquisition; 0 while valid.
+  int error() const { return error_; }
+
+ private:
+  static ShmMapping CreateExclusive(const char* name, std::size_t bytes) {
+    ShmMapping m;
+    SLICK_CHECK(bytes > 0, "shm segment must be non-empty");
+    const int fd = ::shm_open(name, O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) {
+      m.error_ = errno;
+      return m;
+    }
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+      m.error_ = errno;
+      ::close(fd);
+      ::shm_unlink(name);
+      return m;
+    }
+    void* p =
+        ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED) {
+      m.error_ = errno;
+      ::shm_unlink(name);
+      return m;
+    }
+    m.data_ = p;
+    m.size_ = bytes;
+    m.name_ = name;
+    return m;
+  }
+
+  void Reset() {
+    if (data_ != nullptr) {
+      ::munmap(data_, size_);
+      if (unlink_on_destroy_) ::shm_unlink(name_.c_str());
+    }
+    data_ = nullptr;
+    size_ = 0;
+    unlink_on_destroy_ = false;
+  }
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;
+  bool unlink_on_destroy_ = false;
+  int error_ = 0;
+};
+
+}  // namespace slick::util

@@ -551,6 +551,152 @@ TEST(IngestServerTest, ShedOldestKeepsTheFreshestSuffix) {
 }
 
 // ---------------------------------------------------------------------
+// Idle-connection timeout (Options::idle_ns).
+// ---------------------------------------------------------------------
+
+// A client that sends one batch then goes silent (socket open, no bytes)
+// must be closed by the idle sweep and counted in idle_closes; a second,
+// chatty client on the same server must ride through untouched.
+TEST(IngestServerTest, IdleTimeoutClosesSilentConnectionOnly) {
+  std::vector<WireTuple> sunk;
+  IngestServer server(
+      {.port = 0, .threads = 1, .idle_ns = 40'000'000},  // 40ms
+      [&sunk](std::size_t) -> IngestServer::TrySink {
+        return [&sunk](const WireTuple* t, std::size_t n) {
+          sunk.insert(sunk.end(), t, t + n);
+          return n;
+        };
+      });
+  ASSERT_TRUE(server.Start());
+
+  IngestClient silent;
+  ASSERT_TRUE(silent.Connect(kHost, server.port()));
+  const WireTuple first{1, 10.0};
+  ASSERT_TRUE(silent.SendBatch(&first, 1));
+
+  IngestClient chatty;
+  ASSERT_TRUE(chatty.Connect(kHost, server.port()));
+  // Keep the chatty side under the timeout while the silent side ages out.
+  uint64_t seq = 2;
+  ASSERT_TRUE(WaitFor([&] {
+    const WireTuple beat{seq++, 1.0};
+    EXPECT_TRUE(chatty.SendBatch(&beat, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return server.snapshot().idle_closes == 1;
+  }));
+
+  const telemetry::IngestSnapshot snap = server.snapshot();
+  EXPECT_EQ(snap.idle_closes, 1u);
+  EXPECT_EQ(snap.connections_open, 1u);  // only the chatty one survives
+  EXPECT_EQ(snap.connections_closed_on_error, 0u);
+  EXPECT_EQ(snap.tuples_dropped, 0u);  // the idle close lost nothing
+
+  // The silent client's data made it before the close, and the export
+  // carries the new counter.
+  telemetry::RuntimeSnapshot rs;
+  rs.ingest = snap;
+  rs.has_ingest = true;
+  EXPECT_NE(ToJson(rs).find("\"idle_closes\":1"), std::string::npos);
+  server.Stop();
+  EXPECT_TRUE(std::any_of(sunk.begin(), sunk.end(),
+                          [](const WireTuple& t) { return t.v == 10.0; }));
+
+  // Default-off: nothing in this suite's other servers ever idle-closes,
+  // but assert the documented default explicitly.
+  EXPECT_EQ(IngestServer::Options{}.idle_ns, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Client connect/send retry (RetryOptions).
+// ---------------------------------------------------------------------
+
+// The late-binding race: a producer starts dialing before its server has
+// bound. ConnectWithRetry must eat the ECONNREFUSED attempts and land on
+// the listener once it appears; the send path then works normally.
+TEST(IngestClientRetryTest, ConnectRetriesUntilListenerBinds) {
+  // Reserve an ephemeral port, then free it for the late-bound server.
+  uint16_t port = 0;
+  {
+    IngestServer probe({.port = 0}, [](std::size_t) {
+      return [](const WireTuple*, std::size_t n) { return n; };
+    });
+    ASSERT_TRUE(probe.Start());
+    port = probe.port();
+    probe.Stop();
+  }
+
+  std::vector<WireTuple> sunk;
+  IngestServer server({.port = port},
+                      [&sunk](std::size_t) -> IngestServer::TrySink {
+                        return [&sunk](const WireTuple* t, std::size_t n) {
+                          sunk.insert(sunk.end(), t, t + n);
+                          return n;
+                        };
+                      });
+
+  IngestClient client;
+  int attempts = 0;
+  IngestClient::RetryResult result = IngestClient::RetryResult::kOk;
+  std::thread dialer([&] {
+    result = client.ConnectWithRetry(
+        kHost, port,
+        {.max_attempts = 200, .initial_backoff_ns = 1'000'000,
+         .max_backoff_ns = 4'000'000},
+        &attempts);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(server.Start());  // bind AFTER the dialer began failing
+  dialer.join();
+
+  ASSERT_EQ(result, IngestClient::RetryResult::kOk);
+  EXPECT_GT(attempts, 1);  // at least one refused attempt before the bind
+  const WireTuple t{7, 7.0};
+  ASSERT_TRUE(client.SendBatch(&t, 1));
+  client.CloseSend();
+  ASSERT_TRUE(WaitFor(
+      [&server] { return server.snapshot().tuples_accepted == 1; }));
+  server.Stop();
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0].ts, 7u);
+}
+
+// No listener ever appears: the budget is spent, the typed error comes
+// back, and the attempt count matches the budget exactly.
+TEST(IngestClientRetryTest, ExhaustedBudgetReturnsTypedError) {
+  uint16_t dead_port = 0;
+  {
+    IngestServer probe({.port = 0}, [](std::size_t) {
+      return [](const WireTuple*, std::size_t n) { return n; };
+    });
+    ASSERT_TRUE(probe.Start());
+    dead_port = probe.port();
+    probe.Stop();  // nothing listens here anymore
+  }
+  IngestClient client;
+  int attempts = 0;
+  const auto r = client.ConnectWithRetry(
+      kHost, dead_port,
+      {.max_attempts = 3, .initial_backoff_ns = 100'000,
+       .max_backoff_ns = 1'000'000},
+      &attempts);
+  EXPECT_EQ(r, IngestClient::RetryResult::kRetriesExhausted);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_FALSE(client.connected());
+
+  // SendBatchWithRetry composes the same budget around reconnects: against
+  // the dead port it must also exhaust, never silently drop the batch.
+  const WireTuple t{1, 1.0};
+  int send_attempts = 0;
+  const auto sr = client.SendBatchWithRetry(
+      &t, 1, kHost, dead_port,
+      {.max_attempts = 2, .initial_backoff_ns = 100'000,
+       .max_backoff_ns = 1'000'000},
+      &send_attempts);
+  EXPECT_EQ(sr, IngestClient::RetryResult::kRetriesExhausted);
+  EXPECT_EQ(send_attempts, 2);
+}
+
+// ---------------------------------------------------------------------
 // Telemetry export.
 // ---------------------------------------------------------------------
 TEST(IngestServerTest, SnapshotAttachesToRuntimeJson) {

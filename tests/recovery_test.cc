@@ -25,6 +25,7 @@
 #include "ops/string_ops.h"
 #include "runtime/fault.h"
 #include "runtime/parallel_engine.h"
+#include "runtime/shm/shm_ring.h"
 #include "stream/synthetic.h"
 #include "util/rng.h"
 #include "window/naive.h"
@@ -267,6 +268,81 @@ TEST(RecoveryTest, RepeatedKillsOnOneShardCompose) {
   EXPECT_EQ(chaos.query(), clean.query());
   EXPECT_EQ(chaos.stats().restarts, 3u);
   ExpectConservation(chaos);
+}
+
+// The supervised-recovery grid crossed with the crash-robust shm ring
+// (DESIGN.md §17): a worker fail-stop while lease producers are pushing
+// directly into the shard rings must recover answer-identically to a
+// fault-free engine fed the same interleaving, and a graceful detach
+// must leave the lease table untouched by the reaper (no reclaims, no
+// fences, no tombstones). Conservation is deliberately NOT asserted:
+// tuples_in counts only the router's pushes, and lease traffic lands in
+// tuples_out without it.
+TEST(RecoveryTest, ShmRingWorkerKillWithLeaseProducersRecovers) {
+  using Agg = core::SlickDequeInv<ops::SumInt>;
+  using Engine = ParallelShardedEngine<Agg, runtime::ShmRing>;
+  using Lease = runtime::ShmRing<int64_t>::LeaseProducer;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    const typename Engine::Options opts = {
+        .ring_capacity = 16,
+        .batch = 3,
+        .backpressure = Backpressure::kBlock,
+        .checkpoint_interval = 4,
+        .lease_ns = uint64_t{3'600} * 1'000'000'000};  // never expires here
+    Engine clean(8 * shards, shards, opts);
+    Engine chaos(8 * shards, shards, opts);
+    for (std::size_t i = 0; i < shards; ++i) {
+      chaos.InjectWorkerKill(
+          i, i % 2 == 0 ? KillPoint::kBeforeSlide : KillPoint::kAfterSlide,
+          5 + i);
+    }
+    std::vector<Lease> clean_leases;
+    std::vector<Lease> chaos_leases;
+    for (std::size_t i = 0; i < shards; ++i) {
+      clean_leases.push_back(clean.shard_ring(i).AttachProducer());
+      chaos_leases.push_back(chaos.shard_ring(i).AttachProducer());
+    }
+    // Identical interleaving into both engines from one thread: the router
+    // stream plus a lease-pushed side channel every 7th tuple, so worker
+    // replay after the kill covers lease-landed slots too.
+    const auto side_push = [](Lease& lease, int64_t v) {
+      for (;;) {
+        std::size_t pushed = 0;
+        const auto r = lease.TryPush(&v, 1, &pushed);
+        if (pushed == 1) return;
+        // kFull while the worker drains is the only retryable outcome;
+        // kFenced/kClosed here would mean the reaper or shutdown got a
+        // live, heartbeating producer — a protocol failure.
+        ASSERT_EQ(r, Lease::Result::kFull);
+      }
+    };
+    const std::vector<int64_t> stream = IntStream(220 * shards, 27);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      clean.push(stream[i]);
+      chaos.push(stream[i]);
+      if (i % 7 == 0) {
+        const std::size_t shard = (i / 7) % shards;
+        const auto v = static_cast<int64_t>(1000 + i);
+        side_push(clean_leases[shard], v);
+        side_push(chaos_leases[shard], v);
+      }
+    }
+    for (std::size_t i = 0; i < shards; ++i) {
+      clean_leases[i].Detach();
+      chaos_leases[i].Detach();
+    }
+    clean.stop();
+    chaos.stop();
+    EXPECT_EQ(chaos.query(), clean.query()) << "shards=" << shards;
+    EXPECT_EQ(clean.stats().restarts, 0u);
+    EXPECT_EQ(chaos.stats().restarts, shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      const runtime::ShmLeaseStats ls = chaos.shard_ring(i).lease_stats();
+      EXPECT_EQ(ls.leases_reclaimed, 0u) << "shard " << i;
+      EXPECT_EQ(ls.zombie_fences, 0u) << "shard " << i;
+      EXPECT_EQ(ls.slots_tombstoned, 0u) << "shard " << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/mpmc_ring.h"
+#include "runtime/shm/shm_ring.h"
 #include "runtime/spsc_ring.h"
 
 namespace slick {
@@ -25,13 +26,18 @@ template <typename Ring>
 class RingConformanceTest : public ::testing::Test {};
 
 using RingTypes =
-    ::testing::Types<runtime::SpscRing<int>, runtime::MpmcRing<int>>;
+    ::testing::Types<runtime::SpscRing<int>, runtime::MpmcRing<int>,
+                     runtime::ShmRing<int>>;
 
 class RingTypeNames {
  public:
   template <typename T>
   static std::string GetName(int) {
-    return T::kMultiProducer ? "Mpmc" : "Spsc";
+    if constexpr (requires { T::kShared; }) {
+      return "Shm";
+    } else {
+      return T::kMultiProducer ? "Mpmc" : "Spsc";
+    }
   }
 };
 

@@ -82,7 +82,11 @@ BANNED = [
      "std::endl is banned in src/ — write '\\n' (no gratuitous flushes)"),
 ]
 
-CROSS_THREAD_DIRS = ("src/runtime/", "src/telemetry/", "src/net/")
+# src/runtime/shm/ is named even though src/runtime/ already prefixes it:
+# cross-PROCESS shared memory must never silently fall out of the
+# cross-thread atomics rules if the runtime tree is ever reorganized.
+CROSS_THREAD_DIRS = ("src/runtime/", "src/runtime/shm/", "src/telemetry/",
+                     "src/net/")
 DEFAULT_ROOTS = ("src", "bench", "tests", "tools", "examples")
 EXCLUDE_PARTS = ("tools/lint/fixtures", "tools/analyze/fixtures")
 RELAXED_COMMENT_WINDOW = 10

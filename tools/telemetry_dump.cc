@@ -18,6 +18,10 @@
 //        --checkpoint-interval=C (default 0; C > 0 runs supervised with
 //                                 periodic worker checkpoints)
 //        --deadline-us=D (block-with-deadline budget, default 5000)
+//        --shm=NAME (inspect a live shm ring segment instead of running
+//                    the demo: prints cursors, reaper telemetry and the
+//                    full lease table as one JSON object — read-only, so
+//                    safe against a serving ring; see RUNBOOK.md)
 //
 // Supervised runs additionally assert the fault-tolerant conservation
 // identity: admitted == processed + in_flight at every epoch cut, and the
@@ -35,6 +39,7 @@
 #include "ops/arith.h"
 #include "ops/counting.h"
 #include "runtime/parallel_engine.h"
+#include "runtime/shm/shm_ring.h"
 #include "telemetry/json.h"
 #include "util/check.h"
 
@@ -57,7 +62,59 @@ runtime::Backpressure ParsePolicy(const std::string& name) {
   return runtime::Backpressure::kBlock;
 }
 
+const char* SpanStateName(uint64_t s) {
+  switch (static_cast<runtime::LeaseSpan>(s)) {
+    case runtime::LeaseSpan::kIdle: return "idle";
+    case runtime::LeaseSpan::kIntent: return "intent";
+    case runtime::LeaseSpan::kOwned: return "owned";
+  }
+  return "corrupt";
+}
+
+/// --shm=NAME: read-only triage dump of a live (or abandoned) shm ring
+/// segment — the on-call path for a leases_reclaimed / zombie_fences
+/// spike or a suspected stuck lease (RUNBOOK.md). PROT_READ mapping:
+/// cannot perturb the ring it inspects.
+int DumpShmSegment(const std::string& name) {
+  const runtime::ShmSegmentInfo info = runtime::InspectShmSegment(name);
+  if (!info.ok) {
+    std::fprintf(stderr, "telemetry_dump: --shm=%s: %s\n", name.c_str(),
+                 info.error.c_str());
+    return 1;
+  }
+  std::printf("{\"segment\":\"%s\",\"capacity\":%" PRIu64
+              ",\"slot_size\":%" PRIu64 ",\"closed\":%s,"
+              "\"head\":%" PRIu64 ",\"tail\":%" PRIu64 ",\"claim\":%" PRIu64
+              ",\"unconsumed\":%" PRIu64 ",\"highwater\":%" PRIu64
+              ",\"leases_reclaimed\":%" PRIu64 ",\"slots_tombstoned\":%" PRIu64
+              ",\"zombie_fences\":%" PRIu64 ",\"leases\":[",
+              name.c_str(), info.capacity, info.slot_size,
+              info.closed ? "true" : "false", info.head, info.tail,
+              info.claim, info.tail - info.head, info.highwater,
+              info.leases_reclaimed, info.slots_tombstoned,
+              info.zombie_fences);
+  bool first = true;
+  for (const runtime::ShmLeaseInfo& l : info.leases) {
+    if (l.pid == 0 && l.span_state ==
+                          static_cast<uint64_t>(runtime::LeaseSpan::kIdle)) {
+      continue;  // free row: noise in a triage dump
+    }
+    std::printf("%s{\"row\":%zu,\"pid\":%" PRIu64 ",\"epoch\":%" PRIu64
+                ",\"heartbeat_ns\":%" PRIu64 ",\"span\":[%" PRIu64
+                ",%" PRIu64 "],\"span_state\":\"%s\",\"fenced_at_ns\":%" PRIu64
+                "}",
+                first ? "" : ",", l.row, l.pid, l.epoch, l.heartbeat_ns,
+                l.span_begin, l.span_end, SpanStateName(l.span_state),
+                l.fenced_at_ns);
+    first = false;
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
 int Run(const bench::Flags& flags) {
+  const std::string shm = flags.GetString("shm", "");
+  if (!shm.empty()) return DumpShmSegment(shm);
   const std::size_t window = flags.GetU64("window", 8192);
   const std::size_t shards = flags.GetU64("shards", 4);
   const uint64_t tuples = flags.GetU64("tuples", 500000);
