@@ -10,6 +10,7 @@
 #include <chrono>
 #include <thread>
 
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace slick::net {
@@ -40,6 +41,7 @@ bool IngestClient::Connect(const std::string& host, uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  last_send_ns_ = util::MonotonicNanos();  // a fresh socket is not idle
   return true;
 }
 
@@ -84,6 +86,15 @@ IngestClient::RetryResult IngestClient::SendBatchWithRetry(
       std::this_thread::sleep_for(std::chrono::nanoseconds(base + jitter));
     }
     ++attempts;
+    // An idle-aged connection is presumed dead BEFORE the send: the
+    // server's idle_ns reaper closes half-open peers, and a send into
+    // that close can succeed into the kernel buffer and vanish (see the
+    // header contract). Reconnecting first turns the silent loss into a
+    // plain fresh-connection send.
+    if (connected() && opts.idle_reconnect_ns != 0 &&
+        util::MonotonicNanos() - last_send_ns_ > opts.idle_reconnect_ns) {
+      Close();
+    }
     // Reconnect-and-resend: a half-written frame from a previous attempt
     // is dead with its connection; the fresh socket gets a fresh frame.
     if (!connected() && !Connect(host, port)) continue;
@@ -111,6 +122,7 @@ bool IngestClient::SendRaw(const char* data, std::size_t len) {
     }
     sent += static_cast<std::size_t>(r);
   }
+  last_send_ns_ = util::MonotonicNanos();
   return true;
 }
 

@@ -34,6 +34,16 @@ class IngestClient {
     uint64_t initial_backoff_ns = 1'000'000;  ///< 1ms before attempt #2
     uint64_t max_backoff_ns = 200'000'000;    ///< cap per sleep (200ms)
     uint64_t jitter_seed = 0x5EED5EED;        ///< deterministic in tests
+    /// When nonzero, SendBatchWithRetry treats a connection whose last
+    /// successful send is older than this as already dead and reconnects
+    /// BEFORE sending. The one-way protocol cannot detect a server-side
+    /// close (e.g. the server's idle_ns reaper) until a send races the
+    /// RST — and a send that wins that race is silently lost, because
+    /// send() success only means the kernel buffered the bytes. Set this
+    /// comfortably below the server's idle_ns so bursty producers never
+    /// write a batch onto a socket the server has already abandoned.
+    /// 0 = off (matches servers with no idle timeout).
+    uint64_t idle_reconnect_ns = 0;
   };
 
   IngestClient() = default;
@@ -59,9 +69,18 @@ class IngestClient {
 
   /// SendBatch with reconnect-and-resend retries. Each failed attempt
   /// (send error, or not connected) reconnects and resends the WHOLE
-  /// batch, so delivery is at-least-once: a send that failed after the
-  /// kernel took part of the frame leaves the server a truncated stream
-  /// it rejects, and the resend is a fresh frame on a fresh connection.
+  /// batch — a send that failed after the kernel took part of the frame
+  /// leaves the server a truncated stream it rejects, and the resend is
+  /// a fresh frame on a fresh connection. Duplicates are possible;
+  /// losses are possible too in one narrow shape: the protocol is
+  /// one-way (no application ack), so kOk means the kernel accepted the
+  /// whole frame on a connection believed live — NOT that the server
+  /// decoded it. A server-side close racing the send (its idle_ns
+  /// reaper, a restart) can swallow a kOk batch; the RST only surfaces
+  /// on the NEXT send. RetryOptions::idle_reconnect_ns closes the
+  /// routine instance of that race (bursty client outliving the
+  /// server's idle timeout) by reconnecting first; true at-least-once
+  /// would need an ack channel the wire protocol does not have.
   SLICK_NODISCARD RetryResult SendBatchWithRetry(
       const WireTuple* tuples, std::size_t n, const std::string& host,
       uint16_t port, const RetryOptions& opts,
@@ -82,6 +101,9 @@ class IngestClient {
  private:
   int fd_ = -1;
   std::string frame_;  ///< reused encode buffer
+  /// Monotonic time of the last successful send (or connect) on fd_ —
+  /// what idle_reconnect_ns ages against.
+  uint64_t last_send_ns_ = 0;
 };
 
 }  // namespace slick::net

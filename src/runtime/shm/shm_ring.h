@@ -171,7 +171,19 @@ struct ShmHeader {
 };
 
 inline constexpr uint32_t kShmMagic = 0x4D485353u;  // "SSHM"
-inline constexpr uint32_t kShmVersion = 1;
+inline constexpr uint32_t kShmVersion = 2;
+
+/// Dead-slot marker, ORed into a slot's seq word when the slot is
+/// sequenced by tombstone repair instead of a producer publish. Folding
+/// the mark into the seq word (rather than a second word array) makes the
+/// seq CAS the ONE arbitration point for a slot's fate: whoever sequences
+/// the slot decides — atomically — whether it is live (pos + 1) or dead
+/// ((pos + 1) | kSeqDead), and the loser's CAS observes that verdict.
+/// There is no window where a slot is published-then-retroactively-killed,
+/// which is what makes LeaseProducer's `landed` count exact. Positions are
+/// free-running counters that cannot plausibly reach 2^62, so the top bit
+/// is free.
+inline constexpr uint64_t kSeqDead = uint64_t{1} << 63;
 
 /// Byte offsets of the segment's regions. Header, control and lease
 /// offsets are independent of the slot type, which is what lets the
@@ -181,7 +193,6 @@ struct ShmLayout {
   std::size_t control_off;
   std::size_t lease_off;
   std::size_t seq_off;
-  std::size_t tomb_off;
   std::size_t slot_off;
   std::size_t total_bytes;
 };
@@ -199,10 +210,8 @@ inline constexpr ShmLayout ComputeShmLayout(std::size_t capacity,
   l.lease_off = ShmAlignUp(l.control_off + sizeof(ShmControl), 64);
   l.seq_off =
       ShmAlignUp(l.lease_off + max_producers * sizeof(ShmLease), 64);
-  l.tomb_off =
-      ShmAlignUp(l.seq_off + capacity * sizeof(std::atomic<uint64_t>), 64);
   l.slot_off = ShmAlignUp(
-      l.tomb_off + capacity * sizeof(std::atomic<uint64_t>),
+      l.seq_off + capacity * sizeof(std::atomic<uint64_t>),
       slot_align > 64 ? slot_align : 64);
   l.total_bytes = ShmAlignUp(l.slot_off + capacity * slot_size, 4096);
   return l;
@@ -266,19 +275,23 @@ struct ShmLeaseStats {
 /// machinery that makes "a producer is a separate process that can be
 /// SIGKILL'd mid-claim" survivable instead of a consumer wedge:
 ///
-///  * **Publish is a CAS, not a store.** A slot's seq word moves from its
-///    previous-lap value (pos + 1 - capacity, or 0 on the first lap) to
-///    pos + 1 by compare-exchange, from exactly one of two writers: the
-///    owning producer, or the reaper tombstoning an abandoned claim.
-///    Whichever CAS lands first wins the slot; the loser's CAS fails
-///    harmlessly. A lap-late zombie can never regress a seq word.
-///  * **Tombstones.** tomb[idx] == pos + 1 marks position pos as
-///    reaper-repaired; like seq words, tombstone marks are lap-unique and
-///    never need clearing. A slot is dead iff published AND tombstoned
-///    (the reaper stores tomb *before* its seq CAS, so a tombstone is
-///    visible by the time the sequencing publishes it). The consumer
-///    skips dead slots — claim advances past them, release accounting
-///    folds them into head — instead of wedging on a hole.
+///  * **Sequencing is a CAS, not a store.** A slot's seq word moves from
+///    its previous-lap value (pos + 1 - capacity, possibly dead-marked,
+///    or 0 on the first lap) to its this-lap value by compare-exchange,
+///    from exactly one of two writers: the owning producer publishing it
+///    live (pos + 1), or tombstone repair marking it dead
+///    ((pos + 1) | kSeqDead). Whichever CAS lands first decides the
+///    slot's fate — atomically and finally; the loser's CAS fails
+///    harmlessly and its failure-order acquire shows it the verdict. A
+///    lap-late zombie can never regress a seq word.
+///  * **Tombstones ARE seq values.** Because live/dead is a property of
+///    the one seq word, a published slot can never be retroactively
+///    killed: a producer whose publish CAS won KNOWS the slot will be
+///    consumed, which is what makes LeaseProducer::PublishClaimed's
+///    `landed` count exact. The consumer skips dead slots — claim
+///    advances past them, release accounting folds them into head —
+///    instead of wedging on a hole. Like live seq values, dead marks are
+///    lap-unique and never need clearing.
 ///  * **Leases + reaper** (ShmLease above, ReapExpiredLeases below) give
 ///    the consumer side the authority to decide a producer is gone and
 ///    repair its in-flight span.
@@ -361,7 +374,6 @@ class ShmRing {
         ctl_(std::exchange(other.ctl_, nullptr)),
         leases_(std::exchange(other.leases_, nullptr)),
         seq_(std::exchange(other.seq_, nullptr)),
-        tomb_(std::exchange(other.tomb_, nullptr)),
         slots_(std::exchange(other.slots_, nullptr)),
         fault_lane_(other.fault_lane_),
         pending_(std::move(other.pending_)) {}
@@ -553,9 +565,10 @@ class ShmRing {
 
   /// Claims a contiguous span of up to `max` published *live* elements.
   /// Differs from MpmcRing only in tombstone handling: a leading run of
-  /// dead slots (published + tombstoned) is skipped — claim advances past
-  /// it and the skip is folded into release accounting — and a tombstone
-  /// inside the window ends the returned span (the next claim skips it).
+  /// dead slots (seq dead-marked by repair) is skipped — claim advances
+  /// past it and the skip is folded into release accounting — and a dead
+  /// slot inside the window ends the returned span (the next claim skips
+  /// it).
   SLICK_NODISCARD SLICK_REALTIME T* TryClaimPop(std::size_t max,
                                                 std::size_t* count) {
     *count = 0;
@@ -569,8 +582,10 @@ class ShmRing {
         const uint64_t pos = claim + skip;
         const std::size_t idx = static_cast<std::size_t>(pos) & mask_;
         // acquire: pairs with the publish/tombstone CAS release stores.
-        if (seq_[idx].load(std::memory_order_acquire) != pos + 1) break;
-        if (tomb_[idx].load(std::memory_order_acquire) != pos + 1) break;
+        if (seq_[idx].load(std::memory_order_acquire) !=
+            ((pos + 1) | kSeqDead)) {
+          break;
+        }
         ++skip;
       }
       if (skip > 0) {
@@ -591,9 +606,9 @@ class ShmRing {
       while (n < limit) {
         const uint64_t pos = claim + n;
         // acquire: pairs with PublishSlot's seq CAS release — the slot's
-        // contents are visible before we hand it out.
+        // contents are visible before we hand it out. A dead-marked slot
+        // fails the equality too, ending the live span at the hole.
         if (seq_[idx + n].load(std::memory_order_acquire) != pos + 1) break;
-        if (tomb_[idx + n].load(std::memory_order_acquire) == pos + 1) break;
         ++n;
       }
       if (n == 0) {
@@ -650,9 +665,9 @@ class ShmRing {
   }
 
   /// Rewinds the claim cursor to the release cursor — the recovery
-  /// primitive (see MpmcRing::ResetClaims; unchanged rationale: seq and
-  /// tomb words survive releases, so the replayed span re-reads published
-  /// slots and re-skips tombstones). MUST only run with no consumer
+  /// primitive (see MpmcRing::ResetClaims; unchanged rationale: seq words
+  /// survive releases, so the replayed span re-reads published slots and
+  /// re-skips dead-marked ones). MUST only run with no consumer
   /// thread live; the pending skip accounting resets with the cursor.
   void ResetClaims() {
     pending_.clear();
@@ -765,7 +780,6 @@ class ShmRing {
                                          std::size_t* claimed) {
       *claimed = 0;
       SLICK_DCHECK(claim_len_ == 0, "previous claim not yet published");
-      if (Fenced()) return Result::kFenced;
       ShmControl* ctl = ring_->ctl_;
       // relaxed: monotonic go/no-go, promptness only (as TryClaimPush).
       if (ctl->closed.load(std::memory_order_relaxed) != 0) {
@@ -774,6 +788,11 @@ class ShmRing {
       uint64_t tail = ctl->tail.load(std::memory_order_relaxed);
       bool first_attempt = true;
       for (;;) {
+        // Re-checked on EVERY iteration, before the intent stores below:
+        // a producer that stalled long enough to be fenced mid-loop must
+        // not rewrite span state into a lease row the reaper may already
+        // have reclaimed (and a new holder re-taken).
+        if (Fenced()) return Result::kFenced;
         // acquire: the claim bound (pairs with head release stores).
         const uint64_t head = ctl->head.load(std::memory_order_acquire);
         const uint64_t used = tail - head;
@@ -815,6 +834,37 @@ class ShmRing {
         if (ctl->tail.compare_exchange_weak(tail, tail + n,
                                             std::memory_order_relaxed,
                                             std::memory_order_relaxed)) {
+          // Dekker pairing with the reaper (its seq_cst fence sits
+          // between the epoch bump and the span/tail reads): if the
+          // reaper's repair read tail BEFORE this CAS landed — and so
+          // skipped [tail, tail + n) as never-claimed — this fence
+          // guarantees the Fenced() load below observes the bump, so
+          // the span is never stranded outside every repair.
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          if (Fenced()) {
+            // The tail CAS landed, so the span is exclusively ours —
+            // but the lease row no longer is: the reaper fenced us
+            // between the intent record and here, and may already have
+            // reclaimed the row (a stalled kIntent holder) or handed it
+            // to a new producer. Publishing is forbidden and the span
+            // can be recorded in no lease, so repair it ourselves,
+            // exactly as the reaper would, and wake the consumer off
+            // the hole. Without this, the reservation would be a
+            // permanently unsequenced hole no reap pass can see — the
+            // wedge this ring exists to eliminate.
+            uint64_t dead = 0;
+            for (uint64_t pos = tail; pos < tail + n; ++pos) {
+              if (ring_->TombstoneSlot(pos)) ++dead;
+            }
+            if (dead != 0) {
+              // relaxed: monotonic telemetry counter.
+              ctl->slots_tombstoned.fetch_add(dead,
+                                              std::memory_order_relaxed);
+            }
+            ctl->tail_event.fetch_add(1, std::memory_order_release);
+            shm_futex::WakeAll(&ctl->tail_event, &ctl->tail_waiters);
+            return Result::kFenced;
+          }
           // The span is now certainly ours: upgrade the attribution. No
           // heartbeat here: attach seeded one and every publish refreshes
           // it, so claim-time staleness is already bounded by the last
@@ -844,6 +894,12 @@ class ShmRing {
     /// remainder — each slot's CAS independently loses to the reaper's
     /// tombstone sequencing anyway). Returns the number of slots that
     /// actually landed; clears the claim either way.
+    ///
+    /// `landed` is EXACT, not advisory: live/dead is decided by the one
+    /// seq-word CAS per slot, so a slot this walk won is live and will be
+    /// consumed, and a slot it lost (or never attempted after a loss) was
+    /// — or is about to be — dead-marked by the repair that beat it.
+    /// Callers can treat kOk/`landed` as an at-least-once delivery fact.
     std::size_t PublishClaimed() {
       if (claim_len_ == 0) return 0;
       if (fault::Fire(fault::Point::kShmZombieResume, ring_->fault_lane_)) {
@@ -862,21 +918,24 @@ class ShmRing {
       std::size_t landed = 0;
       // One fence check gates the whole walk: each slot's CAS arbitrates
       // exactly (a reaper that fenced mid-walk wins per slot regardless),
-      // so the per-slot check would buy nothing but two loads per slot on
-      // the hot path. A failed CAS is itself the interference signal —
-      // re-check the fence then, and stop instead of burning the rest of
-      // the span on CASes that will keep losing.
+      // so the per-slot check would buy nothing but a load per slot on
+      // the hot path. A lost CAS can only mean tombstone repair is
+      // walking this same span — its failure-order acquire synchronizes
+      // with the repair CAS, making the (program-order earlier) epoch
+      // bump visible — so stop: the repair pass covers every remaining
+      // unpublished position, and burning CASes that lose changes
+      // nothing.
       if (!Fenced()) {
         for (std::size_t i = 0; i < n; ++i) {
           if (fault::Fire(fault::Point::kShmDieMidSpan,
                           ring_->fault_lane_)) {
             fault::DieHard();
           }
-          if (ring_->PublishSlot(pos0 + i)) {
-            ++landed;
-          } else if (Fenced()) {
+          if (!ring_->PublishSlot(pos0 + i)) {
+            SLICK_DCHECK(Fenced(), "publish CAS lost to a non-repair writer");
             break;
           }
+          ++landed;
         }
       }
       if (landed > 0) {
@@ -1055,6 +1114,16 @@ class ShmRing {
         }
       }
 
+      // Dekker pairing with TryBeginClaim's post-CAS fence: the holder
+      // CASes tail then re-checks the epoch; we bumped the epoch (this
+      // pass or an earlier one) and now read tail and the span. The
+      // paired seq_cst fences guarantee at least one side sees the
+      // other: either the tail load below observes the holder's CAS (so
+      // its span is inside [.., tail) and repairable), or the holder's
+      // re-check observes the bump and it self-repairs. No interleaving
+      // leaves a reserved span that neither side tombstones.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+
       // 2. Repair the recorded span, if attribution allows it yet.
       const auto state = static_cast<LeaseSpan>(
           lease.span_state.load(std::memory_order_acquire));
@@ -1080,22 +1149,15 @@ class ShmRing {
                 CoveredByOtherLease(li, pos)) {
               continue;  // the CAS lost; the span belongs to someone live
             }
-            const std::size_t idx = static_cast<std::size_t>(pos) & mask_;
-            // acquire: pairs with the producer's publish CAS — published
-            // slots hold real data and stay consumable.
-            if (seq_[idx].load(std::memory_order_acquire) == pos + 1) {
-              continue;
-            }
-            // Tombstone BEFORE sequencing: whichever CAS wins below, the
-            // mark is already visible, so the consumer can never read
-            // the slot as live garbage.
-            tomb_[idx].store(pos + 1, std::memory_order_release);
-            if (PublishSlot(pos)) {
+            // One CAS decides the slot's fate: win => dead-marked, the
+            // consumer skips it atomically (it can never read the slot
+            // as live garbage, because live requires the exact value
+            // pos + 1). Lose => the holder's publish squeaked in after
+            // our fence — the slot is LIVE with real data, stays
+            // consumable, and the holder rightly counted it as landed.
+            if (TombstoneSlot(pos)) {
               ++out.slots_tombstoned;
             }
-            // CAS lost => the holder's publish squeaked in after our
-            // fence: the slot is now published AND tombstoned — dead
-            // either way, and the consumer skips it.
           }
         }
       }
@@ -1202,14 +1264,12 @@ class ShmRing {
       new (base + l.lease_off + i * sizeof(ShmLease)) ShmLease{};
     }
     for (std::size_t i = 0; i < capacity(); ++i) {
-      // Zero-valued seq words are correct as-is: the published test is
-      // the exact equality seq == pos + 1 (same for tombstones). The
-      // per-slot words are deliberately dense — padding each to a cache
-      // line would multiply the segment footprint 8x; neighbouring-slot
-      // sharing is the same trade MpmcRing makes.
+      // Zero-valued seq words are correct as-is: the sequenced test is
+      // the exact equality against pos + 1 (live) or its dead-marked
+      // variant. The per-slot words are deliberately dense — padding
+      // each to a cache line would multiply the segment footprint 8x;
+      // neighbouring-slot sharing is the same trade MpmcRing makes.
       new (base + l.seq_off + i * sizeof(std::atomic<uint64_t>))
-          std::atomic<uint64_t>(0);  // slick-lint: allow(atomic-alignas)
-      new (base + l.tomb_off + i * sizeof(std::atomic<uint64_t>))
           std::atomic<uint64_t>(0);  // slick-lint: allow(atomic-alignas)
     }
     hdr->magic = kShmMagic;
@@ -1237,21 +1297,42 @@ class ShmRing {
     ctl_ = reinterpret_cast<ShmControl*>(base + l.control_off);
     leases_ = reinterpret_cast<ShmLease*>(base + l.lease_off);
     seq_ = reinterpret_cast<std::atomic<uint64_t>*>(base + l.seq_off);
-    tomb_ = reinterpret_cast<std::atomic<uint64_t>*>(base + l.tomb_off);
     slots_ = reinterpret_cast<T*>(base + l.slot_off);
   }
 
-  /// The one slot-publication primitive (class comment): CAS the seq word
-  /// from its previous-lap value to pos + 1. Exactly one of {producer,
-  /// reaper} wins each slot; returns whether WE did.
-  SLICK_REALTIME bool PublishSlot(uint64_t pos) {
+  /// The one slot-sequencing primitive (class comment): CAS the seq word
+  /// from its previous-lap value to `desired`. Exactly one of {producer
+  /// publishing pos + 1, repair writing (pos + 1) | kSeqDead} wins each
+  /// slot; returns whether WE did.
+  SLICK_REALTIME bool SequenceSlot(uint64_t pos, uint64_t desired) {
     const std::size_t idx = static_cast<std::size_t>(pos) & mask_;
     uint64_t expected = pos >= capacity() ? pos + 1 - capacity() : 0;
-    // release on success: publishes the slot's contents; pairs with the
-    // consumer's seq acquire. acquire on failure: see who beat us.
-    return seq_[idx].compare_exchange_strong(expected, pos + 1,
+    // release on success: publishes the slot's contents (or the dead
+    // verdict); pairs with the consumer's seq acquire. acquire on
+    // failure: see who beat us (for a producer, the failure proves the
+    // fence: the repair CAS release-published the epoch bump before it).
+    if (seq_[idx].compare_exchange_strong(expected, desired,
+                                          std::memory_order_release,
+                                          std::memory_order_acquire)) {
+      return true;
+    }
+    // The previous lap may have ended tombstoned: its seq value then
+    // carries the dead mark. Retry against that variant once.
+    if (pos < capacity() ||
+        expected != ((pos + 1 - capacity()) | kSeqDead)) {
+      return false;
+    }
+    return seq_[idx].compare_exchange_strong(expected, desired,
                                              std::memory_order_release,
                                              std::memory_order_acquire);
+  }
+
+  SLICK_REALTIME bool PublishSlot(uint64_t pos) {
+    return SequenceSlot(pos, pos + 1);
+  }
+
+  SLICK_REALTIME bool TombstoneSlot(uint64_t pos) {
+    return SequenceSlot(pos, (pos + 1) | kSeqDead);
   }
 
   SLICK_REALTIME void UpdateHighwater(uint64_t occupancy) {
@@ -1288,9 +1369,11 @@ class ShmRing {
   bool PopReadyOrSettled() const {
     // relaxed: effectively the consumer's own cursor.
     const uint64_t claim = ctl_->claim.load(std::memory_order_relaxed);
-    // acquire: pairs with the publish/tombstone seq CAS release.
-    if (seq_[static_cast<std::size_t>(claim) & mask_].load(
-            std::memory_order_acquire) == claim + 1) {
+    // acquire: pairs with the publish/tombstone seq CAS release. The
+    // dead mark is progress too (TryClaimPop skips it), so mask it.
+    if ((seq_[static_cast<std::size_t>(claim) & mask_].load(
+             std::memory_order_acquire) &
+         ~kSeqDead) == claim + 1) {
       return true;
     }
     if (ctl_->closed.load(std::memory_order_acquire) == 0) return false;
@@ -1341,8 +1424,7 @@ class ShmRing {
   ShmLease* leases_ = nullptr;
   // Shared-segment atomics are placement-constructed at their layout
   // offsets; these are plain pointers into the mapping, not owners.
-  std::atomic<uint64_t>* seq_ = nullptr;   // slick-lint: allow(atomic-alignas)
-  std::atomic<uint64_t>* tomb_ = nullptr;  // slick-lint: allow(atomic-alignas)
+  std::atomic<uint64_t>* seq_ = nullptr;  // slick-lint: allow(atomic-alignas)
   T* slots_ = nullptr;
   // Fault-injection lane id (shard index); written once before threads
   // start, read only inside fault::Fire hooks.

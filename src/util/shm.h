@@ -84,6 +84,10 @@ class ShmMapping {
       if (m.valid()) {
         ::shm_unlink(name);
         m.unlink_on_destroy_ = false;
+        // The name no longer resolves; keeping it would make name()
+        // point triage tools at a nonexistent /dev/shm entry instead of
+        // identifying the mapping as anonymous.
+        m.name_.clear();
         return m;
       }
       if (m.error_ != EEXIST) return m;

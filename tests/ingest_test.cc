@@ -696,6 +696,66 @@ TEST(IngestClientRetryTest, ExhaustedBudgetReturnsTypedError) {
   EXPECT_EQ(send_attempts, 2);
 }
 
+// The routine silent-loss shape of the one-way protocol: a bursty client
+// outlives the server's idle_ns reaper, and its next send lands on a
+// socket the server already abandoned — send() succeeds into the kernel
+// buffer, the batch vanishes. idle_reconnect_ns must close that window:
+// once the inter-send gap exceeds it, SendBatchWithRetry reconnects
+// BEFORE sending, so the batch arrives on a connection the server holds.
+TEST(IngestClientRetryTest, IdleReconnectBeatsServerIdleClose) {
+  std::vector<WireTuple> sunk;
+  IngestServer server(
+      {.port = 0, .threads = 1, .idle_ns = 40'000'000},  // 40ms
+      [&sunk](std::size_t) -> IngestServer::TrySink {
+        return [&sunk](const WireTuple* t, std::size_t n) {
+          sunk.insert(sunk.end(), t, t + n);
+          return n;
+        };
+      });
+  ASSERT_TRUE(server.Start());
+
+  IngestClient client;
+  const WireTuple first{1, 1.0};
+  int attempts = 0;
+  ASSERT_EQ(client.SendBatchWithRetry(
+                &first, 1, kHost, server.port(),
+                {.max_attempts = 3, .idle_reconnect_ns = 20'000'000},
+                &attempts),
+            IngestClient::RetryResult::kOk);
+  EXPECT_EQ(attempts, 1);
+
+  // Go silent until the server's reaper closes our connection. The client
+  // cannot observe the close (one-way protocol, no reads) — connected()
+  // still claims the stale fd is fine.
+  ASSERT_TRUE(
+      WaitFor([&server] { return server.snapshot().idle_closes == 1; }));
+  EXPECT_TRUE(client.connected());
+
+  // The burst after the gap: more than idle_reconnect_ns has elapsed since
+  // the last send, so the client presumes the socket dead and reconnects
+  // first. Without the option this send would be the silent-loss race.
+  const WireTuple second{2, 2.0};
+  ASSERT_EQ(client.SendBatchWithRetry(
+                &second, 1, kHost, server.port(),
+                {.max_attempts = 3, .idle_reconnect_ns = 20'000'000},
+                &attempts),
+            IngestClient::RetryResult::kOk);
+  EXPECT_EQ(attempts, 1);  // proactive reconnect is not a retry
+
+  ASSERT_TRUE(WaitFor(
+      [&server] { return server.snapshot().tuples_accepted == 2; }));
+  const telemetry::IngestSnapshot snap = server.snapshot();
+  EXPECT_EQ(snap.connections_opened, 2u);  // fresh socket for the burst
+  EXPECT_EQ(snap.connections_closed_on_error, 0u);
+  server.Stop();
+  ASSERT_EQ(sunk.size(), 2u);
+  EXPECT_EQ(sunk[0].ts, 1u);
+  EXPECT_EQ(sunk[1].ts, 2u);
+
+  // Default-off: the aging guard never fires unless asked for.
+  EXPECT_EQ(IngestClient::RetryOptions{}.idle_reconnect_ns, 0u);
+}
+
 // ---------------------------------------------------------------------
 // Telemetry export.
 // ---------------------------------------------------------------------
